@@ -1,0 +1,300 @@
+//! A simple longitudinal-plus-heading aircraft model.
+//!
+//! The paper's example "has been operated in a simulated environment that
+//! includes aircraft state sensors and a simple model of aircraft
+//! dynamics". This model is deliberately small — pitch follows elevator,
+//! vertical speed follows pitch, altitude integrates vertical speed; bank
+//! follows aileron, heading rate follows bank; airspeed follows throttle
+//! minus drag — but it is a real closed-loop plant: the autopilot and
+//! flight-control laws in this crate are tuned against it and their
+//! convergence is tested against it.
+
+/// Deflections commanded to the aircraft's control surfaces, each in
+/// `[-1, 1]`, plus throttle in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControlSurfaces {
+    /// Elevator deflection (positive = nose up).
+    pub elevator: f64,
+    /// Aileron deflection (positive = right roll).
+    pub aileron: f64,
+    /// Throttle setting.
+    pub throttle: f64,
+}
+
+impl ControlSurfaces {
+    /// Surfaces centered, not "exerting turning forces on the aircraft"
+    /// (§7.1) — the FCS precondition for entering a new configuration.
+    pub fn centered() -> Self {
+        ControlSurfaces {
+            elevator: 0.0,
+            aileron: 0.0,
+            throttle: 0.5,
+        }
+    }
+
+    /// Returns `true` if elevator and aileron are (numerically) centered.
+    pub fn is_centered(&self) -> bool {
+        self.elevator.abs() < 1e-9 && self.aileron.abs() < 1e-9
+    }
+
+    /// Clamps all deflections to their legal ranges.
+    #[must_use]
+    pub fn clamped(self) -> Self {
+        ControlSurfaces {
+            elevator: self.elevator.clamp(-1.0, 1.0),
+            aileron: self.aileron.clamp(-1.0, 1.0),
+            throttle: self.throttle.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Default for ControlSurfaces {
+    fn default() -> Self {
+        ControlSurfaces::centered()
+    }
+}
+
+/// Raw pilot stick-and-throttle input, same ranges as
+/// [`ControlSurfaces`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct PilotInput {
+    /// Pitch command (positive = nose up).
+    pub pitch: f64,
+    /// Roll command (positive = right).
+    pub roll: f64,
+    /// Throttle.
+    pub throttle: f64,
+}
+
+/// The aircraft's physical state.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AircraftState {
+    /// Pressure altitude in feet.
+    pub altitude_ft: f64,
+    /// Vertical speed in feet per minute.
+    pub vertical_speed_fpm: f64,
+    /// Pitch attitude in degrees.
+    pub pitch_deg: f64,
+    /// Magnetic heading in degrees `[0, 360)`.
+    pub heading_deg: f64,
+    /// Bank angle in degrees (positive = right).
+    pub bank_deg: f64,
+    /// Indicated airspeed in knots.
+    pub airspeed_kt: f64,
+}
+
+impl AircraftState {
+    /// Straight-and-level cruise at the given altitude and heading.
+    pub fn cruise(altitude_ft: f64, heading_deg: f64) -> Self {
+        AircraftState {
+            altitude_ft,
+            vertical_speed_fpm: 0.0,
+            pitch_deg: 0.0,
+            heading_deg: heading_deg.rem_euclid(360.0),
+            bank_deg: 0.0,
+            airspeed_kt: 100.0,
+        }
+    }
+}
+
+/// The simulated aircraft.
+#[derive(Debug, Clone)]
+pub struct Aircraft {
+    state: AircraftState,
+    dt_s: f64,
+}
+
+impl Aircraft {
+    /// Creates an aircraft integrating at the given time step per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive.
+    pub fn new(initial: AircraftState, dt_s: f64) -> Self {
+        assert!(dt_s > 0.0, "time step must be positive");
+        Aircraft {
+            state: initial,
+            dt_s,
+        }
+    }
+
+    /// The current physical state.
+    pub fn state(&self) -> AircraftState {
+        self.state
+    }
+
+    /// The integration time step in seconds.
+    pub fn dt_s(&self) -> f64 {
+        self.dt_s
+    }
+
+    /// Advances the model one frame under the given surface deflections.
+    pub fn step(&mut self, surfaces: &ControlSurfaces) {
+        let s = surfaces.clamped();
+        let dt = self.dt_s;
+        let st = &mut self.state;
+
+        // Pitch follows elevator with a first-order lag; 1.0 elevator
+        // commands ~15 degrees of pitch.
+        let pitch_cmd = s.elevator * 15.0;
+        st.pitch_deg += (pitch_cmd - st.pitch_deg) * (dt / 0.8).min(1.0);
+
+        // Vertical speed follows pitch: ~100 fpm per degree at cruise
+        // speed, scaled by airspeed.
+        let vs_cmd = st.pitch_deg * 100.0 * (st.airspeed_kt / 100.0);
+        st.vertical_speed_fpm += (vs_cmd - st.vertical_speed_fpm) * (dt / 1.5).min(1.0);
+        st.altitude_ft += st.vertical_speed_fpm * dt / 60.0;
+        st.altitude_ft = st.altitude_ft.max(0.0);
+
+        // Bank follows aileron; 1.0 aileron commands 30 degrees of bank.
+        let bank_cmd = s.aileron * 30.0;
+        st.bank_deg += (bank_cmd - st.bank_deg) * (dt / 0.6).min(1.0);
+
+        // Standard-rate-ish turn: heading rate ~ 1080/pi * tan(bank) / v,
+        // simplified to 0.2 deg/s per degree of bank.
+        st.heading_deg = (st.heading_deg + st.bank_deg * 0.2 * dt).rem_euclid(360.0);
+
+        // Airspeed: throttle accelerates, drag (and climb) decelerate.
+        let thrust_kt_s = (s.throttle - 0.5) * 4.0;
+        let climb_penalty = st.vertical_speed_fpm / 1000.0 * 0.5;
+        st.airspeed_kt += (thrust_kt_s - climb_penalty) * dt;
+        st.airspeed_kt = st.airspeed_kt.clamp(40.0, 180.0);
+    }
+}
+
+/// Smallest signed angular difference `target - current` in degrees,
+/// in `(-180, 180]`.
+pub(crate) fn heading_error_deg(current: f64, target: f64) -> f64 {
+    let mut e = (target - current).rem_euclid(360.0);
+    if e > 180.0 {
+        e -= 360.0;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fly(aircraft: &mut Aircraft, surfaces: ControlSurfaces, frames: usize) {
+        for _ in 0..frames {
+            aircraft.step(&surfaces);
+        }
+    }
+
+    #[test]
+    fn centered_surfaces_hold_straight_and_level() {
+        let mut a = Aircraft::new(AircraftState::cruise(5000.0, 90.0), 0.1);
+        fly(&mut a, ControlSurfaces::centered(), 200);
+        let s = a.state();
+        assert!((s.altitude_ft - 5000.0).abs() < 1.0, "alt {}", s.altitude_ft);
+        assert!((s.heading_deg - 90.0).abs() < 0.1);
+        assert!(s.bank_deg.abs() < 0.01);
+    }
+
+    #[test]
+    fn up_elevator_climbs() {
+        let mut a = Aircraft::new(AircraftState::cruise(5000.0, 0.0), 0.1);
+        fly(
+            &mut a,
+            ControlSurfaces {
+                elevator: 0.5,
+                aileron: 0.0,
+                throttle: 0.7,
+            },
+            300,
+        );
+        let s = a.state();
+        assert!(s.altitude_ft > 5100.0, "alt {}", s.altitude_ft);
+        assert!(s.vertical_speed_fpm > 300.0);
+        assert!(s.pitch_deg > 5.0);
+    }
+
+    #[test]
+    fn right_aileron_turns_right() {
+        let mut a = Aircraft::new(AircraftState::cruise(5000.0, 0.0), 0.1);
+        fly(
+            &mut a,
+            ControlSurfaces {
+                elevator: 0.0,
+                aileron: 0.5,
+                throttle: 0.5,
+            },
+            300,
+        );
+        let s = a.state();
+        assert!(s.bank_deg > 10.0);
+        assert!(s.heading_deg > 10.0 && s.heading_deg < 180.0);
+    }
+
+    #[test]
+    fn heading_wraps_through_north() {
+        let mut a = Aircraft::new(AircraftState::cruise(5000.0, 350.0), 0.1);
+        fly(
+            &mut a,
+            ControlSurfaces {
+                elevator: 0.0,
+                aileron: 0.5,
+                throttle: 0.5,
+            },
+            400,
+        );
+        let h = a.state().heading_deg;
+        assert!((0.0..360.0).contains(&h));
+    }
+
+    #[test]
+    fn surfaces_clamped_and_centered_detection() {
+        let s = ControlSurfaces {
+            elevator: 5.0,
+            aileron: -9.0,
+            throttle: 2.0,
+        }
+        .clamped();
+        assert_eq!(s.elevator, 1.0);
+        assert_eq!(s.aileron, -1.0);
+        assert_eq!(s.throttle, 1.0);
+        assert!(!s.is_centered());
+        assert!(ControlSurfaces::centered().is_centered());
+        assert!(ControlSurfaces::default().is_centered());
+    }
+
+    #[test]
+    fn heading_error_takes_short_way_around() {
+        assert_eq!(heading_error_deg(350.0, 10.0), 20.0);
+        assert_eq!(heading_error_deg(10.0, 350.0), -20.0);
+        assert_eq!(heading_error_deg(0.0, 180.0), 180.0);
+        assert_eq!(heading_error_deg(90.0, 90.0), 0.0);
+    }
+
+    #[test]
+    fn airspeed_stays_in_envelope() {
+        let mut a = Aircraft::new(AircraftState::cruise(5000.0, 0.0), 0.1);
+        fly(
+            &mut a,
+            ControlSurfaces {
+                elevator: 0.0,
+                aileron: 0.0,
+                throttle: 0.0,
+            },
+            2000,
+        );
+        assert!(a.state().airspeed_kt >= 40.0);
+        fly(
+            &mut a,
+            ControlSurfaces {
+                elevator: 0.0,
+                aileron: 0.0,
+                throttle: 1.0,
+            },
+            4000,
+        );
+        assert!(a.state().airspeed_kt <= 180.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dt_panics() {
+        let _ = Aircraft::new(AircraftState::cruise(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The electrical power generation system.
+//!
+//! "The electrical system consists of two alternators and a battery, and
+//! its interface exports the state that it is in. One alternator provides
+//! primary vehicle power; the second is a spare, but normally charges the
+//! battery, which is an emergency power source. Loss of one alternator
+//! reduces available power below the threshold needed for full operation.
+//! Loss of both alternators leaves the battery as the only power source.
+//! The electrical system operates independently of the reconfigurable
+//! system; it merely provides the system details of its state." (§7)
+//!
+//! The exported state is an environment factor (see
+//! [`ElectricalSystem::env_value`]); its changes are what trigger the
+//! example's reconfigurations.
+
+/// The power state the electrical system exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PowerSource {
+    /// Both alternators operating: full power.
+    BothAlternators,
+    /// One alternator lost: reduced power.
+    OneAlternator,
+    /// Both alternators lost: battery only.
+    BatteryOnly,
+}
+
+impl PowerSource {
+    /// The environment-factor value for this state (`"both"`, `"one"`,
+    /// `"battery"`). [`avionics_spec`](crate::avionics_spec) declares the
+    /// factor `electrical` with exactly this domain.
+    pub fn env_value(self) -> &'static str {
+        match self {
+            PowerSource::BothAlternators => "both",
+            PowerSource::OneAlternator => "one",
+            PowerSource::BatteryOnly => "battery",
+        }
+    }
+}
+
+/// The two-alternator-plus-battery electrical system.
+#[derive(Debug, Clone)]
+pub struct ElectricalSystem {
+    alternator_failed: [bool; 2],
+    battery_charge: f64,
+}
+
+impl Default for ElectricalSystem {
+    fn default() -> Self {
+        ElectricalSystem::new()
+    }
+}
+
+impl ElectricalSystem {
+    /// A healthy system with a full battery.
+    pub fn new() -> Self {
+        ElectricalSystem {
+            alternator_failed: [false, false],
+            battery_charge: 1.0,
+        }
+    }
+
+    /// Fails alternator `1` or `2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `which` is not `1` or `2`.
+    pub fn fail_alternator(&mut self, which: u8) {
+        assert!(which == 1 || which == 2, "alternators are numbered 1 and 2");
+        self.alternator_failed[(which - 1) as usize] = true;
+    }
+
+    /// Repairs alternator `1` or `2` (the repair-and-failure cycles of
+    /// §5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `which` is not `1` or `2`.
+    pub fn repair_alternator(&mut self, which: u8) {
+        assert!(which == 1 || which == 2, "alternators are numbered 1 and 2");
+        self.alternator_failed[(which - 1) as usize] = false;
+    }
+
+    /// Returns `true` if the given alternator is operating.
+    pub fn alternator_ok(&self, which: u8) -> bool {
+        assert!(which == 1 || which == 2, "alternators are numbered 1 and 2");
+        !self.alternator_failed[(which - 1) as usize]
+    }
+
+    /// The exported power state.
+    pub fn source(&self) -> PowerSource {
+        match self.alternator_failed.iter().filter(|&&f| f).count() {
+            0 => PowerSource::BothAlternators,
+            1 => PowerSource::OneAlternator,
+            _ => PowerSource::BatteryOnly,
+        }
+    }
+
+    /// The exported state as an environment-factor value.
+    pub fn env_value(&self) -> &'static str {
+        self.source().env_value()
+    }
+
+    /// Remaining battery charge in `[0, 1]`.
+    pub fn battery_charge(&self) -> f64 {
+        self.battery_charge
+    }
+
+    /// Advances the electrical model by `dt_s` seconds: on battery-only
+    /// power the battery drains; with at least one alternator it
+    /// recharges.
+    pub fn step(&mut self, dt_s: f64) {
+        match self.source() {
+            PowerSource::BatteryOnly => {
+                // Roughly 30 minutes of emergency endurance.
+                self.battery_charge -= dt_s / 1800.0;
+            }
+            _ => {
+                self.battery_charge += dt_s / 600.0;
+            }
+        }
+        self.battery_charge = self.battery_charge.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_progression_matches_paper() {
+        let mut e = ElectricalSystem::new();
+        assert_eq!(e.source(), PowerSource::BothAlternators);
+        assert_eq!(e.env_value(), "both");
+        e.fail_alternator(1);
+        assert_eq!(e.source(), PowerSource::OneAlternator);
+        assert_eq!(e.env_value(), "one");
+        assert!(!e.alternator_ok(1));
+        assert!(e.alternator_ok(2));
+        e.fail_alternator(2);
+        assert_eq!(e.source(), PowerSource::BatteryOnly);
+        assert_eq!(e.env_value(), "battery");
+    }
+
+    #[test]
+    fn repair_restores_power() {
+        let mut e = ElectricalSystem::new();
+        e.fail_alternator(1);
+        e.fail_alternator(2);
+        e.repair_alternator(1);
+        assert_eq!(e.source(), PowerSource::OneAlternator);
+        e.repair_alternator(2);
+        assert_eq!(e.source(), PowerSource::BothAlternators);
+    }
+
+    #[test]
+    fn battery_drains_only_on_battery_power() {
+        let mut e = ElectricalSystem::new();
+        e.step(600.0);
+        assert_eq!(e.battery_charge(), 1.0); // full and charging
+        e.fail_alternator(1);
+        e.fail_alternator(2);
+        e.step(900.0);
+        assert!((e.battery_charge() - 0.5).abs() < 1e-9);
+        e.repair_alternator(1);
+        e.step(600.0);
+        assert!(e.battery_charge() > 0.99);
+    }
+
+    #[test]
+    fn battery_charge_clamped() {
+        let mut e = ElectricalSystem::new();
+        e.fail_alternator(1);
+        e.fail_alternator(2);
+        e.step(1e9);
+        assert_eq!(e.battery_charge(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1 and 2")]
+    fn bad_alternator_index_panics() {
+        ElectricalSystem::new().fail_alternator(3);
+    }
+}

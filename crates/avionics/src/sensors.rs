@@ -1,0 +1,122 @@
+//! Aircraft state sensors.
+//!
+//! "Sensors and actuators that are used in typical control applications
+//! are connected to the data bus via interface units" (§3). The suite
+//! here samples the simulated aircraft, optionally adding bounded,
+//! deterministic noise (a small linear-congruential generator keeps the
+//! whole simulation reproducible without external dependencies).
+
+use crate::dynamics::AircraftState;
+
+/// One frame's sensor sample.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SensorReadings {
+    /// Barometric altitude, feet.
+    pub altitude_ft: f64,
+    /// Vertical speed, feet per minute.
+    pub vertical_speed_fpm: f64,
+    /// Magnetic heading, degrees.
+    pub heading_deg: f64,
+    /// Bank angle, degrees.
+    pub bank_deg: f64,
+    /// Indicated airspeed, knots.
+    pub airspeed_kt: f64,
+}
+
+/// The aircraft's sensor suite.
+#[derive(Debug, Clone)]
+pub struct SensorSuite {
+    noise_amplitude: f64,
+    lcg_state: u64,
+}
+
+impl SensorSuite {
+    /// Noise-free sensors (unit tests of control laws use these).
+    pub fn ideal() -> Self {
+        SensorSuite {
+            noise_amplitude: 0.0,
+            lcg_state: 1,
+        }
+    }
+
+    /// Sensors with bounded uniform noise of the given relative
+    /// amplitude (e.g. `0.001` = ±0.1% of each reading's scale), seeded
+    /// deterministically.
+    pub fn noisy(noise_amplitude: f64, seed: u64) -> Self {
+        SensorSuite {
+            noise_amplitude,
+            lcg_state: seed.max(1),
+        }
+    }
+
+    fn jitter(&mut self, scale: f64) -> f64 {
+        if self.noise_amplitude == 0.0 {
+            return 0.0;
+        }
+        // Numerical Recipes LCG; plenty for bounded sensor jitter.
+        self.lcg_state = self
+            .lcg_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let unit = (self.lcg_state >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        (unit * 2.0 - 1.0) * self.noise_amplitude * scale
+    }
+
+    /// Samples the aircraft.
+    pub fn sample(&mut self, state: &AircraftState) -> SensorReadings {
+        SensorReadings {
+            altitude_ft: state.altitude_ft + self.jitter(1000.0),
+            vertical_speed_fpm: state.vertical_speed_fpm + self.jitter(100.0),
+            heading_deg: (state.heading_deg + self.jitter(5.0)).rem_euclid(360.0),
+            bank_deg: state.bank_deg + self.jitter(2.0),
+            airspeed_kt: state.airspeed_kt + self.jitter(10.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensors_are_exact() {
+        let mut s = SensorSuite::ideal();
+        let st = AircraftState::cruise(4500.0, 270.0);
+        let r = s.sample(&st);
+        assert_eq!(r.altitude_ft, 4500.0);
+        assert_eq!(r.heading_deg, 270.0);
+        assert_eq!(r.vertical_speed_fpm, 0.0);
+        assert_eq!(r.bank_deg, 0.0);
+        assert_eq!(r.airspeed_kt, 100.0);
+    }
+
+    #[test]
+    fn noisy_sensors_are_bounded_and_deterministic() {
+        let st = AircraftState::cruise(4500.0, 270.0);
+        let mut a = SensorSuite::noisy(0.001, 42);
+        let mut b = SensorSuite::noisy(0.001, 42);
+        for _ in 0..100 {
+            let ra = a.sample(&st);
+            let rb = b.sample(&st);
+            assert_eq!(ra, rb, "same seed must reproduce");
+            assert!((ra.altitude_ft - 4500.0).abs() <= 1.0);
+            assert!((ra.heading_deg - 270.0).abs() <= 0.005 * 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let st = AircraftState::cruise(4500.0, 270.0);
+        let mut a = SensorSuite::noisy(0.01, 1);
+        let mut b = SensorSuite::noisy(0.01, 2);
+        let ra = a.sample(&st);
+        let rb = b.sample(&st);
+        assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn zero_seed_is_tolerated() {
+        let mut s = SensorSuite::noisy(0.01, 0);
+        let _ = s.sample(&AircraftState::cruise(0.0, 0.0));
+    }
+}

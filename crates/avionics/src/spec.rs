@@ -1,0 +1,205 @@
+//! The reconfiguration specification of the §7 avionics example: three
+//! configurations, the electrical environment factor, and the statically
+//! defined transitions between them.
+
+use arfs_core::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
+use arfs_core::SpecError;
+use arfs_failstop::ProcessorId;
+use arfs_rtos::Ticks;
+
+/// The autopilot's primary specification: altitude hold, heading hold,
+/// climb to altitude, turn to heading.
+pub const AP_PRIMARY: &str = "ap-primary";
+/// The autopilot's degraded specification: altitude hold only.
+pub const AP_ALT_HOLD: &str = "ap-alt-hold";
+/// The FCS's primary specification: command shaping with stability
+/// augmentation.
+pub const FCS_PRIMARY: &str = "fcs-primary";
+/// The FCS's degraded specification: direct law.
+pub const FCS_DIRECT: &str = "fcs-direct";
+
+/// Builds the avionics reconfiguration specification.
+///
+/// The three configurations mirror §7:
+///
+/// - **`full-service`** — "Full power is available ... The autopilot and
+///   FCS provide full service, and each operates on a separate
+///   computer" (processors 0 and 1).
+/// - **`reduced-service`** — "Power is available from only one
+///   alternator ... The applications must share a single computer ... the
+///   autopilot provides altitude hold service only and the FCS provides
+///   direct control."
+/// - **`minimal-service`** — "Power is available from the battery only
+///   ... the autopilot is turned off and the FCS provides direct
+///   control." This is the safe configuration.
+///
+/// The environment factor `electrical ∈ {both, one, battery}` is the
+/// exported state of the [`ElectricalSystem`](crate::ElectricalSystem).
+/// The §7.1 initialization dependency (autopilot after FCS) is declared
+/// on the autopilot.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is the builder's validation
+/// signature.
+pub fn avionics_spec() -> Result<ReconfigSpec, SpecError> {
+    let frame = Ticks::new(100); // 1 tick = 1 ms; 10 Hz frames.
+    ReconfigSpec::builder()
+        .frame_len(frame)
+        .env_factor("electrical", ["both", "one", "battery"])
+        .app(
+            AppDecl::new("fcs")
+                .spec(
+                    FunctionalSpec::new(FCS_PRIMARY)
+                        .compute(Ticks::new(40))
+                        .memory_kb(512)
+                        .describe("command shaping with stability augmentation"),
+                )
+                .spec(
+                    FunctionalSpec::new(FCS_DIRECT)
+                        .compute(Ticks::new(15))
+                        .memory_kb(128)
+                        .describe("direct law: commands applied unshaped"),
+                ),
+        )
+        .app(
+            AppDecl::new("autopilot")
+                .spec(
+                    FunctionalSpec::new(AP_PRIMARY)
+                        .compute(Ticks::new(40))
+                        .memory_kb(512)
+                        .describe("altitude hold, heading hold, climb to altitude, turn to heading"),
+                )
+                .spec(
+                    FunctionalSpec::new(AP_ALT_HOLD)
+                        .compute(Ticks::new(15))
+                        .memory_kb(128)
+                        .describe("altitude hold only"),
+                )
+                .depends_on("fcs"),
+        )
+        .config(
+            Configuration::new("full-service")
+                .describe("full power; each application on its own computer")
+                .assign("fcs", FCS_PRIMARY)
+                .assign("autopilot", AP_PRIMARY)
+                .place("fcs", ProcessorId::new(0))
+                .place("autopilot", ProcessorId::new(1)),
+        )
+        .config(
+            Configuration::new("reduced-service")
+                .describe("one alternator; shared computer; degraded services")
+                .assign("fcs", FCS_DIRECT)
+                .assign("autopilot", AP_ALT_HOLD)
+                .place("fcs", ProcessorId::new(0))
+                .place("autopilot", ProcessorId::new(0)),
+        )
+        .config(
+            Configuration::new("minimal-service")
+                .describe("battery only; low-power mode; autopilot off")
+                .assign("fcs", FCS_DIRECT)
+                .assign("autopilot", "off")
+                .place("fcs", ProcessorId::new(0))
+                .safe(),
+        )
+        // Valid transitions and their T(ci, cj) bounds: 800 ticks = 8
+        // frames, twice the 4-frame protocol, leaving margin for
+        // phase-checked initialization waves.
+        .transition("full-service", "reduced-service", Ticks::new(800))
+        .transition("full-service", "minimal-service", Ticks::new(800))
+        .transition("reduced-service", "minimal-service", Ticks::new(800))
+        .transition("reduced-service", "full-service", Ticks::new(800))
+        .transition("minimal-service", "reduced-service", Ticks::new(800))
+        .transition("minimal-service", "full-service", Ticks::new(800))
+        .choose_when("electrical", "battery", "minimal-service")
+        .choose_when("electrical", "one", "reduced-service")
+        .choose_when("electrical", "both", "full-service")
+        .initial_config("full-service")
+        .initial_env([("electrical", "both")])
+        // Repair/failure loops make the transition graph cyclic; the
+        // dwell guard bounds cyclic reconfiguration (§5.3).
+        .min_dwell_frames(6)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arfs_core::analysis;
+    use arfs_core::{AppId, ConfigId, SpecId};
+
+    #[test]
+    fn spec_builds_and_matches_paper_structure() {
+        let spec = avionics_spec().unwrap();
+        assert_eq!(spec.apps().len(), 2);
+        assert_eq!(spec.configs().len(), 3);
+        assert_eq!(spec.initial_config(), &ConfigId::new("full-service"));
+        assert_eq!(
+            spec.safe_configs(),
+            vec![&ConfigId::new("minimal-service")]
+        );
+        let minimal = spec.config(&ConfigId::new("minimal-service")).unwrap();
+        assert!(minimal
+            .spec_for(&AppId::new("autopilot"))
+            .unwrap()
+            .is_off());
+        // Full service uses two computers; the others one (and zero for
+        // the off autopilot).
+        assert_eq!(
+            spec.config(&ConfigId::new("full-service")).unwrap().processors().len(),
+            2
+        );
+        assert_eq!(
+            spec.config(&ConfigId::new("reduced-service")).unwrap().processors().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn all_static_obligations_discharge() {
+        let spec = avionics_spec().unwrap();
+        let report = analysis::check_obligations(&spec);
+        assert!(report.all_passed(), "{report}");
+    }
+
+    #[test]
+    fn degraded_specs_need_fewer_resources() {
+        let spec = avionics_spec().unwrap();
+        let ap = spec.app(&AppId::new("autopilot")).unwrap();
+        let primary = ap.find_spec(&SpecId::new(AP_PRIMARY)).unwrap();
+        let degraded = ap.find_spec(&SpecId::new(AP_ALT_HOLD)).unwrap();
+        assert!(degraded.compute_ticks() < primary.compute_ticks());
+        assert!(degraded.memory_kib() < primary.memory_kib());
+    }
+
+    #[test]
+    fn choice_function_matches_power_states() {
+        let spec = avionics_spec().unwrap();
+        use arfs_core::environment::EnvState;
+        let full = ConfigId::new("full-service");
+        for (value, expect) in [
+            ("both", "full-service"),
+            ("one", "reduced-service"),
+            ("battery", "minimal-service"),
+        ] {
+            let env = EnvState::new([("electrical", value)]);
+            assert_eq!(
+                spec.choose(&full, &env),
+                Some(&ConfigId::new(expect)),
+                "electrical={value}"
+            );
+        }
+    }
+
+    #[test]
+    fn dependency_declared_on_autopilot() {
+        let spec = avionics_spec().unwrap();
+        let ap = spec.app(&AppId::new("autopilot")).unwrap();
+        assert_eq!(ap.dependencies(), &[AppId::new("fcs")]);
+        assert!(spec
+            .app(&AppId::new("fcs"))
+            .unwrap()
+            .dependencies()
+            .is_empty());
+    }
+}

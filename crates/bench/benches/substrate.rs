@@ -1,0 +1,78 @@
+//! Microbenchmarks of the platform substrates: stable storage, the
+//! time-triggered bus, and fail-stop program execution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use arfs_failstop::{Processor, ProcessorId, ProcessorPool, Program, StableStorage};
+use arfs_ttbus::{BusSchedule, Message, NodeId, TtBus};
+
+fn bench_stable_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_storage");
+    group.bench_function("stage_commit_8_keys", |b| {
+        let mut store = StableStorage::new();
+        b.iter(|| {
+            for i in 0..8u64 {
+                store.stage_u64(format!("key{i}"), i);
+            }
+            black_box(store.commit())
+        });
+    });
+    group.bench_function("snapshot_64_keys", |b| {
+        let mut store = StableStorage::new();
+        for i in 0..64u64 {
+            store.stage_u64(format!("key{i}"), i);
+        }
+        store.commit();
+        b.iter(|| black_box(store.snapshot()));
+    });
+    group.finish();
+}
+
+fn bench_bus_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ttbus");
+    group.bench_function("round_4_nodes_4_messages", |b| {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let schedule = BusSchedule::round_robin(nodes.clone(), 256).unwrap();
+        let mut bus = TtBus::new(schedule);
+        b.iter(|| {
+            for &n in &nodes {
+                bus.submit(n, Message::new("status", vec![0u8; 32])).unwrap();
+            }
+            let report = bus.run_round();
+            for &n in &nodes {
+                black_box(bus.drain_inbox(n));
+            }
+            black_box(report)
+        });
+    });
+    group.finish();
+}
+
+fn bench_processor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failstop");
+    group.bench_function("run_4_instruction_program", |b| {
+        let mut cpu = Processor::new(ProcessorId::new(0));
+        let mut program = Program::new("bench");
+        for i in 0..4 {
+            let key = format!("k{i}");
+            program.push(format!("step{i}"), move |ctx| {
+                let v = ctx.stable.get_u64(&key).unwrap_or(0);
+                ctx.stable.stage_u64(key.clone(), v + 1);
+                Ok(())
+            });
+        }
+        b.iter(|| black_box(cpu.run(&program)));
+    });
+    group.bench_function("pool_restart_on_spare", |b| {
+        b.iter(|| {
+            let mut pool = ProcessorPool::with_processors(3);
+            pool.assign("task", ProcessorId::new(0)).unwrap();
+            pool.fail(ProcessorId::new(0)).unwrap();
+            black_box(pool.restart_on_spare("task").unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stable_commit, bench_bus_round, bench_processor);
+criterion_main!(benches);

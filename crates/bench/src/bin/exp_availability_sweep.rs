@@ -1,0 +1,87 @@
+//! Availability vs. failure intensity: what the bounded reconfiguration
+//! protocol buys as the environment gets harsher.
+//!
+//! The paper's value proposition is that reconfiguration converts
+//! failures into brief, *bounded* service restrictions. This experiment
+//! quantifies "brief": sweeping the mean gap between environment changes
+//! from calm (one change per 40 frames) to violent (one per 3 frames)
+//! and measuring unrestricted-service availability over seeded random
+//! schedules. Two shape claims are verified:
+//!
+//! 1. availability degrades smoothly — no cliff — because every
+//!    restriction is protocol-bounded (SP3);
+//! 2. even at the harshest intensity the dwell guard keeps the system
+//!    spending most of its time in *some* configuration rather than
+//!    thrashing.
+
+use arfs_bench::{banner, verdict, write_json, TextTable};
+use arfs_core::properties;
+use arfs_core::stats::trace_stats;
+use arfs_core::workload::{scenario_batch, WorkloadConfig};
+
+fn main() {
+    banner("Experiment E7: availability vs. failure intensity");
+
+    let spec = arfs_avionics::avionics_spec().expect("valid spec");
+    let runs = 200u64;
+    let mut table = TextTable::new([
+        "mean frames between changes",
+        "reconfigurations / run",
+        "mean availability",
+        "min availability",
+        "SP violations",
+    ]);
+    let mut availabilities = Vec::new();
+    let mut artifacts = Vec::new();
+    let mut total_violations = 0usize;
+
+    for mean_gap in [40u64, 20, 10, 5, 3] {
+        let config = WorkloadConfig {
+            horizon: 240,
+            mean_gap,
+            cooldown: 30,
+        };
+        let mut reconfigs = 0usize;
+        let mut availability_sum = 0.0;
+        let mut min_availability = 1.0f64;
+        for scenario in scenario_batch(&spec, &config, 10_000, runs) {
+            let system = scenario.run_on_spec(&spec).expect("valid scenario");
+            let report = properties::check_extended(system.trace(), system.spec());
+            total_violations += report.violations.len();
+            reconfigs += report.reconfigs_checked;
+            let a = trace_stats(system.trace()).availability();
+            availability_sum += a;
+            min_availability = min_availability.min(a);
+        }
+        let mean_availability = availability_sum / runs as f64;
+        availabilities.push(mean_availability);
+        table.row([
+            mean_gap.to_string(),
+            format!("{:.1}", reconfigs as f64 / runs as f64),
+            format!("{:.2}%", mean_availability * 100.0),
+            format!("{:.2}%", min_availability * 100.0),
+            total_violations.to_string(),
+        ]);
+        artifacts.push(serde_json::json!({
+            "mean_gap_frames": mean_gap,
+            "runs": runs,
+            "reconfigs_per_run": reconfigs as f64 / runs as f64,
+            "mean_availability": mean_availability,
+            "min_availability": min_availability,
+        }));
+    }
+    println!("{table}");
+
+    verdict("SP1-SP4 hold at every intensity", total_violations == 0);
+    verdict(
+        "availability degrades monotonically with intensity",
+        availabilities.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+    );
+    verdict(
+        "even the harshest intensity keeps majority availability (dwell guard works)",
+        *availabilities.last().expect("nonempty sweep") > 0.5,
+    );
+
+    let path = write_json("exp_availability_sweep.json", &artifacts);
+    println!("\nartifact: {}", path.display());
+}

@@ -1,0 +1,103 @@
+//! Regenerates **Figure 1 — Logical System Architecture** as a signal
+//! audit.
+//!
+//! Figure 1 shows the architecture's signal paths: hardware fault
+//! signals and application fault/status signals flow *into* the SCRAM;
+//! reconfiguration signals flow *out* to the applications; everything
+//! rides the real-time data bus over the computing platform. This
+//! harness runs one alternator-failure reconfiguration with full signal
+//! logging and prints every signal that crossed an architecture edge,
+//! then checks that each edge of the figure was exercised.
+
+use arfs_avionics::AvionicsSystem;
+use arfs_bench::{banner, verdict, write_json, TextTable};
+use arfs_core::system::SystemEvent;
+
+fn main() {
+    banner("Figure 1: logical architecture signal flows");
+
+    let mut av = AvionicsSystem::new().expect("builds");
+    av.engage_autopilot();
+    av.run_frames(10);
+    av.fail_alternator(1);
+    av.run_frames(10);
+
+    let mut table = TextTable::new(["Frame", "From", "To", "Signal", "Detail"]);
+    let mut fault_edge = false;
+    let mut reconfig_edge = false;
+    let mut status_edge = false;
+    let mut rows = 0usize;
+    for event in av.system().events() {
+        if let SystemEvent::SignalSent {
+            frame,
+            from,
+            to,
+            topic,
+            detail,
+        } = event
+        {
+            match topic.as_str() {
+                "fault" => fault_edge = true,
+                "reconfig" => reconfig_edge = true,
+                "status" => status_edge = true,
+                _ => {}
+            }
+            table.row([
+                frame.to_string(),
+                from.clone(),
+                to.clone(),
+                topic.clone(),
+                detail.clone(),
+            ]);
+            rows += 1;
+        }
+    }
+    println!("{table}");
+    println!("{rows} signals logged");
+
+    verdict(
+        "fault signals: environment monitor -> SCRAM",
+        fault_edge,
+    );
+    verdict(
+        "reconfiguration signals: SCRAM -> applications",
+        reconfig_edge,
+    );
+    verdict(
+        "application status signals: applications -> SCRAM",
+        status_edge,
+    );
+
+    // Everything rode the simulated time-triggered bus.
+    let bus_topics: Vec<&str> = av
+        .system()
+        .bus()
+        .log()
+        .iter()
+        .map(|d| d.message.topic())
+        .collect();
+    verdict(
+        "all three signal kinds appear on the real-time data bus",
+        ["fault", "reconfig", "status"]
+            .iter()
+            .all(|t| bus_topics.contains(t)),
+    );
+    verdict(
+        "reconfiguration completed over the architecture",
+        av.system().current_config().as_str() == "reduced-service",
+    );
+
+    let path = write_json(
+        "fig1_architecture.json",
+        &serde_json::json!({
+            "signals_logged": rows,
+            "bus_transmissions": av.system().bus().log().len(),
+            "edges": {
+                "fault": fault_edge,
+                "reconfig": reconfig_edge,
+                "status": status_edge,
+            }
+        }),
+    );
+    println!("\nartifact: {}", path.display());
+}

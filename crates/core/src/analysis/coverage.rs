@@ -1,0 +1,168 @@
+//! The `covering_txns` proof obligation (Figure 2) and its relatives.
+
+use std::fmt;
+
+use crate::environment::EnvState;
+use crate::spec::ReconfigSpec;
+use crate::ConfigId;
+
+/// One uncovered `(configuration, environment)` pair.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CoverageGap {
+    /// The configuration the system could be in.
+    pub config: ConfigId,
+    /// The environment state for which coverage fails.
+    pub env: EnvState,
+    /// Why the pair is uncovered.
+    pub reason: String,
+}
+
+impl fmt::Display for CoverageGap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "from `{}` under {}: {}", self.config, self.env, self.reason)
+    }
+}
+
+/// Checks the `covering_txns` predicate: for **every** configuration the
+/// system could be operating in and **every** possible environment state,
+/// the choice function must select a target and the transition to that
+/// target must be in the statically defined set of valid transitions.
+///
+/// Returns the (possibly empty) list of uncovered pairs. The paper's PVS
+/// formulation generates this as a type-correctness condition on the
+/// SCRAM table (Figure 2); here the finite quantification is discharged
+/// by direct enumeration over
+/// [`EnvModel::all_states`](crate::environment::EnvModel::all_states).
+pub fn covering_txns(spec: &ReconfigSpec) -> Vec<CoverageGap> {
+    let mut gaps = Vec::new();
+    for config in spec.configs() {
+        for env in spec.env_model().all_states() {
+            match spec.choose(config.id(), &env) {
+                None => gaps.push(CoverageGap {
+                    config: config.id().clone(),
+                    env,
+                    reason: "the choice function selects no target".into(),
+                }),
+                Some(target) if !spec.transitions().allowed(config.id(), target) => {
+                    gaps.push(CoverageGap {
+                        config: config.id().clone(),
+                        env,
+                        reason: format!(
+                            "chosen target `{target}` has no declared transition from `{}`",
+                            config.id()
+                        ),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    gaps
+}
+
+/// Checks the subtype portion of the Figure 2 TCC: every configuration's
+/// assignments are specifications the assigned application actually
+/// implements (and never the `indeterminate` placeholder the PVS model
+/// excludes — here, simply a specification outside the declared set).
+///
+/// Returns `None` when the obligation holds, or a description of the
+/// first offending assignment. [`ReconfigSpec`] construction already
+/// enforces this, so a failure indicates memory corruption or a
+/// hand-constructed specification; the function exists so instantiation
+/// reports are self-contained, mirroring PVS re-checking obligations per
+/// instantiation.
+pub fn speclvl_subtype(spec: &ReconfigSpec) -> Option<String> {
+    for config in spec.configs() {
+        for (app, assigned) in config.assignments() {
+            let Some(decl) = spec.app(app) else {
+                return Some(format!(
+                    "configuration `{}` references unknown application `{app}`",
+                    config.id()
+                ));
+            };
+            if !decl.implements(assigned) {
+                return Some(format!(
+                    "configuration `{}` assigns `{assigned}` to `{app}`, which does not implement it",
+                    config.id()
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec};
+    use arfs_failstop::ProcessorId;
+    use arfs_rtos::Ticks;
+
+    fn base() -> crate::spec::ReconfigSpecBuilder {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "bad"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
+            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .initial_config("full")
+            .initial_env([("power", "good")])
+    }
+
+    #[test]
+    fn complete_rules_and_transitions_cover_everything() {
+        let spec = base()
+            .transition("full", "safe", Ticks::new(500))
+            .transition("safe", "full", Ticks::new(500))
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .build()
+            .unwrap();
+        assert!(covering_txns(&spec).is_empty());
+        assert!(speclvl_subtype(&spec).is_none());
+    }
+
+    #[test]
+    fn missing_rule_reported_per_pair() {
+        let spec = base()
+            .transition("full", "safe", Ticks::new(500))
+            .transition("safe", "full", Ticks::new(500))
+            .choose_when("power", "bad", "safe")
+            .build()
+            .unwrap();
+        let gaps = covering_txns(&spec);
+        // power=good is uncovered from both configurations.
+        assert_eq!(gaps.len(), 2);
+        assert!(gaps.iter().all(|g| g.env.get("power") == Some("good")));
+        assert!(gaps[0].to_string().contains("selects no target"));
+    }
+
+    #[test]
+    fn chosen_target_without_transition_reported() {
+        let spec = base()
+            .transition("safe", "full", Ticks::new(500)) // full -> safe missing
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .build()
+            .unwrap();
+        let gaps = covering_txns(&spec);
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].config, ConfigId::new("full"));
+        assert_eq!(gaps[0].env.get("power"), Some("bad"));
+        assert!(gaps[0].reason.contains("no declared transition"));
+    }
+
+    #[test]
+    fn self_choice_needs_no_transition() {
+        // choose(full, good) = full; no full->full transition required.
+        let spec = base()
+            .transition("full", "safe", Ticks::new(500))
+            .transition("safe", "full", Ticks::new(500))
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .build()
+            .unwrap();
+        let gaps = covering_txns(&spec);
+        assert!(gaps.is_empty());
+    }
+}

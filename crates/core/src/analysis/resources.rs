@@ -1,0 +1,171 @@
+//! The §5.1 hardware-resource model: masking vs. reconfiguration.
+//!
+//! "In a system where faults are masked ... the total number of required
+//! components is the sum of the maximum number expected to fail during
+//! the longest planned mission and the minimum number needed to provide
+//! full service. With the approach we advocate, the total number of
+//! required components is the sum of the maximum number expected to fail
+//! ... and the minimum number needed to provide the most basic form of
+//! safe service."
+
+use crate::spec::ReconfigSpec;
+
+/// The component counts a platform design needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResourceModel {
+    /// Minimum components (processors) for full service.
+    pub full_service_units: u32,
+    /// Minimum components for the most basic safe service.
+    pub safe_service_units: u32,
+}
+
+impl ResourceModel {
+    /// Components a masking design must carry for the given anticipated
+    /// failure count: `max_failures + full_service_units`.
+    pub fn masking_units(&self, max_failures: u32) -> u32 {
+        max_failures + self.full_service_units
+    }
+
+    /// Components a reconfiguration design must carry:
+    /// `max_failures + safe_service_units`.
+    pub fn reconfiguration_units(&self, max_failures: u32) -> u32 {
+        max_failures + self.safe_service_units
+    }
+
+    /// Components saved by reconfiguration over masking (independent of
+    /// the failure count).
+    pub fn savings(&self) -> u32 {
+        self.full_service_units
+            .saturating_sub(self.safe_service_units)
+    }
+}
+
+/// One point of a failure-count sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResourcePoint {
+    /// Anticipated maximum failures over the longest mission.
+    pub max_failures: u32,
+    /// Components needed by the masking design.
+    pub masking: u32,
+    /// Components needed by the reconfiguration design.
+    pub reconfiguration: u32,
+}
+
+/// Sweeps anticipated failure counts and tabulates both designs.
+pub fn sweep(model: ResourceModel, max_failures: impl IntoIterator<Item = u32>) -> Vec<ResourcePoint> {
+    max_failures
+        .into_iter()
+        .map(|f| ResourcePoint {
+            max_failures: f,
+            masking: model.masking_units(f),
+            reconfiguration: model.reconfiguration_units(f),
+        })
+        .collect()
+}
+
+/// Derives the resource model from a specification: full service uses the
+/// processors of the initial configuration; safe service uses the fewest
+/// processors over all safe configurations.
+pub fn model_from_spec(spec: &ReconfigSpec) -> ResourceModel {
+    let full = spec
+        .config(spec.initial_config())
+        .map(|c| c.processors().len() as u32)
+        .unwrap_or(0);
+    let safe = spec
+        .configs()
+        .iter()
+        .filter(|c| c.is_safe())
+        .map(|c| c.processors().len() as u32)
+        .min()
+        .unwrap_or(full);
+    ResourceModel {
+        full_service_units: full,
+        safe_service_units: safe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec};
+    use arfs_failstop::ProcessorId;
+    use arfs_rtos::Ticks;
+
+    #[test]
+    fn masking_always_costs_at_least_as_much() {
+        let m = ResourceModel {
+            full_service_units: 3,
+            safe_service_units: 1,
+        };
+        for f in 0..10 {
+            assert!(m.masking_units(f) >= m.reconfiguration_units(f));
+            assert_eq!(m.masking_units(f) - m.reconfiguration_units(f), m.savings());
+        }
+        assert_eq!(m.savings(), 2);
+        assert_eq!(m.masking_units(2), 5);
+        assert_eq!(m.reconfiguration_units(2), 3);
+    }
+
+    #[test]
+    fn equal_service_sizes_mean_no_savings() {
+        let m = ResourceModel {
+            full_service_units: 2,
+            safe_service_units: 2,
+        };
+        assert_eq!(m.savings(), 0);
+        // And safe > full never yields negative savings.
+        let m = ResourceModel {
+            full_service_units: 1,
+            safe_service_units: 2,
+        };
+        assert_eq!(m.savings(), 0);
+    }
+
+    #[test]
+    fn sweep_tabulates_points() {
+        let m = ResourceModel {
+            full_service_units: 2,
+            safe_service_units: 1,
+        };
+        let points = sweep(m, 0..4);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].masking, 2);
+        assert_eq!(points[3].masking, 5);
+        assert_eq!(points[3].reconfiguration, 4);
+        assert!(points.windows(2).all(|w| w[1].masking == w[0].masking + 1));
+    }
+
+    #[test]
+    fn model_derived_from_spec_placements() {
+        let spec = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("p", ["0", "1"])
+            .app(AppDecl::new("x").spec(FunctionalSpec::new("s")).spec(FunctionalSpec::new("d")))
+            .app(AppDecl::new("y").spec(FunctionalSpec::new("s")).spec(FunctionalSpec::new("d")))
+            .config(
+                Configuration::new("full")
+                    .assign("x", "s")
+                    .assign("y", "s")
+                    .place("x", ProcessorId::new(0))
+                    .place("y", ProcessorId::new(1)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("x", "d")
+                    .assign("y", "off")
+                    .place("x", ProcessorId::new(0))
+                    .safe(),
+            )
+            .transition("full", "safe", Ticks::new(500))
+            .choose_when("p", "1", "safe")
+            .choose_when("p", "0", "full")
+            .initial_config("full")
+            .initial_env([("p", "0")])
+            .build()
+            .unwrap();
+        let m = model_from_spec(&spec);
+        assert_eq!(m.full_service_units, 2);
+        assert_eq!(m.safe_service_units, 1);
+        assert_eq!(m.savings(), 1);
+    }
+}

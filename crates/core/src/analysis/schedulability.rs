@@ -1,0 +1,185 @@
+//! Per-configuration schedulability: every processor must fit its
+//! applications' compute budgets within the frame.
+//!
+//! The paper's Reduced Service configuration exists precisely because
+//! "the applications must share a single computer that does not have the
+//! capacity to support full service from the applications" — capacity is
+//! what distinguishes configurations. This obligation makes the check
+//! explicit: in every configuration, for every processor, the sum of the
+//! per-frame compute budgets of the applications placed there must not
+//! exceed the frame length.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use arfs_failstop::ProcessorId;
+use arfs_rtos::Ticks;
+
+use crate::spec::ReconfigSpec;
+use crate::ConfigId;
+
+/// A processor overcommitted by a configuration.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Overload {
+    /// The configuration that overloads the processor.
+    pub config: ConfigId,
+    /// The overloaded processor.
+    pub processor: ProcessorId,
+    /// Total compute demanded per frame.
+    pub demand: Ticks,
+    /// The frame length available.
+    pub capacity: Ticks,
+}
+
+impl fmt::Display for Overload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "configuration `{}` demands {} on {} but the frame is {}",
+            self.config, self.demand, self.processor, self.capacity
+        )
+    }
+}
+
+/// Computes each processor's per-frame compute demand in a configuration.
+pub fn processor_demand(
+    spec: &ReconfigSpec,
+    config: &ConfigId,
+) -> BTreeMap<ProcessorId, Ticks> {
+    let mut demand: BTreeMap<ProcessorId, Ticks> = BTreeMap::new();
+    let Some(cfg) = spec.config(config) else {
+        return demand;
+    };
+    for (app, assigned) in cfg.assignments() {
+        if assigned.is_off() {
+            continue;
+        }
+        let Some(processor) = cfg.placement_for(app) else {
+            continue;
+        };
+        let compute = spec
+            .app(app)
+            .and_then(|a| a.find_spec(assigned))
+            .map(|s| s.compute_ticks())
+            .unwrap_or(Ticks::ZERO);
+        *demand.entry(processor).or_insert(Ticks::ZERO) += compute;
+    }
+    demand
+}
+
+/// Checks schedulability of every configuration; returns the overloads.
+pub fn check_schedulability(spec: &ReconfigSpec) -> Vec<Overload> {
+    let capacity = spec.frame_len();
+    let mut out = Vec::new();
+    for config in spec.configs() {
+        for (processor, demand) in processor_demand(spec, config.id()) {
+            if demand > capacity {
+                out.push(Overload {
+                    config: config.id().clone(),
+                    processor,
+                    demand,
+                    capacity,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec};
+
+    fn spec_with_costs(full_cost: u64, lite_cost: u64) -> ReconfigSpec {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("p", ["0", "1"])
+            .app(
+                AppDecl::new("x")
+                    .spec(FunctionalSpec::new("full").compute(Ticks::new(full_cost)))
+                    .spec(FunctionalSpec::new("lite").compute(Ticks::new(lite_cost))),
+            )
+            .app(
+                AppDecl::new("y")
+                    .spec(FunctionalSpec::new("full").compute(Ticks::new(full_cost)))
+                    .spec(FunctionalSpec::new("lite").compute(Ticks::new(lite_cost))),
+            )
+            .config(
+                Configuration::new("separate")
+                    .assign("x", "full")
+                    .assign("y", "full")
+                    .place("x", ProcessorId::new(0))
+                    .place("y", ProcessorId::new(1)),
+            )
+            .config(
+                Configuration::new("shared")
+                    .assign("x", "lite")
+                    .assign("y", "lite")
+                    .place("x", ProcessorId::new(0))
+                    .place("y", ProcessorId::new(0))
+                    .safe(),
+            )
+            .transition("separate", "shared", Ticks::new(500))
+            .choose_when("p", "1", "shared")
+            .choose_when("p", "0", "separate")
+            .initial_config("separate")
+            .initial_env([("p", "0")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn feasible_configurations_pass() {
+        // Shared config: 2 x 40 = 80 <= 100.
+        let spec = spec_with_costs(90, 40);
+        assert!(check_schedulability(&spec).is_empty());
+        let demand = processor_demand(&spec, &ConfigId::new("shared"));
+        assert_eq!(demand[&ProcessorId::new(0)], Ticks::new(80));
+        let demand = processor_demand(&spec, &ConfigId::new("separate"));
+        assert_eq!(demand[&ProcessorId::new(0)], Ticks::new(90));
+        assert_eq!(demand[&ProcessorId::new(1)], Ticks::new(90));
+    }
+
+    #[test]
+    fn shared_processor_overload_detected() {
+        // Shared config: 2 x 60 = 120 > 100 — exactly the "does not have
+        // the capacity to support full service" situation.
+        let spec = spec_with_costs(90, 60);
+        let overloads = check_schedulability(&spec);
+        assert_eq!(overloads.len(), 1);
+        assert_eq!(overloads[0].config, ConfigId::new("shared"));
+        assert_eq!(overloads[0].demand, Ticks::new(120));
+        assert!(overloads[0].to_string().contains("120t"));
+    }
+
+    #[test]
+    fn off_applications_demand_nothing() {
+        let spec = ReconfigSpec::builder()
+            .frame_len(Ticks::new(50))
+            .env_factor("p", ["0"])
+            .app(AppDecl::new("x").spec(FunctionalSpec::new("s").compute(Ticks::new(45))))
+            .app(AppDecl::new("y").spec(FunctionalSpec::new("s").compute(Ticks::new(45))))
+            .config(
+                Configuration::new("solo")
+                    .assign("x", "s")
+                    .assign("y", "off")
+                    .place("x", ProcessorId::new(0))
+                    .safe(),
+            )
+            .choose_when("p", "0", "solo")
+            .initial_config("solo")
+            .initial_env([("p", "0")])
+            .build()
+            .unwrap();
+        assert!(check_schedulability(&spec).is_empty());
+        let demand = processor_demand(&spec, &ConfigId::new("solo"));
+        assert_eq!(demand[&ProcessorId::new(0)], Ticks::new(45));
+    }
+
+    #[test]
+    fn unknown_config_has_no_demand() {
+        let spec = spec_with_costs(10, 10);
+        assert!(processor_demand(&spec, &ConfigId::new("ghost")).is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! The §5.3 restriction-time analysis.
+//!
+//! "In the worst case, each failure cannot be dealt with until the end of
+//! the current reconfiguration. In this case, the longest restriction of
+//! system function is equal to the sum of the maximum time allowed
+//! between each reconfiguration in the longest chain of transitions to
+//! some safe system configuration Cs ... Σᵢ₌₂..ₛ Tᵢ₋₁,ᵢ. This time can be
+//! reduced ... such as interposing a safe configuration Cs in between any
+//! transition between two unsafe configurations. With this addition, the
+//! new maximum time over all possible system transitions Cᵢ → Cⱼ would be
+//! max{Tᵢ,ₛ}. One caveat ... cyclic reconfiguration is possible ... in
+//! this case the time to reconfigure could be infinite. Potential cycles
+//! can be detected through a static analysis of permissible transitions."
+//!
+//! This module implements all three: the chain bound, the
+//! interposed-safe bound, and the cycle detection.
+
+use std::collections::BTreeSet;
+
+use arfs_rtos::Ticks;
+
+use crate::spec::ReconfigSpec;
+use crate::ConfigId;
+
+/// The worst-case chain of transitions to a safe configuration.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ChainAnalysis {
+    /// The chain `C₁, C₂, …, Cₛ` realizing the worst case (ends at a safe
+    /// configuration).
+    pub chain: Vec<ConfigId>,
+    /// The chain bound `Σ T(cᵢ₋₁, cᵢ)`.
+    pub total: Ticks,
+}
+
+/// Comparison of the two §5.3 worst-case restriction bounds.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RestrictionAnalysis {
+    /// The chain bound (`None` if no safe configuration is reachable).
+    pub chain: Option<ChainAnalysis>,
+    /// The interposed-safe bound `max{T(cᵢ, cₛ)}` (`None` if some
+    /// configuration has no direct transition to any safe
+    /// configuration).
+    pub interposed: Option<Ticks>,
+}
+
+impl RestrictionAnalysis {
+    /// The improvement factor of the interposed bound over the chain
+    /// bound, if both are defined and the interposed bound is nonzero.
+    pub fn improvement(&self) -> Option<f64> {
+        let chain = self.chain.as_ref()?.total.raw();
+        let interposed = self.interposed?.raw();
+        (interposed > 0).then(|| chain as f64 / interposed as f64)
+    }
+}
+
+/// Computes the longest *simple* chain of declared transitions ending at
+/// a safe configuration, maximizing `Σ T(cᵢ₋₁, cᵢ)`.
+///
+/// Simple chains suffice: the §5.3 worst case assumes each failure is
+/// handled at the end of the current reconfiguration, and revisiting a
+/// configuration means a cycle, which the dwell guard (not this bound)
+/// handles. The search is exponential in the number of configurations,
+/// which the paper's assumptions keep small ("it is possible to know in
+/// advance all of the desired potential system configurations").
+pub fn longest_chain_to_safe(spec: &ReconfigSpec) -> Option<ChainAnalysis> {
+    fn dfs(
+        spec: &ReconfigSpec,
+        at: &ConfigId,
+        visited: &mut Vec<ConfigId>,
+        cost: Ticks,
+        best: &mut Option<ChainAnalysis>,
+    ) {
+        let is_safe = spec.config(at).is_some_and(|c| c.is_safe());
+        if is_safe && visited.len() > 1 {
+            let better = best.as_ref().map(|b| cost > b.total).unwrap_or(true);
+            if better {
+                *best = Some(ChainAnalysis {
+                    chain: visited.clone(),
+                    total: cost,
+                });
+            }
+            // A safe configuration ends the restriction; chains do not
+            // continue past it.
+            return;
+        }
+        let successors: Vec<ConfigId> = spec.transitions().successors(at).cloned().collect();
+        for next in successors {
+            if visited.contains(&next) {
+                continue;
+            }
+            let bound = spec
+                .transitions()
+                .bound(at, &next)
+                .expect("successor implies declared transition");
+            visited.push(next.clone());
+            dfs(spec, &next, visited, cost + bound, best);
+            visited.pop();
+        }
+    }
+
+    let mut best = None;
+    for start in spec.configs() {
+        let mut visited = vec![start.id().clone()];
+        dfs(spec, start.id(), &mut visited, Ticks::ZERO, &mut best);
+    }
+    best
+}
+
+/// Computes the interposed-safe bound `max{T(cᵢ, cₛ)}`: the worst, over
+/// all configurations, of the best direct transition into a safe
+/// configuration.
+///
+/// Returns `None` if some non-safe configuration has no direct transition
+/// to any safe configuration — the interposition strategy is then not
+/// applicable to the specification as written.
+pub fn interposed_safe_bound(spec: &ReconfigSpec) -> Option<Ticks> {
+    let safe: Vec<&ConfigId> = spec.safe_configs();
+    let mut worst = Ticks::ZERO;
+    for config in spec.configs() {
+        if config.is_safe() {
+            continue;
+        }
+        let best_to_safe = safe
+            .iter()
+            .filter_map(|s| spec.transitions().bound(config.id(), s))
+            .min()?;
+        worst = worst.max(best_to_safe);
+    }
+    Some(worst)
+}
+
+/// Runs both §5.3 analyses.
+pub fn restriction_analysis(spec: &ReconfigSpec) -> RestrictionAnalysis {
+    RestrictionAnalysis {
+        chain: longest_chain_to_safe(spec),
+        interposed: interposed_safe_bound(spec),
+    }
+}
+
+/// Configurations from which **no** safe configuration is reachable
+/// through declared transitions.
+pub fn unreachable_from(spec: &ReconfigSpec) -> Vec<ConfigId> {
+    let mut bad = Vec::new();
+    for config in spec.configs() {
+        let mut seen: BTreeSet<ConfigId> = BTreeSet::new();
+        let mut stack = vec![config.id().clone()];
+        let mut found = false;
+        while let Some(at) = stack.pop() {
+            if spec.config(&at).is_some_and(|c| c.is_safe()) {
+                found = true;
+                break;
+            }
+            if !seen.insert(at.clone()) {
+                continue;
+            }
+            stack.extend(spec.transitions().successors(&at).cloned());
+        }
+        if !found {
+            bad.push(config.id().clone());
+        }
+    }
+    bad
+}
+
+/// Enumerates the elementary cycles of the transition graph — the §5.3
+/// static cycle analysis.
+///
+/// Each cycle is returned as the list of configurations along it,
+/// starting (and implicitly ending) at its smallest member, so the result
+/// is deterministic and duplicate-free.
+pub fn transition_cycles(spec: &ReconfigSpec) -> Vec<Vec<ConfigId>> {
+    let mut cycles: BTreeSet<Vec<ConfigId>> = BTreeSet::new();
+
+    fn dfs(
+        spec: &ReconfigSpec,
+        root: &ConfigId,
+        at: &ConfigId,
+        path: &mut Vec<ConfigId>,
+        cycles: &mut BTreeSet<Vec<ConfigId>>,
+    ) {
+        let successors: Vec<ConfigId> = spec.transitions().successors(at).cloned().collect();
+        for next in successors {
+            if next == *root {
+                // Canonical form: rotation starting at the smallest id.
+                let min_pos = path
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| (*c).clone())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let mut canon = path[min_pos..].to_vec();
+                canon.extend_from_slice(&path[..min_pos]);
+                cycles.insert(canon);
+            } else if !path.contains(&next) && next > *root {
+                // Only explore nodes greater than the root so each cycle
+                // is found exactly once (from its smallest member).
+                path.push(next.clone());
+                dfs(spec, root, &next, path, cycles);
+                path.pop();
+            }
+        }
+    }
+
+    for config in spec.configs() {
+        let root = config.id().clone();
+        let mut path = vec![root.clone()];
+        dfs(spec, &root, &root, &mut path, &mut cycles);
+    }
+    cycles.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec};
+    use arfs_failstop::ProcessorId;
+
+    /// Chain spec: c1 -> c2 -> c3(safe), plus direct-to-safe edges for
+    /// the interposed strategy.
+    fn chain_spec(with_direct: bool) -> ReconfigSpec {
+        let mut b = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("level", ["0", "1", "2"])
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("s0"))
+                    .spec(FunctionalSpec::new("s1"))
+                    .spec(FunctionalSpec::new("s2")),
+            )
+            .config(Configuration::new("c1").assign("a", "s0").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("c2").assign("a", "s1").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("c3").assign("a", "s2").place("a", ProcessorId::new(0)).safe())
+            .transition("c1", "c2", Ticks::new(700))
+            .transition("c2", "c3", Ticks::new(900))
+            .choose_when("level", "0", "c1")
+            .choose_when("level", "1", "c2")
+            .choose_when("level", "2", "c3")
+            .initial_config("c1")
+            .initial_env([("level", "0")]);
+        if with_direct {
+            b = b.transition("c1", "c3", Ticks::new(800));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_bound_is_the_sum_along_the_longest_chain() {
+        let spec = chain_spec(false);
+        let chain = longest_chain_to_safe(&spec).unwrap();
+        assert_eq!(chain.total, Ticks::new(1600));
+        assert_eq!(
+            chain.chain,
+            vec![ConfigId::new("c1"), ConfigId::new("c2"), ConfigId::new("c3")]
+        );
+    }
+
+    #[test]
+    fn interposed_bound_is_max_of_direct_hops() {
+        let spec = chain_spec(true);
+        // c1 -> c3 = 800; c2 -> c3 = 900 -> max = 900.
+        assert_eq!(interposed_safe_bound(&spec), Some(Ticks::new(900)));
+        let analysis = restriction_analysis(&spec);
+        assert!(analysis.chain.as_ref().unwrap().total >= Ticks::new(1600));
+        let improvement = analysis.improvement().unwrap();
+        assert!(improvement > 1.0, "improvement {improvement}");
+    }
+
+    #[test]
+    fn interposed_bound_absent_without_direct_edges() {
+        let spec = chain_spec(false);
+        // c1 has no direct edge to safe c3.
+        assert_eq!(interposed_safe_bound(&spec), None);
+        assert_eq!(restriction_analysis(&spec).improvement(), None);
+    }
+
+    #[test]
+    fn chains_do_not_continue_past_a_safe_configuration() {
+        // c1 -> safe -> c2 -> safe2: the restriction ends at the first
+        // safe configuration, so the chain through it must not count.
+        let spec = ReconfigSpec::builder()
+            .frame_len(Ticks::new(10))
+            .env_factor("x", ["0"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("s")))
+            .config(Configuration::new("c1").assign("a", "s").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("mid").assign("a", "s").place("a", ProcessorId::new(0)).safe())
+            .config(Configuration::new("far").assign("a", "s").place("a", ProcessorId::new(0)).safe())
+            .transition("c1", "mid", Ticks::new(100))
+            .transition("mid", "far", Ticks::new(100))
+            .choose_when("x", "0", "c1")
+            .initial_config("c1")
+            .initial_env([("x", "0")])
+            .build()
+            .unwrap();
+        let chain = longest_chain_to_safe(&spec).unwrap();
+        assert_eq!(chain.total, Ticks::new(100));
+        assert_eq!(chain.chain.len(), 2);
+    }
+
+    #[test]
+    fn safe_reachability_analysis() {
+        let spec = chain_spec(false);
+        assert!(unreachable_from(&spec).is_empty());
+
+        // Remove the c2 -> c3 edge: nothing reaches safe from c1/c2.
+        let spec = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("level", ["0"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("s0")))
+            .config(Configuration::new("c1").assign("a", "s0").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("c3").assign("a", "s0").place("a", ProcessorId::new(0)).safe())
+            .transition("c3", "c1", Ticks::new(100))
+            .choose_when("level", "0", "c1")
+            .initial_config("c1")
+            .initial_env([("level", "0")])
+            .build()
+            .unwrap();
+        assert_eq!(unreachable_from(&spec), vec![ConfigId::new("c1")]);
+    }
+
+    #[test]
+    fn cycles_detected_and_canonicalized() {
+        let spec = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("x", ["0"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("s")))
+            .config(Configuration::new("c1").assign("a", "s").place("a", ProcessorId::new(0)).safe())
+            .config(Configuration::new("c2").assign("a", "s").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("c3").assign("a", "s").place("a", ProcessorId::new(0)))
+            .transition("c1", "c2", Ticks::new(400))
+            .transition("c2", "c1", Ticks::new(400))
+            .transition("c2", "c3", Ticks::new(400))
+            .transition("c3", "c1", Ticks::new(400))
+            .choose_when("x", "0", "c1")
+            .initial_config("c1")
+            .initial_env([("x", "0")])
+            .build()
+            .unwrap();
+        let cycles = transition_cycles(&spec);
+        // Two elementary cycles: c1<->c2 and c1->c2->c3->c1.
+        assert_eq!(cycles.len(), 2);
+        assert!(cycles.contains(&vec![ConfigId::new("c1"), ConfigId::new("c2")]));
+        assert!(cycles.contains(&vec![
+            ConfigId::new("c1"),
+            ConfigId::new("c2"),
+            ConfigId::new("c3")
+        ]));
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let spec = chain_spec(true);
+        assert!(transition_cycles(&spec).is_empty());
+    }
+}

@@ -1,0 +1,808 @@
+//! Executable checkers for the formal reconfiguration properties of
+//! Table 2.
+//!
+//! The paper defines "correct reconfiguration" as four properties over
+//! system traces, proven in PVS over the abstract model:
+//!
+//! - **SP1** — a reconfiguration `R` begins at the same time any
+//!   application in the system is no longer operating under `Cᵢ` and ends
+//!   when all applications are operating under `Cⱼ`: at `start_c` some
+//!   application is `interrupted` while all were `normal` the cycle
+//!   before; at `end_c` all are `normal`; strictly between, no
+//!   application is `normal`.
+//! - **SP2** — `Cⱼ` is the proper choice for the target system
+//!   specification at some point during `R`: there is a cycle `c` in
+//!   `[start_c, end_c]` with
+//!   `svclvl(end_c) = choose(svclvl(start_c), env(c))`.
+//! - **SP3** — `R` takes at most `T(Cᵢ, Cⱼ)` time units:
+//!   `(end_c − start_c + 1) · cycle_time ≤ T(svclvl(start_c), svclvl(end_c))`.
+//! - **SP4** — the precondition for `Cⱼ` is true at the time `R` ends.
+//!
+//! Where the paper discharges these once and for all by mechanized proof,
+//! this module *evaluates* them on every recorded trace (and
+//! [`crate::model`] evaluates them on exhaustively enumerated traces).
+//! The checkers are deliberately paranoid: each violation pinpoints the
+//! reconfiguration, frame, and application involved.
+
+use std::fmt;
+
+use crate::spec::ReconfigSpec;
+use crate::trace::{Reconfiguration, SysTrace};
+
+/// Which property a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PropertyId {
+    /// Table 2, SP1: reconfiguration boundaries.
+    Sp1,
+    /// Table 2, SP2: correct target choice.
+    Sp2,
+    /// Table 2, SP3: bounded transition time.
+    Sp3,
+    /// Table 2, SP4: target precondition at completion.
+    Sp4,
+    /// Extension beyond Table 2: a reconfiguration still open at the end
+    /// of the trace has already exceeded every declared bound.
+    OpenReconfiguration,
+    /// Extension beyond Table 2 (from the §5.3 liveness discussion): a
+    /// persistent mismatch between the chosen and current configuration
+    /// must start a reconfiguration once the dwell guard allows it.
+    Responsiveness,
+    /// Extension beyond Table 2: the Table 1 stages actually ran — every
+    /// application halted with its postcondition established and was
+    /// prepared before initializing.
+    ProtocolConformance,
+}
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PropertyId::Sp1 => "SP1",
+            PropertyId::Sp2 => "SP2",
+            PropertyId::Sp3 => "SP3",
+            PropertyId::Sp4 => "SP4",
+            PropertyId::OpenReconfiguration => "OPEN-RECONFIG",
+            PropertyId::Responsiveness => "RESPONSIVENESS",
+            PropertyId::ProtocolConformance => "PROTOCOL-CONFORMANCE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One property violation, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PropertyViolation {
+    /// The violated property.
+    pub property: PropertyId,
+    /// The reconfiguration interval involved, if applicable.
+    pub reconfig: Option<Reconfiguration>,
+    /// The specific frame involved, if applicable.
+    pub frame: Option<u64>,
+    /// Human-readable description of the defect.
+    pub detail: String,
+}
+
+impl fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.property)?;
+        if let Some(r) = self.reconfig {
+            write!(f, " [R {}..{}]", r.start_c, r.end_c)?;
+        }
+        if let Some(frame) = self.frame {
+            write!(f, " @frame {frame}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// The result of checking a trace against the properties.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct PropertyReport {
+    /// All violations found, in property order.
+    pub violations: Vec<PropertyViolation>,
+    /// Number of completed reconfigurations examined.
+    pub reconfigs_checked: usize,
+}
+
+impl PropertyReport {
+    /// Returns `true` if no property was violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one specific property.
+    pub fn of(&self, property: PropertyId) -> Vec<&PropertyViolation> {
+        self.violations
+            .iter()
+            .filter(|v| v.property == property)
+            .collect()
+    }
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            write!(
+                f,
+                "all properties hold over {} reconfiguration(s)",
+                self.reconfigs_checked
+            )
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks SP1 over every completed reconfiguration in the trace.
+pub fn check_sp1(trace: &SysTrace, _spec: &ReconfigSpec) -> Vec<PropertyViolation> {
+    let mut out = Vec::new();
+    for r in trace.get_reconfigs() {
+        let start = trace.state(r.start_c).expect("reconfig within trace");
+        let end = trace.state(r.end_c).expect("reconfig within trace");
+
+        if !start
+            .apps
+            .values()
+            .any(|a| a.reconf_st == crate::trace::ReconfSt::Interrupted)
+        {
+            out.push(PropertyViolation {
+                property: PropertyId::Sp1,
+                reconfig: Some(r),
+                frame: Some(r.start_c),
+                detail: "no application is `interrupted` at start_c".into(),
+            });
+        }
+        if r.start_c > 0 {
+            let before = trace.state(r.start_c - 1).expect("previous frame recorded");
+            for (app, rec) in &before.apps {
+                if !rec.reconf_st.is_normal() {
+                    out.push(PropertyViolation {
+                        property: PropertyId::Sp1,
+                        reconfig: Some(r),
+                        frame: Some(r.start_c - 1),
+                        detail: format!("application `{app}` is not `normal` the cycle before start_c"),
+                    });
+                }
+            }
+        }
+        for (app, rec) in &end.apps {
+            if !rec.reconf_st.is_normal() {
+                out.push(PropertyViolation {
+                    property: PropertyId::Sp1,
+                    reconfig: Some(r),
+                    frame: Some(r.end_c),
+                    detail: format!("application `{app}` is not `normal` at end_c"),
+                });
+            }
+        }
+        for c in (r.start_c + 1)..r.end_c {
+            let state = trace.state(c).expect("frame within reconfig");
+            for (app, rec) in &state.apps {
+                if rec.reconf_st.is_normal() {
+                    out.push(PropertyViolation {
+                        property: PropertyId::Sp1,
+                        reconfig: Some(r),
+                        frame: Some(c),
+                        detail: format!(
+                            "application `{app}` is `normal` strictly inside the reconfiguration"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks SP2 over every completed reconfiguration in the trace.
+pub fn check_sp2(trace: &SysTrace, spec: &ReconfigSpec) -> Vec<PropertyViolation> {
+    let mut out = Vec::new();
+    for r in trace.get_reconfigs() {
+        let start = trace.state(r.start_c).expect("reconfig within trace");
+        let end = trace.state(r.end_c).expect("reconfig within trace");
+        let witnessed = (r.start_c..=r.end_c).any(|c| {
+            let env = &trace.state(c).expect("frame within reconfig").env;
+            spec.choose(&start.svclvl, env) == Some(&end.svclvl)
+        });
+        if !witnessed {
+            out.push(PropertyViolation {
+                property: PropertyId::Sp2,
+                reconfig: Some(r),
+                frame: None,
+                detail: format!(
+                    "`{}` is not choose(`{}`, env(c)) for any cycle c in the reconfiguration",
+                    end.svclvl, start.svclvl
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Checks SP3 over every completed reconfiguration in the trace.
+pub fn check_sp3(trace: &SysTrace, spec: &ReconfigSpec) -> Vec<PropertyViolation> {
+    let mut out = Vec::new();
+    let cycle_time = spec.frame_len();
+    for r in trace.get_reconfigs() {
+        let start = trace.state(r.start_c).expect("reconfig within trace");
+        let end = trace.state(r.end_c).expect("reconfig within trace");
+        let elapsed = cycle_time * r.cycles();
+        match spec.transitions().bound(&start.svclvl, &end.svclvl) {
+            None => out.push(PropertyViolation {
+                property: PropertyId::Sp3,
+                reconfig: Some(r),
+                frame: None,
+                detail: format!(
+                    "transition `{}` -> `{}` is not in the static transition table",
+                    start.svclvl, end.svclvl
+                ),
+            }),
+            Some(bound) if elapsed > bound => out.push(PropertyViolation {
+                property: PropertyId::Sp3,
+                reconfig: Some(r),
+                frame: None,
+                detail: format!(
+                    "reconfiguration took {elapsed} but T(`{}`, `{}`) = {bound}",
+                    start.svclvl, end.svclvl
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// Checks SP4 over every completed reconfiguration in the trace.
+pub fn check_sp4(trace: &SysTrace, _spec: &ReconfigSpec) -> Vec<PropertyViolation> {
+    let mut out = Vec::new();
+    for r in trace.get_reconfigs() {
+        let end = trace.state(r.end_c).expect("reconfig within trace");
+        for (app, rec) in &end.apps {
+            match rec.pre_ok {
+                Some(true) => {}
+                Some(false) => out.push(PropertyViolation {
+                    property: PropertyId::Sp4,
+                    reconfig: Some(r),
+                    frame: Some(r.end_c),
+                    detail: format!(
+                        "application `{app}`'s precondition for `{}` does not hold at end_c",
+                        rec.spec
+                    ),
+                }),
+                None => out.push(PropertyViolation {
+                    property: PropertyId::Sp4,
+                    reconfig: Some(r),
+                    frame: Some(r.end_c),
+                    detail: format!(
+                        "no precondition evidence recorded for application `{app}` at end_c"
+                    ),
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Checks all four Table 2 properties.
+pub fn check_all(trace: &SysTrace, spec: &ReconfigSpec) -> PropertyReport {
+    let mut violations = Vec::new();
+    violations.extend(check_sp1(trace, spec));
+    violations.extend(check_sp2(trace, spec));
+    violations.extend(check_sp3(trace, spec));
+    violations.extend(check_sp4(trace, spec));
+    PropertyReport {
+        violations,
+        reconfigs_checked: trace.get_reconfigs().len(),
+    }
+}
+
+/// Extension check: a reconfiguration still open at the end of the trace
+/// must not already have exceeded the largest declared transition bound.
+pub fn check_open_reconfiguration(trace: &SysTrace, spec: &ReconfigSpec) -> Vec<PropertyViolation> {
+    let Some(start) = trace.open_reconfiguration() else {
+        return Vec::new();
+    };
+    let last = trace.len() as u64 - 1;
+    let elapsed = spec.frame_len() * (last - start + 1);
+    let max_bound = spec
+        .transitions()
+        .iter()
+        .map(|(_, _, b)| b)
+        .max()
+        .unwrap_or(arfs_rtos::Ticks::ZERO);
+    if elapsed > max_bound {
+        vec![PropertyViolation {
+            property: PropertyId::OpenReconfiguration,
+            reconfig: None,
+            frame: Some(start),
+            detail: format!(
+                "reconfiguration open since frame {start} has run {elapsed}, exceeding every declared bound (max {max_bound})"
+            ),
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Extension check (from the §5.3 liveness discussion): whenever the
+/// choice function selects a different configuration and the system is in
+/// steady state, a reconfiguration must begin within the dwell guard
+/// plus one frame.
+pub fn check_responsiveness(trace: &SysTrace, spec: &ReconfigSpec) -> Vec<PropertyViolation> {
+    let mut out = Vec::new();
+    let allowance = spec.min_dwell_frames() + 1;
+    let mut mismatch_run: u64 = 0;
+    let mut reported = false;
+    for state in trace.states() {
+        let steady = state.all_normal();
+        let wants_move = steady
+            && spec
+                .choose(&state.svclvl, &state.env)
+                .is_some_and(|t| *t != state.svclvl);
+        if wants_move {
+            mismatch_run += 1;
+            if mismatch_run > allowance && !reported {
+                out.push(PropertyViolation {
+                    property: PropertyId::Responsiveness,
+                    reconfig: None,
+                    frame: Some(state.frame),
+                    detail: format!(
+                        "choice function has selected `{}` over `{}` for {mismatch_run} frames with no reconfiguration started",
+                        spec.choose(&state.svclvl, &state.env).expect("checked above"),
+                        state.svclvl
+                    ),
+                });
+                reported = true; // report once per continuous run
+            }
+        } else {
+            mismatch_run = 0;
+            reported = false;
+        }
+    }
+    out
+}
+
+/// Extension check: Table 1 protocol conformance.
+///
+/// SP1–SP4 constrain the *observable* shape of a reconfiguration; they do
+/// not require that the halt/prepare/initialize stages actually ran.
+/// This check does: within every completed reconfiguration, each
+/// application must (a) receive a halt command and establish its
+/// postcondition (`post_ok = true` on some frame), and (b) receive a
+/// prepare or combined prepare-initialize command before its
+/// initialization. A kernel that skips the halt phase (the
+/// [`ScramMutation::SkipHaltPhase`](crate::scram::ScramMutation)
+/// defect) passes SP1–SP4 but fails here.
+pub fn check_protocol_conformance(trace: &SysTrace, _spec: &ReconfigSpec) -> Vec<PropertyViolation> {
+    use crate::app::ConfigStatus;
+    let mut out = Vec::new();
+    for r in trace.get_reconfigs() {
+        let end = trace.state(r.end_c).expect("reconfig within trace");
+        for app in end.apps.keys() {
+            let mut halted_ok = false;
+            let mut prepared = false;
+            let mut was_lost = false;
+            for c in r.start_c..=r.end_c {
+                let rec = &trace.state(c).expect("within reconfig").apps[app];
+                was_lost |= rec.lost;
+                match rec.commanded {
+                    ConfigStatus::Halt if rec.post_ok == Some(true) => halted_ok = true,
+                    ConfigStatus::Prepare | ConfigStatus::PrepareInitialize => prepared = true,
+                    _ => {}
+                }
+            }
+            if was_lost {
+                // An application lost to a processor failure halts by
+                // fail-stop semantics: it cannot answer stage signals,
+                // and its clean halt is exactly what the substrate
+                // guarantees (§5.1). Conformance is not required of it.
+                continue;
+            }
+            if !halted_ok {
+                out.push(PropertyViolation {
+                    property: PropertyId::ProtocolConformance,
+                    reconfig: Some(r),
+                    frame: None,
+                    detail: format!(
+                        "application `{app}` has no halt stage with an established postcondition"
+                    ),
+                });
+            }
+            if !prepared {
+                out.push(PropertyViolation {
+                    property: PropertyId::ProtocolConformance,
+                    reconfig: Some(r),
+                    frame: None,
+                    detail: format!("application `{app}` never received a prepare command"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks everything: the four Table 2 properties plus the three
+/// extension checks.
+pub fn check_extended(trace: &SysTrace, spec: &ReconfigSpec) -> PropertyReport {
+    let mut report = check_all(trace, spec);
+    report
+        .violations
+        .extend(check_open_reconfiguration(trace, spec));
+    report.violations.extend(check_responsiveness(trace, spec));
+    report
+        .violations
+        .extend(check_protocol_conformance(trace, spec));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::ConfigStatus;
+    use crate::environment::EnvState;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
+    use crate::trace::{AppFrameRecord, ReconfSt, SysState};
+    use crate::{AppId, ConfigId, SpecId};
+    use arfs_failstop::ProcessorId;
+    use arfs_rtos::Ticks;
+    use std::collections::BTreeMap;
+
+    fn spec() -> ReconfigSpec {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "bad"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
+            .transition("full", "safe", Ticks::new(500))
+            .transition("safe", "full", Ticks::new(500))
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .initial_config("full")
+            .initial_env([("power", "good")])
+            .build()
+            .unwrap()
+    }
+
+    struct TB {
+        trace: SysTrace,
+        frame: u64,
+    }
+
+    impl TB {
+        fn new() -> Self {
+            TB {
+                trace: SysTrace::new(),
+                frame: 0,
+            }
+        }
+
+        fn push(
+            &mut self,
+            svclvl: &str,
+            power: &str,
+            st: ReconfSt,
+            spec_id: &str,
+            pre_ok: Option<bool>,
+        ) -> &mut Self {
+            let mut apps = BTreeMap::new();
+            apps.insert(
+                AppId::new("a"),
+                AppFrameRecord {
+                    reconf_st: st,
+                    spec: SpecId::new(spec_id),
+                    commanded: ConfigStatus::Normal,
+                    post_ok: None,
+                    pre_ok,
+                    lost: false,
+                },
+            );
+            self.trace.push(SysState {
+                frame: self.frame,
+                svclvl: ConfigId::new(svclvl),
+                env: EnvState::new([("power", power)]),
+                apps,
+            });
+            self.frame += 1;
+            self
+        }
+    }
+
+    /// A canonical correct reconfiguration trace: trigger at frame 1,
+    /// completes at frame 4, with realistic commands and predicate
+    /// evidence (so the protocol-conformance extension holds too).
+    fn good_trace() -> SysTrace {
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None)
+            .push("full", "bad", ReconfSt::Halted, "full", None)
+            .push("full", "bad", ReconfSt::Prepared, "full", None)
+            .push("safe", "bad", ReconfSt::Normal, "deg", Some(true))
+            .push("safe", "bad", ReconfSt::Normal, "deg", None);
+        // Annotate the protocol stages the way the system records them.
+        let mut states: Vec<_> = tb.trace.states().to_vec();
+        let app = AppId::new("a");
+        states[2].apps.get_mut(&app).unwrap().commanded = ConfigStatus::Halt;
+        states[2].apps.get_mut(&app).unwrap().post_ok = Some(true);
+        states[3].apps.get_mut(&app).unwrap().commanded = ConfigStatus::Prepare;
+        states[4].apps.get_mut(&app).unwrap().commanded = ConfigStatus::Initialize;
+        let mut trace = SysTrace::new();
+        for s in states {
+            trace.push(s);
+        }
+        trace
+    }
+
+    #[test]
+    fn good_trace_satisfies_everything() {
+        let s = spec();
+        let t = good_trace();
+        let report = check_extended(&t, &s);
+        assert!(report.is_ok(), "{report}");
+        assert_eq!(report.reconfigs_checked, 1);
+        assert_eq!(report.to_string(), "all properties hold over 1 reconfiguration(s)");
+    }
+
+    #[test]
+    fn sp1_catches_missing_interrupted_marker() {
+        let s = spec();
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Halted, "full", None) // no Interrupted
+            .push("full", "bad", ReconfSt::Prepared, "full", None)
+            .push("safe", "bad", ReconfSt::Normal, "deg", Some(true));
+        let vs = check_sp1(&tb.trace, &s);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("interrupted"));
+        assert!(vs[0].to_string().contains("SP1"));
+    }
+
+    #[test]
+    fn sp1_catches_normal_app_inside_window() {
+        let s = spec();
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None)
+            .push("full", "bad", ReconfSt::Normal, "full", None) // normal inside!
+            .push("full", "bad", ReconfSt::Prepared, "full", None)
+            .push("safe", "bad", ReconfSt::Normal, "deg", Some(true));
+        // The normal frame splits the interval into two reconfigurations;
+        // the first has no normal-inside problem but its end state is
+        // normal, so get_reconfigs sees [1,2] and [3,4]. The second lacks
+        // an Interrupted start. Either way SP1 flags the defect.
+        let vs = check_sp1(&tb.trace, &s);
+        assert!(!vs.is_empty());
+    }
+
+    #[test]
+    fn sp2_catches_wrong_target() {
+        let s = spec();
+        // Environment says "bad" throughout, so choose(full, env) = safe;
+        // but the system ends up back in... a config that is NOT safe.
+        // Build a spec with a third config to land in.
+        let s3 = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "bad"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")).spec(FunctionalSpec::new("other")))
+            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .config(Configuration::new("wrong").assign("a", "other").place("a", ProcessorId::new(0)))
+            .transition("full", "safe", Ticks::new(500))
+            .transition("full", "wrong", Ticks::new(500))
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .initial_config("full")
+            .initial_env([("power", "good")])
+            .build()
+            .unwrap();
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None)
+            .push("full", "bad", ReconfSt::Halted, "full", None)
+            .push("full", "bad", ReconfSt::Prepared, "full", None)
+            .push("wrong", "bad", ReconfSt::Normal, "other", Some(true));
+        let vs = check_sp2(&tb.trace, &s3);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("wrong"));
+        let _ = s;
+    }
+
+    #[test]
+    fn sp2_accepts_target_correct_at_any_point_in_window() {
+        // Env flips to bad at the trigger and back to good mid-window;
+        // the end config matches the choice made at the trigger frame.
+        let s = spec();
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None)
+            .push("full", "good", ReconfSt::Halted, "full", None) // env recovered
+            .push("full", "good", ReconfSt::Prepared, "full", None)
+            .push("safe", "good", ReconfSt::Normal, "deg", Some(true));
+        assert!(check_sp2(&tb.trace, &s).is_empty());
+    }
+
+    #[test]
+    fn sp3_catches_overlong_reconfiguration() {
+        let s = spec(); // bound 500 = 5 frames
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None);
+        for _ in 0..5 {
+            tb.push("full", "bad", ReconfSt::Halted, "full", None);
+        }
+        tb.push("safe", "bad", ReconfSt::Normal, "deg", Some(true));
+        // start=1, end=7 -> 7 cycles * 100 = 700 > 500.
+        let vs = check_sp3(&tb.trace, &s);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("700t"));
+        assert!(vs[0].detail.contains("500t"));
+    }
+
+    #[test]
+    fn sp3_catches_undeclared_transition() {
+        // End in a config with no declared transition from the start.
+        let s3 = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "bad"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
+            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .transition("safe", "full", Ticks::new(500)) // full->safe missing!
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .initial_config("full")
+            .initial_env([("power", "good")])
+            .build()
+            .unwrap();
+        let t = good_trace();
+        let vs = check_sp3(&t, &s3);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("not in the static transition table"));
+    }
+
+    #[test]
+    fn sp4_catches_false_and_missing_precondition() {
+        let s = spec();
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None)
+            .push("full", "bad", ReconfSt::Halted, "full", None)
+            .push("safe", "bad", ReconfSt::Normal, "deg", Some(false));
+        let vs = check_sp4(&tb.trace, &s);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("does not hold"));
+
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None)
+            .push("safe", "bad", ReconfSt::Normal, "deg", None);
+        let vs = check_sp4(&tb.trace, &s);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].detail.contains("no precondition evidence"));
+    }
+
+    #[test]
+    fn open_reconfiguration_flagged_when_past_every_bound() {
+        let s = spec(); // max bound 500 = 5 frames
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None);
+        for _ in 0..6 {
+            tb.push("full", "bad", ReconfSt::Halted, "full", None);
+        }
+        // Open since frame 1, now frame 7: 7 cycles = 700 > 500.
+        let vs = check_open_reconfiguration(&tb.trace, &s);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].property, PropertyId::OpenReconfiguration);
+
+        // A briefly open reconfiguration is fine.
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None);
+        assert!(check_open_reconfiguration(&tb.trace, &s).is_empty());
+    }
+
+    #[test]
+    fn responsiveness_catches_ignored_trigger() {
+        let s = spec(); // dwell 0 -> allowance 1 frame
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None);
+        for _ in 0..4 {
+            tb.push("full", "bad", ReconfSt::Normal, "full", None);
+        }
+        let vs = check_responsiveness(&tb.trace, &s);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].property, PropertyId::Responsiveness);
+        assert!(vs[0].detail.contains("safe"));
+    }
+
+    #[test]
+    fn responsiveness_tolerates_trigger_followed_by_reconfig() {
+        let s = spec();
+        let t = good_trace();
+        assert!(check_responsiveness(&t, &s).is_empty());
+    }
+
+    #[test]
+    fn report_formatting_lists_violations() {
+        let s = spec();
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Halted, "full", None)
+            .push("safe", "bad", ReconfSt::Normal, "deg", None);
+        let report = check_all(&tb.trace, &s);
+        assert!(!report.is_ok());
+        assert!(!report.of(PropertyId::Sp1).is_empty());
+        assert!(!report.of(PropertyId::Sp4).is_empty());
+        assert!(report.of(PropertyId::Sp2).is_empty());
+        let text = report.to_string();
+        assert!(text.contains("violation(s)"));
+        assert!(text.contains("SP1"));
+    }
+
+    #[test]
+    fn conformance_requires_halt_evidence_and_prepare_command() {
+        let s = spec();
+        // A trace whose window shape satisfies SP1-SP4 but where the app
+        // never received halt/prepare commands.
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None)
+            .push("full", "bad", ReconfSt::Halted, "full", None)
+            .push("safe", "bad", ReconfSt::Normal, "deg", Some(true));
+        let sneaky = tb.trace.clone();
+        // SP1-SP4 are satisfied...
+        assert!(check_all(&sneaky, &s).is_ok());
+        // ...but conformance is not.
+        let vs = check_protocol_conformance(&sneaky, &s);
+        assert_eq!(vs.len(), 2);
+        assert!(vs[0].detail.contains("halt stage"));
+        assert!(vs[1].detail.contains("prepare"));
+        assert_eq!(vs[0].property, PropertyId::ProtocolConformance);
+        assert!(vs[0].to_string().contains("PROTOCOL-CONFORMANCE"));
+        // check_extended folds it in.
+        assert!(!check_extended(&sneaky, &s).is_ok());
+    }
+
+    #[test]
+    fn conformance_exempts_lost_applications() {
+        let s = spec();
+        let mut tb = TB::new();
+        tb.push("full", "good", ReconfSt::Normal, "full", None)
+            .push("full", "bad", ReconfSt::Interrupted, "full", None)
+            .push("full", "bad", ReconfSt::Halted, "full", None)
+            .push("safe", "bad", ReconfSt::Normal, "deg", Some(true));
+        let mut states: Vec<_> = tb.trace.states().to_vec();
+        // The app's host processor died during the window.
+        states[2].apps.get_mut(&AppId::new("a")).unwrap().lost = true;
+        let mut trace = SysTrace::new();
+        for st in states {
+            trace.push(st);
+        }
+        assert!(check_protocol_conformance(&trace, &s).is_empty());
+    }
+
+    #[test]
+    fn trace_with_no_reconfigs_passes_vacuously() {
+        let s = spec();
+        let mut tb = TB::new();
+        for _ in 0..5 {
+            tb.push("full", "good", ReconfSt::Normal, "full", None);
+        }
+        let report = check_extended(&tb.trace, &s);
+        assert!(report.is_ok());
+        assert_eq!(report.reconfigs_checked, 0);
+    }
+}

@@ -1,0 +1,306 @@
+//! System fault-tolerant actions (SFTAs) and their application-level
+//! constituents (AFTAs).
+//!
+//! §5.2 distinguishes **application FTAs** — "an action encompassing a
+//! single unit of work for an individual application" — from **system
+//! FTAs**: "because of system synchrony, there is some time span in which
+//! each application will have executed a fixed number of AFTAs. The AFTAs
+//! that are executed during that time span make up the SFTA." An SFTA
+//! either consists of normal AFTAs for every application, or includes the
+//! coordinated recovery — the reconfiguration — driven by the SCRAM.
+//!
+//! This module reconstructs the SFTA decomposition from a recorded
+//! [`SysTrace`], giving experiments and reports the paper's vocabulary:
+//! how many SFTAs executed, which were plain actions, and which carried a
+//! reconfiguration recovery.
+
+use crate::app::ConfigStatus;
+use crate::trace::SysTrace;
+use crate::{AppId, ConfigId};
+
+/// The kind of one application's unit of work within an SFTA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AftaKind {
+    /// A normal action under the current specification.
+    Action,
+    /// A halt stage of a reconfiguration recovery.
+    RecoveryHalt,
+    /// A prepare stage of a reconfiguration recovery.
+    RecoveryPrepare,
+    /// An initialize stage of a reconfiguration recovery.
+    RecoveryInitialize,
+    /// A compressed prepare+initialize stage (§6.3 relaxation).
+    RecoveryPrepareInitialize,
+    /// A hold frame (waiting on other applications' stages).
+    RecoveryHold,
+}
+
+impl From<ConfigStatus> for AftaKind {
+    fn from(status: ConfigStatus) -> Self {
+        match status {
+            ConfigStatus::Normal => AftaKind::Action,
+            ConfigStatus::Halt => AftaKind::RecoveryHalt,
+            ConfigStatus::Prepare => AftaKind::RecoveryPrepare,
+            ConfigStatus::Initialize => AftaKind::RecoveryInitialize,
+            ConfigStatus::PrepareInitialize => AftaKind::RecoveryPrepareInitialize,
+            ConfigStatus::Hold => AftaKind::RecoveryHold,
+        }
+    }
+}
+
+/// One application's unit of work in one frame.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Afta {
+    /// The application.
+    pub app: AppId,
+    /// The frame of the unit of work.
+    pub frame: u64,
+    /// What kind of work it was.
+    pub kind: AftaKind,
+}
+
+/// Classification of an SFTA.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SftaClass {
+    /// Every constituent AFTA completed its normal action.
+    Normal,
+    /// The SFTA's recovery was a system reconfiguration.
+    Reconfiguration {
+        /// The source configuration.
+        from: ConfigId,
+        /// The target configuration.
+        to: ConfigId,
+    },
+}
+
+/// A system fault-tolerant action: the AFTAs of one synchrony window.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Sfta {
+    /// First frame of the window (inclusive).
+    pub start: u64,
+    /// Last frame of the window (inclusive).
+    pub end: u64,
+    /// The constituent application FTAs.
+    pub aftas: Vec<Afta>,
+    /// Whether the SFTA was plain or carried a reconfiguration.
+    pub class: SftaClass,
+}
+
+impl Sfta {
+    /// Number of frames the SFTA spans.
+    pub fn frames(&self) -> u64 {
+        self.end - self.start + 1
+    }
+
+    /// The AFTAs of one application within this SFTA.
+    pub fn aftas_of(&self, app: &AppId) -> Vec<&Afta> {
+        self.aftas.iter().filter(|a| a.app == *app).collect()
+    }
+}
+
+/// Decomposes a trace into SFTAs.
+///
+/// Each completed reconfiguration interval becomes one
+/// [`SftaClass::Reconfiguration`] SFTA; maximal runs of all-normal frames
+/// are split into windows of `window_frames` (the synchrony window) and
+/// become [`SftaClass::Normal`] SFTAs. A trailing partial window is kept
+/// (experiments usually stop mid-window).
+///
+/// # Panics
+///
+/// Panics if `window_frames` is zero.
+pub fn extract_sftas(trace: &SysTrace, window_frames: u64) -> Vec<Sfta> {
+    assert!(window_frames > 0, "synchrony window must be positive");
+    let mut out = Vec::new();
+    let reconfigs = trace.get_reconfigs();
+    let mut next_reconfig = reconfigs.iter().peekable();
+
+    let mut normal_start: Option<u64> = None;
+    let mut frame = 0u64;
+    let total = trace.len() as u64;
+
+    let flush_normal = |out: &mut Vec<Sfta>, start: u64, end_inclusive: u64, trace: &SysTrace| {
+        let mut s = start;
+        while s <= end_inclusive {
+            let e = (s + window_frames - 1).min(end_inclusive);
+            let mut aftas = Vec::new();
+            for f in s..=e {
+                let state = trace.state(f).expect("frame within trace");
+                for (app, rec) in &state.apps {
+                    aftas.push(Afta {
+                        app: app.clone(),
+                        frame: f,
+                        kind: rec.commanded.into(),
+                    });
+                }
+            }
+            out.push(Sfta {
+                start: s,
+                end: e,
+                aftas,
+                class: SftaClass::Normal,
+            });
+            s = e + 1;
+        }
+    };
+
+    while frame < total {
+        if let Some(r) = next_reconfig.peek().copied() {
+            if frame == r.start_c {
+                if let Some(start) = normal_start.take() {
+                    if start < frame {
+                        flush_normal(&mut out, start, frame - 1, trace);
+                    }
+                }
+                let from = trace.state(r.start_c).expect("within trace").svclvl.clone();
+                let to = trace.state(r.end_c).expect("within trace").svclvl.clone();
+                let mut aftas = Vec::new();
+                for f in r.start_c..=r.end_c {
+                    let state = trace.state(f).expect("within trace");
+                    for (app, rec) in &state.apps {
+                        aftas.push(Afta {
+                            app: app.clone(),
+                            frame: f,
+                            kind: rec.commanded.into(),
+                        });
+                    }
+                }
+                out.push(Sfta {
+                    start: r.start_c,
+                    end: r.end_c,
+                    aftas,
+                    class: SftaClass::Reconfiguration { from, to },
+                });
+                frame = r.end_c + 1;
+                next_reconfig.next();
+                continue;
+            }
+        }
+        if normal_start.is_none() {
+            normal_start = Some(frame);
+        }
+        frame += 1;
+    }
+    if let Some(start) = normal_start {
+        if start < total {
+            flush_normal(&mut out, start, total - 1, trace);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::EnvState;
+    use crate::trace::{AppFrameRecord, ReconfSt, SysState};
+    use crate::SpecId;
+    use std::collections::BTreeMap;
+
+    fn state(frame: u64, st: ReconfSt, cmd: ConfigStatus, svclvl: &str) -> SysState {
+        let mut apps = BTreeMap::new();
+        apps.insert(
+            AppId::new("a"),
+            AppFrameRecord {
+                reconf_st: st,
+                spec: SpecId::new("s"),
+                commanded: cmd,
+                post_ok: None,
+                pre_ok: None,
+                lost: false,
+            },
+        );
+        SysState {
+            frame,
+            svclvl: ConfigId::new(svclvl),
+            env: EnvState::default(),
+            apps,
+        }
+    }
+
+    fn reconfig_trace() -> SysTrace {
+        let mut t = SysTrace::new();
+        t.push(state(0, ReconfSt::Normal, ConfigStatus::Normal, "full"));
+        t.push(state(1, ReconfSt::Normal, ConfigStatus::Normal, "full"));
+        t.push(state(2, ReconfSt::Interrupted, ConfigStatus::Normal, "full"));
+        t.push(state(3, ReconfSt::Halted, ConfigStatus::Halt, "full"));
+        t.push(state(4, ReconfSt::Prepared, ConfigStatus::Prepare, "full"));
+        t.push(state(5, ReconfSt::Normal, ConfigStatus::Initialize, "safe"));
+        t.push(state(6, ReconfSt::Normal, ConfigStatus::Normal, "safe"));
+        t
+    }
+
+    #[test]
+    fn reconfiguration_becomes_one_sfta() {
+        let t = reconfig_trace();
+        let sftas = extract_sftas(&t, 2);
+        // [0,1] normal, [2,5] reconfiguration, [6] normal (partial).
+        assert_eq!(sftas.len(), 3);
+        assert_eq!(sftas[0].class, SftaClass::Normal);
+        assert_eq!(sftas[0].start, 0);
+        assert_eq!(sftas[0].end, 1);
+        assert_eq!(
+            sftas[1].class,
+            SftaClass::Reconfiguration {
+                from: ConfigId::new("full"),
+                to: ConfigId::new("safe")
+            }
+        );
+        assert_eq!(sftas[1].frames(), 4);
+        assert_eq!(sftas[2].start, 6);
+        assert_eq!(sftas[2].end, 6);
+    }
+
+    #[test]
+    fn reconfiguration_sfta_contains_recovery_aftas() {
+        let t = reconfig_trace();
+        let sftas = extract_sftas(&t, 2);
+        let r = &sftas[1];
+        let kinds: Vec<AftaKind> = r
+            .aftas_of(&AppId::new("a"))
+            .iter()
+            .map(|a| a.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AftaKind::Action, // the interrupted frame's action
+                AftaKind::RecoveryHalt,
+                AftaKind::RecoveryPrepare,
+                AftaKind::RecoveryInitialize
+            ]
+        );
+    }
+
+    #[test]
+    fn normal_runs_split_into_windows() {
+        let mut t = SysTrace::new();
+        for f in 0..7 {
+            t.push(state(f, ReconfSt::Normal, ConfigStatus::Normal, "full"));
+        }
+        let sftas = extract_sftas(&t, 3);
+        assert_eq!(sftas.len(), 3); // 3 + 3 + 1
+        assert!(sftas.iter().all(|s| s.class == SftaClass::Normal));
+        assert_eq!(sftas[2].frames(), 1);
+        assert_eq!(sftas[0].aftas.len(), 3);
+    }
+
+    #[test]
+    fn hold_frames_map_to_recovery_hold() {
+        assert_eq!(AftaKind::from(ConfigStatus::Hold), AftaKind::RecoveryHold);
+        assert_eq!(AftaKind::from(ConfigStatus::Normal), AftaKind::Action);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let t = SysTrace::new();
+        let _ = extract_sftas(&t, 0);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_sftas() {
+        let t = SysTrace::new();
+        assert!(extract_sftas(&t, 4).is_empty());
+    }
+}

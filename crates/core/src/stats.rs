@@ -1,0 +1,206 @@
+//! Trace statistics: summarizing what happened over a run.
+//!
+//! Experiments and operators want aggregate views of a [`SysTrace`]: how
+//! often the system reconfigured, how long reconfigurations took, how
+//! much service time was restricted, and which configurations the system
+//! spent its life in. This module computes them; the experiment binaries
+//! in `arfs-bench` serialize them as artifacts.
+
+use std::collections::BTreeMap;
+
+use arfs_rtos::Ticks;
+
+use crate::trace::SysTrace;
+use crate::ConfigId;
+
+/// Aggregate statistics over one trace.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceStats {
+    /// Total frames recorded.
+    pub frames: u64,
+    /// Completed reconfigurations.
+    pub reconfigurations: usize,
+    /// Frames in which service was restricted (any application not
+    /// normal).
+    pub restricted_frames: u64,
+    /// `restricted_frames / frames` (0 when the trace is empty).
+    pub restricted_fraction: f64,
+    /// Minimum reconfiguration length in cycles (`None` if none
+    /// completed).
+    pub min_cycles: Option<u64>,
+    /// Maximum reconfiguration length in cycles.
+    pub max_cycles: Option<u64>,
+    /// Mean reconfiguration length in cycles.
+    pub mean_cycles: Option<f64>,
+    /// Frames spent in each configuration (by end-of-frame service
+    /// level).
+    pub frames_per_config: BTreeMap<ConfigId, u64>,
+    /// Whether a reconfiguration was still open when the trace ended.
+    pub open_reconfiguration: bool,
+}
+
+impl TraceStats {
+    /// The availability of unrestricted service, `1 − restricted_fraction`.
+    pub fn availability(&self) -> f64 {
+        1.0 - self.restricted_fraction
+    }
+
+    /// Worst observed restriction expressed in ticks, given the frame
+    /// length.
+    pub fn max_restriction(&self, frame_len: Ticks) -> Option<Ticks> {
+        // A reconfiguration of k cycles restricts service for k - 1
+        // frames (the completion frame runs normally at its end).
+        self.max_cycles.map(|c| frame_len * c.saturating_sub(1))
+    }
+}
+
+/// Computes statistics for a trace.
+///
+/// # Example
+///
+/// ```
+/// use arfs_core::scenario::Scenario;
+/// use arfs_core::stats::trace_stats;
+///
+/// # let spec = arfs_core::spec::ReconfigSpec::builder()
+/// #     .frame_len(arfs_rtos::Ticks::new(100))
+/// #     .env_factor("power", ["good", "bad"])
+/// #     .app(arfs_core::spec::AppDecl::new("a")
+/// #         .spec(arfs_core::spec::FunctionalSpec::new("f"))
+/// #         .spec(arfs_core::spec::FunctionalSpec::new("d")))
+/// #     .config(arfs_core::spec::Configuration::new("full")
+/// #         .assign("a", "f").place("a", arfs_failstop::ProcessorId::new(0)))
+/// #     .config(arfs_core::spec::Configuration::new("safe")
+/// #         .assign("a", "d").place("a", arfs_failstop::ProcessorId::new(0)).safe())
+/// #     .transition("full", "safe", arfs_rtos::Ticks::new(800))
+/// #     .transition("safe", "full", arfs_rtos::Ticks::new(800))
+/// #     .choose_when("power", "bad", "safe")
+/// #     .choose_when("power", "good", "full")
+/// #     .initial_config("full")
+/// #     .initial_env([("power", "good")])
+/// #     .min_dwell_frames(1)
+/// #     .build()
+/// #     .unwrap();
+/// let system = Scenario::new("dip", 16)
+///     .set_env(4, "power", "bad")
+///     .run_on_spec(&spec)?;
+/// let stats = trace_stats(system.trace());
+/// assert_eq!(stats.reconfigurations, 1);
+/// assert!(stats.availability() > 0.7);
+/// # Ok::<(), arfs_core::SystemError>(())
+/// ```
+pub fn trace_stats(trace: &SysTrace) -> TraceStats {
+    let frames = trace.len() as u64;
+    let reconfigs = trace.get_reconfigs();
+    let cycles: Vec<u64> = reconfigs.iter().map(|r| r.cycles()).collect();
+    let restricted_frames = trace.restricted_frames();
+    let mut frames_per_config: BTreeMap<ConfigId, u64> = BTreeMap::new();
+    for state in trace.states() {
+        *frames_per_config.entry(state.svclvl.clone()).or_insert(0) += 1;
+    }
+    TraceStats {
+        frames,
+        reconfigurations: reconfigs.len(),
+        restricted_frames,
+        restricted_fraction: if frames == 0 {
+            0.0
+        } else {
+            restricted_frames as f64 / frames as f64
+        },
+        min_cycles: cycles.iter().min().copied(),
+        max_cycles: cycles.iter().max().copied(),
+        mean_cycles: if cycles.is_empty() {
+            None
+        } else {
+            Some(cycles.iter().sum::<u64>() as f64 / cycles.len() as f64)
+        },
+        frames_per_config,
+        open_reconfiguration: trace.open_reconfiguration().is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
+    use crate::system::System;
+    use arfs_failstop::ProcessorId;
+
+    fn spec() -> ReconfigSpec {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "bad"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
+            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
+            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .transition("full", "safe", Ticks::new(800))
+            .transition("safe", "full", Ticks::new(800))
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .initial_config("full")
+            .initial_env([("power", "good")])
+            .min_dwell_frames(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn quiet_trace_has_full_availability() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(10);
+        let stats = trace_stats(system.trace());
+        assert_eq!(stats.frames, 10);
+        assert_eq!(stats.reconfigurations, 0);
+        assert_eq!(stats.restricted_frames, 0);
+        assert_eq!(stats.availability(), 1.0);
+        assert_eq!(stats.min_cycles, None);
+        assert_eq!(stats.mean_cycles, None);
+        assert_eq!(stats.max_restriction(Ticks::new(100)), None);
+        assert!(!stats.open_reconfiguration);
+        assert_eq!(stats.frames_per_config[&ConfigId::new("full")], 10);
+    }
+
+    #[test]
+    fn reconfiguration_statistics_counted() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(4);
+        system.set_env("power", "bad").unwrap();
+        system.run_frames(8);
+        system.set_env("power", "good").unwrap();
+        system.run_frames(8);
+        let stats = trace_stats(system.trace());
+        assert_eq!(stats.frames, 20);
+        assert_eq!(stats.reconfigurations, 2);
+        assert_eq!(stats.min_cycles, Some(4));
+        assert_eq!(stats.max_cycles, Some(4));
+        assert_eq!(stats.mean_cycles, Some(4.0));
+        // Each 4-cycle reconfiguration restricts 3 frames.
+        assert_eq!(stats.restricted_frames, 6);
+        assert!((stats.restricted_fraction - 0.3).abs() < 1e-9);
+        assert!((stats.availability() - 0.7).abs() < 1e-9);
+        assert_eq!(stats.max_restriction(Ticks::new(100)), Some(Ticks::new(300)));
+        let total: u64 = stats.frames_per_config.values().sum();
+        assert_eq!(total, 20);
+        assert!(stats.frames_per_config[&ConfigId::new("safe")] > 0);
+    }
+
+    #[test]
+    fn open_reconfiguration_flagged() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(3);
+        system.set_env("power", "bad").unwrap();
+        system.run_frames(2); // trigger + halt, unfinished
+        let stats = trace_stats(system.trace());
+        assert!(stats.open_reconfiguration);
+        assert_eq!(stats.reconfigurations, 0);
+        assert!(stats.restricted_frames > 0);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeroes() {
+        let stats = trace_stats(&SysTrace::new());
+        assert_eq!(stats.frames, 0);
+        assert_eq!(stats.restricted_fraction, 0.0);
+        assert!(stats.frames_per_config.is_empty());
+    }
+}

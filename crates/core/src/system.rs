@@ -1,0 +1,1202 @@
+//! The executable system: Figure 1 realized.
+//!
+//! A [`System`] assembles every element of the paper's logical
+//! architecture:
+//!
+//! - the **applications** (trait objects implementing
+//!   [`ReconfigurableApp`]), each with its own stable-storage region on
+//!   the simulated fail-stop platform;
+//! - the **SCRAM kernel**, stepped once per frame;
+//! - the **time-triggered bus**, which carries the architecture's three
+//!   signal kinds — fault signals from the environment monitor to the
+//!   SCRAM, reconfiguration signals from the SCRAM to the applications,
+//!   and status signals back — and whose membership service observes
+//!   processor failures;
+//! - the **fail-stop processor pool** hosting the applications per the
+//!   statically determined placement;
+//! - the **environment**, whose changes are the reconfiguration triggers;
+//! - the **trace recorder**, producing the [`SysTrace`] the property
+//!   checkers consume.
+//!
+//! Each call to [`System::run_frame`] executes one synchronous real-time
+//! frame: environment sampling, SCRAM decision, signal delivery through
+//! stable-storage variables and the bus, one unit of work per
+//! application, frame-end stable-storage commits, and trace recording.
+//!
+//! # Processor-status environment factors
+//!
+//! Since "the status of a component is modeled as an element of the
+//! environment" (§6.3), the system auto-maintains any environment factor
+//! named `processor-<n>` (domain `{"up", "down"}`): when the bus
+//! membership service observes processor `n` silent, the factor flips to
+//! `"down"` without any manual [`System::set_env`] call.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use arfs_failstop::{ProcessorId, ProcessorPool, SharedStableStorage, StableSnapshot};
+use arfs_rtos::{Ticks, VirtualClock};
+use arfs_ttbus::{BusSchedule, Message, NodeId, TtBus};
+
+use crate::app::{
+    AppContext, Blackboard, ConfigStatus, NullApp, ReconfigurableApp, CONFIG_STATUS_KEY,
+    TARGET_SPEC_KEY,
+};
+use crate::environment::Environment;
+use crate::scram::{FrameDecision, MidReconfigPolicy, Scram, ScramMutation, StagePolicy, SyncPolicy};
+use crate::spec::{dependency_order, ReconfigSpec};
+use crate::trace::{AppFrameRecord, SysState, SysTrace};
+use crate::{AppId, ConfigId, SystemError};
+
+/// Offset added to processor ids to form their bus node ids.
+const PROC_NODE_BASE: u32 = 0;
+/// Bus node id of the SCRAM kernel's host.
+const SCRAM_NODE: NodeId = NodeId::new(100_000);
+/// Bus node id of the environment-monitoring virtual application.
+const ENV_NODE: NodeId = NodeId::new(100_001);
+
+/// An auditable system-level event (the arrows of Figure 1, plus health
+/// conditions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemEvent {
+    /// An environment factor changed value.
+    EnvChanged {
+        /// Frame of the change.
+        frame: u64,
+        /// The factor.
+        factor: String,
+        /// The new value.
+        value: String,
+    },
+    /// A signal crossed an architecture edge.
+    SignalSent {
+        /// Frame of the signal.
+        frame: u64,
+        /// Originating element (`"environment"`, `"scram"`, an app id, a
+        /// processor).
+        from: String,
+        /// Receiving element.
+        to: String,
+        /// Signal kind (`"fault"`, `"reconfig"`, `"status"`).
+        topic: String,
+        /// Payload summary.
+        detail: String,
+    },
+    /// An application's stage reported an error.
+    AppStageError {
+        /// Frame of the error.
+        frame: u64,
+        /// The application.
+        app: AppId,
+        /// The stage that failed (`"normal"`, `"halt"`, ...).
+        stage: String,
+        /// The reported error.
+        error: String,
+    },
+    /// An application overran its declared compute budget — a software
+    /// timing failure.
+    DeadlineMiss {
+        /// Frame of the overrun.
+        frame: u64,
+        /// The application.
+        app: AppId,
+        /// Ticks consumed.
+        consumed: Ticks,
+        /// Declared budget.
+        budget: Ticks,
+    },
+    /// An application could not run because its host processor has
+    /// failed.
+    AppLost {
+        /// Frame of the loss.
+        frame: u64,
+        /// The application.
+        app: AppId,
+        /// The failed host.
+        processor: ProcessorId,
+    },
+    /// A processor was observed failed by the membership service.
+    ProcessorDown {
+        /// Frame of the observation.
+        frame: u64,
+        /// The processor.
+        processor: ProcessorId,
+    },
+}
+
+/// Builder for [`System`].
+pub struct SystemBuilder {
+    spec: Arc<ReconfigSpec>,
+    apps: Vec<Box<dyn ReconfigurableApp>>,
+    monitors: Vec<Box<dyn crate::environment::EnvMonitor>>,
+    mid_policy: MidReconfigPolicy,
+    sync_policy: SyncPolicy,
+    stage_policy: StagePolicy,
+    mutation: Option<ScramMutation>,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("apps", &self.apps.len())
+            .field("mid_policy", &self.mid_policy)
+            .field("sync_policy", &self.sync_policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemBuilder {
+    /// Registers a concrete application implementation.
+    ///
+    /// If no application is ever registered, the builder fills in a
+    /// [`NullApp`] for every declared application — the configuration
+    /// used by the bounded model checker.
+    #[must_use]
+    pub fn app(mut self, app: Box<dyn ReconfigurableApp>) -> Self {
+        self.apps.push(app);
+        self
+    }
+
+    /// Registers a virtual environment-monitoring application (§6.3);
+    /// it is sampled at the start of every frame, before the SCRAM's
+    /// decision.
+    #[must_use]
+    pub fn monitor(mut self, monitor: Box<dyn crate::environment::EnvMonitor>) -> Self {
+        self.monitors.push(monitor);
+        self
+    }
+
+    /// Sets the mid-reconfiguration trigger policy.
+    #[must_use]
+    pub fn mid_policy(mut self, policy: MidReconfigPolicy) -> Self {
+        self.mid_policy = policy;
+        self
+    }
+
+    /// Sets the dependency synchronization policy.
+    #[must_use]
+    pub fn sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Sets the stage-signalling policy (see
+    /// [`StagePolicy::CompressedPrepareInit`] for the §6.3 relaxation).
+    #[must_use]
+    pub fn stage_policy(mut self, policy: StagePolicy) -> Self {
+        self.stage_policy = policy;
+        self
+    }
+
+    /// Seeds a SCRAM protocol mutation (verification experiments only).
+    #[must_use]
+    pub fn mutation(mut self, mutation: ScramMutation) -> Self {
+        self.mutation = Some(mutation);
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::UndeclaredApp`] if a registered application
+    /// is not in the specification, or [`SystemError::UnregisteredApp`]
+    /// if applications were registered but some declared application is
+    /// missing.
+    pub fn build(self) -> Result<System, SystemError> {
+        let spec = self.spec;
+        let mut apps = self.apps;
+
+        if apps.is_empty() {
+            let initial = spec
+                .config(spec.initial_config())
+                .expect("validated initial config");
+            for decl in spec.apps() {
+                let spec_id = initial
+                    .spec_for(decl.id())
+                    .expect("validated assignment")
+                    .clone();
+                apps.push(Box::new(NullApp::new(decl.id().clone(), spec_id)));
+            }
+        }
+
+        for app in &apps {
+            if spec.app(app.id()).is_none() {
+                return Err(SystemError::UndeclaredApp(app.id().clone()));
+            }
+        }
+        for decl in spec.apps() {
+            if !apps.iter().any(|a| a.id() == decl.id()) {
+                return Err(SystemError::UnregisteredApp(decl.id().clone()));
+            }
+        }
+
+        // Platform: every processor any configuration places apps on.
+        let mut processors: Vec<ProcessorId> = spec
+            .configs()
+            .iter()
+            .flat_map(|c| c.processors())
+            .collect();
+        processors.sort();
+        processors.dedup();
+        let mut pool = ProcessorPool::new();
+        for &p in &processors {
+            pool.add(arfs_failstop::Processor::new(p));
+        }
+
+        // Bus: one slot per processor plus the SCRAM and environment
+        // monitor nodes.
+        let mut schedule = BusSchedule::builder();
+        for &p in &processors {
+            schedule = schedule.slot(NodeId::new(PROC_NODE_BASE + p.raw()), 256);
+        }
+        schedule = schedule.slot(SCRAM_NODE, 1024).slot(ENV_NODE, 1024);
+        let schedule = schedule
+            .build()
+            .map_err(|e| SystemError::Bus(e.to_string()))?;
+        let mut bus = TtBus::new(schedule);
+        bus.enable_log();
+
+        let environment = Environment::new(spec.env_model().clone(), spec.initial_env().clone())?;
+
+        let scram = Scram::new(Arc::clone(&spec))
+            .with_mid_policy(self.mid_policy)
+            .with_sync_policy(self.sync_policy)
+            .with_stage_policy(self.stage_policy);
+        let scram = match self.mutation {
+            Some(m) => scram.with_mutation(m),
+            None => scram,
+        };
+
+        let order: Vec<AppId> = dependency_order(spec.apps())
+            .into_iter()
+            .map(|a| a.id().clone())
+            .collect();
+        let regions = apps
+            .iter()
+            .map(|a| (a.id().clone(), SharedStableStorage::new()))
+            .collect();
+
+        Ok(System {
+            clock: VirtualClock::new(spec.frame_len()),
+            spec,
+            apps,
+            app_order: order,
+            regions,
+            pool,
+            bus,
+            environment,
+            scram,
+            monitors: self.monitors,
+            trace: SysTrace::new(),
+            events: Vec::new(),
+            pending_env: Vec::new(),
+            pending_failures: Vec::new(),
+        })
+    }
+}
+
+/// The running system; see the [module documentation](self).
+pub struct System {
+    spec: Arc<ReconfigSpec>,
+    clock: VirtualClock,
+    apps: Vec<Box<dyn ReconfigurableApp>>,
+    app_order: Vec<AppId>,
+    regions: BTreeMap<AppId, SharedStableStorage>,
+    pool: ProcessorPool,
+    bus: TtBus,
+    environment: Environment,
+    scram: Scram,
+    monitors: Vec<Box<dyn crate::environment::EnvMonitor>>,
+    trace: SysTrace,
+    events: Vec<SystemEvent>,
+    pending_env: Vec<(String, String)>,
+    pending_failures: Vec<ProcessorId>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("frame", &self.clock.frame())
+            .field("config", self.scram.current_config())
+            .field("apps", &self.app_order)
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Starts building a system for a specification.
+    pub fn builder(spec: ReconfigSpec) -> SystemBuilder {
+        SystemBuilder {
+            spec: Arc::new(spec),
+            apps: Vec::new(),
+            monitors: Vec::new(),
+            mid_policy: MidReconfigPolicy::default(),
+            sync_policy: SyncPolicy::default(),
+            stage_policy: StagePolicy::default(),
+            mutation: None,
+        }
+    }
+
+    /// The specification the system runs under.
+    pub fn spec(&self) -> &ReconfigSpec {
+        &self.spec
+    }
+
+    /// The next frame to execute.
+    pub fn frame(&self) -> u64 {
+        self.clock.frame()
+    }
+
+    /// The current configuration (service level).
+    pub fn current_config(&self) -> &ConfigId {
+        self.scram.current_config()
+    }
+
+    /// The recorded trace so far.
+    pub fn trace(&self) -> &SysTrace {
+        &self.trace
+    }
+
+    /// The SCRAM kernel (for event-log inspection).
+    pub fn scram(&self) -> &Scram {
+        &self.scram
+    }
+
+    /// The live environment.
+    pub fn environment(&self) -> &Environment {
+        &self.environment
+    }
+
+    /// The time-triggered bus (its log carries every signal).
+    pub fn bus(&self) -> &TtBus {
+        &self.bus
+    }
+
+    /// The fail-stop processor pool.
+    pub fn pool(&self) -> &ProcessorPool {
+        &self.pool
+    }
+
+    /// The cumulative system event log.
+    pub fn events(&self) -> &[SystemEvent] {
+        &self.events
+    }
+
+    /// A consistent snapshot of an application's stable-storage region.
+    pub fn app_stable(&self, id: &AppId) -> Option<StableSnapshot> {
+        self.regions.get(id).map(SharedStableStorage::snapshot)
+    }
+
+    /// Schedules an environment change; it takes effect at the start of
+    /// the next frame (the monitor samples once per frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Env`] if the factor or value is invalid.
+    pub fn set_env(&mut self, factor: &str, value: &str) -> Result<(), SystemError> {
+        // Validate eagerly so callers get the error at the set site.
+        let f = self
+            .environment
+            .model()
+            .factor(factor)
+            .ok_or_else(|| crate::SpecError::UnknownEnvFactor(factor.to_owned()))?;
+        if !f.admits(value) {
+            return Err(crate::SpecError::InvalidEnvValue {
+                factor: factor.to_owned(),
+                value: value.to_owned(),
+            }
+            .into());
+        }
+        self.pending_env.push((factor.to_owned(), value.to_owned()));
+        Ok(())
+    }
+
+    /// Schedules a fail-stop failure of a processor; it takes effect at
+    /// the start of the next frame.
+    pub fn fail_processor(&mut self, id: ProcessorId) {
+        self.pending_failures.push(id);
+    }
+
+    /// Runs `n` frames.
+    pub fn run_frames(&mut self, n: u64) {
+        for _ in 0..n {
+            self.run_frame();
+        }
+    }
+
+    /// Executes one synchronous real-time frame and returns the SCRAM's
+    /// decision for it.
+    pub fn run_frame(&mut self) -> FrameDecision {
+        let frame = self.clock.frame();
+
+        // --- Virtual monitoring applications sample their components
+        // (§6.3); their updates join the frame's environment changes. ---
+        for monitor in &mut self.monitors {
+            for (factor, value) in monitor.sample(frame) {
+                self.pending_env.push((factor, value));
+            }
+        }
+
+        // --- Pending hardware failures take effect. ---
+        for p in std::mem::take(&mut self.pending_failures) {
+            if self.pool.is_alive(p) {
+                let _ = self.pool.fail(p);
+                self.events.push(SystemEvent::ProcessorDown {
+                    frame,
+                    processor: p,
+                });
+            }
+        }
+
+        // --- Membership: alive processors announce themselves; silent
+        // processors flip their status factors. ---
+        for p in self.pool.alive_ids() {
+            self.bus.mark_present(NodeId::new(PROC_NODE_BASE + p.raw()));
+        }
+        for p in self.pool.failed_ids() {
+            let factor = format!("processor-{}", p.raw());
+            if self.environment.model().factor(&factor).is_some()
+                && self.environment.current().get(&factor) != Some("down")
+            {
+                self.pending_env.push((factor, "down".into()));
+            }
+        }
+
+        // --- Pending environment changes take effect (the monitor's
+        // sample for this frame). ---
+        for (factor, value) in std::mem::take(&mut self.pending_env) {
+            if self.environment.set(frame, &factor, &value) == Ok(true) {
+                self.events.push(SystemEvent::EnvChanged {
+                    frame,
+                    factor: factor.clone(),
+                    value: value.clone(),
+                });
+                // Fault signal: environment monitor -> SCRAM over the bus.
+                let payload = format!("{factor}={value}");
+                let _ = self
+                    .bus
+                    .submit(ENV_NODE, Message::new("fault", payload.clone().into_bytes()));
+                self.events.push(SystemEvent::SignalSent {
+                    frame,
+                    from: "environment".into(),
+                    to: "scram".into(),
+                    topic: "fault".into(),
+                    detail: payload,
+                });
+            }
+        }
+        self.bus.mark_present(ENV_NODE);
+        let env = self.environment.current().clone();
+
+        // --- SCRAM decision. ---
+        let decision = self.scram.step(frame, &env);
+
+        // --- Reconfiguration signals: SCRAM -> each application, via the
+        // configuration_status variable in stable storage and the bus. ---
+        for (app_id, command) in &decision.commands {
+            let region = self.regions.get(app_id).expect("region per app");
+            region.write(|s| {
+                s.stage_str(CONFIG_STATUS_KEY, command.status.as_str());
+                match &command.target {
+                    Some(t) => s.stage_str(TARGET_SPEC_KEY, t.as_str()),
+                    None => s.stage_remove(TARGET_SPEC_KEY),
+                }
+                s.commit();
+            });
+            if command.status != ConfigStatus::Normal {
+                let payload = format!("{app_id}:{}", command.status);
+                let _ = self
+                    .bus
+                    .submit(SCRAM_NODE, Message::new("reconfig", payload.clone().into_bytes()));
+                self.events.push(SystemEvent::SignalSent {
+                    frame,
+                    from: "scram".into(),
+                    to: app_id.to_string(),
+                    topic: "reconfig".into(),
+                    detail: payload,
+                });
+            }
+        }
+        self.bus.mark_present(SCRAM_NODE);
+
+        // --- Frame-start blackboard: last frame's committed state. ---
+        let mut board = Blackboard::new();
+        for (id, region) in &self.regions {
+            board.insert(id.clone(), region.snapshot());
+        }
+
+        // --- Applications execute one unit of work each, in dependency
+        // order (the executive's static window order). ---
+        let placement_config = self
+            .spec
+            .config(self.scram.current_config())
+            .expect("validated config")
+            .clone();
+        let mut post_ok: BTreeMap<AppId, Option<bool>> = BTreeMap::new();
+        let mut pre_ok: BTreeMap<AppId, Option<bool>> = BTreeMap::new();
+        let mut spec_now: BTreeMap<AppId, crate::SpecId> = BTreeMap::new();
+        let mut lost: BTreeMap<AppId, bool> = BTreeMap::new();
+
+        for app_id in self.app_order.clone() {
+            let command = decision.commands.get(&app_id).expect("command per app").clone();
+            let app_index = self
+                .apps
+                .iter()
+                .position(|a| *a.id() == app_id)
+                .expect("registered app");
+
+            // An application on a failed processor cannot run its stage.
+            let placed = placement_config.placement_for(&app_id);
+            let host_alive = placed.map(|p| self.pool.is_alive(p)).unwrap_or(true);
+            if !host_alive {
+                self.events.push(SystemEvent::AppLost {
+                    frame,
+                    app: app_id.clone(),
+                    processor: placed.expect("checked above"),
+                });
+                let app = &self.apps[app_index];
+                post_ok.insert(app_id.clone(), None);
+                pre_ok.insert(app_id.clone(), None);
+                spec_now.insert(app_id.clone(), app.current_spec());
+                lost.insert(app_id.clone(), true);
+                continue;
+            }
+
+            let region = self.regions.get(&app_id).expect("region per app").clone();
+            // Normal work is budgeted by the current specification's
+            // declared compute; reconfiguration stages must fit within
+            // the frame itself -- "each application meets prescribed time
+            // bounds for each stage of the reconfiguration activity" (§3).
+            let budget = if command.status == ConfigStatus::Normal {
+                let app = &self.apps[app_index];
+                self.spec
+                    .app(&app_id)
+                    .and_then(|d| d.find_spec(&app.current_spec()))
+                    .map(|s| s.compute_ticks())
+                    .unwrap_or(Ticks::ZERO)
+            } else {
+                self.spec.frame_len()
+            };
+            let app = &mut self.apps[app_index];
+            let (result, consumed, stage) = region.write(|stable| {
+                let mut ctx = AppContext {
+                    frame,
+                    stable,
+                    inputs: &board,
+                    env: &env,
+                    consumed: Ticks::ZERO,
+                };
+                let (result, stage) = match command.status {
+                    ConfigStatus::Normal => (app.run_normal(&mut ctx), "normal"),
+                    ConfigStatus::Halt => (app.halt(&mut ctx), "halt"),
+                    ConfigStatus::Prepare => {
+                        let target = command.target.clone().expect("prepare carries target");
+                        (app.prepare(&mut ctx, &target), "prepare")
+                    }
+                    ConfigStatus::Initialize => {
+                        let target = command.target.clone().expect("initialize carries target");
+                        (app.initialize(&mut ctx, &target), "initialize")
+                    }
+                    ConfigStatus::PrepareInitialize => {
+                        // The compressed §6.3 path: both stages back to
+                        // back, no intervening SCRAM signal.
+                        let target = command
+                            .target
+                            .clone()
+                            .expect("prepare-initialize carries target");
+                        let result = app
+                            .prepare(&mut ctx, &target)
+                            .and_then(|()| app.initialize(&mut ctx, &target));
+                        (result, "prepare-initialize")
+                    }
+                    ConfigStatus::Hold => (Ok(()), "hold"),
+                };
+                let consumed = ctx.consumed;
+                // Frame-end stable-storage commit (§6.1).
+                stable.commit();
+                (result, consumed, stage)
+            });
+
+            if let Err(error) = result {
+                self.events.push(SystemEvent::AppStageError {
+                    frame,
+                    app: app_id.clone(),
+                    stage: stage.into(),
+                    error,
+                });
+            }
+            if budget > Ticks::ZERO && consumed > budget {
+                self.events.push(SystemEvent::DeadlineMiss {
+                    frame,
+                    app: app_id.clone(),
+                    consumed,
+                    budget,
+                });
+            }
+
+            // Predicate evidence for the trace (Table 1's Predicate
+            // column).
+            let app = &self.apps[app_index];
+            let this_post = match command.status {
+                ConfigStatus::Halt => Some(app.postcondition_established()),
+                _ => None,
+            };
+            let this_pre = match command.status {
+                ConfigStatus::Initialize | ConfigStatus::PrepareInitialize => {
+                    let target = command.target.as_ref().expect("initialize carries target");
+                    Some(app.precondition_established(target))
+                }
+                _ => None,
+            };
+            post_ok.insert(app_id.clone(), this_post);
+            pre_ok.insert(app_id.clone(), this_pre);
+            spec_now.insert(app_id.clone(), app.current_spec());
+
+            // Status signal: application -> SCRAM.
+            if command.status != ConfigStatus::Normal && command.status != ConfigStatus::Hold {
+                let node = placed
+                    .map(|p| NodeId::new(PROC_NODE_BASE + p.raw()))
+                    .unwrap_or(SCRAM_NODE);
+                let payload = format!("{app_id}:{}:done", command.status);
+                let _ = self.bus.submit(node, Message::new("status", payload.clone().into_bytes()));
+                self.events.push(SystemEvent::SignalSent {
+                    frame,
+                    from: app_id.to_string(),
+                    to: "scram".into(),
+                    topic: "status".into(),
+                    detail: payload,
+                });
+            }
+        }
+
+        // At a completion frame, record precondition evidence for every
+        // application against its new assignment — SP4's check point.
+        let completed_now = decision
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::scram::ScramEvent::Completed { .. }));
+        if completed_now {
+            let new_config = self
+                .spec
+                .config(&decision.svclvl)
+                .expect("validated config");
+            for app in &self.apps {
+                let assigned = new_config
+                    .spec_for(app.id())
+                    .expect("validated assignment");
+                pre_ok.insert(app.id().clone(), Some(app.precondition_established(assigned)));
+            }
+        }
+
+        // --- Record the end-of-frame system state. ---
+        let mut apps = BTreeMap::new();
+        for app_id in &self.app_order {
+            let command = decision.commands.get(app_id).expect("command per app");
+            apps.insert(
+                app_id.clone(),
+                AppFrameRecord {
+                    reconf_st: decision.reconf_st[app_id],
+                    spec: spec_now
+                        .get(app_id)
+                        .cloned()
+                        .expect("spec recorded per app"),
+                    commanded: command.status,
+                    post_ok: post_ok.get(app_id).copied().flatten().map(Some).unwrap_or(None),
+                    pre_ok: pre_ok.get(app_id).copied().flatten().map(Some).unwrap_or(None),
+                    lost: lost.get(app_id).copied().unwrap_or(false),
+                },
+            );
+        }
+        self.trace.push(SysState {
+            frame,
+            svclvl: decision.svclvl.clone(),
+            env: env.clone(),
+            apps,
+        });
+
+        // --- One bus round per frame. ---
+        self.bus.run_round();
+        self.clock.advance_frame();
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use crate::scram::ScramMutation;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec};
+    use crate::trace::ReconfSt;
+    use crate::SpecId;
+
+    fn spec() -> ReconfigSpec {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "low", "critical"])
+            .app(AppDecl::new("fcs").spec(FunctionalSpec::new("full").compute(Ticks::new(30))).spec(FunctionalSpec::new("direct").compute(Ticks::new(10))))
+            .app(
+                AppDecl::new("autopilot")
+                    .spec(FunctionalSpec::new("full").compute(Ticks::new(30)))
+                    .spec(FunctionalSpec::new("alt-hold").compute(Ticks::new(10)))
+                    .depends_on("fcs"),
+            )
+            .config(
+                Configuration::new("full-service")
+                    .assign("fcs", "full")
+                    .assign("autopilot", "full")
+                    .place("fcs", ProcessorId::new(0))
+                    .place("autopilot", ProcessorId::new(1)),
+            )
+            .config(
+                Configuration::new("reduced")
+                    .assign("fcs", "direct")
+                    .assign("autopilot", "alt-hold")
+                    .place("fcs", ProcessorId::new(0))
+                    .place("autopilot", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("minimal")
+                    .assign("fcs", "direct")
+                    .assign("autopilot", "off")
+                    .place("fcs", ProcessorId::new(0))
+                    .safe(),
+            )
+            .transition("full-service", "reduced", Ticks::new(800))
+            .transition("full-service", "minimal", Ticks::new(800))
+            .transition("reduced", "minimal", Ticks::new(800))
+            .transition("reduced", "full-service", Ticks::new(800))
+            .transition("minimal", "reduced", Ticks::new(800))
+            .choose_when("power", "critical", "minimal")
+            .choose_when("power", "low", "reduced")
+            .choose_when("power", "good", "full-service")
+            .initial_config("full-service")
+            .initial_env([("power", "good")])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn null_apps_auto_registered() {
+        let system = System::builder(spec()).build().unwrap();
+        assert_eq!(system.frame(), 0);
+        assert_eq!(system.current_config(), &ConfigId::new("full-service"));
+        assert!(system.app_stable(&AppId::new("fcs")).is_some());
+        assert!(system.app_stable(&AppId::new("ghost")).is_none());
+        let dbg = format!("{system:?}");
+        assert!(dbg.contains("full-service"));
+    }
+
+    #[test]
+    fn undeclared_app_rejected() {
+        let err = System::builder(spec())
+            .app(Box::new(NullApp::new("ghost", "x")))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SystemError::UndeclaredApp(AppId::new("ghost")));
+    }
+
+    #[test]
+    fn partially_registered_apps_rejected() {
+        let err = System::builder(spec())
+            .app(Box::new(NullApp::new("fcs", "full")))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SystemError::UnregisteredApp(AppId::new("autopilot")));
+    }
+
+    #[test]
+    fn steady_run_records_normal_trace() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(5);
+        assert_eq!(system.trace().len(), 5);
+        assert!(system.trace().states().iter().all(SysState::all_normal));
+        assert!(system.trace().get_reconfigs().is_empty());
+        let report = properties::check_extended(system.trace(), system.spec());
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn power_loss_reconfigures_and_satisfies_all_properties() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(3);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(8);
+
+        assert_eq!(system.current_config(), &ConfigId::new("reduced"));
+        let reconfigs = system.trace().get_reconfigs();
+        assert_eq!(reconfigs.len(), 1);
+        assert_eq!(reconfigs[0].cycles(), 4); // Table 1: 4 cycles inclusive
+        let report = properties::check_extended(system.trace(), system.spec());
+        assert!(report.is_ok(), "{report}");
+
+        // The configuration_status variable walked the documented
+        // sequence (final value: normal).
+        let snap = system.app_stable(&AppId::new("fcs")).unwrap();
+        assert_eq!(snap.get_str(CONFIG_STATUS_KEY), Some("normal"));
+    }
+
+    #[test]
+    fn trace_marks_interrupted_apps_at_trigger() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(6);
+        let r = system.trace().get_reconfigs()[0];
+        let start = system.trace().state(r.start_c).unwrap();
+        assert_eq!(
+            start.apps[&AppId::new("fcs")].reconf_st,
+            ReconfSt::Interrupted
+        );
+        // Specs changed after completion.
+        let end = system.trace().state(r.end_c).unwrap();
+        assert_eq!(end.apps[&AppId::new("fcs")].spec, SpecId::new("direct"));
+        assert_eq!(
+            end.apps[&AppId::new("autopilot")].spec,
+            SpecId::new("alt-hold")
+        );
+        assert_eq!(end.apps[&AppId::new("fcs")].pre_ok, Some(true));
+    }
+
+    #[test]
+    fn fault_and_reconfig_signals_flow_over_the_bus() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(2);
+        system.set_env("power", "critical").unwrap();
+        system.run_frames(6);
+        let topics: Vec<&str> = system
+            .bus()
+            .log()
+            .iter()
+            .map(|d| d.message.topic())
+            .collect();
+        assert!(topics.contains(&"fault"));
+        assert!(topics.contains(&"reconfig"));
+        assert!(topics.contains(&"status"));
+        // And the event log mirrors the Figure 1 edges.
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::SignalSent { from, to, topic, .. }
+                if from == "environment" && to == "scram" && topic == "fault"
+        )));
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::SignalSent { from, topic, .. }
+                if from == "scram" && topic == "reconfig"
+        )));
+    }
+
+    #[test]
+    fn double_failure_chains_to_minimal() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(6); // reduced
+        assert_eq!(system.current_config(), &ConfigId::new("reduced"));
+        system.set_env("power", "critical").unwrap();
+        system.run_frames(6); // minimal
+        assert_eq!(system.current_config(), &ConfigId::new("minimal"));
+        assert_eq!(system.trace().get_reconfigs().len(), 2);
+        let report = properties::check_extended(system.trace(), system.spec());
+        assert!(report.is_ok(), "{report}");
+        // Autopilot is off in minimal service.
+        let last = system.trace().states().last().unwrap();
+        assert!(last.apps[&AppId::new("autopilot")].spec.is_off());
+    }
+
+    #[test]
+    fn wrong_target_mutation_caught_by_sp2() {
+        let mut system = System::builder(spec())
+            .mutation(ScramMutation::WrongTarget)
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(8);
+        let report = properties::check_all(system.trace(), system.spec());
+        assert!(!report.of(crate::properties::PropertyId::Sp2).is_empty());
+    }
+
+    #[test]
+    fn extra_delay_mutation_caught_by_sp3() {
+        let mut system = System::builder(spec())
+            .mutation(ScramMutation::ExtraDelayFrames(10))
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(20);
+        let report = properties::check_all(system.trace(), system.spec());
+        assert!(!report.of(crate::properties::PropertyId::Sp3).is_empty());
+    }
+
+    #[test]
+    fn skip_init_mutation_caught_by_sp4() {
+        let mut system = System::builder(spec())
+            .mutation(ScramMutation::SkipInitPhase)
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(8);
+        let report = properties::check_all(system.trace(), system.spec());
+        assert!(!report.of(crate::properties::PropertyId::Sp4).is_empty());
+    }
+
+    #[test]
+    fn leave_app_running_mutation_caught_by_sp1() {
+        let mut system = System::builder(spec())
+            .mutation(ScramMutation::LeaveAppRunning(AppId::new("autopilot")))
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(8);
+        let report = properties::check_all(system.trace(), system.spec());
+        assert!(!report.of(crate::properties::PropertyId::Sp1).is_empty());
+    }
+
+    #[test]
+    fn invalid_env_change_rejected_eagerly() {
+        let mut system = System::builder(spec()).build().unwrap();
+        assert!(system.set_env("power", "purple").is_err());
+        assert!(system.set_env("fuel", "low").is_err());
+    }
+
+    #[test]
+    fn processor_failure_loses_hosted_apps() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(2);
+        system.fail_processor(ProcessorId::new(1)); // autopilot's host
+        system.run_frames(2);
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::ProcessorDown { processor, .. } if *processor == ProcessorId::new(1)
+        )));
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::AppLost { app, .. } if *app == AppId::new("autopilot")
+        )));
+    }
+
+    #[test]
+    fn processor_status_env_factor_auto_updates() {
+        let spec = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("processor-1", ["up", "down"])
+            .app(AppDecl::new("fcs").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("direct")))
+            .app(AppDecl::new("autopilot").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("off2")))
+            .config(
+                Configuration::new("full-service")
+                    .assign("fcs", "full")
+                    .assign("autopilot", "full")
+                    .place("fcs", ProcessorId::new(0))
+                    .place("autopilot", ProcessorId::new(1)),
+            )
+            .config(
+                Configuration::new("solo")
+                    .assign("fcs", "direct")
+                    .assign("autopilot", "off")
+                    .place("fcs", ProcessorId::new(0))
+                    .safe(),
+            )
+            .transition("full-service", "solo", Ticks::new(800))
+            .choose_when("processor-1", "down", "solo")
+            .choose_when("processor-1", "up", "full-service")
+            .initial_config("full-service")
+            .initial_env([("processor-1", "up")])
+            .build()
+            .unwrap();
+        let mut system = System::builder(spec).build().unwrap();
+        system.run_frames(2);
+        system.fail_processor(ProcessorId::new(1));
+        system.run_frames(8);
+        // The membership-derived environment change drove the
+        // reconfiguration to the solo configuration.
+        assert_eq!(system.current_config(), &ConfigId::new("solo"));
+        assert_eq!(
+            system.environment().current().get("processor-1"),
+            Some("down")
+        );
+        let report = properties::check_all(system.trace(), system.spec());
+        assert!(report.is_ok(), "{report}");
+    }
+
+    struct OverrunApp(NullApp);
+    impl ReconfigurableApp for OverrunApp {
+        fn id(&self) -> &AppId {
+            self.0.id()
+        }
+        fn current_spec(&self) -> SpecId {
+            self.0.current_spec()
+        }
+        fn run_normal(&mut self, ctx: &mut AppContext<'_>) -> Result<(), String> {
+            ctx.consume(Ticks::new(1000));
+            self.0.run_normal(ctx)
+        }
+        fn halt(&mut self, ctx: &mut AppContext<'_>) -> Result<(), String> {
+            self.0.halt(ctx)
+        }
+        fn prepare(&mut self, ctx: &mut AppContext<'_>, t: &SpecId) -> Result<(), String> {
+            self.0.prepare(ctx, t)
+        }
+        fn initialize(&mut self, ctx: &mut AppContext<'_>, t: &SpecId) -> Result<(), String> {
+            self.0.initialize(ctx, t)
+        }
+        fn postcondition_established(&self) -> bool {
+            self.0.postcondition_established()
+        }
+        fn precondition_established(&self, s: &SpecId) -> bool {
+            self.0.precondition_established(s)
+        }
+    }
+
+    #[test]
+    fn compressed_stages_reconfigure_in_three_cycles_with_properties_intact() {
+        let mut system = System::builder(spec())
+            .stage_policy(StagePolicy::CompressedPrepareInit)
+            .build()
+            .unwrap();
+        system.run_frames(3);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(6);
+        assert_eq!(system.current_config(), &ConfigId::new("reduced"));
+        let reconfigs = system.trace().get_reconfigs();
+        assert_eq!(reconfigs.len(), 1);
+        assert_eq!(reconfigs[0].cycles(), 3);
+        let report = properties::check_extended(system.trace(), system.spec());
+        assert!(report.is_ok(), "{report}");
+        // The compressed stage recorded precondition evidence.
+        let end = system.trace().state(reconfigs[0].end_c).unwrap();
+        assert!(end.apps.values().all(|a| a.pre_ok == Some(true)));
+    }
+
+    #[test]
+    fn skip_halt_mutation_evades_sp_properties_but_not_conformance() {
+        let mut system = System::builder(spec())
+            .mutation(ScramMutation::SkipHaltPhase)
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(10);
+        assert_eq!(system.current_config(), &ConfigId::new("reduced"));
+        // The four Table 2 properties cannot see the missing halt...
+        let table2 = properties::check_all(system.trace(), system.spec());
+        assert!(table2.is_ok(), "{table2}");
+        // ...the protocol-conformance extension can.
+        let conformance =
+            properties::check_protocol_conformance(system.trace(), system.spec());
+        assert!(!conformance.is_empty());
+        assert!(conformance
+            .iter()
+            .any(|v| v.detail.contains("halt stage")));
+    }
+
+    #[test]
+    fn registered_monitor_drives_reconfiguration() {
+        use crate::environment::FnMonitor;
+        let mut system = System::builder(spec())
+            .monitor(Box::new(FnMonitor::new("power-watch", |frame| {
+                if frame == 5 {
+                    vec![("power".to_string(), "low".to_string())]
+                } else {
+                    Vec::new()
+                }
+            })))
+            .build()
+            .unwrap();
+        system.run_frames(12);
+        assert_eq!(system.current_config(), &ConfigId::new("reduced"));
+        // The monitor's change produced a fault signal on the bus.
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::SignalSent { topic, .. } if topic == "fault"
+        )));
+        let report = properties::check_extended(system.trace(), system.spec());
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn monitor_reporting_invalid_values_is_ignored_gracefully() {
+        use crate::environment::FnMonitor;
+        let mut system = System::builder(spec())
+            .monitor(Box::new(FnMonitor::new("broken", |_| {
+                vec![("power".to_string(), "purple".to_string())]
+            })))
+            .build()
+            .unwrap();
+        system.run_frames(4);
+        // Out-of-domain samples never reach the environment.
+        assert_eq!(system.environment().current().get("power"), Some("good"));
+        assert!(system.trace().states().iter().all(SysState::all_normal));
+    }
+
+    struct SlowStageApp(NullApp);
+    impl ReconfigurableApp for SlowStageApp {
+        fn id(&self) -> &AppId {
+            self.0.id()
+        }
+        fn current_spec(&self) -> SpecId {
+            self.0.current_spec()
+        }
+        fn run_normal(&mut self, ctx: &mut AppContext<'_>) -> Result<(), String> {
+            self.0.run_normal(ctx)
+        }
+        fn halt(&mut self, ctx: &mut AppContext<'_>) -> Result<(), String> {
+            // Overruns the whole frame while halting: a stage-bound
+            // violation.
+            ctx.consume(Ticks::new(5000));
+            self.0.halt(ctx)
+        }
+        fn prepare(&mut self, ctx: &mut AppContext<'_>, t: &SpecId) -> Result<(), String> {
+            self.0.prepare(ctx, t)
+        }
+        fn initialize(&mut self, ctx: &mut AppContext<'_>, t: &SpecId) -> Result<(), String> {
+            self.0.initialize(ctx, t)
+        }
+        fn postcondition_established(&self) -> bool {
+            self.0.postcondition_established()
+        }
+        fn precondition_established(&self, s: &SpecId) -> bool {
+            self.0.precondition_established(s)
+        }
+    }
+
+    #[test]
+    fn stage_overrun_reported_as_deadline_miss() {
+        let mut system = System::builder(spec())
+            .app(Box::new(SlowStageApp(NullApp::new("fcs", "full"))))
+            .app(Box::new(NullApp::new("autopilot", "full")))
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        assert!(!system
+            .events()
+            .iter()
+            .any(|e| matches!(e, SystemEvent::DeadlineMiss { .. })));
+        system.set_env("power", "low").unwrap();
+        system.run_frames(6);
+        // The halt stage blew the frame budget.
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::DeadlineMiss { app, consumed, .. }
+                if *app == AppId::new("fcs") && *consumed == Ticks::new(5000)
+        )));
+    }
+
+    #[test]
+    fn compute_overrun_reported_as_deadline_miss() {
+        let mut system = System::builder(spec())
+            .app(Box::new(OverrunApp(NullApp::new("fcs", "full"))))
+            .app(Box::new(NullApp::new("autopilot", "full")))
+            .build()
+            .unwrap();
+        system.run_frames(1);
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::DeadlineMiss { app, .. } if *app == AppId::new("fcs")
+        )));
+    }
+}

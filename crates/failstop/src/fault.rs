@@ -1,0 +1,158 @@
+//! Fault plans: deterministic schedules of injected processor failures.
+
+use std::collections::BTreeSet;
+
+/// The kind of fault injected into a simulated processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A fail-stop halt of the whole processor.
+    FailStop,
+    /// A transient corruption of one lane of a self-checking pair. The
+    /// pair's comparator converts this into a fail-stop halt, which is the
+    /// point of the self-checking construction.
+    LaneCorruption,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultEvent {
+    /// The (1-based) lifetime instruction whose execution the fault
+    /// preempts; the processor halts having completed `at_instruction - 1`
+    /// instructions.
+    pub at_instruction: u64,
+    /// The kind of fault to inject.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults for one processor.
+///
+/// Fault plans make failure scenarios reproducible: experiments and tests
+/// construct a plan up front and the substrate consults it as execution
+/// proceeds. An empty plan means the processor never fails on its own.
+///
+/// # Example
+///
+/// ```
+/// use arfs_failstop::FaultPlan;
+///
+/// let plan = FaultPlan::at_instructions([5, 12]);
+/// assert!(!plan.should_fail_at(4));
+/// assert!(plan.should_fail_at(5));
+/// assert!(plan.should_fail_at(12));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    fail_stop_at: BTreeSet<u64>,
+    corrupt_at: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan that fail-stops the processor when it attempts each of the
+    /// given lifetime instructions.
+    pub fn at_instructions(instructions: impl IntoIterator<Item = u64>) -> Self {
+        FaultPlan {
+            fail_stop_at: instructions.into_iter().collect(),
+            corrupt_at: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a fail-stop fault at the given lifetime instruction.
+    pub fn add_fail_stop(&mut self, at_instruction: u64) -> &mut Self {
+        self.fail_stop_at.insert(at_instruction);
+        self
+    }
+
+    /// Adds a lane-corruption fault at the given lifetime instruction
+    /// (meaningful only for [`SelfCheckingPair`](crate::SelfCheckingPair)
+    /// execution).
+    pub fn add_lane_corruption(&mut self, at_instruction: u64) -> &mut Self {
+        self.corrupt_at.insert(at_instruction);
+        self
+    }
+
+    /// Returns `true` if a fail-stop halt should preempt the given
+    /// lifetime instruction.
+    pub fn should_fail_at(&self, instruction: u64) -> bool {
+        self.fail_stop_at.contains(&instruction)
+    }
+
+    /// Returns `true` if a lane corruption should be injected during the
+    /// given lifetime instruction.
+    pub fn should_corrupt_at(&self, instruction: u64) -> bool {
+        self.corrupt_at.contains(&instruction)
+    }
+
+    /// Returns `true` if the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.fail_stop_at.is_empty() && self.corrupt_at.is_empty()
+    }
+
+    /// All scheduled events, ordered by instruction.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut out: Vec<FaultEvent> = self
+            .fail_stop_at
+            .iter()
+            .map(|&at_instruction| FaultEvent {
+                at_instruction,
+                kind: FaultKind::FailStop,
+            })
+            .chain(self.corrupt_at.iter().map(|&at_instruction| FaultEvent {
+                at_instruction,
+                kind: FaultKind::LaneCorruption,
+            }))
+            .collect();
+        out.sort_by_key(|e| (e.at_instruction, e.kind != FaultKind::FailStop));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fails() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for i in 0..100 {
+            assert!(!plan.should_fail_at(i));
+            assert!(!plan.should_corrupt_at(i));
+        }
+    }
+
+    #[test]
+    fn builder_accumulates_events_in_order() {
+        let mut plan = FaultPlan::none();
+        plan.add_lane_corruption(7).add_fail_stop(3).add_fail_stop(9);
+        let events = plan.events();
+        assert_eq!(
+            events,
+            vec![
+                FaultEvent {
+                    at_instruction: 3,
+                    kind: FaultKind::FailStop
+                },
+                FaultEvent {
+                    at_instruction: 7,
+                    kind: FaultKind::LaneCorruption
+                },
+                FaultEvent {
+                    at_instruction: 9,
+                    kind: FaultKind::FailStop
+                },
+            ]
+        );
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn duplicate_instructions_collapse() {
+        let plan = FaultPlan::at_instructions([4, 4, 4]);
+        assert_eq!(plan.events().len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Simulated fail-stop processors with volatile and stable storage.
+//!
+//! This crate is the hardware substrate for the ARFS workspace, a
+//! reproduction of *Strunk, Knight & Aiello, "Assured Reconfiguration of
+//! Fail-Stop Systems" (DSN 2005)*. It implements the processor model of
+//! Schlichting & Schneider ("Fail-stop processors: an approach to designing
+//! fault-tolerant computing systems", ACM TOCS 1983) that the paper builds
+//! on:
+//!
+//! - A [`Processor`] consists of one or more processing units, volatile
+//!   storage, and stable storage.
+//! - A fail-stop failure halts the processor **at the end of the last
+//!   instruction that completed successfully**; no erroneous writes are
+//!   ever visible.
+//! - On failure, the contents of [`VolatileStorage`] are lost, but the
+//!   contents of [`StableStorage`] are preserved and remain readable by
+//!   other processors (other processors "poll its stable storage to find
+//!   out what state it was in when it failed").
+//!
+//! The crate also provides:
+//!
+//! - [`SelfCheckingPair`], the classic realization of a fail-stop
+//!   processor from two less-dependable lanes that execute duplicated
+//!   computations and halt on divergence;
+//! - [`FaultPlan`] / fault injection, so higher layers can script
+//!   processor failures deterministically or randomly;
+//! - [`ProcessorPool`], spare management and restart-on-another-processor
+//!   as required by fault-tolerant actions.
+//!
+//! # Example
+//!
+//! ```
+//! use arfs_failstop::{Processor, ProcessorId, Program, StepOutcome};
+//!
+//! let mut cpu = Processor::new(ProcessorId::new(0));
+//! let mut program = Program::new("increment");
+//! program.push("load", |ctx| {
+//!     let v = ctx.stable.get_u64("counter").unwrap_or(0);
+//!     ctx.volatile.set_u64("tmp", v + 1);
+//!     Ok(())
+//! });
+//! program.push("store", |ctx| {
+//!     let v = ctx.volatile.get_u64("tmp").expect("tmp set by load");
+//!     ctx.stable.stage_u64("counter", v);
+//!     Ok(())
+//! });
+//! let outcome = cpu.run(&mut program);
+//! assert_eq!(outcome, StepOutcome::Completed);
+//! assert_eq!(cpu.stable().get_u64("counter"), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fault;
+mod pair;
+mod pool;
+mod processor;
+mod stable;
+mod volatile;
+
+pub use error::{FailStopError, StorageError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use pair::{LaneDivergence, PairOutcome, SelfCheckingPair};
+pub use pool::{PoolEvent, ProcessorPool};
+pub use processor::{ExecContext, Processor, ProcessorStatus, Program, StepOutcome};
+pub use stable::{SharedStableStorage, StableSnapshot, StableStorage, StableValue, Version};
+pub use volatile::VolatileStorage;
+
+use std::fmt;
+
+/// Identifier of a (simulated) fail-stop processor.
+///
+/// `ProcessorId`s are dense small integers assigned by the platform
+/// configuration; the static application-to-processor mapping in the
+/// reconfiguration specification refers to processors by this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ProcessorId(u32);
+
+impl ProcessorId {
+    /// Creates a processor id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        ProcessorId(raw)
+    }
+
+    /// Returns the raw index of this processor id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessorId {
+    fn from(raw: u32) -> Self {
+        ProcessorId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_id_display_and_order() {
+        let a = ProcessorId::new(0);
+        let b = ProcessorId::new(3);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "P0");
+        assert_eq!(b.raw(), 3);
+        assert_eq!(ProcessorId::from(7), ProcessorId::new(7));
+    }
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Processor>();
+        assert_send_sync::<StableStorage>();
+        assert_send_sync::<VolatileStorage>();
+        assert_send_sync::<ProcessorPool>();
+        assert_send_sync::<FaultPlan>();
+    }
+}

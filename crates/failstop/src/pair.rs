@@ -1,0 +1,308 @@
+//! Self-checking pairs: building a fail-stop processor from two lanes.
+//!
+//! The DSN 2005 paper notes that "an example fail-stop processor might be
+//! a self-checking pair". A self-checking pair executes every instruction
+//! on two independent lanes and compares the results; any divergence halts
+//! the processor immediately. The construction converts arbitrary
+//! value-domain faults in one lane into clean fail-stop behavior — which
+//! is exactly the failure semantics the rest of the architecture assumes.
+
+use crate::fault::FaultPlan;
+use crate::processor::{ExecContext, Program};
+use crate::stable::{SharedStableStorage, StableSnapshot, StableStorage};
+use crate::volatile::VolatileStorage;
+use crate::ProcessorId;
+
+/// Evidence of a lane divergence detected by the pair's comparator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneDivergence {
+    /// Name of the instruction during which the lanes diverged.
+    pub step: String,
+    /// Lifetime instruction index at which the divergence was detected.
+    pub instruction: u64,
+    /// Which state diverged: `"volatile"`, `"stable"`, or `"result"`.
+    pub domain: &'static str,
+}
+
+/// Result of running a [`Program`] on a [`SelfCheckingPair`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairOutcome {
+    /// Both lanes agreed on every instruction; results were committed.
+    Completed,
+    /// The comparator detected lane divergence and halted the pair
+    /// (fail-stop). No results of the diverging instruction are visible.
+    Divergence(LaneDivergence),
+    /// A planned fail-stop halt of the whole pair.
+    FailStop {
+        /// Instructions of this program that completed before the halt.
+        completed_steps: usize,
+    },
+    /// An instruction reported an application-level error on both lanes.
+    StepError {
+        /// Name of the failing instruction.
+        step: String,
+        /// Reason reported by the instruction.
+        reason: String,
+    },
+}
+
+/// A fail-stop processor realized as a self-checking pair of lanes.
+///
+/// Each instruction runs on two lanes starting from identical state; the
+/// comparator checks that both lanes produced identical volatile state,
+/// stable staging, and result. Agreement adopts the lane-A state;
+/// divergence halts the pair with no externally visible effect from the
+/// diverging instruction — enforcing the fail-stop axioms by
+/// construction.
+///
+/// # Example
+///
+/// ```
+/// use arfs_failstop::{PairOutcome, Program, ProcessorId, SelfCheckingPair};
+///
+/// let mut pair = SelfCheckingPair::new(ProcessorId::new(0));
+/// let mut p = Program::new("store");
+/// p.push("write", |ctx| {
+///     ctx.stable.stage_u64("x", 7);
+///     Ok(())
+/// });
+/// assert_eq!(pair.run(&p), PairOutcome::Completed);
+/// assert_eq!(pair.stable().get_u64("x"), Some(7));
+/// ```
+#[derive(Debug)]
+pub struct SelfCheckingPair {
+    id: ProcessorId,
+    halted: bool,
+    volatile: VolatileStorage,
+    stable: SharedStableStorage,
+    executed: u64,
+    fault_plan: FaultPlan,
+}
+
+impl SelfCheckingPair {
+    /// Creates a running pair with empty storage.
+    pub fn new(id: ProcessorId) -> Self {
+        SelfCheckingPair {
+            id,
+            halted: false,
+            volatile: VolatileStorage::new(),
+            stable: SharedStableStorage::new(),
+            executed: 0,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+
+    /// The pair's processor identity.
+    pub fn id(&self) -> ProcessorId {
+        self.id
+    }
+
+    /// Returns `true` if the pair has halted (divergence or planned
+    /// fail-stop).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Lifetime count of completed (agreed) instructions.
+    pub fn instructions_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Installs a fault plan.
+    /// [`FaultKind::LaneCorruption`](crate::FaultKind::LaneCorruption)
+    /// events corrupt lane B during the given instruction, exercising the
+    /// comparator.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Snapshot of committed stable state (survives the halt).
+    pub fn stable(&self) -> StableSnapshot {
+        self.stable.snapshot()
+    }
+
+    /// Shared handle to the pair's stable storage.
+    pub fn stable_handle(&self) -> SharedStableStorage {
+        self.stable.clone()
+    }
+
+    fn halt(&mut self) {
+        self.volatile.erase();
+        self.stable.write(StableStorage::discard);
+        self.halted = true;
+    }
+
+    /// Runs a program with duplicated execution and comparison.
+    pub fn run(&mut self, program: &Program) -> PairOutcome {
+        if self.halted {
+            return PairOutcome::FailStop { completed_steps: 0 };
+        }
+        for index in 0..program.len() {
+            let next_instruction = self.executed + 1;
+            if self.fault_plan.should_fail_at(next_instruction) {
+                self.halt();
+                return PairOutcome::FailStop {
+                    completed_steps: index,
+                };
+            }
+            let (step_name, run) = program.step(index);
+
+            // Both lanes start from identical copies of the pair state.
+            let mut stable_a = self.stable.read(Clone::clone);
+            let mut stable_b = stable_a.clone();
+            let mut volatile_a = self.volatile.clone();
+            let mut volatile_b = self.volatile.clone();
+
+            let result_a = run(&mut ExecContext {
+                volatile: &mut volatile_a,
+                stable: &mut stable_a,
+                processor: self.id,
+                instruction: next_instruction,
+            });
+            let result_b = run(&mut ExecContext {
+                volatile: &mut volatile_b,
+                stable: &mut stable_b,
+                processor: self.id,
+                instruction: next_instruction,
+            });
+
+            if self.fault_plan.should_corrupt_at(next_instruction) {
+                // A value-domain fault flips state in lane B only.
+                volatile_b.set_u64("__lane_fault", next_instruction);
+            }
+
+            let divergence_domain = if result_a != result_b {
+                Some("result")
+            } else if volatile_a != volatile_b {
+                Some("volatile")
+            } else if stable_a != stable_b {
+                Some("stable")
+            } else {
+                None
+            };
+            if let Some(domain) = divergence_domain {
+                self.halt();
+                return PairOutcome::Divergence(LaneDivergence {
+                    step: step_name.to_owned(),
+                    instruction: next_instruction,
+                    domain,
+                });
+            }
+
+            match result_a {
+                Ok(()) => {
+                    // Agreement: adopt lane A's state as the pair state.
+                    self.volatile = volatile_a;
+                    self.stable.write(|s| *s = stable_a);
+                    self.executed += 1;
+                }
+                Err(reason) => {
+                    self.stable.write(StableStorage::discard);
+                    return PairOutcome::StepError {
+                        step: step_name.to_owned(),
+                        reason,
+                    };
+                }
+            }
+        }
+        self.stable.write(|s| {
+            s.commit();
+        });
+        PairOutcome::Completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_program() -> Program {
+        let mut p = Program::new("write");
+        p.push("stage", |ctx| {
+            let n = ctx.stable.get_u64("n").unwrap_or(0);
+            ctx.stable.stage_u64("n", n + 1);
+            Ok(())
+        });
+        p.push("mark", |ctx| {
+            ctx.volatile.set_bool("done", true);
+            Ok(())
+        });
+        p
+    }
+
+    #[test]
+    fn agreeing_lanes_complete_and_commit() {
+        let mut pair = SelfCheckingPair::new(ProcessorId::new(0));
+        assert_eq!(pair.run(&write_program()), PairOutcome::Completed);
+        assert_eq!(pair.stable().get_u64("n"), Some(1));
+        assert!(!pair.is_halted());
+        assert_eq!(pair.instructions_executed(), 2);
+    }
+
+    #[test]
+    fn lane_corruption_halts_with_no_visible_effect() {
+        let mut pair = SelfCheckingPair::new(ProcessorId::new(0));
+        pair.run(&write_program()); // n = 1 committed
+        let mut plan = FaultPlan::none();
+        plan.add_lane_corruption(3); // corrupt during next "stage"
+        pair.set_fault_plan(plan);
+        let outcome = pair.run(&write_program());
+        match outcome {
+            PairOutcome::Divergence(d) => {
+                assert_eq!(d.step, "stage");
+                assert_eq!(d.instruction, 3);
+                assert_eq!(d.domain, "volatile");
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        assert!(pair.is_halted());
+        // Fail-stop: the diverging instruction left no trace; committed
+        // state is exactly what it was before.
+        assert_eq!(pair.stable().get_u64("n"), Some(1));
+    }
+
+    #[test]
+    fn planned_fail_stop_halts_pair() {
+        let mut pair = SelfCheckingPair::new(ProcessorId::new(2));
+        pair.set_fault_plan(FaultPlan::at_instructions([1]));
+        assert_eq!(
+            pair.run(&write_program()),
+            PairOutcome::FailStop { completed_steps: 0 }
+        );
+        assert!(pair.is_halted());
+        // Halted pairs refuse further work.
+        assert_eq!(
+            pair.run(&write_program()),
+            PairOutcome::FailStop { completed_steps: 0 }
+        );
+    }
+
+    #[test]
+    fn step_error_reported_when_both_lanes_agree_on_failure() {
+        let mut pair = SelfCheckingPair::new(ProcessorId::new(0));
+        let mut p = Program::new("err");
+        p.push("boom", |_| Err("agreed failure".into()));
+        assert_eq!(
+            pair.run(&p),
+            PairOutcome::StepError {
+                step: "boom".into(),
+                reason: "agreed failure".into()
+            }
+        );
+        assert!(!pair.is_halted());
+    }
+
+    #[test]
+    fn stable_state_pollable_after_divergence_halt() {
+        let mut pair = SelfCheckingPair::new(ProcessorId::new(0));
+        pair.run(&write_program());
+        let handle = pair.stable_handle();
+        let mut plan = FaultPlan::none();
+        plan.add_lane_corruption(3);
+        pair.set_fault_plan(plan);
+        pair.run(&write_program());
+        assert!(pair.is_halted());
+        // Peer polls the halted pair's stable storage.
+        assert_eq!(handle.snapshot().get_u64("n"), Some(1));
+    }
+}

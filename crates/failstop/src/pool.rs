@@ -1,0 +1,351 @@
+//! Processor pools: spares, failure bookkeeping, and restart placement.
+//!
+//! Fault-tolerant actions in the Schlichting & Schneider framework are
+//! "restarted on another processor" after a fail-stop failure. The pool
+//! tracks which processors are alive, which logical tasks run where, and
+//! finds spares for restarts. The reconfiguration architecture of the
+//! DSN 2005 paper uses the same bookkeeping: "applications lost due to a
+//! processor failure are known to have been lost because of the static
+//! association of applications to processors".
+
+use std::collections::BTreeMap;
+
+use crate::processor::Processor;
+use crate::stable::StableSnapshot;
+use crate::{FailStopError, ProcessorId};
+
+/// An auditable event in the life of a [`ProcessorPool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// A processor was added to the pool.
+    Added(ProcessorId),
+    /// A processor failed (fail-stop).
+    Failed(ProcessorId),
+    /// A task was assigned to a processor.
+    Assigned {
+        /// Logical task name.
+        task: String,
+        /// Hosting processor.
+        processor: ProcessorId,
+    },
+    /// A task was moved from a failed processor to a spare.
+    Restarted {
+        /// Logical task name.
+        task: String,
+        /// The processor that failed.
+        from: ProcessorId,
+        /// The spare now hosting the task.
+        to: ProcessorId,
+    },
+    /// A task's assignment was released.
+    Released {
+        /// Logical task name.
+        task: String,
+    },
+}
+
+/// A set of fail-stop processors with task assignment and spare
+/// management.
+#[derive(Debug, Default)]
+pub struct ProcessorPool {
+    processors: BTreeMap<ProcessorId, Processor>,
+    assignments: BTreeMap<String, ProcessorId>,
+    events: Vec<PoolEvent>,
+}
+
+impl ProcessorPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ProcessorPool::default()
+    }
+
+    /// Creates a pool of `n` fresh processors with ids `0..n`.
+    pub fn with_processors(n: u32) -> Self {
+        let mut pool = ProcessorPool::new();
+        for raw in 0..n {
+            pool.add(Processor::new(ProcessorId::new(raw)));
+        }
+        pool
+    }
+
+    /// Adds a processor to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a processor with the same id is already present; ids must
+    /// be unique within a platform.
+    pub fn add(&mut self, processor: Processor) {
+        let id = processor.id();
+        assert!(
+            self.processors.insert(id, processor).is_none(),
+            "duplicate processor id {id}"
+        );
+        self.events.push(PoolEvent::Added(id));
+    }
+
+    /// Number of processors (alive or failed).
+    pub fn len(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Returns `true` if the pool holds no processors.
+    pub fn is_empty(&self) -> bool {
+        self.processors.is_empty()
+    }
+
+    /// Shared access to a processor.
+    pub fn processor(&self, id: ProcessorId) -> Option<&Processor> {
+        self.processors.get(&id)
+    }
+
+    /// Exclusive access to a processor.
+    pub fn processor_mut(&mut self, id: ProcessorId) -> Option<&mut Processor> {
+        self.processors.get_mut(&id)
+    }
+
+    /// Ids of processors currently running.
+    pub fn alive_ids(&self) -> Vec<ProcessorId> {
+        self.processors
+            .values()
+            .filter(|p| p.is_running())
+            .map(Processor::id)
+            .collect()
+    }
+
+    /// Ids of processors that have failed.
+    pub fn failed_ids(&self) -> Vec<ProcessorId> {
+        self.processors
+            .values()
+            .filter(|p| !p.is_running())
+            .map(Processor::id)
+            .collect()
+    }
+
+    /// Returns `true` if the given processor exists and is running.
+    pub fn is_alive(&self, id: ProcessorId) -> bool {
+        self.processors.get(&id).is_some_and(Processor::is_running)
+    }
+
+    /// Forces a fail-stop failure of the given processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailStopError::UnknownProcessor`] if no such processor
+    /// exists.
+    pub fn fail(&mut self, id: ProcessorId) -> Result<(), FailStopError> {
+        let p = self
+            .processors
+            .get_mut(&id)
+            .ok_or(FailStopError::UnknownProcessor(id))?;
+        if p.is_running() {
+            p.force_fail();
+            self.events.push(PoolEvent::Failed(id));
+        }
+        Ok(())
+    }
+
+    /// Polls the committed stable state of a processor — the paper's
+    /// mechanism for learning "what state it was in when it failed".
+    pub fn poll_stable(&self, id: ProcessorId) -> Option<StableSnapshot> {
+        self.processors.get(&id).map(Processor::stable)
+    }
+
+    /// Assigns a logical task to a processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailStopError::UnknownProcessor`] if no such processor
+    /// exists, or [`FailStopError::Halted`] if it has failed.
+    pub fn assign(&mut self, task: impl Into<String>, id: ProcessorId) -> Result<(), FailStopError> {
+        let p = self
+            .processors
+            .get(&id)
+            .ok_or(FailStopError::UnknownProcessor(id))?;
+        if !p.is_running() {
+            return Err(FailStopError::Halted(id));
+        }
+        let task = task.into();
+        self.assignments.insert(task.clone(), id);
+        self.events.push(PoolEvent::Assigned {
+            task,
+            processor: id,
+        });
+        Ok(())
+    }
+
+    /// The processor currently hosting a task, if assigned.
+    pub fn assignment(&self, task: &str) -> Option<ProcessorId> {
+        self.assignments.get(task).copied()
+    }
+
+    /// Tasks hosted on the given processor.
+    pub fn tasks_on(&self, id: ProcessorId) -> Vec<&str> {
+        self.assignments
+            .iter()
+            .filter(|(_, &p)| p == id)
+            .map(|(t, _)| t.as_str())
+            .collect()
+    }
+
+    /// Releases a task's assignment.
+    pub fn release(&mut self, task: &str) {
+        if self.assignments.remove(task).is_some() {
+            self.events.push(PoolEvent::Released {
+                task: task.to_owned(),
+            });
+        }
+    }
+
+    /// Finds a running processor with no assigned tasks.
+    pub fn find_spare(&self) -> Option<ProcessorId> {
+        self.processors
+            .values()
+            .filter(|p| p.is_running())
+            .map(Processor::id)
+            .find(|id| !self.assignments.values().any(|p| p == id))
+    }
+
+    /// Moves a task whose processor failed onto a spare, returning the new
+    /// host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailStopError::UnknownProcessor`] if the task is not
+    /// assigned, or [`FailStopError::NoSpare`] if no spare is available.
+    pub fn restart_on_spare(&mut self, task: &str) -> Result<ProcessorId, FailStopError> {
+        let from = self
+            .assignments
+            .get(task)
+            .copied()
+            .ok_or_else(|| FailStopError::StepFailed {
+                program: "pool".into(),
+                step: "restart_on_spare".into(),
+                reason: format!("task `{task}` has no assignment"),
+            })?;
+        let to = self.find_spare().ok_or(FailStopError::NoSpare)?;
+        self.assignments.insert(task.to_owned(), to);
+        self.events.push(PoolEvent::Restarted {
+            task: task.to_owned(),
+            from,
+            to,
+        });
+        Ok(to)
+    }
+
+    /// The audit log of pool events, oldest first.
+    pub fn events(&self) -> &[PoolEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_processors_creates_running_cpus() {
+        let pool = ProcessorPool::with_processors(3);
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.alive_ids().len(), 3);
+        assert!(pool.failed_ids().is_empty());
+        assert!(pool.is_alive(ProcessorId::new(1)));
+    }
+
+    #[test]
+    fn fail_moves_processor_to_failed_set() {
+        let mut pool = ProcessorPool::with_processors(2);
+        pool.fail(ProcessorId::new(0)).unwrap();
+        assert_eq!(pool.alive_ids(), vec![ProcessorId::new(1)]);
+        assert_eq!(pool.failed_ids(), vec![ProcessorId::new(0)]);
+        assert!(!pool.is_alive(ProcessorId::new(0)));
+        assert!(pool.events().contains(&PoolEvent::Failed(ProcessorId::new(0))));
+    }
+
+    #[test]
+    fn fail_unknown_processor_is_an_error() {
+        let mut pool = ProcessorPool::with_processors(1);
+        assert_eq!(
+            pool.fail(ProcessorId::new(9)),
+            Err(FailStopError::UnknownProcessor(ProcessorId::new(9)))
+        );
+    }
+
+    #[test]
+    fn assignment_and_spare_search() {
+        let mut pool = ProcessorPool::with_processors(3);
+        pool.assign("fcs", ProcessorId::new(0)).unwrap();
+        pool.assign("autopilot", ProcessorId::new(1)).unwrap();
+        assert_eq!(pool.assignment("fcs"), Some(ProcessorId::new(0)));
+        assert_eq!(pool.find_spare(), Some(ProcessorId::new(2)));
+        assert_eq!(pool.tasks_on(ProcessorId::new(0)), vec!["fcs"]);
+    }
+
+    #[test]
+    fn assign_to_failed_processor_is_rejected() {
+        let mut pool = ProcessorPool::with_processors(2);
+        pool.fail(ProcessorId::new(0)).unwrap();
+        assert_eq!(
+            pool.assign("fcs", ProcessorId::new(0)),
+            Err(FailStopError::Halted(ProcessorId::new(0)))
+        );
+    }
+
+    #[test]
+    fn restart_on_spare_relocates_task() {
+        let mut pool = ProcessorPool::with_processors(3);
+        pool.assign("fcs", ProcessorId::new(0)).unwrap();
+        pool.fail(ProcessorId::new(0)).unwrap();
+        let to = pool.restart_on_spare("fcs").unwrap();
+        assert_eq!(to, ProcessorId::new(1));
+        assert_eq!(pool.assignment("fcs"), Some(to));
+        assert!(pool.events().iter().any(|e| matches!(
+            e,
+            PoolEvent::Restarted { task, .. } if task == "fcs"
+        )));
+    }
+
+    #[test]
+    fn restart_without_spare_reports_no_spare() {
+        let mut pool = ProcessorPool::with_processors(2);
+        pool.assign("fcs", ProcessorId::new(0)).unwrap();
+        pool.assign("ap", ProcessorId::new(1)).unwrap();
+        pool.fail(ProcessorId::new(0)).unwrap();
+        // P1 is busy with "ap"; no spare remains.
+        assert_eq!(pool.restart_on_spare("fcs"), Err(FailStopError::NoSpare));
+    }
+
+    #[test]
+    fn stable_state_survives_failure_and_is_pollable() {
+        use crate::processor::Program;
+        let mut pool = ProcessorPool::with_processors(1);
+        let id = ProcessorId::new(0);
+        let mut p = Program::new("persist");
+        p.push("write", |ctx| {
+            ctx.stable.stage_str("last_state", "cruise");
+            Ok(())
+        });
+        pool.processor_mut(id).unwrap().run(&p);
+        pool.fail(id).unwrap();
+        let snap = pool.poll_stable(id).unwrap();
+        assert_eq!(snap.get_str("last_state"), Some("cruise"));
+    }
+
+    #[test]
+    fn release_frees_processor_for_spare_duty() {
+        let mut pool = ProcessorPool::with_processors(1);
+        pool.assign("t", ProcessorId::new(0)).unwrap();
+        assert_eq!(pool.find_spare(), None);
+        pool.release("t");
+        assert_eq!(pool.find_spare(), Some(ProcessorId::new(0)));
+        // Releasing again is a no-op.
+        pool.release("t");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate processor id")]
+    fn duplicate_ids_panic() {
+        let mut pool = ProcessorPool::with_processors(1);
+        pool.add(Processor::new(ProcessorId::new(0)));
+    }
+}

@@ -1,0 +1,472 @@
+//! The simulated fail-stop processor and its instruction-level programs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::fault::FaultPlan;
+use crate::stable::{SharedStableStorage, StableSnapshot, StableStorage};
+use crate::volatile::VolatileStorage;
+use crate::{FailStopError, ProcessorId};
+
+/// Execution status of a [`Processor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessorStatus {
+    /// The processor is operational.
+    Running,
+    /// The processor failed (fail-stop) after completing the given number
+    /// of instructions over its lifetime.
+    Failed {
+        /// Lifetime instruction count at the halt point.
+        after_instruction: u64,
+    },
+}
+
+impl ProcessorStatus {
+    /// Returns `true` for [`ProcessorStatus::Running`].
+    pub fn is_running(self) -> bool {
+        matches!(self, ProcessorStatus::Running)
+    }
+}
+
+/// The mutable execution environment visible to one program instruction.
+///
+/// Instructions may read and write volatile storage freely and may *stage*
+/// stable writes; staged writes reach the stable medium only at a commit
+/// point (the end of a completed program run, or an explicit
+/// `ctx.stable.commit()`). A fail-stop failure discards staged writes.
+#[derive(Debug)]
+pub struct ExecContext<'a> {
+    /// Volatile storage, erased if the processor fails.
+    pub volatile: &'a mut VolatileStorage,
+    /// Stable storage staging view; commit to persist.
+    pub stable: &'a mut StableStorage,
+    /// Identity of the executing processor.
+    pub processor: ProcessorId,
+    /// Lifetime instruction index (1-based) of the current instruction.
+    pub instruction: u64,
+}
+
+type StepFn = Arc<dyn Fn(&mut ExecContext<'_>) -> Result<(), String> + Send + Sync>;
+
+#[derive(Clone)]
+struct Step {
+    name: String,
+    run: StepFn,
+}
+
+impl fmt::Debug for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Step").field("name", &self.name).finish()
+    }
+}
+
+/// A sequence of named instructions to execute on a [`Processor`].
+///
+/// Each instruction is the unit of fail-stop atomicity: a failure takes
+/// effect *between* instructions, never inside one, so the processor halts
+/// "at the end of the last instruction that it completed successfully".
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    steps: Vec<Step>,
+}
+
+impl Program {
+    /// Creates an empty program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends an instruction.
+    ///
+    /// The closure may be executed more than once (self-checking pairs
+    /// duplicate execution), so it must be deterministic in the context it
+    /// is given.
+    pub fn push(
+        &mut self,
+        step_name: impl Into<String>,
+        f: impl Fn(&mut ExecContext<'_>) -> Result<(), String> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.steps.push(Step {
+            name: step_name.into(),
+            run: Arc::new(f),
+        });
+        self
+    }
+
+    /// Program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Names of the instructions, in order.
+    pub fn step_names(&self) -> impl Iterator<Item = &str> {
+        self.steps.iter().map(|s| s.name.as_str())
+    }
+
+    pub(crate) fn step(&self, index: usize) -> (&str, &StepFn) {
+        let s = &self.steps[index];
+        (s.name.as_str(), &s.run)
+    }
+}
+
+/// Result of running a [`Program`] on a [`Processor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Every instruction completed; staged stable writes were committed.
+    Completed,
+    /// The processor failed (fail-stop) before completing the program.
+    FailStop {
+        /// How many instructions of this program completed before the halt.
+        completed_steps: usize,
+        /// Lifetime instruction count at the halt point.
+        after_instruction: u64,
+    },
+    /// An instruction reported an application-level error. The processor
+    /// keeps running; staged stable writes of this program are discarded.
+    StepError {
+        /// Name of the failing instruction.
+        step: String,
+        /// Reason reported by the instruction.
+        reason: String,
+    },
+}
+
+/// A simulated fail-stop processor.
+///
+/// Combines processing (instruction-counted program execution), volatile
+/// storage, and stable storage, with failures driven by a [`FaultPlan`].
+/// See the [crate documentation](crate) for the failure semantics.
+#[derive(Debug)]
+pub struct Processor {
+    id: ProcessorId,
+    status: ProcessorStatus,
+    volatile: VolatileStorage,
+    stable: SharedStableStorage,
+    executed: u64,
+    fault_plan: FaultPlan,
+}
+
+impl Processor {
+    /// Creates a running processor with empty storage and no planned
+    /// faults.
+    pub fn new(id: ProcessorId) -> Self {
+        Processor::with_stable(id, SharedStableStorage::new())
+    }
+
+    /// Creates a processor backed by an existing shared stable store.
+    ///
+    /// Useful when a replacement processor must resume from the stable
+    /// state of a failed one.
+    pub fn with_stable(id: ProcessorId, stable: SharedStableStorage) -> Self {
+        Processor {
+            id,
+            status: ProcessorStatus::Running,
+            volatile: VolatileStorage::new(),
+            stable,
+            executed: 0,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+
+    /// The processor's identity.
+    pub fn id(&self) -> ProcessorId {
+        self.id
+    }
+
+    /// Current status.
+    pub fn status(&self) -> ProcessorStatus {
+        self.status
+    }
+
+    /// Returns `true` if the processor is operational.
+    pub fn is_running(&self) -> bool {
+        self.status.is_running()
+    }
+
+    /// Lifetime count of completed instructions.
+    pub fn instructions_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Replaces the fault plan driving injected failures.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Shared handle to this processor's stable storage.
+    pub fn stable_handle(&self) -> SharedStableStorage {
+        self.stable.clone()
+    }
+
+    /// Consistent snapshot of committed stable state.
+    ///
+    /// This is the polling interface other processors use after a failure.
+    pub fn stable(&self) -> StableSnapshot {
+        self.stable.snapshot()
+    }
+
+    /// Read access to volatile storage (for tests and inspection).
+    pub fn volatile(&self) -> &VolatileStorage {
+        &self.volatile
+    }
+
+    /// Forces an immediate fail-stop failure, as if commanded by an
+    /// external fault.
+    ///
+    /// Volatile storage is erased; staged (uncommitted) stable writes are
+    /// discarded; committed stable state is preserved.
+    pub fn force_fail(&mut self) {
+        if self.status.is_running() {
+            self.halt();
+        }
+    }
+
+    fn halt(&mut self) {
+        self.volatile.erase();
+        self.stable.write(|s| s.discard());
+        self.status = ProcessorStatus::Failed {
+            after_instruction: self.executed,
+        };
+    }
+
+    /// Runs a program to completion or until a fail-stop failure.
+    ///
+    /// On completion, staged stable writes are committed atomically. On a
+    /// fail-stop failure, the halt occurs between instructions: instruction
+    /// `k` either ran in full or not at all. On an application-level step
+    /// error, staged writes are discarded but the processor keeps running.
+    pub fn run(&mut self, program: &Program) -> StepOutcome {
+        if !self.status.is_running() {
+            return StepOutcome::FailStop {
+                completed_steps: 0,
+                after_instruction: self.executed,
+            };
+        }
+        for index in 0..program.len() {
+            let next_instruction = self.executed + 1;
+            if self.fault_plan.should_fail_at(next_instruction) {
+                self.halt();
+                return StepOutcome::FailStop {
+                    completed_steps: index,
+                    after_instruction: self.executed,
+                };
+            }
+            let (step_name, run) = program.step(index);
+            let step_name = step_name.to_owned();
+            let run = run.clone();
+            let id = self.id;
+            let result = self.stable.write(|stable| {
+                let mut ctx = ExecContext {
+                    volatile: &mut self.volatile,
+                    stable,
+                    processor: id,
+                    instruction: next_instruction,
+                };
+                run(&mut ctx)
+            });
+            match result {
+                Ok(()) => {
+                    self.executed += 1;
+                }
+                Err(reason) => {
+                    self.stable.write(|s| s.discard());
+                    return StepOutcome::StepError {
+                        step: step_name,
+                        reason,
+                    };
+                }
+            }
+        }
+        self.stable.write(|s| s.commit());
+        StepOutcome::Completed
+    }
+
+    /// Runs a program, converting non-completion into an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailStopError::Halted`] on a fail-stop failure and
+    /// [`FailStopError::StepFailed`] on an application-level step error.
+    pub fn try_run(&mut self, program: &Program) -> Result<(), FailStopError> {
+        match self.run(program) {
+            StepOutcome::Completed => Ok(()),
+            StepOutcome::FailStop { .. } => Err(FailStopError::Halted(self.id)),
+            StepOutcome::StepError { step, reason } => Err(FailStopError::StepFailed {
+                program: program.name().to_owned(),
+                step,
+                reason,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_program() -> Program {
+        let mut p = Program::new("counter");
+        p.push("load", |ctx| {
+            let v = ctx.stable.get_u64("n").unwrap_or(0);
+            ctx.volatile.set_u64("tmp", v + 1);
+            Ok(())
+        });
+        p.push("store", |ctx| {
+            let v = ctx.volatile.get_u64("tmp").ok_or("tmp missing")?;
+            ctx.stable.stage_u64("n", v);
+            Ok(())
+        });
+        p
+    }
+
+    #[test]
+    fn completed_program_commits_stable_writes() {
+        let mut cpu = Processor::new(ProcessorId::new(1));
+        let p = counter_program();
+        assert_eq!(cpu.run(&p), StepOutcome::Completed);
+        assert_eq!(cpu.run(&p), StepOutcome::Completed);
+        assert_eq!(cpu.stable().get_u64("n"), Some(2));
+        assert_eq!(cpu.instructions_executed(), 4);
+        assert!(cpu.is_running());
+    }
+
+    #[test]
+    fn fail_stop_halts_between_instructions() {
+        let mut cpu = Processor::new(ProcessorId::new(1));
+        // Fail when attempting the 2nd lifetime instruction ("store").
+        cpu.set_fault_plan(FaultPlan::at_instructions([2]));
+        let p = counter_program();
+        let outcome = cpu.run(&p);
+        assert_eq!(
+            outcome,
+            StepOutcome::FailStop {
+                completed_steps: 1,
+                after_instruction: 1
+            }
+        );
+        // "load" completed but "store" never ran: no stable write, and
+        // volatile contents are gone.
+        assert_eq!(cpu.stable().get_u64("n"), None);
+        assert!(cpu.volatile().is_empty());
+        assert_eq!(
+            cpu.status(),
+            ProcessorStatus::Failed {
+                after_instruction: 1
+            }
+        );
+    }
+
+    #[test]
+    fn failure_discards_staged_but_keeps_committed_state() {
+        let mut cpu = Processor::new(ProcessorId::new(1));
+        let p = counter_program();
+        assert_eq!(cpu.run(&p), StepOutcome::Completed); // n = 1 committed
+        cpu.set_fault_plan(FaultPlan::at_instructions([4])); // fail on next "store"
+        let outcome = cpu.run(&p);
+        assert!(matches!(outcome, StepOutcome::FailStop { .. }));
+        // Committed state from the first run survives.
+        assert_eq!(cpu.stable().get_u64("n"), Some(1));
+    }
+
+    #[test]
+    fn failed_processor_refuses_to_run() {
+        let mut cpu = Processor::new(ProcessorId::new(1));
+        cpu.force_fail();
+        let p = counter_program();
+        assert!(matches!(cpu.run(&p), StepOutcome::FailStop { .. }));
+        assert!(matches!(
+            cpu.try_run(&p),
+            Err(FailStopError::Halted(id)) if id == ProcessorId::new(1)
+        ));
+    }
+
+    #[test]
+    fn step_error_discards_staged_writes_but_keeps_processor_alive() {
+        let mut cpu = Processor::new(ProcessorId::new(1));
+        let mut p = Program::new("bad");
+        p.push("stage", |ctx| {
+            ctx.stable.stage_u64("x", 99);
+            Ok(())
+        });
+        p.push("boom", |_| Err("deliberate".into()));
+        let outcome = cpu.run(&p);
+        assert_eq!(
+            outcome,
+            StepOutcome::StepError {
+                step: "boom".into(),
+                reason: "deliberate".into()
+            }
+        );
+        assert!(cpu.is_running());
+        assert_eq!(cpu.stable().get_u64("x"), None);
+        let err = cpu.try_run(&p).unwrap_err();
+        assert!(matches!(err, FailStopError::StepFailed { .. }));
+    }
+
+    #[test]
+    fn replacement_processor_resumes_from_shared_stable_state() {
+        let mut cpu = Processor::new(ProcessorId::new(0));
+        let p = counter_program();
+        cpu.run(&p);
+        cpu.run(&p);
+        cpu.force_fail();
+        // Another processor attaches to the failed one's stable storage.
+        let mut spare = Processor::with_stable(ProcessorId::new(1), cpu.stable_handle());
+        assert_eq!(spare.stable().get_u64("n"), Some(2));
+        spare.run(&p);
+        assert_eq!(spare.stable().get_u64("n"), Some(3));
+    }
+
+    #[test]
+    fn explicit_mid_program_commit_survives_later_failure() {
+        let mut cpu = Processor::new(ProcessorId::new(0));
+        let mut p = Program::new("two-phase");
+        p.push("phase1", |ctx| {
+            ctx.stable.stage_u64("progress", 1);
+            ctx.stable.commit();
+            Ok(())
+        });
+        p.push("phase2", |ctx| {
+            ctx.stable.stage_u64("progress", 2);
+            Ok(())
+        });
+        cpu.set_fault_plan(FaultPlan::at_instructions([2]));
+        let outcome = cpu.run(&p);
+        assert!(matches!(outcome, StepOutcome::FailStop { .. }));
+        // phase1's explicit commit survived; phase2's staged write did not.
+        assert_eq!(cpu.stable().get_u64("progress"), Some(1));
+    }
+
+    #[test]
+    fn program_introspection() {
+        let p = counter_program();
+        assert_eq!(p.name(), "counter");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        let names: Vec<_> = p.step_names().collect();
+        assert_eq!(names, vec!["load", "store"]);
+        assert!(Program::new("empty").is_empty());
+    }
+
+    #[test]
+    fn empty_program_completes_and_commits_nothing_new() {
+        let mut cpu = Processor::new(ProcessorId::new(0));
+        let p = Program::new("noop");
+        assert_eq!(cpu.run(&p), StepOutcome::Completed);
+        assert_eq!(cpu.instructions_executed(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Volatile storage: the half of a fail-stop processor that failure erases.
+
+use std::collections::BTreeMap;
+
+/// The volatile (RAM) storage of a simulated fail-stop processor.
+///
+/// Contents are lost in their entirety when the processor fails — the
+/// companion to [`StableStorage`](crate::StableStorage), whose contents
+/// survive. Programs use volatile storage for intermediate values between
+/// instructions of the same action.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VolatileStorage {
+    values: BTreeMap<String, VolatileValue>,
+}
+
+/// A value held in volatile storage.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum VolatileValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+macro_rules! volatile_accessors {
+    ($get:ident, $set:ident, $variant:ident, $ty:ty, $deref:expr) => {
+        /// Reads a value of the given type; `None` if absent or of a
+        /// different representation.
+        pub fn $get(&self, key: &str) -> Option<$ty> {
+            match self.values.get(key) {
+                Some(VolatileValue::$variant(v)) => Some($deref(v)),
+                _ => None,
+            }
+        }
+
+        /// Writes a value, replacing any previous value under the key.
+        pub fn $set(&mut self, key: impl Into<String>, value: $ty) {
+            self.values.insert(key.into(), VolatileValue::$variant(value.into()));
+        }
+    };
+}
+
+impl VolatileStorage {
+    /// Creates empty volatile storage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    volatile_accessors!(get_u64, set_u64, U64, u64, |v: &u64| *v);
+    volatile_accessors!(get_i64, set_i64, I64, i64, |v: &i64| *v);
+    volatile_accessors!(get_f64, set_f64, F64, f64, |v: &f64| *v);
+    volatile_accessors!(get_bool, set_bool, Bool, bool, |v: &bool| *v);
+
+    /// Reads a string value; `None` if absent or non-string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.values.get(key) {
+            Some(VolatileValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Writes a string value.
+    pub fn set_str(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.values
+            .insert(key.into(), VolatileValue::Str(value.into()));
+    }
+
+    /// Reads raw bytes; `None` if absent or non-bytes.
+    pub fn get_bytes(&self, key: &str) -> Option<&[u8]> {
+        match self.values.get(key) {
+            Some(VolatileValue::Bytes(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Writes raw bytes.
+    pub fn set_bytes(&mut self, key: impl Into<String>, value: impl Into<Vec<u8>>) {
+        self.values
+            .insert(key.into(), VolatileValue::Bytes(value.into()));
+    }
+
+    /// Removes a key, returning whether it was present.
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.values.remove(key).is_some()
+    }
+
+    /// Returns `true` if a value exists for `key`.
+    pub fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no values are held.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Erases everything — the effect of a fail-stop failure.
+    pub fn erase(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut v = VolatileStorage::new();
+        v.set_u64("u", 1);
+        v.set_i64("i", -1);
+        v.set_f64("f", 0.5);
+        v.set_bool("b", false);
+        v.set_str("s", "x");
+        v.set_bytes("raw", vec![9]);
+        assert_eq!(v.get_u64("u"), Some(1));
+        assert_eq!(v.get_i64("i"), Some(-1));
+        assert_eq!(v.get_f64("f"), Some(0.5));
+        assert_eq!(v.get_bool("b"), Some(false));
+        assert_eq!(v.get_str("s"), Some("x"));
+        assert_eq!(v.get_bytes("raw"), Some(&[9u8][..]));
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn erase_loses_everything() {
+        let mut v = VolatileStorage::new();
+        v.set_u64("x", 1);
+        assert!(!v.is_empty());
+        v.erase();
+        assert!(v.is_empty());
+        assert_eq!(v.get_u64("x"), None);
+    }
+
+    #[test]
+    fn type_confusion_yields_none() {
+        let mut v = VolatileStorage::new();
+        v.set_str("k", "text");
+        assert_eq!(v.get_u64("k"), None);
+        assert!(v.contains("k"));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut v = VolatileStorage::new();
+        v.set_bool("flag", true);
+        assert!(v.remove("flag"));
+        assert!(!v.remove("flag"));
+    }
+}

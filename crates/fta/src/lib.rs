@@ -1,0 +1,577 @@
+//! Fault-tolerant actions (FTAs) over fail-stop processors.
+//!
+//! Schlichting & Schneider introduced the **fault-tolerant action** as the
+//! software building block for programming systems of fail-stop
+//! processors. An FTA is an operation that either
+//!
+//! 1. completes a correctly executed action `A` on a functioning
+//!    processor, or
+//! 2. experiences a hardware failure that precludes completion of `A`
+//!    and, when restarted on another processor, completes a specified
+//!    recovery action `R`.
+//!
+//! In the original framework the recovery may complete only the original
+//! action (by restart or by alternative means). The DSN 2005 paper's key
+//! extension — implemented here as [`RecoveryProtocol::Reconfigure`] —
+//! broadens `R`: recovery may instead be *the reconfiguration of the
+//! system* so that the next action completes some useful but different
+//! function. An FTA in the extended framework "leaves the system either
+//! having carried out the function requested, or having put itself into a
+//! state where the next action can carry out some suitable but possibly
+//! different function".
+//!
+//! This crate implements both modes:
+//!
+//! - [`Fta`] bundles an action [`Program`], a [`RecoveryProtocol`], and an
+//!   optional postcondition predicate over stable state.
+//! - [`FtaExecutor`] runs FTAs over a [`ProcessorPool`], performing the
+//!   restart-on-spare protocol: poll the failed processor's stable
+//!   storage, import it on a spare, execute the recovery.
+//! - Reconfiguration requests are surfaced to the caller (the SCRAM
+//!   kernel in `arfs-core`) rather than handled here, because "which
+//!   recovery protocol is appropriate ... cannot be determined by the
+//!   application alone since the application's function exists in a
+//!   system context".
+//!
+//! # Example
+//!
+//! ```
+//! use arfs_failstop::{ProcessorPool, Program};
+//! use arfs_fta::{Fta, FtaExecutor, FtaOutcome};
+//!
+//! let mut action = Program::new("log-sample");
+//! action.push("write", |ctx| {
+//!     ctx.stable.stage_u64("sample", 42);
+//!     Ok(())
+//! });
+//! let fta = Fta::new("sample", action).with_postcondition(|s| s.get_u64("sample") == Some(42));
+//! let mut pool = ProcessorPool::with_processors(2);
+//! pool.assign("sampler", arfs_failstop::ProcessorId::new(0))?;
+//! let mut exec = FtaExecutor::new();
+//! let outcome = exec.execute(&mut pool, "sampler", &fta);
+//! assert_eq!(outcome, FtaOutcome::Completed { recoveries: 0 });
+//! # Ok::<(), arfs_failstop::FailStopError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+
+use arfs_failstop::{
+    FailStopError, ProcessorPool, Program, StableSnapshot, StepOutcome,
+};
+
+/// A predicate over committed stable state, used for pre/postconditions.
+pub type StatePredicate = Arc<dyn Fn(&StableSnapshot) -> bool + Send + Sync>;
+
+/// How an interrupted FTA recovers.
+#[derive(Clone)]
+pub enum RecoveryProtocol {
+    /// Restart the original action on a spare processor (the classic
+    /// Schlichting & Schneider restart protocol). The spare first imports
+    /// the failed processor's committed stable state.
+    RestartAction,
+    /// Complete the action "by some alternative means": run a dedicated
+    /// recovery program on the spare instead of the original action.
+    Alternate(Program),
+    /// The DSN 2005 extension: do not complete the action at all; request
+    /// that the system reconfigure so that the *next* action performs a
+    /// suitable (possibly different) function. The request is returned to
+    /// the caller as [`FtaOutcome::ReconfigureRequested`].
+    Reconfigure {
+        /// Why reconfiguration is the appropriate recovery (diagnostic).
+        reason: String,
+    },
+}
+
+impl fmt::Debug for RecoveryProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryProtocol::RestartAction => write!(f, "RestartAction"),
+            RecoveryProtocol::Alternate(p) => write!(f, "Alternate({})", p.name()),
+            RecoveryProtocol::Reconfigure { reason } => {
+                write!(f, "Reconfigure {{ reason: {reason:?} }}")
+            }
+        }
+    }
+}
+
+/// A fault-tolerant action: an action program plus its recovery protocol.
+#[derive(Clone)]
+pub struct Fta {
+    name: String,
+    action: Program,
+    recovery: RecoveryProtocol,
+    postcondition: Option<StatePredicate>,
+}
+
+impl fmt::Debug for Fta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fta")
+            .field("name", &self.name)
+            .field("action", &self.action.name())
+            .field("recovery", &self.recovery)
+            .field("has_postcondition", &self.postcondition.is_some())
+            .finish()
+    }
+}
+
+impl Fta {
+    /// Creates an FTA whose recovery restarts the original action.
+    pub fn new(name: impl Into<String>, action: Program) -> Self {
+        Fta {
+            name: name.into(),
+            action,
+            recovery: RecoveryProtocol::RestartAction,
+            postcondition: None,
+        }
+    }
+
+    /// Replaces the recovery protocol.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryProtocol) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Attaches a postcondition that must hold over committed stable
+    /// state after the FTA completes.
+    #[must_use]
+    pub fn with_postcondition(
+        mut self,
+        predicate: impl Fn(&StableSnapshot) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.postcondition = Some(Arc::new(predicate));
+        self
+    }
+
+    /// The FTA's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The action program.
+    pub fn action(&self) -> &Program {
+        &self.action
+    }
+
+    /// The recovery protocol.
+    pub fn recovery(&self) -> &RecoveryProtocol {
+        &self.recovery
+    }
+}
+
+/// The result of executing an [`Fta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtaOutcome {
+    /// The action (or its recovery) completed; the count says how many
+    /// fail-stop failures were survived along the way.
+    Completed {
+        /// Number of restart recoveries performed.
+        recoveries: u32,
+    },
+    /// The FTA was interrupted and its protocol elects reconfiguration;
+    /// the caller (the SCRAM layer) must now drive a system
+    /// reconfiguration.
+    ReconfigureRequested {
+        /// Reason carried by the recovery protocol.
+        reason: String,
+        /// Number of fail-stop failures observed (≥ 1).
+        failures: u32,
+    },
+    /// The FTA could not complete: no spare was available, or the action
+    /// reported a software error.
+    Unrecoverable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The action completed but its postcondition does not hold — a
+    /// verification failure that must never occur in a correct
+    /// instantiation.
+    PostconditionViolated,
+}
+
+/// An auditable event in an FTA execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtaEvent {
+    /// The action started on the given processor.
+    Started {
+        /// FTA name.
+        fta: String,
+        /// Hosting processor.
+        processor: arfs_failstop::ProcessorId,
+    },
+    /// The hosting processor failed during the action.
+    ProcessorFailed {
+        /// FTA name.
+        fta: String,
+        /// The failed processor.
+        processor: arfs_failstop::ProcessorId,
+    },
+    /// A recovery began on a spare.
+    RecoveryStarted {
+        /// FTA name.
+        fta: String,
+        /// The spare processor now hosting the FTA.
+        spare: arfs_failstop::ProcessorId,
+    },
+}
+
+/// Executes FTAs over a processor pool with the restart-on-spare
+/// protocol.
+#[derive(Debug, Default)]
+pub struct FtaExecutor {
+    events: Vec<FtaEvent>,
+}
+
+impl FtaExecutor {
+    /// Creates an executor with an empty event log.
+    pub fn new() -> Self {
+        FtaExecutor::default()
+    }
+
+    /// The audit log of execution events, oldest first.
+    pub fn events(&self) -> &[FtaEvent] {
+        &self.events
+    }
+
+    /// Executes one FTA for the named task.
+    ///
+    /// The task must already be assigned to a processor in the pool (see
+    /// [`ProcessorPool::assign`]). On a fail-stop failure the executor
+    /// marks the processor failed, finds a spare, transfers the failed
+    /// processor's committed stable state to it, and runs the recovery
+    /// protocol there. The loop repeats if the spare fails too, so an FTA
+    /// is "an action and a number of recoveries equal to the number of
+    /// failures experienced during the FTA's execution".
+    pub fn execute(&mut self, pool: &mut ProcessorPool, task: &str, fta: &Fta) -> FtaOutcome {
+        let mut recoveries: u32 = 0;
+        let mut program = fta.action().clone();
+
+        loop {
+            let Some(host) = pool.assignment(task) else {
+                return FtaOutcome::Unrecoverable {
+                    reason: format!("task `{task}` has no processor assignment"),
+                };
+            };
+            let Some(processor) = pool.processor_mut(host) else {
+                return FtaOutcome::Unrecoverable {
+                    reason: format!("assigned processor {host} does not exist"),
+                };
+            };
+            if recoveries == 0 {
+                self.events.push(FtaEvent::Started {
+                    fta: fta.name().to_owned(),
+                    processor: host,
+                });
+            }
+            match processor.run(&program) {
+                StepOutcome::Completed => {
+                    if let Some(post) = &fta.postcondition {
+                        let snapshot = pool
+                            .poll_stable(host)
+                            .expect("host existed a moment ago");
+                        if !post(&snapshot) {
+                            return FtaOutcome::PostconditionViolated;
+                        }
+                    }
+                    return FtaOutcome::Completed { recoveries };
+                }
+                StepOutcome::FailStop { .. } => {
+                    // Mark the failure in the pool's books (the processor
+                    // has already halted itself).
+                    let _ = pool.fail(host);
+                    self.events.push(FtaEvent::ProcessorFailed {
+                        fta: fta.name().to_owned(),
+                        processor: host,
+                    });
+                    recoveries += 1;
+                    match fta.recovery() {
+                        RecoveryProtocol::Reconfigure { reason } => {
+                            return FtaOutcome::ReconfigureRequested {
+                                reason: reason.clone(),
+                                failures: recoveries,
+                            };
+                        }
+                        RecoveryProtocol::RestartAction => {}
+                        RecoveryProtocol::Alternate(alt) => {
+                            program = alt.clone();
+                        }
+                    }
+                    let failed_state = pool.poll_stable(host).expect("failed host exists");
+                    let spare = match pool.restart_on_spare(task) {
+                        Ok(spare) => spare,
+                        Err(FailStopError::NoSpare) => {
+                            return FtaOutcome::Unrecoverable {
+                                reason: "no spare processor available for recovery".into(),
+                            };
+                        }
+                        Err(e) => {
+                            return FtaOutcome::Unrecoverable {
+                                reason: e.to_string(),
+                            };
+                        }
+                    };
+                    self.events.push(FtaEvent::RecoveryStarted {
+                        fta: fta.name().to_owned(),
+                        spare,
+                    });
+                    pool.processor_mut(spare)
+                        .expect("spare exists")
+                        .stable_handle()
+                        .write(|s| s.import_snapshot(&failed_state));
+                }
+                StepOutcome::StepError { step, reason } => {
+                    return FtaOutcome::Unrecoverable {
+                        reason: format!("step `{step}` failed: {reason}"),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Executes a sequence of FTAs for a task, stopping at the first
+    /// non-completed outcome.
+    ///
+    /// "System processing is achieved by the execution of a sequence of
+    /// FTAs"; this helper runs such a sequence and reports the outcomes
+    /// observed (the last one may be non-`Completed`).
+    pub fn execute_sequence(
+        &mut self,
+        pool: &mut ProcessorPool,
+        task: &str,
+        ftas: &[Fta],
+    ) -> Vec<FtaOutcome> {
+        let mut outcomes = Vec::with_capacity(ftas.len());
+        for fta in ftas {
+            let outcome = self.execute(pool, task, fta);
+            let done = matches!(outcome, FtaOutcome::Completed { .. });
+            outcomes.push(outcome);
+            if !done {
+                break;
+            }
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arfs_failstop::{FaultPlan, ProcessorId};
+
+    fn increment_program() -> Program {
+        let mut p = Program::new("increment");
+        p.push("load", |ctx| {
+            let v = ctx.stable.get_u64("n").unwrap_or(0);
+            ctx.volatile.set_u64("tmp", v + 1);
+            Ok(())
+        });
+        p.push("store", |ctx| {
+            let v = ctx.volatile.get_u64("tmp").ok_or("tmp missing")?;
+            ctx.stable.stage_u64("n", v);
+            Ok(())
+        });
+        p
+    }
+
+    fn pool_with_assignment(n: u32) -> ProcessorPool {
+        let mut pool = ProcessorPool::with_processors(n);
+        pool.assign("worker", ProcessorId::new(0)).unwrap();
+        pool
+    }
+
+    #[test]
+    fn action_completes_without_failures() {
+        let mut pool = pool_with_assignment(1);
+        let mut exec = FtaExecutor::new();
+        let fta = Fta::new("inc", increment_program());
+        assert_eq!(
+            exec.execute(&mut pool, "worker", &fta),
+            FtaOutcome::Completed { recoveries: 0 }
+        );
+        assert_eq!(
+            pool.poll_stable(ProcessorId::new(0)).unwrap().get_u64("n"),
+            Some(1)
+        );
+        assert_eq!(exec.events().len(), 1);
+    }
+
+    #[test]
+    fn restart_recovery_resumes_from_stable_state() {
+        let mut pool = pool_with_assignment(2);
+        // Commit n = 1 first.
+        let mut exec = FtaExecutor::new();
+        let fta = Fta::new("inc", increment_program());
+        exec.execute(&mut pool, "worker", &fta);
+        // Now fail P0 during the store step of the next action.
+        pool.processor_mut(ProcessorId::new(0))
+            .unwrap()
+            .set_fault_plan(FaultPlan::at_instructions([4]));
+        let outcome = exec.execute(&mut pool, "worker", &fta);
+        assert_eq!(outcome, FtaOutcome::Completed { recoveries: 1 });
+        // The spare imported n = 1 and completed the increment.
+        let spare = pool.assignment("worker").unwrap();
+        assert_eq!(spare, ProcessorId::new(1));
+        assert_eq!(pool.poll_stable(spare).unwrap().get_u64("n"), Some(2));
+        assert!(exec
+            .events()
+            .iter()
+            .any(|e| matches!(e, FtaEvent::RecoveryStarted { .. })));
+    }
+
+    #[test]
+    fn multiple_failures_consume_multiple_spares() {
+        let mut pool = pool_with_assignment(3);
+        pool.processor_mut(ProcessorId::new(0))
+            .unwrap()
+            .set_fault_plan(FaultPlan::at_instructions([1]));
+        pool.processor_mut(ProcessorId::new(1))
+            .unwrap()
+            .set_fault_plan(FaultPlan::at_instructions([1]));
+        let mut exec = FtaExecutor::new();
+        let fta = Fta::new("inc", increment_program());
+        assert_eq!(
+            exec.execute(&mut pool, "worker", &fta),
+            FtaOutcome::Completed { recoveries: 2 }
+        );
+        assert_eq!(pool.assignment("worker"), Some(ProcessorId::new(2)));
+    }
+
+    #[test]
+    fn exhausted_spares_are_unrecoverable() {
+        let mut pool = pool_with_assignment(1);
+        pool.processor_mut(ProcessorId::new(0))
+            .unwrap()
+            .set_fault_plan(FaultPlan::at_instructions([1]));
+        let mut exec = FtaExecutor::new();
+        let fta = Fta::new("inc", increment_program());
+        let outcome = exec.execute(&mut pool, "worker", &fta);
+        assert!(matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("no spare")));
+    }
+
+    #[test]
+    fn reconfigure_protocol_surfaces_request_instead_of_restarting() {
+        let mut pool = pool_with_assignment(2);
+        pool.processor_mut(ProcessorId::new(0))
+            .unwrap()
+            .set_fault_plan(FaultPlan::at_instructions([1]));
+        let mut exec = FtaExecutor::new();
+        let fta = Fta::new("inc", increment_program()).with_recovery(RecoveryProtocol::Reconfigure {
+            reason: "insufficient capacity after failure".into(),
+        });
+        let outcome = exec.execute(&mut pool, "worker", &fta);
+        assert_eq!(
+            outcome,
+            FtaOutcome::ReconfigureRequested {
+                reason: "insufficient capacity after failure".into(),
+                failures: 1
+            }
+        );
+        // The spare was NOT consumed: reconfiguration, not masking.
+        assert_eq!(pool.assignment("worker"), Some(ProcessorId::new(0)));
+        assert!(pool.is_alive(ProcessorId::new(1)));
+    }
+
+    #[test]
+    fn alternate_recovery_runs_different_program() {
+        let mut pool = pool_with_assignment(2);
+        pool.processor_mut(ProcessorId::new(0))
+            .unwrap()
+            .set_fault_plan(FaultPlan::at_instructions([1]));
+        let mut alt = Program::new("fallback");
+        alt.push("mark", |ctx| {
+            ctx.stable.stage_str("mode", "fallback");
+            Ok(())
+        });
+        let fta = Fta::new("inc", increment_program())
+            .with_recovery(RecoveryProtocol::Alternate(alt));
+        let mut exec = FtaExecutor::new();
+        assert_eq!(
+            exec.execute(&mut pool, "worker", &fta),
+            FtaOutcome::Completed { recoveries: 1 }
+        );
+        let spare = pool.assignment("worker").unwrap();
+        let snap = pool.poll_stable(spare).unwrap();
+        assert_eq!(snap.get_str("mode"), Some("fallback"));
+        assert_eq!(snap.get_u64("n"), None); // original action was not redone
+    }
+
+    #[test]
+    fn postcondition_violation_detected() {
+        let mut pool = pool_with_assignment(1);
+        let fta = Fta::new("inc", increment_program())
+            .with_postcondition(|s| s.get_u64("n") == Some(999));
+        let mut exec = FtaExecutor::new();
+        assert_eq!(
+            exec.execute(&mut pool, "worker", &fta),
+            FtaOutcome::PostconditionViolated
+        );
+    }
+
+    #[test]
+    fn postcondition_checked_after_recovery_too() {
+        let mut pool = pool_with_assignment(2);
+        pool.processor_mut(ProcessorId::new(0))
+            .unwrap()
+            .set_fault_plan(FaultPlan::at_instructions([2]));
+        let fta = Fta::new("inc", increment_program())
+            .with_postcondition(|s| s.get_u64("n") == Some(1));
+        let mut exec = FtaExecutor::new();
+        assert_eq!(
+            exec.execute(&mut pool, "worker", &fta),
+            FtaOutcome::Completed { recoveries: 1 }
+        );
+    }
+
+    #[test]
+    fn software_error_is_unrecoverable() {
+        let mut pool = pool_with_assignment(2);
+        let mut p = Program::new("bad");
+        p.push("boom", |_| Err("logic bug".into()));
+        let fta = Fta::new("bad", p);
+        let mut exec = FtaExecutor::new();
+        let outcome = exec.execute(&mut pool, "worker", &fta);
+        assert!(matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("logic bug")));
+    }
+
+    #[test]
+    fn unassigned_task_is_unrecoverable() {
+        let mut pool = ProcessorPool::with_processors(1);
+        let fta = Fta::new("inc", increment_program());
+        let mut exec = FtaExecutor::new();
+        let outcome = exec.execute(&mut pool, "ghost", &fta);
+        assert!(matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("no processor assignment")));
+    }
+
+    #[test]
+    fn sequence_stops_at_first_failure() {
+        let mut pool = pool_with_assignment(1);
+        let ok = Fta::new("inc", increment_program());
+        let mut bad_prog = Program::new("bad");
+        bad_prog.push("boom", |_| Err("nope".into()));
+        let bad = Fta::new("bad", bad_prog);
+        let never = Fta::new("never", increment_program());
+        let mut exec = FtaExecutor::new();
+        let outcomes =
+            exec.execute_sequence(&mut pool, "worker", &[ok.clone(), bad, never]);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0], FtaOutcome::Completed { recoveries: 0 });
+        assert!(matches!(outcomes[1], FtaOutcome::Unrecoverable { .. }));
+    }
+
+    #[test]
+    fn debug_impls_are_informative() {
+        let fta = Fta::new("inc", increment_program()).with_recovery(RecoveryProtocol::Reconfigure {
+            reason: "r".into(),
+        });
+        let s = format!("{fta:?}");
+        assert!(s.contains("inc"));
+        assert!(s.contains("Reconfigure"));
+        let alt = RecoveryProtocol::Alternate(increment_program());
+        assert!(format!("{alt:?}").contains("increment"));
+        assert!(format!("{:?}", RecoveryProtocol::RestartAction).contains("Restart"));
+    }
+}

@@ -1,0 +1,447 @@
+//! The executive: runs partitions each frame and monitors their health.
+
+use std::fmt;
+
+use crate::clock::{Ticks, VirtualClock};
+use crate::schedule::{FrameSchedule, MajorSchedule};
+use crate::RtosError;
+
+/// Read-only frame information passed to a partition's unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameContext {
+    /// The current frame index.
+    pub frame: u64,
+    /// The tick budget granted to this partition this frame.
+    pub budget: Ticks,
+}
+
+/// What a partition reports after its unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkReport {
+    /// Virtual ticks the unit of work consumed. The executive compares
+    /// this against the window budget to detect deadline misses.
+    pub consumed: Ticks,
+    /// An application-level error, if the unit of work failed.
+    pub error: Option<String>,
+}
+
+impl WorkReport {
+    /// A successful unit of work that consumed the given ticks.
+    pub fn ok(consumed: Ticks) -> Self {
+        WorkReport {
+            consumed,
+            error: None,
+        }
+    }
+
+    /// A failed unit of work.
+    pub fn failed(consumed: Ticks, error: impl Into<String>) -> Self {
+        WorkReport {
+            consumed,
+            error: Some(error.into()),
+        }
+    }
+}
+
+/// A schedulable application partition.
+///
+/// One call to [`run_frame`](Partition::run_frame) is the paper's "one
+/// unit of work in each real-time frame": normal function, halting,
+/// preparing a transition, or initializing, depending on what the
+/// reconfiguration layer has commanded through stable storage.
+pub trait Partition: Send {
+    /// The partition's schedule name.
+    fn name(&self) -> &str;
+
+    /// Performs one frame's unit of work.
+    fn run_frame(&mut self, ctx: &FrameContext) -> WorkReport;
+}
+
+/// The kind of a health-monitor event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthKind {
+    /// The partition consumed more ticks than its window budget.
+    DeadlineMiss {
+        /// Ticks consumed.
+        consumed: Ticks,
+        /// Ticks granted.
+        budget: Ticks,
+    },
+    /// The partition reported an application-level error.
+    PartitionError(String),
+}
+
+/// A health-monitor event raised during a frame.
+///
+/// These are reconfiguration trigger inputs: the paper lists "the failure
+/// of software to meet its timing constraints" among trigger sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// Frame in which the event occurred.
+    pub frame: u64,
+    /// Name of the offending partition.
+    pub partition: String,
+    /// What went wrong.
+    pub kind: HealthKind,
+}
+
+impl fmt::Display for HealthEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            HealthKind::DeadlineMiss { consumed, budget } => write!(
+                f,
+                "frame {}: partition `{}` missed its deadline ({consumed} > {budget})",
+                self.frame, self.partition
+            ),
+            HealthKind::PartitionError(e) => write!(
+                f,
+                "frame {}: partition `{}` failed: {e}",
+                self.frame, self.partition
+            ),
+        }
+    }
+}
+
+/// Summary of one executed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameReport {
+    /// The frame index that was executed.
+    pub frame: u64,
+    /// Health events raised during the frame.
+    pub health: Vec<HealthEvent>,
+    /// Ticks consumed by all partitions together.
+    pub consumed: Ticks,
+}
+
+/// The frame-synchronous executive.
+///
+/// Owns the [`VirtualClock`] and the partitions, and executes the static
+/// [`FrameSchedule`] once per [`run_frame`](Executive::run_frame) call.
+/// Partitions whose names have no window are rejected at registration
+/// time; windows whose partition is missing are simply skipped (the
+/// partition may be hosted on a processor that has failed — the
+/// reconfiguration layer handles that case).
+pub struct Executive {
+    clock: VirtualClock,
+    major: MajorSchedule,
+    partitions: Vec<Box<dyn Partition>>,
+    health_log: Vec<HealthEvent>,
+}
+
+impl fmt::Debug for Executive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executive")
+            .field("frame", &self.clock.frame())
+            .field("major", &self.major)
+            .field(
+                "partitions",
+                &self.partitions.iter().map(|p| p.name().to_owned()).collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executive {
+    /// Creates an executive running one minor schedule every frame, with
+    /// the clock at frame 0 and no partitions.
+    pub fn new(schedule: FrameSchedule) -> Self {
+        Executive::with_major(MajorSchedule::uniform(schedule))
+    }
+
+    /// Creates an executive running a multi-rate major schedule.
+    pub fn with_major(major: MajorSchedule) -> Self {
+        Executive {
+            clock: VirtualClock::new(major.frame_len()),
+            major,
+            partitions: Vec::new(),
+            health_log: Vec::new(),
+        }
+    }
+
+    /// Registers a partition.
+    ///
+    /// # Errors
+    ///
+    /// - [`RtosError::UnknownPartition`] if the schedule has no window for
+    ///   the partition's name;
+    /// - [`RtosError::DuplicatePartition`] if a partition with the same
+    ///   name is already registered.
+    pub fn add_partition(&mut self, partition: Box<dyn Partition>) -> Result<(), RtosError> {
+        let name = partition.name().to_owned();
+        if !self.major.has_partition(&name) {
+            return Err(RtosError::UnknownPartition(name));
+        }
+        if self.partitions.iter().any(|p| p.name() == name) {
+            return Err(RtosError::DuplicatePartition(name));
+        }
+        self.partitions.push(partition);
+        Ok(())
+    }
+
+    /// Removes a partition by name, returning it if present.
+    pub fn remove_partition(&mut self, name: &str) -> Option<Box<dyn Partition>> {
+        let idx = self.partitions.iter().position(|p| p.name() == name)?;
+        Some(self.partitions.remove(idx))
+    }
+
+    /// Shared access to the clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The major schedule the executive runs.
+    pub fn major_schedule(&self) -> &MajorSchedule {
+        &self.major
+    }
+
+    /// The minor schedule that will run in the next frame.
+    pub fn schedule(&self) -> &FrameSchedule {
+        self.major.minor(self.clock.frame())
+    }
+
+    /// Names of registered partitions, in registration order.
+    pub fn partition_names(&self) -> Vec<&str> {
+        self.partitions.iter().map(|p| p.name()).collect()
+    }
+
+    /// The cumulative health-event log.
+    pub fn health_log(&self) -> &[HealthEvent] {
+        &self.health_log
+    }
+
+    /// Executes one frame: every window in schedule order, running its
+    /// partition (if registered) with the window budget, then advances
+    /// the clock.
+    pub fn run_frame(&mut self) -> FrameReport {
+        let frame = self.clock.frame();
+        let mut health = Vec::new();
+        let mut consumed = Ticks::ZERO;
+
+        for window in self.major.minor(frame).windows().to_vec() {
+            let Some(partition) = self
+                .partitions
+                .iter_mut()
+                .find(|p| p.name() == window.partition)
+            else {
+                continue;
+            };
+            let ctx = FrameContext {
+                frame,
+                budget: window.budget,
+            };
+            let report = partition.run_frame(&ctx);
+            consumed += report.consumed;
+            if report.consumed > window.budget {
+                health.push(HealthEvent {
+                    frame,
+                    partition: window.partition.clone(),
+                    kind: HealthKind::DeadlineMiss {
+                        consumed: report.consumed,
+                        budget: window.budget,
+                    },
+                });
+            }
+            if let Some(error) = report.error {
+                health.push(HealthEvent {
+                    frame,
+                    partition: window.partition.clone(),
+                    kind: HealthKind::PartitionError(error),
+                });
+            }
+        }
+
+        self.health_log.extend(health.iter().cloned());
+        self.clock.advance_frame();
+        FrameReport {
+            frame,
+            health,
+            consumed,
+        }
+    }
+
+    /// Runs `n` frames, returning the reports.
+    pub fn run_frames(&mut self, n: u64) -> Vec<FrameReport> {
+        (0..n).map(|_| self.run_frame()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedCost {
+        name: String,
+        cost: Ticks,
+        frames_run: u64,
+        fail_on_frame: Option<u64>,
+    }
+
+    impl FixedCost {
+        fn new(name: &str, cost: u64) -> Self {
+            FixedCost {
+                name: name.into(),
+                cost: Ticks::new(cost),
+                frames_run: 0,
+                fail_on_frame: None,
+            }
+        }
+    }
+
+    impl Partition for FixedCost {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn run_frame(&mut self, ctx: &FrameContext) -> WorkReport {
+            self.frames_run += 1;
+            if self.fail_on_frame == Some(ctx.frame) {
+                return WorkReport::failed(self.cost, "injected software fault");
+            }
+            WorkReport::ok(self.cost)
+        }
+    }
+
+    fn schedule() -> FrameSchedule {
+        FrameSchedule::builder(Ticks::new(100))
+            .window("fcs", Ticks::new(40))
+            .window("autopilot", Ticks::new(30))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn frames_run_in_window_order_and_clock_advances() {
+        let mut exec = Executive::new(schedule());
+        exec.add_partition(Box::new(FixedCost::new("autopilot", 10))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("fcs", 20))).unwrap();
+        let r = exec.run_frame();
+        assert_eq!(r.frame, 0);
+        assert_eq!(r.consumed, Ticks::new(30));
+        assert!(r.health.is_empty());
+        assert_eq!(exec.clock().frame(), 1);
+        let reports = exec.run_frames(3);
+        assert_eq!(reports.last().unwrap().frame, 3);
+        assert_eq!(exec.clock().frame(), 4);
+    }
+
+    #[test]
+    fn deadline_miss_detected() {
+        let mut exec = Executive::new(schedule());
+        exec.add_partition(Box::new(FixedCost::new("fcs", 41))).unwrap();
+        let r = exec.run_frame();
+        assert_eq!(r.health.len(), 1);
+        assert_eq!(
+            r.health[0].kind,
+            HealthKind::DeadlineMiss {
+                consumed: Ticks::new(41),
+                budget: Ticks::new(40)
+            }
+        );
+        assert_eq!(exec.health_log().len(), 1);
+        assert!(r.health[0].to_string().contains("missed its deadline"));
+    }
+
+    #[test]
+    fn partition_error_reported() {
+        let mut exec = Executive::new(schedule());
+        let mut p = FixedCost::new("fcs", 10);
+        p.fail_on_frame = Some(1);
+        exec.add_partition(Box::new(p)).unwrap();
+        assert!(exec.run_frame().health.is_empty());
+        let r = exec.run_frame();
+        assert_eq!(r.health.len(), 1);
+        assert!(matches!(r.health[0].kind, HealthKind::PartitionError(_)));
+        assert!(r.health[0].to_string().contains("injected software fault"));
+    }
+
+    #[test]
+    fn unknown_partition_rejected_at_registration() {
+        let mut exec = Executive::new(schedule());
+        let err = exec
+            .add_partition(Box::new(FixedCost::new("nav", 10)))
+            .unwrap_err();
+        assert_eq!(err, RtosError::UnknownPartition("nav".into()));
+    }
+
+    #[test]
+    fn duplicate_partition_rejected() {
+        let mut exec = Executive::new(schedule());
+        exec.add_partition(Box::new(FixedCost::new("fcs", 10))).unwrap();
+        let err = exec
+            .add_partition(Box::new(FixedCost::new("fcs", 10)))
+            .unwrap_err();
+        assert_eq!(err, RtosError::DuplicatePartition("fcs".into()));
+    }
+
+    #[test]
+    fn missing_partition_window_is_skipped() {
+        let mut exec = Executive::new(schedule());
+        exec.add_partition(Box::new(FixedCost::new("fcs", 10))).unwrap();
+        // No "autopilot" partition registered; its window idles.
+        let r = exec.run_frame();
+        assert_eq!(r.consumed, Ticks::new(10));
+        assert!(r.health.is_empty());
+    }
+
+    #[test]
+    fn remove_partition_stops_scheduling_it() {
+        let mut exec = Executive::new(schedule());
+        exec.add_partition(Box::new(FixedCost::new("fcs", 10))).unwrap();
+        assert_eq!(exec.partition_names(), vec!["fcs"]);
+        let removed = exec.remove_partition("fcs").unwrap();
+        assert_eq!(removed.name(), "fcs");
+        assert!(exec.remove_partition("fcs").is_none());
+        let r = exec.run_frame();
+        assert_eq!(r.consumed, Ticks::ZERO);
+    }
+
+    #[test]
+    fn multi_rate_major_schedule_runs_partitions_at_their_rates() {
+        let fast = FrameSchedule::builder(Ticks::new(100))
+            .window("fcs", Ticks::new(40))
+            .window("nav", Ticks::new(30))
+            .build()
+            .unwrap();
+        let slow = FrameSchedule::builder(Ticks::new(100))
+            .window("fcs", Ticks::new(40))
+            .build()
+            .unwrap();
+        let major = MajorSchedule::new(vec![fast, slow]).unwrap();
+        let mut exec = Executive::with_major(major);
+        exec.add_partition(Box::new(FixedCost::new("fcs", 10))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("nav", 10))).unwrap();
+        let reports = exec.run_frames(4);
+        // fcs runs every frame (10 ticks); nav only in even frames.
+        assert_eq!(reports[0].consumed, Ticks::new(20));
+        assert_eq!(reports[1].consumed, Ticks::new(10));
+        assert_eq!(reports[2].consumed, Ticks::new(20));
+        assert_eq!(reports[3].consumed, Ticks::new(10));
+        assert_eq!(exec.major_schedule().rate_of("nav"), 1);
+        // schedule() reflects the upcoming minor.
+        assert_eq!(exec.schedule().len(), 2); // frame 4 is even -> fast minor
+    }
+
+    #[test]
+    fn partition_known_to_any_minor_is_accepted() {
+        let fast = FrameSchedule::builder(Ticks::new(100))
+            .window("fcs", Ticks::new(40))
+            .build()
+            .unwrap();
+        let slow = FrameSchedule::builder(Ticks::new(100))
+            .window("nav", Ticks::new(40))
+            .build()
+            .unwrap();
+        let mut exec = Executive::with_major(MajorSchedule::new(vec![fast, slow]).unwrap());
+        exec.add_partition(Box::new(FixedCost::new("nav", 5))).unwrap();
+        let reports = exec.run_frames(2);
+        assert_eq!(reports[0].consumed, Ticks::ZERO); // nav not in minor 0
+        assert_eq!(reports[1].consumed, Ticks::new(5));
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let exec = Executive::new(schedule());
+        let dbg = format!("{exec:?}");
+        assert!(dbg.contains("Executive"));
+        assert!(dbg.contains("frame"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Static frame schedules: named partition windows with tick budgets.
+
+use crate::clock::Ticks;
+use crate::RtosError;
+
+/// One partition's execution window within every frame.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Window {
+    /// Name of the partition scheduled in this window.
+    pub partition: String,
+    /// Tick budget: the partition must finish its unit of work within
+    /// this many ticks or a deadline miss is reported.
+    pub budget: Ticks,
+}
+
+/// A static, per-frame schedule of partition windows.
+///
+/// Every frame executes the same window sequence — the cyclic processing
+/// model of §6.1. The builder rejects schedules whose budgets overcommit
+/// the frame, which is the static schedulability check a real ARINC 653
+/// integrator performs.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FrameSchedule {
+    frame_len: Ticks,
+    windows: Vec<Window>,
+}
+
+impl FrameSchedule {
+    /// Starts building a schedule for frames of the given length.
+    pub fn builder(frame_len: Ticks) -> FrameScheduleBuilder {
+        FrameScheduleBuilder {
+            frame_len,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The frame length the schedule was built for.
+    pub fn frame_len(&self) -> Ticks {
+        self.frame_len
+    }
+
+    /// The windows of one frame, in execution order.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Number of windows per frame.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Returns `true` if the schedule has no windows (never constructible
+    /// through the builder).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Sum of all window budgets.
+    pub fn total_budget(&self) -> Ticks {
+        self.windows.iter().map(|w| w.budget).sum()
+    }
+
+    /// Unused ticks per frame (slack for the executive and the bus).
+    pub fn slack(&self) -> Ticks {
+        self.frame_len.saturating_sub(self.total_budget())
+    }
+
+    /// The window for a named partition, if present.
+    pub fn window_for(&self, partition: &str) -> Option<&Window> {
+        self.windows.iter().find(|w| w.partition == partition)
+    }
+}
+
+/// A major frame: a repeating sequence of minor-frame schedules.
+///
+/// Real integrated modular avionics run *multi-rate* schedules: a major
+/// frame cycles through several minor frames, and a partition may appear
+/// in only some of them (running at a sub-multiple of the base rate).
+/// Frame `f` executes minor schedule `f mod len`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MajorSchedule {
+    minors: Vec<FrameSchedule>,
+}
+
+impl MajorSchedule {
+    /// Creates a major frame from minor-frame schedules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtosError::EmptySchedule`] if no minor is given, or
+    /// [`RtosError::MixedFrameLength`] if the minors disagree on the
+    /// frame length (all applications must share one frame length,
+    /// §6.1).
+    pub fn new(minors: Vec<FrameSchedule>) -> Result<Self, RtosError> {
+        let Some(first) = minors.first() else {
+            return Err(RtosError::EmptySchedule);
+        };
+        let frame_len = first.frame_len();
+        if let Some(odd) = minors.iter().find(|m| m.frame_len() != frame_len) {
+            return Err(RtosError::MixedFrameLength {
+                expected: frame_len,
+                found: odd.frame_len(),
+            });
+        }
+        Ok(MajorSchedule { minors })
+    }
+
+    /// A major frame consisting of one minor repeated every frame.
+    pub fn uniform(minor: FrameSchedule) -> Self {
+        MajorSchedule {
+            minors: vec![minor],
+        }
+    }
+
+    /// The minor schedule executed in the given frame.
+    pub fn minor(&self, frame: u64) -> &FrameSchedule {
+        &self.minors[(frame % self.minors.len() as u64) as usize]
+    }
+
+    /// Number of minor frames per major frame.
+    pub fn len(&self) -> usize {
+        self.minors.len()
+    }
+
+    /// Returns `true` if the major frame has no minors (never
+    /// constructible through [`MajorSchedule::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.minors.is_empty()
+    }
+
+    /// The shared frame length.
+    pub fn frame_len(&self) -> Ticks {
+        self.minors[0].frame_len()
+    }
+
+    /// Returns `true` if any minor schedules the named partition.
+    pub fn has_partition(&self, name: &str) -> bool {
+        self.minors.iter().any(|m| m.window_for(name).is_some())
+    }
+
+    /// How many minors per major frame schedule the named partition —
+    /// its rate as a fraction of the base rate.
+    pub fn rate_of(&self, name: &str) -> usize {
+        self.minors
+            .iter()
+            .filter(|m| m.window_for(name).is_some())
+            .count()
+    }
+}
+
+/// Builder for [`FrameSchedule`].
+#[derive(Debug, Clone)]
+pub struct FrameScheduleBuilder {
+    frame_len: Ticks,
+    windows: Vec<Window>,
+}
+
+impl FrameScheduleBuilder {
+    /// Appends a window for the named partition.
+    #[must_use]
+    pub fn window(mut self, partition: impl Into<String>, budget: Ticks) -> Self {
+        self.windows.push(Window {
+            partition: partition.into(),
+            budget,
+        });
+        self
+    }
+
+    /// Finalizes the schedule.
+    ///
+    /// # Errors
+    ///
+    /// - [`RtosError::EmptySchedule`] if no window was added;
+    /// - [`RtosError::DuplicatePartition`] if two windows share a name;
+    /// - [`RtosError::Overcommitted`] if budgets exceed the frame length.
+    pub fn build(self) -> Result<FrameSchedule, RtosError> {
+        if self.windows.is_empty() {
+            return Err(RtosError::EmptySchedule);
+        }
+        for (i, w) in self.windows.iter().enumerate() {
+            if self.windows[..i].iter().any(|p| p.partition == w.partition) {
+                return Err(RtosError::DuplicatePartition(w.partition.clone()));
+            }
+        }
+        let total_budget = self.windows.iter().map(|w| w.budget).sum::<Ticks>();
+        if total_budget > self.frame_len {
+            return Err(RtosError::Overcommitted {
+                total_budget,
+                frame_len: self.frame_len,
+            });
+        }
+        Ok(FrameSchedule {
+            frame_len: self.frame_len,
+            windows: self.windows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_schedule_builds_with_slack() {
+        let s = FrameSchedule::builder(Ticks::new(100))
+            .window("fcs", Ticks::new(40))
+            .window("autopilot", Ticks::new(30))
+            .build()
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.total_budget(), Ticks::new(70));
+        assert_eq!(s.slack(), Ticks::new(30));
+        assert_eq!(s.window_for("fcs").unwrap().budget, Ticks::new(40));
+        assert!(s.window_for("nav").is_none());
+        assert_eq!(s.frame_len(), Ticks::new(100));
+    }
+
+    #[test]
+    fn overcommitted_schedule_rejected() {
+        let err = FrameSchedule::builder(Ticks::new(50))
+            .window("a", Ticks::new(30))
+            .window("b", Ticks::new(30))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RtosError::Overcommitted {
+                total_budget: Ticks::new(60),
+                frame_len: Ticks::new(50)
+            }
+        );
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let s = FrameSchedule::builder(Ticks::new(50))
+            .window("a", Ticks::new(50))
+            .build()
+            .unwrap();
+        assert_eq!(s.slack(), Ticks::ZERO);
+    }
+
+    #[test]
+    fn duplicate_window_names_rejected() {
+        let err = FrameSchedule::builder(Ticks::new(100))
+            .window("a", Ticks::new(10))
+            .window("a", Ticks::new(10))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, RtosError::DuplicatePartition("a".into()));
+    }
+
+    #[test]
+    fn empty_schedule_rejected() {
+        assert_eq!(
+            FrameSchedule::builder(Ticks::new(100)).build().unwrap_err(),
+            RtosError::EmptySchedule
+        );
+    }
+
+    fn minor(parts: &[(&str, u64)]) -> FrameSchedule {
+        let mut b = FrameSchedule::builder(Ticks::new(100));
+        for (name, budget) in parts {
+            b = b.window(*name, Ticks::new(*budget));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn major_schedule_cycles_minors() {
+        // fcs at full rate, nav at half rate.
+        let major = MajorSchedule::new(vec![
+            minor(&[("fcs", 40), ("nav", 30)]),
+            minor(&[("fcs", 40)]),
+        ])
+        .unwrap();
+        assert_eq!(major.len(), 2);
+        assert!(!major.is_empty());
+        assert_eq!(major.frame_len(), Ticks::new(100));
+        assert_eq!(major.minor(0).len(), 2);
+        assert_eq!(major.minor(1).len(), 1);
+        assert_eq!(major.minor(2).len(), 2); // wraps
+        assert!(major.has_partition("nav"));
+        assert!(!major.has_partition("ghost"));
+        assert_eq!(major.rate_of("fcs"), 2);
+        assert_eq!(major.rate_of("nav"), 1);
+        assert_eq!(major.rate_of("ghost"), 0);
+    }
+
+    #[test]
+    fn major_schedule_rejects_empty_and_mixed_lengths() {
+        assert_eq!(
+            MajorSchedule::new(Vec::new()).unwrap_err(),
+            RtosError::EmptySchedule
+        );
+        let odd = FrameSchedule::builder(Ticks::new(50))
+            .window("a", Ticks::new(10))
+            .build()
+            .unwrap();
+        let err = MajorSchedule::new(vec![minor(&[("a", 10)]), odd]).unwrap_err();
+        assert_eq!(
+            err,
+            RtosError::MixedFrameLength {
+                expected: Ticks::new(100),
+                found: Ticks::new(50)
+            }
+        );
+        assert!(err.to_string().contains("frame length"));
+    }
+
+    #[test]
+    fn uniform_major_is_single_minor() {
+        let major = MajorSchedule::uniform(minor(&[("a", 10)]));
+        assert_eq!(major.len(), 1);
+        assert_eq!(major.minor(7).window_for("a").unwrap().budget, Ticks::new(10));
+    }
+}

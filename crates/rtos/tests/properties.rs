@@ -1,0 +1,110 @@
+//! Property-based tests of the executive: schedulability invariants and
+//! clock arithmetic.
+
+use arfs_rtos::{
+    Executive, FrameContext, FrameSchedule, MajorSchedule, Partition, RtosError, Ticks,
+    VirtualClock, WorkReport,
+};
+use proptest::prelude::*;
+
+struct Fixed(String, u64);
+impl Partition for Fixed {
+    fn name(&self) -> &str {
+        &self.0
+    }
+    fn run_frame(&mut self, _ctx: &FrameContext) -> WorkReport {
+        WorkReport::ok(Ticks::new(self.1))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The builder accepts a window set exactly when the budgets fit the
+    /// frame, and on success slack + budget == frame length.
+    #[test]
+    fn builder_accepts_iff_budgets_fit(
+        frame_len in 1u64..1000,
+        budgets in proptest::collection::vec(0u64..300, 1..8),
+    ) {
+        let mut b = FrameSchedule::builder(Ticks::new(frame_len));
+        for (i, budget) in budgets.iter().enumerate() {
+            b = b.window(format!("p{i}"), Ticks::new(*budget));
+        }
+        let total: u64 = budgets.iter().sum();
+        match b.build() {
+            Ok(schedule) => {
+                prop_assert!(total <= frame_len);
+                prop_assert_eq!(schedule.total_budget(), Ticks::new(total));
+                prop_assert_eq!(
+                    schedule.slack() + schedule.total_budget(),
+                    Ticks::new(frame_len)
+                );
+            }
+            Err(RtosError::Overcommitted { total_budget, .. }) => {
+                prop_assert!(total > frame_len);
+                prop_assert_eq!(total_budget, Ticks::new(total));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Clock conversions: ticks_to_frames is the ceiling inverse of
+    /// frames_to_ticks.
+    #[test]
+    fn clock_conversions_are_consistent(frame_len in 1u64..500, frames in 0u64..1000) {
+        let clock = VirtualClock::new(Ticks::new(frame_len));
+        let ticks = clock.frames_to_ticks(frames);
+        prop_assert_eq!(clock.ticks_to_frames(ticks), frames);
+        if frames > 0 {
+            // One tick more needs one more frame.
+            prop_assert_eq!(
+                clock.ticks_to_frames(ticks + Ticks::new(1)),
+                frames + 1
+            );
+        }
+    }
+
+    /// A deadline miss is reported exactly when consumption exceeds the
+    /// window budget.
+    #[test]
+    fn deadline_misses_iff_over_budget(budget in 1u64..100, consumed in 0u64..200) {
+        let schedule = FrameSchedule::builder(Ticks::new(200))
+            .window("p", Ticks::new(budget))
+            .build()
+            .unwrap();
+        let mut exec = Executive::new(schedule);
+        exec.add_partition(Box::new(Fixed("p".into(), consumed))).unwrap();
+        let report = exec.run_frame();
+        prop_assert_eq!(!report.health.is_empty(), consumed > budget);
+    }
+
+    /// Over a full major-frame cycle, each partition runs exactly
+    /// rate_of() times.
+    #[test]
+    fn multi_rate_partitions_run_at_declared_rates(pattern in proptest::collection::vec(any::<bool>(), 1..6)) {
+        // Minor i schedules "fast" always and "slow" when pattern[i].
+        let minors: Vec<FrameSchedule> = pattern
+            .iter()
+            .map(|&with_slow| {
+                let mut b = FrameSchedule::builder(Ticks::new(100)).window("fast", Ticks::new(10));
+                if with_slow {
+                    b = b.window("slow", Ticks::new(10));
+                }
+                b.build().unwrap()
+            })
+            .collect();
+        let major = MajorSchedule::new(minors).unwrap();
+        let slow_rate = major.rate_of("slow");
+        prop_assert_eq!(slow_rate, pattern.iter().filter(|&&b| b).count());
+        let mut exec = Executive::with_major(major);
+        exec.add_partition(Box::new(Fixed("fast".into(), 10))).unwrap();
+        if slow_rate > 0 {
+            exec.add_partition(Box::new(Fixed("slow".into(), 10))).unwrap();
+        }
+        let reports = exec.run_frames(pattern.len() as u64);
+        let total: u64 = reports.iter().map(|r| r.consumed.raw()).sum();
+        let expected = pattern.len() as u64 * 10 + slow_rate as u64 * 10;
+        prop_assert_eq!(total, expected);
+    }
+}

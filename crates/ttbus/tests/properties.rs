@@ -1,0 +1,115 @@
+//! Property-based tests of the TDMA bus: delivery conservation,
+//! ordering, and membership soundness.
+
+use std::collections::BTreeMap;
+
+use arfs_ttbus::{BusSchedule, Message, NodeId, TtBus};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Conservation and order: every submitted message is delivered to
+    /// every node exactly once, and per-sender submission order is
+    /// preserved at every receiver.
+    #[test]
+    fn every_message_delivered_exactly_once_in_order(
+        submissions in proptest::collection::vec((0u32..4, 1usize..40), 0..50),
+    ) {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let schedule = BusSchedule::round_robin(nodes.clone(), 64).unwrap();
+        let mut bus = TtBus::new(schedule);
+
+        let mut expected_per_sender: BTreeMap<NodeId, Vec<String>> = BTreeMap::new();
+        for (i, (sender, len)) in submissions.iter().enumerate() {
+            let sender = NodeId::new(*sender);
+            let topic = format!("m{i}");
+            bus.submit(sender, Message::new(topic.clone(), vec![0u8; *len])).unwrap();
+            expected_per_sender.entry(sender).or_default().push(topic);
+        }
+
+        // Run rounds until all backlogs drain (bounded by the static
+        // latency bound per node).
+        let mut rounds = 0;
+        while nodes.iter().any(|&n| bus.backlog_bytes(n) > 0) {
+            for &n in &nodes {
+                bus.mark_present(n);
+            }
+            bus.run_round();
+            rounds += 1;
+            prop_assert!(rounds <= submissions.len() as u64 + 2, "bus failed to drain");
+        }
+
+        for &receiver in &nodes {
+            let inbox = bus.drain_inbox(receiver);
+            let mut got_per_sender: BTreeMap<NodeId, Vec<String>> = BTreeMap::new();
+            for d in inbox {
+                got_per_sender
+                    .entry(d.from)
+                    .or_default()
+                    .push(d.message.topic().to_owned());
+            }
+            for (sender, expected) in &expected_per_sender {
+                prop_assert_eq!(
+                    got_per_sender.get(sender).cloned().unwrap_or_default(),
+                    expected.clone(),
+                    "receiver {} from sender {}",
+                    receiver,
+                    sender
+                );
+            }
+        }
+    }
+
+    /// Membership soundness and completeness: a node is observed present
+    /// in a round if and only if it asserted presence (or transmitted).
+    #[test]
+    fn membership_reflects_presence_exactly(
+        present_sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..5, 0..6),
+            1..10
+        ),
+    ) {
+        let nodes: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let schedule = BusSchedule::round_robin(nodes.clone(), 32).unwrap();
+        let mut bus = TtBus::new(schedule);
+        for set in &present_sets {
+            for raw in set {
+                bus.mark_present(NodeId::new(*raw));
+            }
+            let report = bus.run_round();
+            for &n in &nodes {
+                prop_assert_eq!(
+                    report.membership[&n],
+                    set.contains(&n.raw()),
+                    "round {} node {}",
+                    report.round,
+                    n
+                );
+            }
+        }
+    }
+
+    /// Static latency bound: the worst-case-rounds formula is an upper
+    /// bound for any actual backlog of maximal messages.
+    #[test]
+    fn static_latency_bound_holds(msg_count in 1usize..30, msg_len in 1usize..64) {
+        let node = NodeId::new(0);
+        let schedule = BusSchedule::round_robin([node], 64).unwrap();
+        let mut bus = TtBus::new(schedule);
+        for i in 0..msg_count {
+            bus.submit(node, Message::new(format!("m{i}"), vec![0u8; msg_len])).unwrap();
+        }
+        let bound = bus
+            .schedule()
+            .worst_case_rounds(node, msg_count * msg_len, msg_len)
+            .unwrap();
+        let mut rounds = 0;
+        while bus.backlog_bytes(node) > 0 {
+            bus.mark_present(node);
+            bus.run_round();
+            rounds += 1;
+            prop_assert!(rounds <= bound, "bound {bound} violated after {rounds} rounds");
+        }
+    }
+}

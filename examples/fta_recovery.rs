@@ -1,0 +1,123 @@
+//! Fault-tolerant actions on fail-stop processors: from Schlichting &
+//! Schneider's masking recovery to the paper's reconfiguration recovery.
+//!
+//! ```sh
+//! cargo run --example fta_recovery
+//! ```
+//!
+//! Shows the three recovery protocols side by side on the same workload:
+//!
+//! 1. **RestartAction** — the classic S&S protocol: the interrupted
+//!    action restarts on a spare processor from stable state (masking);
+//! 2. **Alternate** — the action completes "by some alternative means";
+//! 3. **Reconfigure** — the DSN 2005 extension: the failure is *not*
+//!    masked; instead a reconfiguration request is surfaced, and we feed
+//!    it into a reconfigurable system as an environment change.
+
+use arfs::core::prelude::*;
+use arfs::core::properties;
+use arfs::failstop::{FaultPlan, ProcessorPool, Program};
+use arfs::fta::{Fta, FtaExecutor, FtaOutcome, RecoveryProtocol};
+
+fn work_program() -> Program {
+    let mut p = Program::new("log-telemetry");
+    p.push("read", |ctx| {
+        let n = ctx.stable.get_u64("samples").unwrap_or(0);
+        ctx.volatile.set_u64("next", n + 1);
+        Ok(())
+    });
+    p.push("write", |ctx| {
+        let n = ctx.volatile.get_u64("next").ok_or("lost volatile state")?;
+        ctx.stable.stage_u64("samples", n);
+        Ok(())
+    });
+    p
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Masking by restart on a spare. ---
+    let mut pool = ProcessorPool::with_processors(3);
+    pool.assign("telemetry", arfs::failstop::ProcessorId::new(0))?;
+    pool.processor_mut(arfs::failstop::ProcessorId::new(0))
+        .unwrap()
+        .set_fault_plan(FaultPlan::at_instructions([2]));
+    let mut exec = FtaExecutor::new();
+    let fta = Fta::new("telemetry", work_program())
+        .with_postcondition(|s| s.get_u64("samples") == Some(1));
+    let outcome = exec.execute(&mut pool, "telemetry", &fta);
+    println!("restart recovery:     {outcome:?}");
+    assert_eq!(outcome, FtaOutcome::Completed { recoveries: 1 });
+
+    // --- 2. Alternative-means recovery. ---
+    let mut pool = ProcessorPool::with_processors(2);
+    pool.assign("telemetry", arfs::failstop::ProcessorId::new(0))?;
+    pool.processor_mut(arfs::failstop::ProcessorId::new(0))
+        .unwrap()
+        .set_fault_plan(FaultPlan::at_instructions([1]));
+    let mut minimal = Program::new("minimal-log");
+    minimal.push("mark", |ctx| {
+        ctx.stable.stage_str("mode", "reduced-telemetry");
+        Ok(())
+    });
+    let fta = Fta::new("telemetry", work_program())
+        .with_recovery(RecoveryProtocol::Alternate(minimal));
+    let outcome = exec.execute(&mut pool, "telemetry", &fta);
+    println!("alternate recovery:   {outcome:?}");
+    assert!(matches!(outcome, FtaOutcome::Completed { recoveries: 1 }));
+
+    // --- 3. Reconfiguration recovery: the paper's extension. ---
+    let mut pool = ProcessorPool::with_processors(2);
+    pool.assign("telemetry", arfs::failstop::ProcessorId::new(0))?;
+    pool.processor_mut(arfs::failstop::ProcessorId::new(0))
+        .unwrap()
+        .set_fault_plan(FaultPlan::at_instructions([1]));
+    let fta = Fta::new("telemetry", work_program()).with_recovery(RecoveryProtocol::Reconfigure {
+        reason: "telemetry host failed; spare reserved for flight-critical work".into(),
+    });
+    let outcome = exec.execute(&mut pool, "telemetry", &fta);
+    println!("reconfigure recovery: {outcome:?}");
+    let FtaOutcome::ReconfigureRequested { reason, .. } = outcome else {
+        panic!("expected a reconfiguration request");
+    };
+
+    // The request becomes an environment change for the SCRAM: "the
+    // status of a component is modeled as an element of the environment".
+    let spec = ReconfigSpec::builder()
+        .frame_len(Ticks::new(100))
+        .env_factor("telemetry-host", ["up", "down"])
+        .app(
+            AppDecl::new("telemetry")
+                .spec(FunctionalSpec::new("full"))
+                .spec(FunctionalSpec::new("summary-only")),
+        )
+        .config(
+            Configuration::new("normal")
+                .assign("telemetry", "full")
+                .place("telemetry", ProcessorId::new(0)),
+        )
+        .config(
+            Configuration::new("degraded")
+                .assign("telemetry", "summary-only")
+                .place("telemetry", ProcessorId::new(1))
+                .safe(),
+        )
+        .transition("normal", "degraded", Ticks::new(600))
+        .transition("degraded", "normal", Ticks::new(600))
+        .choose_when("telemetry-host", "down", "degraded")
+        .choose_when("telemetry-host", "up", "normal")
+        .initial_config("normal")
+        .initial_env([("telemetry-host", "up")])
+        .min_dwell_frames(2)
+        .build()?;
+
+    let mut system = System::builder(spec).build()?;
+    system.run_frames(3);
+    println!("feeding reconfiguration request into the SCRAM: {reason}");
+    system.set_env("telemetry-host", "down")?;
+    system.run_frames(8);
+    assert_eq!(system.current_config().as_str(), "degraded");
+    let report = properties::check_all(system.trace(), system.spec());
+    println!("system reconfigured to `degraded`; properties: {report}");
+    assert!(report.is_ok());
+    Ok(())
+}

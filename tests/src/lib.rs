@@ -1,0 +1,1 @@
+//! Integration test crate for the ARFS workspace; see `tests/` directory.

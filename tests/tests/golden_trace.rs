@@ -1,0 +1,65 @@
+//! Golden-trace regression test: the reference mission's trace is pinned
+//! as a JSON artifact. Any change to the protocol, trace recording, or
+//! avionics behavior that alters the observable trace will fail here —
+//! deliberately. If the change is intentional, regenerate the golden file
+//! by running this test with `ARFS_BLESS=1`.
+
+use std::path::PathBuf;
+
+use arfs_core::scenario::Scenario;
+use arfs_core::trace::SysTrace;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data/golden_avionics_trace.json")
+}
+
+/// The pinned reference mission: one alternator failure, a repair, then
+/// a double failure, on the §7 avionics specification with NullApps and
+/// default policies.
+fn reference_trace() -> SysTrace {
+    let spec = arfs_avionics::avionics_spec().unwrap();
+    let scenario = Scenario::new("golden-mission", 60)
+        .set_env(8, "electrical", "one")
+        .set_env(25, "electrical", "both")
+        .set_env(42, "electrical", "battery");
+    let system = scenario.run_on_spec(&spec).unwrap();
+    system.trace().clone()
+}
+
+#[test]
+fn reference_mission_matches_golden_trace() {
+    let trace = reference_trace();
+    let path = golden_path();
+
+    if std::env::var("ARFS_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, serde_json::to_string_pretty(&trace).unwrap()).unwrap();
+        eprintln!("golden trace regenerated at {}", path.display());
+        return;
+    }
+
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with ARFS_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    let golden: SysTrace = serde_json::from_str(&body).expect("golden file parses");
+    assert_eq!(
+        trace,
+        golden,
+        "the reference mission's trace changed; if intentional, regenerate with \
+         `ARFS_BLESS=1 cargo test -p arfs-integration --test golden_trace`"
+    );
+}
+
+#[test]
+fn golden_trace_still_satisfies_all_properties() {
+    // The pinned artifact itself must be a correct trace — guards against
+    // blessing a broken protocol.
+    let spec = arfs_avionics::avionics_spec().unwrap();
+    let trace = reference_trace();
+    let report = arfs_core::properties::check_extended(&trace, &spec);
+    assert!(report.is_ok(), "{report}");
+    assert_eq!(trace.get_reconfigs().len(), 3);
+}

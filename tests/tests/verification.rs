@@ -1,0 +1,111 @@
+//! Integration tests of the bundled verification pipeline and the
+//! serialization of assurance artifacts.
+
+use arfs_core::stats::trace_stats;
+use arfs_core::trace::SysTrace;
+use arfs_core::verify::{verify_spec, VerifyOptions};
+
+#[test]
+fn avionics_spec_passes_full_verification() {
+    let spec = arfs_avionics::avionics_spec().unwrap();
+    let report = verify_spec(
+        &spec,
+        &VerifyOptions {
+            horizon: 22,
+            max_events: 1,
+            threads: 4,
+            mutation_screen: true,
+        },
+    );
+    assert!(report.is_verified(), "{report}");
+    // Two apps, three configs: all five mutation classes expressible.
+    assert_eq!(report.mutations.len(), 5);
+    assert!(report.mutations.iter().all(|m| m.caught), "{report}");
+    assert_eq!(report.obligations.len(), 7);
+}
+
+#[test]
+fn verification_report_serializes() {
+    let spec = arfs_avionics::avionics_spec().unwrap();
+    let report = verify_spec(
+        &spec,
+        &VerifyOptions {
+            horizon: 14,
+            max_events: 1,
+            threads: 2,
+            mutation_screen: false,
+        },
+    );
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("covering_txns"));
+    assert!(json.contains("cases_run"));
+}
+
+#[test]
+fn traces_roundtrip_through_json() {
+    let mut av = arfs_avionics::AvionicsSystem::new().unwrap();
+    av.engage_autopilot();
+    av.run_frames(10);
+    av.fail_alternator(1);
+    av.run_frames(10);
+
+    let trace = av.system().trace();
+    let json = serde_json::to_string(trace).unwrap();
+    let back: SysTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, trace);
+    // The deserialized trace yields identical analysis results.
+    assert_eq!(back.get_reconfigs(), trace.get_reconfigs());
+    assert_eq!(trace_stats(&back), trace_stats(trace));
+    // And still satisfies the properties.
+    let report = arfs_core::properties::check_all(&back, av.system().spec());
+    assert!(report.is_ok(), "{report}");
+}
+
+#[test]
+fn stats_summarize_a_mission() {
+    let mut av = arfs_avionics::AvionicsSystem::new().unwrap();
+    av.run_frames(10);
+    av.fail_alternator(1);
+    av.run_frames(15);
+    av.fail_alternator(2);
+    av.run_frames(15);
+    let stats = trace_stats(av.system().trace());
+    assert_eq!(stats.frames, 40);
+    assert_eq!(stats.reconfigurations, 2);
+    assert!(stats.availability() < 1.0);
+    assert!(stats.availability() > 0.5);
+    assert_eq!(stats.min_cycles, Some(5)); // phase-checked protocol
+    assert!(!stats.open_reconfiguration);
+    assert!(stats
+        .frames_per_config
+        .keys()
+        .any(|c| c.as_str() == "minimal-service"));
+    // Max restriction in ticks respects the declared bounds.
+    let frame_len = av.system().spec().frame_len();
+    let worst = stats.max_restriction(frame_len).unwrap();
+    for (_, _, bound) in av.system().spec().transitions().iter() {
+        assert!(worst <= bound);
+    }
+}
+
+#[test]
+fn obligation_report_serializes_pvs_style() {
+    let spec = arfs_avionics::avionics_spec().unwrap();
+    let report = arfs_core::analysis::check_obligations(&spec);
+    let text = report.to_string();
+    assert!(text.contains("proved - complete"));
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    let names: Vec<&str> = [
+        "covering_txns",
+        "speclvl_subtype",
+        "safe_reachable",
+        "transition_bounds_feasible",
+        "cycle_guarded",
+        "schedulable",
+        "deps_acyclic",
+    ]
+    .to_vec();
+    for n in names {
+        assert!(json.contains(n), "missing obligation {n}");
+    }
+}
