@@ -171,11 +171,7 @@ impl ReconfigurableApp for Autopilot {
                 ((0.0 - readings.bank_deg) / 30.0).clamp(-0.5, 0.5),
             ),
             AutopilotMode::ClimbTo(target) => (
-                self.altitude_controller(
-                    readings.altitude_ft,
-                    readings.vertical_speed_fpm,
-                    target,
-                ),
+                self.altitude_controller(readings.altitude_ft, readings.vertical_speed_fpm, target),
                 ((0.0 - readings.bank_deg) / 30.0).clamp(-0.5, 0.5),
             ),
             AutopilotMode::HeadingHold => (
@@ -249,9 +245,9 @@ impl ReconfigurableApp for Autopilot {
 mod tests {
     use super::*;
     use crate::dynamics::{Aircraft, AircraftState, ControlSurfaces, PilotInput};
-    use crate::spec::AP_ALT_HOLD;
     use crate::electrical::ElectricalSystem;
     use crate::sensors::SensorSuite;
+    use crate::spec::AP_ALT_HOLD;
     use crate::system::SimWorld;
     use arfs_core::app::Blackboard;
     use arfs_core::environment::EnvState;
@@ -411,7 +407,10 @@ mod tests {
         };
         ap.halt(&mut ctx).unwrap();
         assert!(ap.postcondition_established());
-        assert!(!controls.lock().engage, "halt disengages the cockpit switch");
+        assert!(
+            !controls.lock().engage,
+            "halt disengages the cockpit switch"
+        );
 
         let target = SpecId::new(AP_ALT_HOLD);
         ap.prepare(&mut ctx, &target).unwrap();

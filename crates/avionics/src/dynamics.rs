@@ -187,7 +187,11 @@ mod tests {
         let mut a = Aircraft::new(AircraftState::cruise(5000.0, 90.0), 0.1);
         fly(&mut a, ControlSurfaces::centered(), 200);
         let s = a.state();
-        assert!((s.altitude_ft - 5000.0).abs() < 1.0, "alt {}", s.altitude_ft);
+        assert!(
+            (s.altitude_ft - 5000.0).abs() < 1.0,
+            "alt {}",
+            s.altitude_ft
+        );
         assert!((s.heading_deg - 90.0).abs() < 0.1);
         assert!(s.bank_deg.abs() < 0.01);
     }

@@ -141,7 +141,8 @@ impl ReconfigurableApp for Datalink {
         let state = self.world.lock().aircraft.state();
         self.sequence += 1;
         ctx.stable.stage_u64("seq", self.sequence);
-        ctx.stable.stage_f64("telemetry_altitude", state.altitude_ft);
+        ctx.stable
+            .stage_f64("telemetry_altitude", state.altitude_ft);
         ctx.stable.stage_f64("telemetry_heading", state.heading_deg);
         Ok(())
     }
@@ -288,6 +289,24 @@ impl ReconfigurableApp for Recorder {
 /// Never fails in practice; the `Result` is the builder's validation
 /// signature.
 pub fn extended_uav_spec() -> Result<ReconfigSpec, SpecError> {
+    build_spec(None)
+}
+
+/// The extended specification minus the `reduced-ops -> minimal-ops`
+/// transition: the extended instantiation's **negative-control
+/// fixture**. The choice function still selects `minimal-ops` from
+/// `reduced-ops` on battery power, so `covering_txns` must report the
+/// missing transition.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is the builder's validation
+/// signature.
+pub fn extended_negative_control_spec() -> Result<ReconfigSpec, SpecError> {
+    build_spec(Some(("reduced-ops", "minimal-ops")))
+}
+
+fn build_spec(skip_transition: Option<(&str, &str)>) -> Result<ReconfigSpec, SpecError> {
     let t = Ticks::new(1200); // generous: 3 init waves under phase-checked
     let mut b = ReconfigSpec::builder()
         .frame_len(Ticks::new(100))
@@ -363,7 +382,7 @@ pub fn extended_uav_spec() -> Result<ReconfigSpec, SpecError> {
     let configs = ["full-ops", "reduced-ops", "comms-out", "minimal-ops"];
     for from in configs {
         for to in configs {
-            if from != to {
+            if from != to && skip_transition != Some((from, to)) {
                 b = b.transition(from, to, t);
             }
         }
@@ -430,7 +449,10 @@ impl ExtendedUavSystem {
                     "electrical".to_string(),
                     monitor_world.lock().electrical.env_value().to_string(),
                 ),
-                ("radio".to_string(), monitor_radio.lock().env_value().to_string()),
+                (
+                    "radio".to_string(),
+                    monitor_radio.lock().env_value().to_string(),
+                ),
             ]
         });
 
@@ -557,10 +579,7 @@ mod tests {
         uav.run_frames(10);
         uav.fail_alternator(1);
         uav.run_frames(12);
-        assert_eq!(
-            uav.system().current_config(),
-            &ConfigId::new("reduced-ops")
-        );
+        assert_eq!(uav.system().current_config(), &ConfigId::new("reduced-ops"));
         let trace = uav.system().trace();
         let r = trace.get_reconfigs()[0];
         // 1 trigger + 1 halt + 1 prepare + 3 init waves = 6 cycles.
@@ -568,8 +587,14 @@ mod tests {
         // Wave order visible in the trace: fcs initializes first, the
         // recorder last.
         let wave1 = trace.state(r.end_c - 2).unwrap();
-        assert_eq!(wave1.apps[&AppId::new("fcs")].reconf_st, ReconfSt::Initializing);
-        assert_eq!(wave1.apps[&AppId::new("recorder")].reconf_st, ReconfSt::Prepared);
+        assert_eq!(
+            wave1.apps[&AppId::new("fcs")].reconf_st,
+            ReconfSt::Initializing
+        );
+        assert_eq!(
+            wave1.apps[&AppId::new("recorder")].reconf_st,
+            ReconfSt::Prepared
+        );
         let wave2 = trace.state(r.end_c - 1).unwrap();
         assert_eq!(
             wave2.apps[&AppId::new("datalink")].reconf_st,
@@ -605,10 +630,7 @@ mod tests {
         uav.fail_alternator(1); // both changes land together
         uav.run_frames(12);
         // electrical=one outranks radio=failed.
-        assert_eq!(
-            uav.system().current_config(),
-            &ConfigId::new("reduced-ops")
-        );
+        assert_eq!(uav.system().current_config(), &ConfigId::new("reduced-ops"));
     }
 
     #[test]
@@ -621,10 +643,7 @@ mod tests {
         uav.run_frames(15); // reduced-ops
         uav.fail_alternator(2);
         uav.run_frames(15); // minimal-ops
-        assert_eq!(
-            uav.system().current_config(),
-            &ConfigId::new("minimal-ops")
-        );
+        assert_eq!(uav.system().current_config(), &ConfigId::new("minimal-ops"));
         assert_eq!(uav.system().trace().get_reconfigs().len(), 3);
         let report = properties::check_extended(uav.system().trace(), uav.system().spec());
         assert!(report.is_ok(), "{report}");
@@ -681,10 +700,7 @@ mod tests {
         system.run_frames(10);
         system.set_env("electrical", "one").unwrap();
         system.run_frames(10);
-        assert_eq!(
-            system.current_config(),
-            &ConfigId::new("reduced-ops")
-        );
+        assert_eq!(system.current_config(), &ConfigId::new("reduced-ops"));
         let r = system.trace().get_reconfigs()[0];
         assert_eq!(r.cycles(), 3); // trigger + halt + prepare-initialize
         let report = properties::check_extended(system.trace(), system.spec());

@@ -239,7 +239,11 @@ mod tests {
         };
         let mut fcs = FlightControl::new(w);
         let s1 = frame(&mut fcs, &Blackboard::new());
-        assert!(s1.elevator > 0.0 && s1.elevator < 1.0, "smoothed: {}", s1.elevator);
+        assert!(
+            s1.elevator > 0.0 && s1.elevator < 1.0,
+            "smoothed: {}",
+            s1.elevator
+        );
         let s2 = frame(&mut fcs, &Blackboard::new());
         assert!(s2.elevator > s1.elevator, "converging toward the command");
     }
@@ -260,7 +264,11 @@ mod tests {
         }
         let mut fcs = FlightControl::new(w);
         let s = frame(&mut fcs, &Blackboard::new());
-        assert!(s.aileron <= 0.0, "over-bank must clamp roll, got {}", s.aileron);
+        assert!(
+            s.aileron <= 0.0,
+            "over-bank must clamp roll, got {}",
+            s.aileron
+        );
     }
 
     #[test]

@@ -68,5 +68,7 @@ pub use dynamics::{Aircraft, AircraftState, ControlSurfaces, PilotInput};
 pub use electrical::{ElectricalSystem, PowerSource};
 pub use fcs::FlightControl;
 pub use sensors::{SensorReadings, SensorSuite};
-pub use spec::{avionics_spec, AP_PRIMARY, AP_ALT_HOLD, FCS_DIRECT, FCS_PRIMARY};
+pub use spec::{
+    avionics_spec, negative_control_spec, AP_ALT_HOLD, AP_PRIMARY, FCS_DIRECT, FCS_PRIMARY,
+};
 pub use system::{AvionicsSystem, SharedWorld, SimWorld};

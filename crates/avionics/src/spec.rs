@@ -43,8 +43,27 @@ pub const FCS_DIRECT: &str = "fcs-direct";
 /// Never fails in practice; the `Result` is the builder's validation
 /// signature.
 pub fn avionics_spec() -> Result<ReconfigSpec, SpecError> {
+    build_spec(None)
+}
+
+/// The avionics specification minus the `reduced-service ->
+/// minimal-service` transition: a deliberately broken **negative-control
+/// fixture**. It builds (the omission is semantic, not structural), but
+/// `covering_txns` must reject it — the choice function selects
+/// `minimal-service` from `reduced-service` on battery power with no
+/// declared transition to take.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is the builder's validation
+/// signature.
+pub fn negative_control_spec() -> Result<ReconfigSpec, SpecError> {
+    build_spec(Some(("reduced-service", "minimal-service")))
+}
+
+fn build_spec(skip_transition: Option<(&str, &str)>) -> Result<ReconfigSpec, SpecError> {
     let frame = Ticks::new(100); // 1 tick = 1 ms; 10 Hz frames.
-    ReconfigSpec::builder()
+    let mut b = ReconfigSpec::builder()
         .frame_len(frame)
         .env_factor("electrical", ["both", "one", "battery"])
         .app(
@@ -68,7 +87,9 @@ pub fn avionics_spec() -> Result<ReconfigSpec, SpecError> {
                     FunctionalSpec::new(AP_PRIMARY)
                         .compute(Ticks::new(40))
                         .memory_kb(512)
-                        .describe("altitude hold, heading hold, climb to altitude, turn to heading"),
+                        .describe(
+                            "altitude hold, heading hold, climb to altitude, turn to heading",
+                        ),
                 )
                 .spec(
                     FunctionalSpec::new(AP_ALT_HOLD)
@@ -101,17 +122,24 @@ pub fn avionics_spec() -> Result<ReconfigSpec, SpecError> {
                 .assign("autopilot", "off")
                 .place("fcs", ProcessorId::new(0))
                 .safe(),
-        )
-        // Valid transitions and their T(ci, cj) bounds: 800 ticks = 8
-        // frames, twice the 4-frame protocol, leaving margin for
-        // phase-checked initialization waves.
-        .transition("full-service", "reduced-service", Ticks::new(800))
-        .transition("full-service", "minimal-service", Ticks::new(800))
-        .transition("reduced-service", "minimal-service", Ticks::new(800))
-        .transition("reduced-service", "full-service", Ticks::new(800))
-        .transition("minimal-service", "reduced-service", Ticks::new(800))
-        .transition("minimal-service", "full-service", Ticks::new(800))
-        .choose_when("electrical", "battery", "minimal-service")
+        );
+    // Valid transitions and their T(ci, cj) bounds: 800 ticks = 8
+    // frames, twice the 4-frame protocol, leaving margin for
+    // phase-checked initialization waves. The negative control omits one
+    // edge to demonstrate a covering-transactions gap.
+    for (from, to) in [
+        ("full-service", "reduced-service"),
+        ("full-service", "minimal-service"),
+        ("reduced-service", "minimal-service"),
+        ("reduced-service", "full-service"),
+        ("minimal-service", "reduced-service"),
+        ("minimal-service", "full-service"),
+    ] {
+        if skip_transition != Some((from, to)) {
+            b = b.transition(from, to, Ticks::new(800));
+        }
+    }
+    b.choose_when("electrical", "battery", "minimal-service")
         .choose_when("electrical", "one", "reduced-service")
         .choose_when("electrical", "both", "full-service")
         .initial_config("full-service")
@@ -134,23 +162,23 @@ mod tests {
         assert_eq!(spec.apps().len(), 2);
         assert_eq!(spec.configs().len(), 3);
         assert_eq!(spec.initial_config(), &ConfigId::new("full-service"));
-        assert_eq!(
-            spec.safe_configs(),
-            vec![&ConfigId::new("minimal-service")]
-        );
+        assert_eq!(spec.safe_configs(), vec![&ConfigId::new("minimal-service")]);
         let minimal = spec.config(&ConfigId::new("minimal-service")).unwrap();
-        assert!(minimal
-            .spec_for(&AppId::new("autopilot"))
-            .unwrap()
-            .is_off());
+        assert!(minimal.spec_for(&AppId::new("autopilot")).unwrap().is_off());
         // Full service uses two computers; the others one (and zero for
         // the off autopilot).
         assert_eq!(
-            spec.config(&ConfigId::new("full-service")).unwrap().processors().len(),
+            spec.config(&ConfigId::new("full-service"))
+                .unwrap()
+                .processors()
+                .len(),
             2
         );
         assert_eq!(
-            spec.config(&ConfigId::new("reduced-service")).unwrap().processors().len(),
+            spec.config(&ConfigId::new("reduced-service"))
+                .unwrap()
+                .processors()
+                .len(),
             1
         );
     }
@@ -189,6 +217,17 @@ mod tests {
                 "electrical={value}"
             );
         }
+    }
+
+    #[test]
+    fn negative_control_fails_covering_txns() {
+        let spec = negative_control_spec().unwrap();
+        let report = analysis::check_obligations(&spec);
+        assert!(!report.all_passed(), "{report}");
+        let gaps = analysis::coverage::covering_txns(&spec);
+        assert!(gaps
+            .iter()
+            .any(|g| g.config == ConfigId::new("reduced-service")));
     }
 
     #[test]

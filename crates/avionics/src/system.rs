@@ -74,10 +74,7 @@ impl AvionicsSystem {
     /// # Errors
     ///
     /// Propagates [`SystemError`] from system assembly.
-    pub fn with_policies(
-        mid: MidReconfigPolicy,
-        sync: SyncPolicy,
-    ) -> Result<Self, SystemError> {
+    pub fn with_policies(mid: MidReconfigPolicy, sync: SyncPolicy) -> Result<Self, SystemError> {
         let spec = avionics_spec().expect("avionics specification is valid");
         let dt_s = spec.frame_len().raw() as f64 / 1000.0; // 1 tick = 1 ms
         let world: SharedWorld = Arc::new(Mutex::new(SimWorld {
@@ -97,15 +94,13 @@ impl AvionicsSystem {
         // application (§6.3): it samples the exported power state each
         // frame and reports it as the `electrical` environment factor.
         let monitor_world = world.clone();
-        let electrical_monitor = arfs_core::environment::FnMonitor::new(
-            "electrical-monitor",
-            move |_frame| {
+        let electrical_monitor =
+            arfs_core::environment::FnMonitor::new("electrical-monitor", move |_frame| {
                 vec![(
                     "electrical".to_string(),
                     monitor_world.lock().electrical.env_value().to_string(),
                 )]
-            },
-        );
+            });
 
         let system = System::builder(spec)
             .mid_policy(mid)
@@ -337,10 +332,7 @@ mod tests {
         );
         av.repair_alternator(1);
         av.run_frames(20);
-        assert_eq!(
-            av.system().current_config(),
-            &ConfigId::new("full-service")
-        );
+        assert_eq!(av.system().current_config(), &ConfigId::new("full-service"));
         let report = properties::check_extended(av.system().trace(), av.system().spec());
         assert!(report.is_ok(), "{report}");
     }

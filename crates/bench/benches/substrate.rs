@@ -36,7 +36,8 @@ fn bench_bus_round(c: &mut Criterion) {
         let mut bus = TtBus::new(schedule);
         b.iter(|| {
             for &n in &nodes {
-                bus.submit(n, Message::new("status", vec![0u8; 32])).unwrap();
+                bus.submit(n, Message::new("status", vec![0u8; 32]))
+                    .unwrap();
             }
             let report = bus.run_round();
             for &n in &nodes {
@@ -74,5 +75,10 @@ fn bench_processor(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stable_commit, bench_bus_round, bench_processor);
+criterion_group!(
+    benches,
+    bench_stable_commit,
+    bench_bus_round,
+    bench_processor
+);
 criterion_main!(benches);

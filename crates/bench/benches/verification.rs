@@ -57,6 +57,16 @@ fn bench_static_analysis(c: &mut Criterion) {
             black_box(gaps)
         });
     });
+    // The allocation-free rewrite matters most on the larger
+    // quantification domain: 4 configurations x 9 environment states.
+    group.bench_function("covering_txns_extended", |b| {
+        let extended = arfs_avionics::extended::extended_uav_spec().unwrap();
+        b.iter(|| {
+            let gaps = coverage::covering_txns(&extended);
+            assert!(gaps.is_empty());
+            black_box(gaps)
+        });
+    });
     group.bench_function("obligation_suite", |b| {
         b.iter(|| black_box(analysis::check_obligations(&spec)));
     });
@@ -65,6 +75,32 @@ fn bench_static_analysis(c: &mut Criterion) {
     });
     group.bench_function("restriction_analysis", |b| {
         b.iter(|| black_box(timing::restriction_analysis(&spec)));
+    });
+    group.finish();
+}
+
+fn bench_lint(c: &mut Criterion) {
+    use arfs_core::lint::{Assembly, LintEngine, LintTarget};
+
+    let mut group = c.benchmark_group("lint");
+    let spec = avionics_spec().unwrap();
+    let assembly = Assembly::derive(&spec).unwrap();
+    let engine = LintEngine::new();
+
+    group.bench_function("engine_serial_assembled", |b| {
+        b.iter(|| {
+            let report = engine.run(&LintTarget::assembled(&spec, &assembly));
+            assert!(report.is_clean());
+            black_box(report)
+        });
+    });
+    group.bench_function("engine_parallel4_assembled", |b| {
+        b.iter(|| black_box(engine.run_parallel(&LintTarget::assembled(&spec, &assembly), 4)));
+    });
+    // The content-hash cache turns repeat verification of an unchanged
+    // spec into a hash + clone.
+    group.bench_function("engine_cached_assembled", |b| {
+        b.iter(|| black_box(engine.run_cached(&LintTarget::assembled(&spec, &assembly))));
     });
     group.finish();
 }
@@ -123,6 +159,7 @@ criterion_group!(
     benches,
     bench_properties,
     bench_static_analysis,
+    bench_lint,
     bench_model_check,
     bench_workload
 );

@@ -1,0 +1,196 @@
+//! `arfs-lint` — the static-analysis driver for reconfiguration
+//! specifications.
+//!
+//! ```sh
+//! cargo run -p arfs-bench --bin arfs-lint -- avionics
+//! cargo run -p arfs-bench --bin arfs-lint -- extended --deny-warnings
+//! cargo run -p arfs-bench --bin arfs-lint -- path/to/spec.json --format json
+//! ```
+//!
+//! The spec selector is one of the built-in instantiations (`avionics`,
+//! `extended`, and their deliberately broken `-broken` negative
+//! controls) or a path to a JSON file containing either a bare
+//! `ReconfigSpec` or a `{"spec": ..., "assembly": ...}` fixture.
+//!
+//! Exit codes: `0` clean, `1` errors reported, `2` warnings reported
+//! under `--deny-warnings`, `3` usage or load error.
+
+use std::process::ExitCode;
+
+use arfs_core::lint::{Assembly, LintEngine, LintReport, LintTarget};
+use arfs_core::spec::ReconfigSpec;
+
+const USAGE: &str = "\
+usage: arfs-lint <spec> [--format text|json] [--deny-warnings] [--spec-only]
+
+  <spec>            avionics | extended | avionics-broken | extended-broken
+                    | a path to a JSON spec or {\"spec\", \"assembly\"} fixture
+  --format FORMAT   output format: text (rustc-style, default) or json
+  --deny-warnings   exit 2 if any warning is reported
+  --spec-only       skip assembly derivation; run spec-level passes only";
+
+#[derive(Debug)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    selector: String,
+    format: Format,
+    deny_warnings: bool,
+    spec_only: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut selector = None;
+    let mut format = Format::Text;
+    let mut deny_warnings = false;
+    let mut spec_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = it.next().ok_or("--format requires a value")?;
+                format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--spec-only" => spec_only = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional => {
+                if selector.replace(positional.to_string()).is_some() {
+                    return Err("expected exactly one spec selector".into());
+                }
+            }
+        }
+    }
+    Ok(Options {
+        selector: selector.ok_or("expected a spec selector")?,
+        format,
+        deny_warnings,
+        spec_only,
+    })
+}
+
+/// A spec plus an optional pre-built assembly, as loaded from disk.
+struct Loaded {
+    spec: ReconfigSpec,
+    assembly: Option<Assembly>,
+}
+
+fn load(selector: &str) -> Result<Loaded, String> {
+    let builtin = |r: Result<ReconfigSpec, arfs_core::SpecError>| {
+        r.map(|spec| Loaded {
+            spec,
+            assembly: None,
+        })
+        .map_err(|e| format!("builtin spec failed to build: {e}"))
+    };
+    match selector {
+        "avionics" => builtin(arfs_avionics::avionics_spec()),
+        "extended" => builtin(arfs_avionics::extended::extended_uav_spec()),
+        "avionics-broken" => builtin(arfs_avionics::negative_control_spec()),
+        "extended-broken" => builtin(arfs_avionics::extended::extended_negative_control_spec()),
+        path => {
+            let body =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            parse_fixture(&body).map_err(|e| format!("cannot parse `{path}`: {e}"))
+        }
+    }
+}
+
+/// Parses either a `{"spec": ..., "assembly": ...}` fixture or a bare
+/// `ReconfigSpec` document.
+fn parse_fixture(body: &str) -> Result<Loaded, String> {
+    #[derive(serde::Deserialize)]
+    struct Fixture {
+        spec: ReconfigSpec,
+        #[serde(default)]
+        assembly: Option<Assembly>,
+    }
+    match serde_json::from_str::<Fixture>(body) {
+        Ok(f) => Ok(Loaded {
+            spec: f.spec,
+            assembly: f.assembly,
+        }),
+        Err(fixture_err) => serde_json::from_str::<ReconfigSpec>(body)
+            .map(|spec| Loaded {
+                spec,
+                assembly: None,
+            })
+            .map_err(|spec_err| format!("as fixture: {fixture_err}; as bare spec: {spec_err}")),
+    }
+}
+
+fn run(opts: &Options, loaded: &Loaded) -> LintReport {
+    let engine = LintEngine::new();
+    let threads = std::thread::available_parallelism()
+        .map(Into::into)
+        .unwrap_or(4);
+    if opts.spec_only {
+        return engine.run_parallel(&LintTarget::spec_only(&loaded.spec), threads);
+    }
+    let derived;
+    let assembly = match &loaded.assembly {
+        Some(a) => Some(a),
+        None => match Assembly::derive(&loaded.spec) {
+            Ok(a) => {
+                derived = a;
+                Some(&derived)
+            }
+            Err(_) => None,
+        },
+    };
+    match assembly {
+        Some(a) => engine.run_parallel(&LintTarget::assembled(&loaded.spec, a), threads),
+        None => engine.run_parallel(&LintTarget::spec_only(&loaded.spec), threads),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(3);
+        }
+    };
+    let loaded = match load(&opts.selector) {
+        Ok(loaded) => loaded,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(3);
+        }
+    };
+
+    let report = run(&opts, &loaded);
+    match opts.format {
+        Format::Text => println!("{}", report.render()),
+        Format::Json => match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize report: {e}");
+                return ExitCode::from(3);
+            }
+        },
+    }
+
+    let errors = report.errors().count();
+    let warnings = report.warnings().count();
+    if errors > 0 {
+        ExitCode::from(1)
+    } else if warnings > 0 && opts.deny_warnings {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -22,7 +22,8 @@ fn main() {
     banner("Experiment E3: the §7.1 avionics mission");
 
     let mut av = AvionicsSystem::new().expect("builds");
-    let mut timeline = TextTable::new(["Frame", "Event", "Configuration", "Altitude (ft)", "Power"]);
+    let mut timeline =
+        TextTable::new(["Frame", "Event", "Configuration", "Altitude (ft)", "Power"]);
     let log = |av: &AvionicsSystem, table: &mut TextTable, event: &str| {
         table.row([
             av.system().frame().to_string(),
@@ -69,7 +70,11 @@ fn main() {
         throttle: 0.4,
     });
     av.run_frames(60);
-    log(&av, &mut timeline, "pilot descending on direct law, battery power");
+    log(
+        &av,
+        &mut timeline,
+        "pilot descending on direct law, battery power",
+    );
 
     println!("{timeline}");
 
@@ -99,7 +104,10 @@ fn main() {
             r.cycles()
         );
     }
-    verdict("mission contains three reconfigurations", reconfigs.len() == 3);
+    verdict(
+        "mission contains three reconfigurations",
+        reconfigs.len() == 3,
+    );
 
     // §7.1 pre/postconditions at every transition.
     let mut conditions_ok = true;
@@ -116,7 +124,10 @@ fn main() {
 
     let report = properties::check_extended(trace, av.system().spec());
     println!("\nproperty check: {report}");
-    verdict("SP1-SP4 (+extensions) hold over the whole mission", report.is_ok());
+    verdict(
+        "SP1-SP4 (+extensions) hold over the whole mission",
+        report.is_ok(),
+    );
 
     verdict(
         "battery partially drained by minimal-service segment",

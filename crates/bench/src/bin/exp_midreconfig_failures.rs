@@ -54,8 +54,7 @@ fn main() {
             let restricted = trace.restricted_frames();
             let reconfigs = trace.get_reconfigs().len();
             let report = properties::check_extended(trace, system.spec());
-            let ok = report.is_ok()
-                && system.current_config().as_str() == "minimal-service";
+            let ok = report.is_ok() && system.current_config().as_str() == "minimal-service";
             all_ok &= ok;
             if !report.is_ok() {
                 eprintln!("offset {offset} policy {label}:\n{report}");
@@ -70,7 +69,11 @@ fn main() {
                 system.current_config().to_string(),
                 restricted.to_string(),
                 reconfigs.to_string(),
-                if report.is_ok() { "hold".into() } else { "VIOLATED".to_string() },
+                if report.is_ok() {
+                    "hold".into()
+                } else {
+                    "VIOLATED".to_string()
+                },
             ]);
             points.push(serde_json::json!({
                 "offset": offset,

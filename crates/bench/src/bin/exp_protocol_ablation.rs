@@ -75,7 +75,11 @@ fn main() {
             (*label).to_string(),
             cycles.to_string(),
             restricted.to_string(),
-            if report.is_ok() { "hold".into() } else { "VIOLATED".to_string() },
+            if report.is_ok() {
+                "hold".into()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
         points.push(serde_json::json!({
             "variant": label,
@@ -86,7 +90,10 @@ fn main() {
     }
     println!("{table}");
 
-    verdict("every protocol variant satisfies SP1-SP4 (+extensions)", all_ok);
+    verdict(
+        "every protocol variant satisfies SP1-SP4 (+extensions)",
+        all_ok,
+    );
     verdict(
         "compression saves one cycle over Table 1; dependency waves add one per extra wave",
         cycles_seen == vec![3, 4, 5],
@@ -125,13 +132,12 @@ fn main() {
     verdict("compressed protocol is exhaustively clean", failures == 0);
 
     // And the signalled baseline via the standard model checker.
-    let report = ModelChecker::new(
-        arfs_avionics::avionics_spec().expect("valid spec"),
-        26,
-        1,
-    )
-    .run_parallel(4);
-    verdict("signalled baseline is exhaustively clean", report.all_passed());
+    let report = ModelChecker::new(arfs_avionics::avionics_spec().expect("valid spec"), 26, 1)
+        .run_parallel(4);
+    verdict(
+        "signalled baseline is exhaustively clean",
+        report.all_passed(),
+    );
 
     let path = write_json("exp_protocol_ablation.json", &points);
     println!("\nartifact: {}", path.display());

@@ -33,7 +33,10 @@ fn main() {
     let mut artifacts = Vec::new();
 
     for (label, spec) in [
-        ("avionics (§7, 2 apps)", arfs_avionics::avionics_spec().expect("valid")),
+        (
+            "avionics (§7, 2 apps)",
+            arfs_avionics::avionics_spec().expect("valid"),
+        ),
         (
             "extended UAV (4 apps)",
             arfs_avionics::extended::extended_uav_spec().expect("valid"),
@@ -53,8 +56,8 @@ fn main() {
             reconfigs += report.reconfigs_checked;
             let stats = trace_stats(system.trace());
             availability_sum += stats.availability();
-            worst_restricted = worst_restricted
-                .max(stats.max_cycles.unwrap_or(0).saturating_sub(1));
+            worst_restricted =
+                worst_restricted.max(stats.max_cycles.unwrap_or(0).saturating_sub(1));
         }
         all_clean &= violations == 0;
         let mean_availability = availability_sum / runs_per_spec as f64;

@@ -157,11 +157,17 @@ fn main() {
     // --- Part 3: cycle detection. ---
     banner("cyclic reconfiguration detection");
     let cycles = timing::transition_cycles(&spec);
-    println!("avionics transition graph has {} elementary cycle(s):", cycles.len());
+    println!(
+        "avionics transition graph has {} elementary cycle(s):",
+        cycles.len()
+    );
     for c in &cycles {
         println!(
             "  {}",
-            c.iter().map(|x| x.as_str()).collect::<Vec<_>>().join(" -> ")
+            c.iter()
+                .map(|x| x.as_str())
+                .collect::<Vec<_>>()
+                .join(" -> ")
         );
     }
     verdict(

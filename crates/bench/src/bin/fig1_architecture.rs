@@ -55,10 +55,7 @@ fn main() {
     println!("{table}");
     println!("{rows} signals logged");
 
-    verdict(
-        "fault signals: environment monitor -> SCRAM",
-        fault_edge,
-    );
+    verdict("fault signals: environment monitor -> SCRAM", fault_edge);
     verdict(
         "reconfiguration signals: SCRAM -> applications",
         reconfig_edge,

@@ -5,15 +5,14 @@
 //! example instantiation, including the `covering_txns` predicate that
 //! "ensures a transition exists for any possible failure-environment
 //! pair"; all were proved. This harness discharges the same obligation
-//! suite for the avionics specification and — as a negative control —
-//! shows the obligations *fail* when a transition is deleted from the
-//! static table.
+//! suite for the avionics specification — the PVS-style report is now
+//! derived from the ARFS-LINT diagnostic engine — and, as a negative
+//! control, shows both the obligations and the lint diagnostics *fail*
+//! when a transition is deleted from the static table.
 
 use arfs_bench::{banner, verdict, write_json};
 use arfs_core::analysis::{self, coverage};
-use arfs_core::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
-use arfs_failstop::ProcessorId;
-use arfs_rtos::Ticks;
+use arfs_core::lint::{codes, LintEngine, LintTarget};
 
 fn main() {
     banner("Figure 2: proof obligations for the example instantiation");
@@ -22,7 +21,10 @@ fn main() {
     let report = analysis::check_obligations(&spec);
     println!("% Obligations generated for avionics reconfiguration spec");
     println!("{report}\n");
-    verdict("all obligations proved for the avionics specification", report.all_passed());
+    verdict(
+        "all obligations proved for the avionics specification",
+        report.all_passed(),
+    );
 
     // Enumerate the covering_txns quantification domain explicitly, the
     // way the PVS obligation does.
@@ -33,11 +35,17 @@ fn main() {
         coverage::covering_txns(&spec).len()
     );
 
-    // --- Negative control: delete the reduced -> minimal transition. ---
+    // --- Negative control: the reduced -> minimal transition deleted. ---
     banner("negative control: spec with `reduced -> minimal` transition removed");
-    let broken = broken_spec();
+    let broken = arfs_avionics::negative_control_spec()
+        .expect("structurally valid (semantic gap is what we demonstrate)");
     let report = analysis::check_obligations(&broken);
     println!("{report}\n");
+
+    // The same gap, rendered rustc-style by the lint engine.
+    let lint = LintEngine::new().run(&LintTarget::spec_only(&broken));
+    println!("{}\n", lint.render());
+
     let gaps = coverage::covering_txns(&broken);
     for gap in &gaps {
         println!("  uncovered: {gap}");
@@ -46,67 +54,18 @@ fn main() {
         "broken specification is rejected by covering_txns",
         !report.all_passed() && !gaps.is_empty(),
     );
+    verdict(
+        "lint reports ARFS-E002 for the deleted transition",
+        !lint.of_code(codes::E002).is_empty(),
+    );
 
     let path = write_json(
         "fig2_tcc_obligations.json",
         &serde_json::json!({
             "avionics": analysis::check_obligations(&spec),
             "negative_control_gaps": gaps.len(),
+            "negative_control_lint": lint,
         }),
     );
     println!("\nartifact: {}", path.display());
-}
-
-/// The avionics specification minus the `reduced-service ->
-/// minimal-service` transition (rebuilt by hand; specifications are
-/// immutable once validated).
-fn broken_spec() -> ReconfigSpec {
-    ReconfigSpec::builder()
-        .frame_len(Ticks::new(100))
-        .env_factor("electrical", ["both", "one", "battery"])
-        .app(
-            AppDecl::new("fcs")
-                .spec(FunctionalSpec::new("fcs-primary"))
-                .spec(FunctionalSpec::new("fcs-direct")),
-        )
-        .app(
-            AppDecl::new("autopilot")
-                .spec(FunctionalSpec::new("ap-primary"))
-                .spec(FunctionalSpec::new("ap-alt-hold"))
-                .depends_on("fcs"),
-        )
-        .config(
-            Configuration::new("full-service")
-                .assign("fcs", "fcs-primary")
-                .assign("autopilot", "ap-primary")
-                .place("fcs", ProcessorId::new(0))
-                .place("autopilot", ProcessorId::new(1)),
-        )
-        .config(
-            Configuration::new("reduced-service")
-                .assign("fcs", "fcs-direct")
-                .assign("autopilot", "ap-alt-hold")
-                .place("fcs", ProcessorId::new(0))
-                .place("autopilot", ProcessorId::new(0)),
-        )
-        .config(
-            Configuration::new("minimal-service")
-                .assign("fcs", "fcs-direct")
-                .assign("autopilot", "off")
-                .place("fcs", ProcessorId::new(0))
-                .safe(),
-        )
-        .transition("full-service", "reduced-service", Ticks::new(800))
-        .transition("full-service", "minimal-service", Ticks::new(800))
-        // MISSING: reduced-service -> minimal-service
-        .transition("reduced-service", "full-service", Ticks::new(800))
-        .transition("minimal-service", "reduced-service", Ticks::new(800))
-        .choose_when("electrical", "battery", "minimal-service")
-        .choose_when("electrical", "one", "reduced-service")
-        .choose_when("electrical", "both", "full-service")
-        .initial_config("full-service")
-        .initial_env([("electrical", "both")])
-        .min_dwell_frames(6)
-        .build()
-        .expect("structurally valid (semantic gap is what we demonstrate)")
 }

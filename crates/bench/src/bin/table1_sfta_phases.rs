@@ -55,7 +55,10 @@ fn main() {
                 ),
             ),
             (_, ConfigStatus::Prepare) => (
-                format!("SCRAM: prepare({}) -> all apps", trace.state(r.end_c).unwrap().svclvl),
+                format!(
+                    "SCRAM: prepare({}) -> all apps",
+                    trace.state(r.end_c).unwrap().svclvl
+                ),
                 "applications prepare to transition".to_string(),
                 format!(
                     "transition conditions for {} / {}",
@@ -71,11 +74,24 @@ fn main() {
                     fmt_pred(state.apps[&ap].pre_ok)
                 ),
             ),
-            (_, other) => (format!("SCRAM: {other}"), "hold".to_string(), "-".to_string()),
+            (_, other) => (
+                format!("SCRAM: {other}"),
+                "hold".to_string(),
+                "-".to_string(),
+            ),
         };
         observed.push((frame, format!("{cmd}")));
         table.row([
-            format!("{offset} {}", if offset == 0 { "(start)" } else if frame == r.end_c { "(end)" } else { "" }),
+            format!(
+                "{offset} {}",
+                if offset == 0 {
+                    "(start)"
+                } else if frame == r.end_c {
+                    "(end)"
+                } else {
+                    ""
+                }
+            ),
             message,
             action,
             predicate,

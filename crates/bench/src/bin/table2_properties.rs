@@ -56,12 +56,19 @@ fn main() {
     println!(
         "randomized: {runs} runs, {reconfig_count} reconfigurations checked, {violation_count} violations"
     );
-    verdict("randomized avionics traces satisfy SP1-SP4 (+extensions)", violation_count == 0);
+    verdict(
+        "randomized avionics traces satisfy SP1-SP4 (+extensions)",
+        violation_count == 0,
+    );
 
     // --- Part 2: exhaustive bounded model checking. ---
     let spec = arfs_avionics::avionics_spec().expect("valid spec");
     let mc = ModelChecker::new(spec, 26, 2);
-    let report = mc.run_parallel(std::thread::available_parallelism().map(Into::into).unwrap_or(4));
+    let report = mc.run_parallel(
+        std::thread::available_parallelism()
+            .map(Into::into)
+            .unwrap_or(4),
+    );
     println!("exhaustive: {report}");
     verdict(
         "exhaustive schedule exploration proves SP1-SP4 on the bounded model",
@@ -116,14 +123,21 @@ fn main() {
         table.row([
             property.to_string(),
             format!("{mutation:?}"),
-            if caught { "yes".into() } else { "NO".to_string() },
+            if caught {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             report.of(property).len().to_string(),
         ]);
         results.push((format!("{property}"), format!("{mutation:?}"), caught));
         let _ = description;
     }
     println!("{table}");
-    verdict("every seeded protocol defect is caught by its target property", all_caught);
+    verdict(
+        "every seeded protocol defect is caught by its target property",
+        all_caught,
+    );
 
     let path = write_json(
         "table2_properties.json",

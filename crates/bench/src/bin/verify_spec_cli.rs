@@ -5,9 +5,10 @@
 //! cargo run -p arfs-bench --bin verify_spec_cli -- extended  # the 4-app UAV spec
 //! ```
 //!
-//! Prints the static-obligation report PVS-style, the exhaustive
-//! model-check verdict, and the mutation screen, then exits nonzero if
-//! verification fails — suitable for CI.
+//! Prints the static-obligation report PVS-style (derived from the
+//! ARFS-LINT diagnostics), the lint diagnostics themselves when any
+//! fire, the exhaustive model-check verdict, and the mutation screen,
+//! then exits nonzero if verification fails — suitable for CI.
 
 use std::process::ExitCode;
 
@@ -47,6 +48,9 @@ fn main() -> ExitCode {
         },
     );
     println!("{report}");
+    if !report.lint.is_clean() {
+        println!("\n{}", report.lint.render());
+    }
     for m in &report.mutations {
         println!(
             "  [{}] {} caught by {}",

@@ -6,6 +6,33 @@ use crate::environment::EnvState;
 use crate::spec::ReconfigSpec;
 use crate::ConfigId;
 
+/// Why a `(configuration, environment)` pair is uncovered.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum GapReason {
+    /// No choice rule matches the pair.
+    NoChoice,
+    /// A rule matches, but the chosen target has no declared transition
+    /// from the source configuration.
+    NoTransition {
+        /// The chosen target configuration.
+        target: ConfigId,
+        /// The source configuration the transition is missing from.
+        from: ConfigId,
+    },
+}
+
+impl fmt::Display for GapReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GapReason::NoChoice => write!(f, "the choice function selects no target"),
+            GapReason::NoTransition { target, from } => write!(
+                f,
+                "chosen target `{target}` has no declared transition from `{from}`"
+            ),
+        }
+    }
+}
+
 /// One uncovered `(configuration, environment)` pair.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CoverageGap {
@@ -14,12 +41,16 @@ pub struct CoverageGap {
     /// The environment state for which coverage fails.
     pub env: EnvState,
     /// Why the pair is uncovered.
-    pub reason: String,
+    pub reason: GapReason,
 }
 
 impl fmt::Display for CoverageGap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "from `{}` under {}: {}", self.config, self.env, self.reason)
+        write!(
+            f,
+            "from `{}` under {}: {}",
+            self.config, self.env, self.reason
+        )
     }
 }
 
@@ -31,32 +62,35 @@ impl fmt::Display for CoverageGap {
 /// Returns the (possibly empty) list of uncovered pairs. The paper's PVS
 /// formulation generates this as a type-correctness condition on the
 /// SCRAM table (Figure 2); here the finite quantification is discharged
-/// by direct enumeration over
-/// [`EnvModel::all_states`](crate::environment::EnvModel::all_states).
+/// by direct enumeration via
+/// [`EnvModel::for_each_state`](crate::environment::EnvModel::for_each_state).
+/// The enumeration visits one scratch state mutated in place, and gap
+/// reasons are a plain enum, so the all-pass path performs no per-pair
+/// heap allocation; an [`EnvState`] is cloned only when a gap is found.
 pub fn covering_txns(spec: &ReconfigSpec) -> Vec<CoverageGap> {
     let mut gaps = Vec::new();
-    for config in spec.configs() {
-        for env in spec.env_model().all_states() {
-            match spec.choose(config.id(), &env) {
+    spec.env_model().for_each_state(|env| {
+        for config in spec.configs() {
+            match spec.choose(config.id(), env) {
                 None => gaps.push(CoverageGap {
                     config: config.id().clone(),
-                    env,
-                    reason: "the choice function selects no target".into(),
+                    env: env.clone(),
+                    reason: GapReason::NoChoice,
                 }),
                 Some(target) if !spec.transitions().allowed(config.id(), target) => {
                     gaps.push(CoverageGap {
                         config: config.id().clone(),
-                        env,
-                        reason: format!(
-                            "chosen target `{target}` has no declared transition from `{}`",
-                            config.id()
-                        ),
+                        env: env.clone(),
+                        reason: GapReason::NoTransition {
+                            target: target.clone(),
+                            from: config.id().clone(),
+                        },
                     })
                 }
                 Some(_) => {}
             }
         }
-    }
+    });
     gaps
 }
 
@@ -102,9 +136,22 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .initial_config("full")
             .initial_env([("power", "good")])
     }
@@ -134,6 +181,7 @@ mod tests {
         // power=good is uncovered from both configurations.
         assert_eq!(gaps.len(), 2);
         assert!(gaps.iter().all(|g| g.env.get("power") == Some("good")));
+        assert!(gaps.iter().all(|g| g.reason == GapReason::NoChoice));
         assert!(gaps[0].to_string().contains("selects no target"));
     }
 
@@ -149,7 +197,17 @@ mod tests {
         assert_eq!(gaps.len(), 1);
         assert_eq!(gaps[0].config, ConfigId::new("full"));
         assert_eq!(gaps[0].env.get("power"), Some("bad"));
-        assert!(gaps[0].reason.contains("no declared transition"));
+        assert!(gaps[0]
+            .reason
+            .to_string()
+            .contains("no declared transition"));
+        assert_eq!(
+            gaps[0].reason,
+            GapReason::NoTransition {
+                target: ConfigId::new("safe"),
+                from: ConfigId::new("full"),
+            }
+        );
     }
 
     #[test]
@@ -164,5 +222,18 @@ mod tests {
             .unwrap();
         let gaps = covering_txns(&spec);
         assert!(gaps.is_empty());
+    }
+
+    #[test]
+    fn gaps_roundtrip_through_json() {
+        let spec = base()
+            .transition("safe", "full", Ticks::new(500))
+            .choose_when("power", "bad", "safe")
+            .build()
+            .unwrap();
+        let gaps = covering_txns(&spec);
+        let json = serde_json::to_string(&gaps).unwrap();
+        let back: Vec<CoverageGap> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, gaps);
     }
 }

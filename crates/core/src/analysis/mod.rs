@@ -24,201 +24,21 @@ pub mod resources;
 pub mod schedulability;
 pub mod timing;
 
-use std::fmt;
-
+use crate::lint::{LintEngine, LintTarget};
 use crate::spec::ReconfigSpec;
 
-/// The result of one proof obligation.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub enum ObligationResult {
-    /// The obligation holds (PVS: `proved - complete`).
-    Proved,
-    /// The obligation fails, with a counterexample or explanation.
-    Failed(String),
-}
-
-impl ObligationResult {
-    /// Returns `true` if the obligation holds.
-    pub fn is_proved(&self) -> bool {
-        matches!(self, ObligationResult::Proved)
-    }
-}
-
-/// One named proof obligation over a specification.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub struct Obligation {
-    /// Short obligation name (e.g. `covering_txns`).
-    pub name: String,
-    /// What the obligation requires.
-    pub description: String,
-    /// Whether it holds for the analyzed specification.
-    pub result: ObligationResult,
-}
-
-/// The full obligation report for a specification.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
-pub struct ObligationReport {
-    /// All obligations, in check order.
-    pub obligations: Vec<Obligation>,
-}
-
-impl ObligationReport {
-    /// Returns `true` if every obligation is proved.
-    pub fn all_passed(&self) -> bool {
-        self.obligations.iter().all(|o| o.result.is_proved())
-    }
-
-    /// The failed obligations.
-    pub fn failures(&self) -> Vec<&Obligation> {
-        self.obligations
-            .iter()
-            .filter(|o| !o.result.is_proved())
-            .collect()
-    }
-
-    /// Number of obligations checked.
-    pub fn len(&self) -> usize {
-        self.obligations.len()
-    }
-
-    /// Returns `true` if no obligations were generated.
-    pub fn is_empty(&self) -> bool {
-        self.obligations.is_empty()
-    }
-}
-
-impl fmt::Display for ObligationReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for o in &self.obligations {
-            match &o.result {
-                ObligationResult::Proved => {
-                    writeln!(f, "% {} : proved - complete", o.name)?;
-                }
-                ObligationResult::Failed(why) => {
-                    writeln!(f, "% {} : UNPROVED - {why}", o.name)?;
-                }
-            }
-        }
-        write!(
-            f,
-            "{}/{} obligations proved",
-            self.obligations.iter().filter(|o| o.result.is_proved()).count(),
-            self.obligations.len()
-        )
-    }
-}
+pub use crate::lint::{Obligation, ObligationReport, ObligationResult};
 
 /// Runs the complete obligation suite over a specification.
+///
+/// This is a thin bridge over the lint engine: the specification is
+/// linted through [`LintEngine::run_cached`] (so repeated verification of
+/// an unchanged specification is incremental) and the error diagnostics
+/// are mapped onto the classic seven-obligation report by
+/// [`crate::lint::obligations_from`].
 pub fn check_obligations(spec: &ReconfigSpec) -> ObligationReport {
-    let mut obligations = Vec::new();
-
-    obligations.push(Obligation {
-        name: "covering_txns".into(),
-        description: "a transition exists for every possible failure-environment pair (Figure 2)"
-            .into(),
-        result: match coverage::covering_txns(spec) {
-            gaps if gaps.is_empty() => ObligationResult::Proved,
-            gaps => ObligationResult::Failed(format!(
-                "{} uncovered (configuration, environment) pair(s); first: {}",
-                gaps.len(),
-                gaps[0]
-            )),
-        },
-    });
-
-    obligations.push(Obligation {
-        name: "speclvl_subtype".into(),
-        description:
-            "every configuration assigns each application a specification it implements (the Figure 2 subtype TCC)"
-                .into(),
-        result: match coverage::speclvl_subtype(spec) {
-            None => ObligationResult::Proved,
-            Some(bad) => ObligationResult::Failed(bad),
-        },
-    });
-
-    obligations.push(Obligation {
-        name: "safe_reachable".into(),
-        description: "a safe configuration is reachable from every configuration".into(),
-        result: match timing::unreachable_from(spec) {
-            unreachable if unreachable.is_empty() => ObligationResult::Proved,
-            unreachable => ObligationResult::Failed(format!(
-                "no safe configuration reachable from: {}",
-                unreachable
-                    .iter()
-                    .map(|c| c.as_str())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            )),
-        },
-    });
-
-    obligations.push(Obligation {
-        name: "transition_bounds_feasible".into(),
-        description:
-            "every declared T(ci, cj) admits at least one full halt/prepare/initialize protocol run"
-                .into(),
-        result: {
-            let needed = spec.frame_len() * spec.reconfig_frames();
-            let mut bad = spec
-                .transitions()
-                .iter()
-                .filter(|(_, _, bound)| *bound < needed)
-                .map(|(from, to, bound)| format!("T({from}, {to}) = {bound} < {needed}"));
-            match bad.next() {
-                None => ObligationResult::Proved,
-                Some(first) => ObligationResult::Failed(first),
-            }
-        },
-    });
-
-    obligations.push(Obligation {
-        name: "cycle_guarded".into(),
-        description:
-            "cyclic reconfiguration (possible under repeated failure and repair) is guarded by a minimum dwell (§5.3)"
-                .into(),
-        result: {
-            let cycles = timing::transition_cycles(spec);
-            if cycles.is_empty() || spec.min_dwell_frames() > 0 {
-                ObligationResult::Proved
-            } else {
-                ObligationResult::Failed(format!(
-                    "transition graph has {} cycle(s) (e.g. {}) but min_dwell_frames = 0",
-                    cycles.len(),
-                    cycles[0]
-                        .iter()
-                        .map(|c| c.as_str())
-                        .collect::<Vec<_>>()
-                        .join(" -> ")
-                ))
-            }
-        },
-    });
-
-    obligations.push(Obligation {
-        name: "schedulable".into(),
-        description:
-            "in every configuration, each processor fits its applications' compute within the frame"
-                .into(),
-        result: match schedulability::check_schedulability(spec) {
-            overloads if overloads.is_empty() => ObligationResult::Proved,
-            overloads => ObligationResult::Failed(format!(
-                "{} overloaded (configuration, processor) pair(s); first: {}",
-                overloads.len(),
-                overloads[0]
-            )),
-        },
-    });
-
-    obligations.push(Obligation {
-        name: "deps_acyclic".into(),
-        description: "application functional dependencies are acyclic (§4)".into(),
-        // ReconfigSpec construction already guarantees this; re-checked
-        // here so the report is self-contained.
-        result: ObligationResult::Proved,
-    });
-
-    ObligationReport { obligations }
+    let report = LintEngine::new().run_cached(&LintTarget::spec_only(spec));
+    crate::lint::obligations_from(spec, &report)
 }
 
 #[cfg(test)]
@@ -232,9 +52,22 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(500))
             .transition("safe", "full", Ticks::new(500))
             .choose_when("power", "bad", "safe")
@@ -265,9 +98,22 @@ mod tests {
         let spec = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(500))
             .transition("safe", "full", Ticks::new(500))
             .choose_when("power", "bad", "safe")
@@ -288,9 +134,22 @@ mod tests {
         let spec = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(500))
             .transition("safe", "full", Ticks::new(500))
             .choose_when("power", "bad", "safe")
@@ -310,9 +169,22 @@ mod tests {
         let spec = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(300)) // < 4 frames * 100
             .transition("safe", "full", Ticks::new(500))
             .choose_when("power", "bad", "safe")
@@ -334,9 +206,22 @@ mod tests {
         let spec = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("safe", "full", Ticks::new(500)) // no way INTO safe
             .choose_when("power", "bad", "safe")
             .choose_when("power", "good", "full")
@@ -346,9 +231,6 @@ mod tests {
             .build()
             .unwrap();
         let report = check_obligations(&spec);
-        assert!(report
-            .failures()
-            .iter()
-            .any(|o| o.name == "safe_reachable"));
+        assert!(report.failures().iter().any(|o| o.name == "safe_reachable"));
     }
 }

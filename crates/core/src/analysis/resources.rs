@@ -52,7 +52,10 @@ pub struct ResourcePoint {
 }
 
 /// Sweeps anticipated failure counts and tabulates both designs.
-pub fn sweep(model: ResourceModel, max_failures: impl IntoIterator<Item = u32>) -> Vec<ResourcePoint> {
+pub fn sweep(
+    model: ResourceModel,
+    max_failures: impl IntoIterator<Item = u32>,
+) -> Vec<ResourcePoint> {
     max_failures
         .into_iter()
         .map(|f| ResourcePoint {
@@ -140,8 +143,16 @@ mod tests {
         let spec = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("p", ["0", "1"])
-            .app(AppDecl::new("x").spec(FunctionalSpec::new("s")).spec(FunctionalSpec::new("d")))
-            .app(AppDecl::new("y").spec(FunctionalSpec::new("s")).spec(FunctionalSpec::new("d")))
+            .app(
+                AppDecl::new("x")
+                    .spec(FunctionalSpec::new("s"))
+                    .spec(FunctionalSpec::new("d")),
+            )
+            .app(
+                AppDecl::new("y")
+                    .spec(FunctionalSpec::new("s"))
+                    .spec(FunctionalSpec::new("d")),
+            )
             .config(
                 Configuration::new("full")
                     .assign("x", "s")

@@ -42,10 +42,7 @@ impl fmt::Display for Overload {
 }
 
 /// Computes each processor's per-frame compute demand in a configuration.
-pub fn processor_demand(
-    spec: &ReconfigSpec,
-    config: &ConfigId,
-) -> BTreeMap<ProcessorId, Ticks> {
+pub fn processor_demand(spec: &ReconfigSpec, config: &ConfigId) -> BTreeMap<ProcessorId, Ticks> {
     let mut demand: BTreeMap<ProcessorId, Ticks> = BTreeMap::new();
     let Some(cfg) = spec.config(config) else {
         return demand;

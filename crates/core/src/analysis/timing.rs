@@ -227,9 +227,22 @@ mod tests {
                     .spec(FunctionalSpec::new("s1"))
                     .spec(FunctionalSpec::new("s2")),
             )
-            .config(Configuration::new("c1").assign("a", "s0").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("c2").assign("a", "s1").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("c3").assign("a", "s2").place("a", ProcessorId::new(0)).safe())
+            .config(
+                Configuration::new("c1")
+                    .assign("a", "s0")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("c2")
+                    .assign("a", "s1")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("c3")
+                    .assign("a", "s2")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("c1", "c2", Ticks::new(700))
             .transition("c2", "c3", Ticks::new(900))
             .choose_when("level", "0", "c1")
@@ -250,7 +263,11 @@ mod tests {
         assert_eq!(chain.total, Ticks::new(1600));
         assert_eq!(
             chain.chain,
-            vec![ConfigId::new("c1"), ConfigId::new("c2"), ConfigId::new("c3")]
+            vec![
+                ConfigId::new("c1"),
+                ConfigId::new("c2"),
+                ConfigId::new("c3")
+            ]
         );
     }
 
@@ -281,9 +298,23 @@ mod tests {
             .frame_len(Ticks::new(10))
             .env_factor("x", ["0"])
             .app(AppDecl::new("a").spec(FunctionalSpec::new("s")))
-            .config(Configuration::new("c1").assign("a", "s").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("mid").assign("a", "s").place("a", ProcessorId::new(0)).safe())
-            .config(Configuration::new("far").assign("a", "s").place("a", ProcessorId::new(0)).safe())
+            .config(
+                Configuration::new("c1")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("mid")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
+            .config(
+                Configuration::new("far")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("c1", "mid", Ticks::new(100))
             .transition("mid", "far", Ticks::new(100))
             .choose_when("x", "0", "c1")
@@ -306,8 +337,17 @@ mod tests {
             .frame_len(Ticks::new(100))
             .env_factor("level", ["0"])
             .app(AppDecl::new("a").spec(FunctionalSpec::new("s0")))
-            .config(Configuration::new("c1").assign("a", "s0").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("c3").assign("a", "s0").place("a", ProcessorId::new(0)).safe())
+            .config(
+                Configuration::new("c1")
+                    .assign("a", "s0")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("c3")
+                    .assign("a", "s0")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("c3", "c1", Ticks::new(100))
             .choose_when("level", "0", "c1")
             .initial_config("c1")
@@ -323,9 +363,22 @@ mod tests {
             .frame_len(Ticks::new(100))
             .env_factor("x", ["0"])
             .app(AppDecl::new("a").spec(FunctionalSpec::new("s")))
-            .config(Configuration::new("c1").assign("a", "s").place("a", ProcessorId::new(0)).safe())
-            .config(Configuration::new("c2").assign("a", "s").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("c3").assign("a", "s").place("a", ProcessorId::new(0)))
+            .config(
+                Configuration::new("c1")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
+            .config(
+                Configuration::new("c2")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("c3")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0)),
+            )
             .transition("c1", "c2", Ticks::new(400))
             .transition("c2", "c1", Ticks::new(400))
             .transition("c2", "c3", Ticks::new(400))

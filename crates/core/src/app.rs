@@ -45,7 +45,9 @@ pub const TARGET_SPEC_KEY: &str = "target_spec";
 /// ... halt, prepare, and initialize" (§6.2). `Hold` is used by the
 /// phase-checked synchronization policy for applications waiting for a
 /// dependency's stage to finish.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ConfigStatus {
     /// Execute one unit of normal work under the current specification.
     Normal,

@@ -130,6 +130,50 @@ impl EnvModel {
         states
     }
 
+    /// Visits every possible environment state, in [`Self::all_states`]
+    /// order, without materializing the product.
+    ///
+    /// One scratch [`EnvState`] is mutated in place between visits (value
+    /// strings reuse their buffers), so a caller that never clones the
+    /// state — e.g. the coverage obligation on its all-pass path — incurs
+    /// no per-state allocation.
+    pub fn for_each_state<F: FnMut(&EnvState)>(&self, mut f: F) {
+        let mut state = EnvState::default();
+        for factor in &self.factors {
+            let Some(first) = factor.domain.first() else {
+                return; // unconstructible: EnvModel::new rejects empty domains
+            };
+            state.values.insert(factor.name.clone(), first.clone());
+        }
+        let mut idx = vec![0usize; self.factors.len()];
+        loop {
+            f(&state);
+            // Odometer advance; the last factor varies fastest, matching
+            // the nesting of `all_states`.
+            let mut pos = self.factors.len();
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                let factor = &self.factors[pos];
+                idx[pos] += 1;
+                let wrapped = idx[pos] >= factor.domain.len();
+                if wrapped {
+                    idx[pos] = 0;
+                }
+                state
+                    .values
+                    .get_mut(&factor.name)
+                    .expect("factor seeded above")
+                    .clone_from(&factor.domain[idx[pos]]);
+                if !wrapped {
+                    break;
+                }
+            }
+        }
+    }
+
     /// Validates that a state assigns an in-domain value to every factor.
     ///
     /// # Errors
@@ -164,16 +208,16 @@ impl EnvModel {
 }
 
 /// A complete assignment of values to environment factors.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct EnvState {
     values: BTreeMap<String, String>,
 }
 
 impl EnvState {
     /// Creates a state from `(factor, value)` pairs.
-    pub fn new(
-        pairs: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
-    ) -> Self {
+    pub fn new(pairs: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>) -> Self {
         EnvState {
             values: pairs
                 .into_iter()
@@ -283,7 +327,9 @@ where
 
 impl<F> std::fmt::Debug for FnMonitor<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FnMonitor").field("name", &self.name).finish()
+        f.debug_struct("FnMonitor")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -422,13 +468,18 @@ mod tests {
     }
 
     #[test]
+    fn for_each_state_matches_all_states_in_order() {
+        for model in [power_model(), EnvModel::default()] {
+            let mut visited = Vec::new();
+            model.for_each_state(|s| visited.push(s.clone()));
+            assert_eq!(visited, model.all_states());
+        }
+    }
+
+    #[test]
     fn duplicate_and_empty_factors_rejected() {
         assert_eq!(
-            EnvModel::new([
-                EnvFactor::new("a", ["x"]),
-                EnvFactor::new("a", ["y"])
-            ])
-            .unwrap_err(),
+            EnvModel::new([EnvFactor::new("a", ["x"]), EnvFactor::new("a", ["y"])]).unwrap_err(),
             SpecError::DuplicateEnvFactor("a".into())
         );
         assert_eq!(

@@ -41,6 +41,11 @@
 //!   configuration reachability, transition-graph cycle detection, the
 //!   §5.3 restriction-time bounds, and the §5.1 masking-vs-reconfiguration
 //!   hardware model.
+//! - [`lint`] — the ARFS-LINT pass framework: the paper obligations and
+//!   further cross-layer checks as pluggable passes over a specification
+//!   or a full assembly, emitting stable-coded diagnostics
+//!   (`ARFS-E0xx` errors, `ARFS-W1xx` warnings) with rustc-style
+//!   rendering, parallel execution, and content-hash caching.
 //! - [`system`] — the executable system: applications on fail-stop
 //!   processors, a time-triggered bus, a frame-synchronous executive, the
 //!   SCRAM, and a trace recorder, wired together.
@@ -103,6 +108,7 @@ pub mod app;
 pub mod environment;
 mod error;
 mod ids;
+pub mod lint;
 pub mod model;
 pub mod properties;
 pub mod scenario;

@@ -1,0 +1,168 @@
+//! The assembled platform a specification runs on: processors, TDMA bus
+//! schedule, and executive overhead.
+//!
+//! [`SystemBuilder::build`](crate::system::SystemBuilder) used to derive
+//! the platform and bus schedule inline; that derivation now lives here
+//! as [`Assembly::derive`] so the assembly-level lint passes (bus-slot
+//! sufficiency, partition budgets, placement validity) can analyze the
+//! exact artifact the executable system is built from — or a
+//! hand-constructed variant describing real hardware.
+
+use arfs_failstop::ProcessorId;
+use arfs_rtos::Ticks;
+use arfs_ttbus::{BusSchedule, NodeId};
+
+use crate::spec::ReconfigSpec;
+use crate::SystemError;
+
+/// Offset added to processor ids to form their bus node ids.
+pub const PROC_NODE_BASE: u32 = 0;
+/// Bus node id of the SCRAM kernel's host.
+pub const SCRAM_NODE: NodeId = NodeId::new(100_000);
+/// Bus node id of the environment-monitoring virtual application.
+pub const ENV_NODE: NodeId = NodeId::new(100_001);
+
+/// Default TDMA slot capacity (bytes) for an application processor.
+pub const DEFAULT_PROC_SLOT: usize = 256;
+/// Default TDMA slot capacity (bytes) for the SCRAM and environment
+/// nodes.
+pub const DEFAULT_CTRL_SLOT: usize = 1024;
+
+/// The physical realization of a specification: which processors exist,
+/// how the time-triggered bus is scheduled, and how much of each frame
+/// the executive itself consumes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Assembly {
+    /// Every processor the platform provides, sorted.
+    pub platform: Vec<ProcessorId>,
+    /// The TDMA bus schedule.
+    pub bus: BusSchedule,
+    /// Executive (SCRAM + frame bookkeeping) overhead charged against
+    /// every minor frame of every processor.
+    #[serde(default)]
+    pub scram_overhead: Ticks,
+}
+
+impl Assembly {
+    /// Derives the default assembly for a specification — exactly what
+    /// [`crate::system::System`] is built on: one processor per distinct
+    /// placement across all configurations, one default-sized bus slot
+    /// per processor plus the SCRAM and environment-monitor nodes, and
+    /// zero executive overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Bus`] if the schedule is ill-formed (only
+    /// possible for a specification with no placements at all).
+    pub fn derive(spec: &ReconfigSpec) -> Result<Assembly, SystemError> {
+        let mut processors: Vec<ProcessorId> =
+            spec.configs().iter().flat_map(|c| c.processors()).collect();
+        processors.sort();
+        processors.dedup();
+
+        let mut schedule = BusSchedule::builder();
+        for &p in &processors {
+            schedule = schedule.slot(Self::proc_node(p), DEFAULT_PROC_SLOT);
+        }
+        schedule = schedule
+            .slot(SCRAM_NODE, DEFAULT_CTRL_SLOT)
+            .slot(ENV_NODE, DEFAULT_CTRL_SLOT);
+        let bus = schedule
+            .build()
+            .map_err(|e| SystemError::Bus(e.to_string()))?;
+
+        Ok(Assembly {
+            platform: processors,
+            bus,
+            scram_overhead: Ticks::ZERO,
+        })
+    }
+
+    /// Sets the per-frame executive overhead.
+    #[must_use]
+    pub fn with_scram_overhead(mut self, overhead: Ticks) -> Self {
+        self.scram_overhead = overhead;
+        self
+    }
+
+    /// The bus node id hosting a processor's slot.
+    pub fn proc_node(p: ProcessorId) -> NodeId {
+        NodeId::new(PROC_NODE_BASE + p.raw())
+    }
+
+    /// Returns `true` if the platform provides the processor.
+    pub fn has_processor(&self, p: ProcessorId) -> bool {
+        self.platform.contains(&p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec};
+
+    fn spec() -> ReconfigSpec {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "bad"])
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(3)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
+            .transition("full", "safe", Ticks::new(500))
+            .transition("safe", "full", Ticks::new(500))
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .initial_config("full")
+            .initial_env([("power", "good")])
+            .min_dwell_frames(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn derive_collects_sorted_platform_and_slots() {
+        let assembly = Assembly::derive(&spec()).unwrap();
+        assert_eq!(
+            assembly.platform,
+            vec![ProcessorId::new(0), ProcessorId::new(3)]
+        );
+        assert!(assembly.has_processor(ProcessorId::new(3)));
+        assert!(!assembly.has_processor(ProcessorId::new(1)));
+        assert_eq!(
+            assembly
+                .bus
+                .max_capacity(Assembly::proc_node(ProcessorId::new(3))),
+            Some(DEFAULT_PROC_SLOT)
+        );
+        assert_eq!(
+            assembly.bus.max_capacity(SCRAM_NODE),
+            Some(DEFAULT_CTRL_SLOT)
+        );
+        assert_eq!(assembly.bus.max_capacity(ENV_NODE), Some(DEFAULT_CTRL_SLOT));
+        assert_eq!(assembly.scram_overhead, Ticks::ZERO);
+    }
+
+    #[test]
+    fn assembly_roundtrips_through_json() {
+        let assembly = Assembly::derive(&spec())
+            .unwrap()
+            .with_scram_overhead(Ticks::new(7));
+        let json = serde_json::to_string(&assembly).unwrap();
+        let back: Assembly = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, assembly);
+        assert_eq!(back.scram_overhead, Ticks::new(7));
+    }
+}

@@ -68,7 +68,11 @@ impl ModelCheckReport {
 impl fmt::Display for ModelCheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.all_passed() {
-            write!(f, "SP1-SP4 hold on all {} explored schedules", self.cases_run)
+            write!(
+                f,
+                "SP1-SP4 hold on all {} explored schedules",
+                self.cases_run
+            )
         } else {
             writeln!(
                 f,
@@ -250,10 +254,7 @@ impl ModelChecker {
     /// Explores every schedule sequentially.
     pub fn run(&self) -> ModelCheckReport {
         let schedules = self.schedules();
-        let failures = schedules
-            .iter()
-            .filter_map(|s| self.run_case(s))
-            .collect();
+        let failures = schedules.iter().filter_map(|s| self.run_case(s)).collect();
         ModelCheckReport {
             cases_run: schedules.len(),
             failures,
@@ -288,7 +289,10 @@ impl ModelChecker {
             }
         })
         .expect("crossbeam scope");
-        ModelCheckReport { cases_run, failures }
+        ModelCheckReport {
+            cases_run,
+            failures,
+        }
     }
 }
 
@@ -304,9 +308,22 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(600))
             .transition("safe", "full", Ticks::new(600))
             .choose_when("power", "bad", "safe")
@@ -371,13 +388,9 @@ mod tests {
                 (SyncPolicy::Simultaneous, StagePolicy::CompressedPrepareInit),
                 (SyncPolicy::PhaseChecked, StagePolicy::Signalled),
             ] {
-                let mc = ModelChecker::new(small_spec(), 14, 1)
-                    .with_policies(mid, sync, stage);
+                let mc = ModelChecker::new(small_spec(), 14, 1).with_policies(mid, sync, stage);
                 let report = mc.run();
-                assert!(
-                    report.all_passed(),
-                    "{mid:?}/{sync:?}/{stage:?}: {report}"
-                );
+                assert!(report.all_passed(), "{mid:?}/{sync:?}/{stage:?}: {report}");
             }
         }
     }

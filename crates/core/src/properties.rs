@@ -163,7 +163,9 @@ pub fn check_sp1(trace: &SysTrace, _spec: &ReconfigSpec) -> Vec<PropertyViolatio
                         property: PropertyId::Sp1,
                         reconfig: Some(r),
                         frame: Some(r.start_c - 1),
-                        detail: format!("application `{app}` is not `normal` the cycle before start_c"),
+                        detail: format!(
+                            "application `{app}` is not `normal` the cycle before start_c"
+                        ),
                     });
                 }
             }
@@ -376,7 +378,10 @@ pub fn check_responsiveness(trace: &SysTrace, spec: &ReconfigSpec) -> Vec<Proper
 /// initialization. A kernel that skips the halt phase (the
 /// [`ScramMutation::SkipHaltPhase`](crate::scram::ScramMutation)
 /// defect) passes SP1–SP4 but fails here.
-pub fn check_protocol_conformance(trace: &SysTrace, _spec: &ReconfigSpec) -> Vec<PropertyViolation> {
+pub fn check_protocol_conformance(
+    trace: &SysTrace,
+    _spec: &ReconfigSpec,
+) -> Vec<PropertyViolation> {
     use crate::app::ConfigStatus;
     let mut out = Vec::new();
     for r in trace.get_reconfigs() {
@@ -454,7 +459,11 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
             .config(
                 Configuration::new("full")
                     .assign("a", "full")
@@ -552,7 +561,10 @@ mod tests {
         let report = check_extended(&t, &s);
         assert!(report.is_ok(), "{report}");
         assert_eq!(report.reconfigs_checked, 1);
-        assert_eq!(report.to_string(), "all properties hold over 1 reconfiguration(s)");
+        assert_eq!(
+            report.to_string(),
+            "all properties hold over 1 reconfiguration(s)"
+        );
     }
 
     #[test]
@@ -595,10 +607,28 @@ mod tests {
         let s3 = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")).spec(FunctionalSpec::new("other")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
-            .config(Configuration::new("wrong").assign("a", "other").place("a", ProcessorId::new(0)))
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg"))
+                    .spec(FunctionalSpec::new("other")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
+            .config(
+                Configuration::new("wrong")
+                    .assign("a", "other")
+                    .place("a", ProcessorId::new(0)),
+            )
             .transition("full", "safe", Ticks::new(500))
             .transition("full", "wrong", Ticks::new(500))
             .choose_when("power", "bad", "safe")
@@ -656,9 +686,22 @@ mod tests {
         let s3 = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("safe", "full", Ticks::new(500)) // full->safe missing!
             .choose_when("power", "bad", "safe")
             .choose_when("power", "good", "full")

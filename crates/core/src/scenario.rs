@@ -100,12 +100,7 @@ impl Scenario {
 
     /// Adds an environment change at the given frame.
     #[must_use]
-    pub fn set_env(
-        self,
-        frame: u64,
-        factor: impl Into<String>,
-        value: impl Into<String>,
-    ) -> Self {
+    pub fn set_env(self, frame: u64, factor: impl Into<String>, value: impl Into<String>) -> Self {
         self.at(
             frame,
             ScenarioAction::SetEnv {
@@ -196,9 +191,22 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("f")).spec(FunctionalSpec::new("d")))
-            .config(Configuration::new("full").assign("a", "f").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "d").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("f"))
+                    .spec(FunctionalSpec::new("d")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "f")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "d")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(800))
             .transition("safe", "full", Ticks::new(800))
             .choose_when("power", "bad", "safe")

@@ -311,9 +311,10 @@ impl Scram {
                 "compressed stages require simultaneous synchronization"
             );
             assert!(
-                self.spec.apps().iter().all(|a| {
-                    a.bounds().prepare_frames == 1 && a.bounds().init_frames == 1
-                }),
+                self.spec
+                    .apps()
+                    .iter()
+                    .all(|a| { a.bounds().prepare_frames == 1 && a.bounds().init_frames == 1 }),
                 "compressed stages require one-frame prepare/initialize bounds"
             );
         }
@@ -430,19 +431,14 @@ impl Scram {
                             self.steady_decision(frame, std::mem::take(&mut events))
                         } else {
                             let target = self.mutated_target(&target);
-                            let mut interrupted =
-                                self.interrupted_apps(&self.current, &target);
+                            let mut interrupted = self.interrupted_apps(&self.current, &target);
                             if interrupted.is_empty() {
                                 // A placement-only transition (identical
                                 // assignments, different processors)
                                 // interrupts every application: they all
                                 // must stop to migrate.
-                                interrupted = self
-                                    .spec
-                                    .apps()
-                                    .iter()
-                                    .map(|a| a.id().clone())
-                                    .collect();
+                                interrupted =
+                                    self.spec.apps().iter().map(|a| a.id().clone()).collect();
                             }
                             events.push(ScramEvent::TriggerAccepted {
                                 frame,
@@ -602,7 +598,13 @@ impl Scram {
                 for app in self.spec.apps() {
                     let id = app.id().clone();
                     if self.exempted(&id) {
-                        commands.insert(id.clone(), AppCommand { status: ConfigStatus::Normal, target: None });
+                        commands.insert(
+                            id.clone(),
+                            AppCommand {
+                                status: ConfigStatus::Normal,
+                                target: None,
+                            },
+                        );
                         reconf_st.insert(id, ReconfSt::Normal);
                         continue;
                     }
@@ -614,7 +616,13 @@ impl Scram {
                     } else {
                         ConfigStatus::Hold
                     };
-                    commands.insert(id.clone(), AppCommand { status, target: None });
+                    commands.insert(
+                        id.clone(),
+                        AppCommand {
+                            status,
+                            target: None,
+                        },
+                    );
                     reconf_st.insert(id, ReconfSt::Halted);
                 }
                 next_progress = progress + 1;
@@ -634,7 +642,13 @@ impl Scram {
                 for app in self.spec.apps() {
                     let id = app.id().clone();
                     if self.exempted(&id) {
-                        commands.insert(id.clone(), AppCommand { status: ConfigStatus::Normal, target: None });
+                        commands.insert(
+                            id.clone(),
+                            AppCommand {
+                                status: ConfigStatus::Normal,
+                                target: None,
+                            },
+                        );
                         reconf_st.insert(id, ReconfSt::Normal);
                         continue;
                     }
@@ -685,11 +699,23 @@ impl Scram {
                 for app in self.spec.apps() {
                     let id = app.id().clone();
                     if self.exempted(&id) {
-                        commands.insert(id.clone(), AppCommand { status: ConfigStatus::Normal, target: None });
+                        commands.insert(
+                            id.clone(),
+                            AppCommand {
+                                status: ConfigStatus::Normal,
+                                target: None,
+                            },
+                        );
                         reconf_st.insert(id, ReconfSt::Normal);
                         continue;
                     }
-                    commands.insert(id.clone(), AppCommand { status: ConfigStatus::Hold, target: None });
+                    commands.insert(
+                        id.clone(),
+                        AppCommand {
+                            status: ConfigStatus::Hold,
+                            target: None,
+                        },
+                    );
                     reconf_st.insert(id, ReconfSt::Prepared);
                 }
                 next_stall -= 1;
@@ -705,7 +731,13 @@ impl Scram {
                 for app in self.spec.apps() {
                     let id = app.id().clone();
                     if self.exempted(&id) {
-                        commands.insert(id.clone(), AppCommand { status: ConfigStatus::Normal, target: None });
+                        commands.insert(
+                            id.clone(),
+                            AppCommand {
+                                status: ConfigStatus::Normal,
+                                target: None,
+                            },
+                        );
                         reconf_st.insert(id, ReconfSt::Normal);
                         continue;
                     }
@@ -715,8 +747,8 @@ impl Scram {
                     };
                     let wave_start = wave * per_app_init;
                     let spec_target = self.target_spec_for(&target, &id);
-                    let in_window = progress >= wave_start
-                        && progress < wave_start + app.bounds().init_frames;
+                    let in_window =
+                        progress >= wave_start && progress < wave_start + app.bounds().init_frames;
                     let status = if in_window {
                         ConfigStatus::Initialize
                     } else {
@@ -784,7 +816,11 @@ mod tests {
             ReconfigSpec::builder()
                 .frame_len(Ticks::new(100))
                 .env_factor("power", ["good", "low", "critical"])
-                .app(AppDecl::new("fcs").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("direct")))
+                .app(
+                    AppDecl::new("fcs")
+                        .spec(FunctionalSpec::new("full"))
+                        .spec(FunctionalSpec::new("direct")),
+                )
                 .app(
                     AppDecl::new("autopilot")
                         .spec(FunctionalSpec::new("full"))
@@ -844,7 +880,10 @@ mod tests {
         let mut scram = Scram::new(two_app_spec(0));
         let d = scram.step(0, &env("good"));
         assert!(!scram.is_reconfiguring());
-        assert!(d.commands.values().all(|c| c.status == ConfigStatus::Normal));
+        assert!(d
+            .commands
+            .values()
+            .all(|c| c.status == ConfigStatus::Normal));
         assert!(d.reconf_st.values().all(|s| s.is_normal()));
         assert_eq!(d.svclvl, ConfigId::new("full-service"));
         assert!(d.events.is_empty());
@@ -859,9 +898,15 @@ mod tests {
         // Interrupted.
         let d1 = scram.step(1, &env("low"));
         assert!(scram.is_reconfiguring());
-        assert!(d1.commands.values().all(|c| c.status == ConfigStatus::Normal));
+        assert!(d1
+            .commands
+            .values()
+            .all(|c| c.status == ConfigStatus::Normal));
         assert_eq!(d1.reconf_st[&AppId::new("fcs")], ReconfSt::Interrupted);
-        assert_eq!(d1.reconf_st[&AppId::new("autopilot")], ReconfSt::Interrupted);
+        assert_eq!(
+            d1.reconf_st[&AppId::new("autopilot")],
+            ReconfSt::Interrupted
+        );
         assert_eq!(d1.svclvl, ConfigId::new("full-service"));
         assert!(matches!(d1.events[0], ScramEvent::TriggerAccepted { .. }));
 
@@ -872,7 +917,10 @@ mod tests {
 
         // Frame 3: prepare(Ct) -> all apps, with target specs.
         let d3 = scram.step(3, &env("low"));
-        assert!(d3.commands.values().all(|c| c.status == ConfigStatus::Prepare));
+        assert!(d3
+            .commands
+            .values()
+            .all(|c| c.status == ConfigStatus::Prepare));
         assert_eq!(
             d3.commands[&AppId::new("fcs")].target,
             Some(SpecId::new("direct"))
@@ -900,7 +948,10 @@ mod tests {
 
         // Frame 5: steady again under the new configuration.
         let d5 = scram.step(5, &env("low"));
-        assert!(d5.commands.values().all(|c| c.status == ConfigStatus::Normal));
+        assert!(d5
+            .commands
+            .values()
+            .all(|c| c.status == ConfigStatus::Normal));
         assert_eq!(d5.svclvl, ConfigId::new("reduced"));
     }
 
@@ -913,7 +964,11 @@ mod tests {
                 .frame_len(Ticks::new(100))
                 .env_factor("site", ["a", "b"])
                 .app(AppDecl::new("x").spec(FunctionalSpec::new("s")))
-                .config(Configuration::new("on-a").assign("x", "s").place("x", ProcessorId::new(0)))
+                .config(
+                    Configuration::new("on-a")
+                        .assign("x", "s")
+                        .place("x", ProcessorId::new(0)),
+                )
                 .config(
                     Configuration::new("on-b")
                         .assign("x", "s")
@@ -1018,7 +1073,10 @@ mod tests {
             .any(|e| matches!(e, ScramEvent::Retargeted { new_target, .. } if *new_target == ConfigId::new("minimal"))));
         // Prepare for minimal, then init.
         let d4 = scram.step(4, &env("critical"));
-        assert!(matches!(d4.commands[&AppId::new("fcs")].status, ConfigStatus::Initialize));
+        assert!(matches!(
+            d4.commands[&AppId::new("fcs")].status,
+            ConfigStatus::Initialize
+        ));
         assert_eq!(d4.svclvl, ConfigId::new("minimal"));
         assert_eq!(scram.current_config(), &ConfigId::new("minimal"));
     }
@@ -1049,8 +1107,8 @@ mod tests {
         scram.step(0, &env("good"));
         scram.step(1, &env("low")); // trigger -> reduced
         scram.step(2, &env("low")); // halt
-        // Env recovers: choose(full-service, good) = full-service =
-        // source; no retarget, finish moving to reduced.
+                                    // Env recovers: choose(full-service, good) = full-service =
+                                    // source; no retarget, finish moving to reduced.
         scram.step(3, &env("good"));
         let d4 = scram.step(4, &env("good"));
         assert_eq!(d4.svclvl, ConfigId::new("reduced"));
@@ -1071,16 +1129,25 @@ mod tests {
         scram.step(1, &env("low"));
         scram.step(2, &env("low")); // halt
         scram.step(3, &env("low")); // prepare
-        // Init wave 0: fcs initializes, autopilot (depends on fcs) holds.
+                                    // Init wave 0: fcs initializes, autopilot (depends on fcs) holds.
         let d4 = scram.step(4, &env("low"));
-        assert_eq!(d4.commands[&AppId::new("fcs")].status, ConfigStatus::Initialize);
-        assert_eq!(d4.commands[&AppId::new("autopilot")].status, ConfigStatus::Hold);
+        assert_eq!(
+            d4.commands[&AppId::new("fcs")].status,
+            ConfigStatus::Initialize
+        );
+        assert_eq!(
+            d4.commands[&AppId::new("autopilot")].status,
+            ConfigStatus::Hold
+        );
         assert_eq!(d4.reconf_st[&AppId::new("autopilot")], ReconfSt::Prepared);
         assert_eq!(d4.reconf_st[&AppId::new("fcs")], ReconfSt::Initializing);
         assert!(scram.is_reconfiguring());
         // Init wave 1: autopilot initializes; reconfiguration completes.
         let d5 = scram.step(5, &env("low"));
-        assert_eq!(d5.commands[&AppId::new("autopilot")].status, ConfigStatus::Initialize);
+        assert_eq!(
+            d5.commands[&AppId::new("autopilot")].status,
+            ConfigStatus::Initialize
+        );
         assert_eq!(d5.commands[&AppId::new("fcs")].status, ConfigStatus::Hold);
         assert!(d5.reconf_st.values().all(|s| s.is_normal()));
         assert_eq!(d5.svclvl, ConfigId::new("reduced"));
@@ -1125,10 +1192,13 @@ mod tests {
         assert!(d3.reconf_st.values().all(|s| s.is_normal()));
         assert!(!scram.is_reconfiguring());
         // No Initialize command was ever issued.
-        assert!(!scram
-            .log()
-            .iter()
-            .any(|e| matches!(e, ScramEvent::PhaseEntered { phase: Phase::Init, .. })));
+        assert!(!scram.log().iter().any(|e| matches!(
+            e,
+            ScramEvent::PhaseEntered {
+                phase: Phase::Init,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1138,7 +1208,10 @@ mod tests {
         scram.step(0, &env("good"));
         scram.step(1, &env("low"));
         let d2 = scram.step(2, &env("low"));
-        assert_eq!(d2.commands[&AppId::new("autopilot")].status, ConfigStatus::Normal);
+        assert_eq!(
+            d2.commands[&AppId::new("autopilot")].status,
+            ConfigStatus::Normal
+        );
         assert_eq!(d2.reconf_st[&AppId::new("autopilot")], ReconfSt::Normal);
         assert_eq!(d2.commands[&AppId::new("fcs")].status, ConfigStatus::Halt);
         let _ = statuses(&d2);
@@ -1156,16 +1229,29 @@ mod tests {
             .iter()
             .map(|e| match e {
                 ScramEvent::TriggerAccepted { .. } => "trigger",
-                ScramEvent::PhaseEntered { phase: Phase::Halt, .. } => "halt",
-                ScramEvent::PhaseEntered { phase: Phase::Prepare, .. } => "prepare",
-                ScramEvent::PhaseEntered { phase: Phase::Init, .. } => "init",
-                ScramEvent::PhaseEntered { phase: Phase::Stall, .. } => "stall",
+                ScramEvent::PhaseEntered {
+                    phase: Phase::Halt, ..
+                } => "halt",
+                ScramEvent::PhaseEntered {
+                    phase: Phase::Prepare,
+                    ..
+                } => "prepare",
+                ScramEvent::PhaseEntered {
+                    phase: Phase::Init, ..
+                } => "init",
+                ScramEvent::PhaseEntered {
+                    phase: Phase::Stall,
+                    ..
+                } => "stall",
                 ScramEvent::Retargeted { .. } => "retarget",
                 ScramEvent::Completed { .. } => "completed",
                 ScramEvent::DwellSuppressed { .. } => "dwell",
             })
             .collect();
-        assert_eq!(kinds, vec!["trigger", "halt", "prepare", "init", "completed"]);
+        assert_eq!(
+            kinds,
+            vec!["trigger", "halt", "prepare", "init", "completed"]
+        );
     }
 
     #[test]
@@ -1201,7 +1287,10 @@ mod tests {
         scram.step(1, &env("low"));
         scram.step(2, &env("low")); // halt
         let d3 = scram.step(3, &env("low")); // prepare (signalled: stall pending)
-        assert!(d3.commands.values().all(|c| c.status == ConfigStatus::Prepare));
+        assert!(d3
+            .commands
+            .values()
+            .all(|c| c.status == ConfigStatus::Prepare));
         scram.step(4, &env("low")); // stall
         scram.step(5, &env("low")); // stall
         let d6 = scram.step(6, &env("low")); // initialize
@@ -1234,8 +1323,17 @@ mod tests {
                             init_frames: 1,
                         }),
                 )
-                .config(Configuration::new("c1").assign("a", "s").place("a", ProcessorId::new(0)))
-                .config(Configuration::new("c2").assign("a", "d").place("a", ProcessorId::new(0)).safe())
+                .config(
+                    Configuration::new("c1")
+                        .assign("a", "s")
+                        .place("a", ProcessorId::new(0)),
+                )
+                .config(
+                    Configuration::new("c2")
+                        .assign("a", "d")
+                        .place("a", ProcessorId::new(0))
+                        .safe(),
+                )
                 .transition("c1", "c2", Ticks::new(900))
                 .choose_when("p", "1", "c2")
                 .choose_when("p", "0", "c1")

@@ -222,7 +222,12 @@ mod tests {
         let mut t = SysTrace::new();
         t.push(state(0, ReconfSt::Normal, ConfigStatus::Normal, "full"));
         t.push(state(1, ReconfSt::Normal, ConfigStatus::Normal, "full"));
-        t.push(state(2, ReconfSt::Interrupted, ConfigStatus::Normal, "full"));
+        t.push(state(
+            2,
+            ReconfSt::Interrupted,
+            ConfigStatus::Normal,
+            "full",
+        ));
         t.push(state(3, ReconfSt::Halted, ConfigStatus::Halt, "full"));
         t.push(state(4, ReconfSt::Prepared, ConfigStatus::Prepare, "full"));
         t.push(state(5, ReconfSt::Normal, ConfigStatus::Initialize, "safe"));

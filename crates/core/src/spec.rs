@@ -38,6 +38,16 @@ pub struct FunctionalSpec {
     description: String,
     compute: Ticks,
     memory_kb: u64,
+    /// Stable-storage keys this specification writes each active frame
+    /// (declared, not inferred; input to the write-interference lint).
+    #[serde(default)]
+    writes: Vec<String>,
+    /// Rate divisor: the application runs on frames where
+    /// `frame % rate_divisor == 0`. `1` (the default) is the paper's
+    /// single-rate model; larger values describe multi-rate executives
+    /// whose hyperperiod the partition-budget lint analyzes.
+    #[serde(default)]
+    rate_divisor: u64,
 }
 
 impl FunctionalSpec {
@@ -48,6 +58,8 @@ impl FunctionalSpec {
             description: String::new(),
             compute: Ticks::ZERO,
             memory_kb: 0,
+            writes: Vec::new(),
+            rate_divisor: 1,
         }
     }
 
@@ -73,6 +85,22 @@ impl FunctionalSpec {
         self
     }
 
+    /// Declares a stable-storage key this specification writes every
+    /// frame it runs.
+    #[must_use]
+    pub fn writes(mut self, key: impl Into<String>) -> Self {
+        self.writes.push(key.into());
+        self
+    }
+
+    /// Sets the rate divisor (run every `d`-th frame). Values below 1
+    /// are treated as 1.
+    #[must_use]
+    pub fn rate_divisor(mut self, d: u64) -> Self {
+        self.rate_divisor = d;
+        self
+    }
+
     /// The specification id.
     pub fn id(&self) -> &SpecId {
         &self.id
@@ -91,6 +119,16 @@ impl FunctionalSpec {
     /// Memory requirement in KiB.
     pub fn memory_kib(&self) -> u64 {
         self.memory_kb
+    }
+
+    /// The declared stable-storage write set.
+    pub fn write_set(&self) -> &[String] {
+        &self.writes
+    }
+
+    /// The effective rate divisor (always at least 1).
+    pub fn rate(&self) -> u64 {
+        self.rate_divisor.max(1)
     }
 }
 
@@ -293,9 +331,34 @@ impl Configuration {
 
 /// The table of valid system transitions and their time bounds
 /// `T(cᵢ, cⱼ)`.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TransitionTable {
     bounds: BTreeMap<(ConfigId, ConfigId), Ticks>,
+}
+
+// JSON objects require string keys, so the table serializes as a
+// sequence of `[from, to, bound]` triples rather than a tuple-keyed map.
+impl serde::Serialize for TransitionTable {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Seq(
+            self.bounds
+                .iter()
+                .map(|((from, to), bound)| (from, to, bound).to_content())
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for TransitionTable {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let entries: Vec<(ConfigId, ConfigId, Ticks)> = serde::Deserialize::from_content(content)?;
+        Ok(TransitionTable {
+            bounds: entries
+                .into_iter()
+                .map(|(from, to, bound)| ((from, to), bound))
+                .collect(),
+        })
+    }
 }
 
 impl TransitionTable {
@@ -530,14 +593,24 @@ impl ReconfigSpec {
     /// application is done.
     pub fn phase_frames(&self) -> StageBounds {
         StageBounds {
-            halt_frames: self.apps.iter().map(|a| a.bounds().halt_frames).max().unwrap_or(1),
+            halt_frames: self
+                .apps
+                .iter()
+                .map(|a| a.bounds().halt_frames)
+                .max()
+                .unwrap_or(1),
             prepare_frames: self
                 .apps
                 .iter()
                 .map(|a| a.bounds().prepare_frames)
                 .max()
                 .unwrap_or(1),
-            init_frames: self.apps.iter().map(|a| a.bounds().init_frames).max().unwrap_or(1),
+            init_frames: self
+                .apps
+                .iter()
+                .map(|a| a.bounds().init_frames)
+                .max()
+                .unwrap_or(1),
         }
     }
 
@@ -628,7 +701,8 @@ impl ReconfigSpecBuilder {
         value: impl Into<String>,
         target: impl Into<ConfigId>,
     ) -> Self {
-        self.choose.push(ChooseRule::any_from(target).when(factor, value));
+        self.choose
+            .push(ChooseRule::any_from(target).when(factor, value));
         self
     }
 
@@ -812,6 +886,50 @@ impl ReconfigSpecBuilder {
     }
 }
 
+/// A [`ReconfigSpec`] deserializes through the builder, so a spec read
+/// back from JSON carries the same validity guarantee as one constructed
+/// in code; structurally invalid documents are rejected with the builder's
+/// diagnostic. This is what lets lint fixtures live as data files.
+impl serde::Deserialize for ReconfigSpec {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        #[derive(serde::Deserialize)]
+        struct Raw {
+            apps: Vec<AppDecl>,
+            configs: Vec<Configuration>,
+            transitions: TransitionTable,
+            choose: ChooseTable,
+            env: EnvModel,
+            initial_config: ConfigId,
+            initial_env: EnvState,
+            frame_len: Ticks,
+            min_dwell_frames: u64,
+        }
+        let raw = Raw::from_content(content)?;
+        let mut b = ReconfigSpec::builder()
+            .frame_len(raw.frame_len)
+            .min_dwell_frames(raw.min_dwell_frames)
+            .initial_config(raw.initial_config);
+        for factor in raw.env.factors() {
+            b = b.env_factor(factor.name(), factor.domain().iter().cloned());
+        }
+        for app in raw.apps {
+            b = b.app(app);
+        }
+        for config in raw.configs {
+            b = b.config(config);
+        }
+        for (from, to, bound) in raw.transitions.iter() {
+            b = b.transition(from.clone(), to.clone(), bound);
+        }
+        for rule in raw.choose.rules() {
+            b = b.choose_rule(rule.clone());
+        }
+        b = b.initial_env(raw.initial_env.iter());
+        b.build()
+            .map_err(|e| serde::DeError::custom(format!("invalid reconfiguration spec: {e}")))
+    }
+}
+
 /// Returns an application on a dependency cycle, if one exists.
 fn find_dependency_cycle(apps: &[AppDecl]) -> Option<AppId> {
     #[derive(Clone, Copy, PartialEq)]
@@ -820,11 +938,7 @@ fn find_dependency_cycle(apps: &[AppDecl]) -> Option<AppId> {
         Grey,
         Black,
     }
-    fn visit(
-        app: &AppId,
-        apps: &[AppDecl],
-        marks: &mut BTreeMap<AppId, Mark>,
-    ) -> Option<AppId> {
+    fn visit(app: &AppId, apps: &[AppDecl], marks: &mut BTreeMap<AppId, Mark>) -> Option<AppId> {
         match marks.get(app).copied().unwrap_or(Mark::White) {
             Mark::Grey => return Some(app.clone()),
             Mark::Black => return None,
@@ -916,8 +1030,16 @@ mod tests {
             .env_factor("power", ["good", "bad"])
             .app(
                 AppDecl::new("worker")
-                    .spec(FunctionalSpec::new("full").compute(Ticks::new(40)).memory_kb(256))
-                    .spec(FunctionalSpec::new("degraded").compute(Ticks::new(10)).memory_kb(64)),
+                    .spec(
+                        FunctionalSpec::new("full")
+                            .compute(Ticks::new(40))
+                            .memory_kb(256),
+                    )
+                    .spec(
+                        FunctionalSpec::new("degraded")
+                            .compute(Ticks::new(10))
+                            .memory_kb(64),
+                    ),
             )
             .config(
                 Configuration::new("full-service")
@@ -955,8 +1077,14 @@ mod tests {
             Ticks::new(40)
         );
         let cfg = spec.config(&ConfigId::new("full-service")).unwrap();
-        assert_eq!(cfg.spec_for(&AppId::new("worker")), Some(&SpecId::new("full")));
-        assert_eq!(cfg.placement_for(&AppId::new("worker")), Some(ProcessorId::new(0)));
+        assert_eq!(
+            cfg.spec_for(&AppId::new("worker")),
+            Some(&SpecId::new("full"))
+        );
+        assert_eq!(
+            cfg.placement_for(&AppId::new("worker")),
+            Some(ProcessorId::new(0))
+        );
         assert!(!cfg.is_safe());
         assert_eq!(spec.reconfig_frames(), 4);
         assert_eq!(spec.phase_frames().total_frames(), 3);
@@ -1001,7 +1129,10 @@ mod tests {
         let safe = ConfigId::new("safe-service");
         assert!(spec.transitions().allowed(&full, &safe));
         assert!(spec.transitions().allowed(&full, &full));
-        assert_eq!(spec.transitions().bound(&full, &safe), Some(Ticks::new(600)));
+        assert_eq!(
+            spec.transitions().bound(&full, &safe),
+            Some(Ticks::new(600))
+        );
         assert_eq!(spec.transitions().bound(&full, &full), Some(Ticks::ZERO));
         assert_eq!(spec.transitions().bound(&safe, &ConfigId::new("x")), None);
         assert_eq!(spec.transitions().len(), 2);
@@ -1040,10 +1171,17 @@ mod tests {
         assert_eq!(err, SpecError::DuplicateApp(AppId::new("worker")));
 
         let err = minimal_builder()
-            .config(Configuration::new("full-service").assign("worker", "full").place("worker", ProcessorId::new(0)))
+            .config(
+                Configuration::new("full-service")
+                    .assign("worker", "full")
+                    .place("worker", ProcessorId::new(0)),
+            )
             .build()
             .unwrap_err();
-        assert_eq!(err, SpecError::DuplicateConfig(ConfigId::new("full-service")));
+        assert_eq!(
+            err,
+            SpecError::DuplicateConfig(ConfigId::new("full-service"))
+        );
 
         let err = ReconfigSpec::builder()
             .frame_len(Ticks::new(1))
@@ -1052,7 +1190,12 @@ mod tests {
                     .spec(FunctionalSpec::new("s"))
                     .spec(FunctionalSpec::new("s")),
             )
-            .config(Configuration::new("c").assign("a", "s").place("a", ProcessorId::new(0)).safe())
+            .config(
+                Configuration::new("c")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .initial_config("c")
             .initial_env(Vec::<(String, String)>::new())
             .build()
@@ -1138,7 +1281,11 @@ mod tests {
         let err = ReconfigSpec::builder()
             .frame_len(Ticks::new(1))
             .app(AppDecl::new("a").spec(FunctionalSpec::new("s")))
-            .config(Configuration::new("c").assign("a", "s").place("a", ProcessorId::new(0)))
+            .config(
+                Configuration::new("c")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0)),
+            )
             .initial_config("c")
             .initial_env(Vec::<(String, String)>::new())
             .build()
@@ -1149,7 +1296,11 @@ mod tests {
     #[test]
     fn dependency_validation() {
         let err = minimal_builder()
-            .app(AppDecl::new("b").spec(FunctionalSpec::new("s")).depends_on("ghost"))
+            .app(
+                AppDecl::new("b")
+                    .spec(FunctionalSpec::new("s"))
+                    .depends_on("ghost"),
+            )
             .build()
             .unwrap_err();
         assert_eq!(
@@ -1162,8 +1313,16 @@ mod tests {
 
         let err = ReconfigSpec::builder()
             .frame_len(Ticks::new(1))
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("s")).depends_on("b"))
-            .app(AppDecl::new("b").spec(FunctionalSpec::new("s")).depends_on("a"))
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("s"))
+                    .depends_on("b"),
+            )
+            .app(
+                AppDecl::new("b")
+                    .spec(FunctionalSpec::new("s"))
+                    .depends_on("a"),
+            )
             .config(
                 Configuration::new("c")
                     .assign("a", "s")
@@ -1214,7 +1373,12 @@ mod tests {
         let err = ReconfigSpec::builder()
             .frame_len(Ticks::new(1))
             .app(AppDecl::new("a").spec(FunctionalSpec::new("s")))
-            .config(Configuration::new("c").assign("a", "s").place("a", ProcessorId::new(0)).safe())
+            .config(
+                Configuration::new("c")
+                    .assign("a", "s")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .initial_env(Vec::<(String, String)>::new())
             .build()
             .unwrap_err();
@@ -1245,14 +1409,19 @@ mod tests {
     #[test]
     fn dependency_order_and_depths() {
         let apps = vec![
-            AppDecl::new("autopilot").spec(FunctionalSpec::new("s")).depends_on("fcs"),
+            AppDecl::new("autopilot")
+                .spec(FunctionalSpec::new("s"))
+                .depends_on("fcs"),
             AppDecl::new("fcs").spec(FunctionalSpec::new("s")),
             AppDecl::new("logger")
                 .spec(FunctionalSpec::new("s"))
                 .depends_on("autopilot")
                 .depends_on("fcs"),
         ];
-        let order: Vec<_> = dependency_order(&apps).iter().map(|a| a.id().as_str()).collect();
+        let order: Vec<_> = dependency_order(&apps)
+            .iter()
+            .map(|a| a.id().as_str())
+            .collect();
         assert_eq!(order, vec!["fcs", "autopilot", "logger"]);
         let depths = dependency_depths(&apps);
         assert_eq!(depths[&AppId::new("fcs")], 0);
@@ -1273,11 +1442,15 @@ mod tests {
     #[test]
     fn stage_bounds_affect_protocol_length() {
         let spec = minimal_builder()
-            .app(AppDecl::new("slow").spec(FunctionalSpec::new("s")).stage_bounds(StageBounds {
-                halt_frames: 2,
-                prepare_frames: 1,
-                init_frames: 3,
-            }))
+            .app(
+                AppDecl::new("slow")
+                    .spec(FunctionalSpec::new("s"))
+                    .stage_bounds(StageBounds {
+                        halt_frames: 2,
+                        prepare_frames: 1,
+                        init_frames: 3,
+                    }),
+            )
             .config(
                 Configuration::new("full2")
                     .assign("worker", "full")
@@ -1296,11 +1469,15 @@ mod tests {
         let spec = ReconfigSpec::builder()
             .frame_len(Ticks::new(10))
             .app(AppDecl::new("fast").spec(FunctionalSpec::new("s")))
-            .app(AppDecl::new("slow").spec(FunctionalSpec::new("s")).stage_bounds(StageBounds {
-                halt_frames: 2,
-                prepare_frames: 3,
-                init_frames: 1,
-            }))
+            .app(
+                AppDecl::new("slow")
+                    .spec(FunctionalSpec::new("s"))
+                    .stage_bounds(StageBounds {
+                        halt_frames: 2,
+                        prepare_frames: 3,
+                        init_frames: 1,
+                    }),
+            )
             .config(
                 Configuration::new("c")
                     .assign("fast", "s")

@@ -130,9 +130,22 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(800))
             .transition("safe", "full", Ticks::new(800))
             .choose_when("power", "bad", "safe")
@@ -178,7 +191,10 @@ mod tests {
         assert_eq!(stats.restricted_frames, 6);
         assert!((stats.restricted_fraction - 0.3).abs() < 1e-9);
         assert!((stats.availability() - 0.7).abs() < 1e-9);
-        assert_eq!(stats.max_restriction(Ticks::new(100)), Some(Ticks::new(300)));
+        assert_eq!(
+            stats.max_restriction(Ticks::new(100)),
+            Some(Ticks::new(300))
+        );
         let total: u64 = stats.frames_per_config.values().sum();
         assert_eq!(total, 20);
         assert!(stats.frames_per_config[&ConfigId::new("safe")] > 0);

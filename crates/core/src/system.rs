@@ -36,24 +36,20 @@ use std::sync::Arc;
 
 use arfs_failstop::{ProcessorId, ProcessorPool, SharedStableStorage, StableSnapshot};
 use arfs_rtos::{Ticks, VirtualClock};
-use arfs_ttbus::{BusSchedule, Message, NodeId, TtBus};
+use arfs_ttbus::{Message, NodeId, TtBus};
 
 use crate::app::{
     AppContext, Blackboard, ConfigStatus, NullApp, ReconfigurableApp, CONFIG_STATUS_KEY,
     TARGET_SPEC_KEY,
 };
 use crate::environment::Environment;
-use crate::scram::{FrameDecision, MidReconfigPolicy, Scram, ScramMutation, StagePolicy, SyncPolicy};
+use crate::lint::assembly::{Assembly, ENV_NODE, PROC_NODE_BASE, SCRAM_NODE};
+use crate::scram::{
+    FrameDecision, MidReconfigPolicy, Scram, ScramMutation, StagePolicy, SyncPolicy,
+};
 use crate::spec::{dependency_order, ReconfigSpec};
 use crate::trace::{AppFrameRecord, SysState, SysTrace};
 use crate::{AppId, ConfigId, SystemError};
-
-/// Offset added to processor ids to form their bus node ids.
-const PROC_NODE_BASE: u32 = 0;
-/// Bus node id of the SCRAM kernel's host.
-const SCRAM_NODE: NodeId = NodeId::new(100_000);
-/// Bus node id of the environment-monitoring virtual application.
-const ENV_NODE: NodeId = NodeId::new(100_001);
 
 /// An auditable system-level event (the arrows of Figure 1, plus health
 /// conditions).
@@ -231,30 +227,14 @@ impl SystemBuilder {
             }
         }
 
-        // Platform: every processor any configuration places apps on.
-        let mut processors: Vec<ProcessorId> = spec
-            .configs()
-            .iter()
-            .flat_map(|c| c.processors())
-            .collect();
-        processors.sort();
-        processors.dedup();
+        // Platform and bus: the derived assembly (shared with the
+        // assembly-level lint passes).
+        let assembly = Assembly::derive(&spec)?;
         let mut pool = ProcessorPool::new();
-        for &p in &processors {
+        for &p in &assembly.platform {
             pool.add(arfs_failstop::Processor::new(p));
         }
-
-        // Bus: one slot per processor plus the SCRAM and environment
-        // monitor nodes.
-        let mut schedule = BusSchedule::builder();
-        for &p in &processors {
-            schedule = schedule.slot(NodeId::new(PROC_NODE_BASE + p.raw()), 256);
-        }
-        schedule = schedule.slot(SCRAM_NODE, 1024).slot(ENV_NODE, 1024);
-        let schedule = schedule
-            .build()
-            .map_err(|e| SystemError::Bus(e.to_string()))?;
-        let mut bus = TtBus::new(schedule);
+        let mut bus = TtBus::new(assembly.bus);
         bus.enable_log();
 
         let environment = Environment::new(spec.env_model().clone(), spec.initial_env().clone())?;
@@ -474,9 +454,10 @@ impl System {
                 });
                 // Fault signal: environment monitor -> SCRAM over the bus.
                 let payload = format!("{factor}={value}");
-                let _ = self
-                    .bus
-                    .submit(ENV_NODE, Message::new("fault", payload.clone().into_bytes()));
+                let _ = self.bus.submit(
+                    ENV_NODE,
+                    Message::new("fault", payload.clone().into_bytes()),
+                );
                 self.events.push(SystemEvent::SignalSent {
                     frame,
                     from: "environment".into(),
@@ -506,9 +487,10 @@ impl System {
             });
             if command.status != ConfigStatus::Normal {
                 let payload = format!("{app_id}:{}", command.status);
-                let _ = self
-                    .bus
-                    .submit(SCRAM_NODE, Message::new("reconfig", payload.clone().into_bytes()));
+                let _ = self.bus.submit(
+                    SCRAM_NODE,
+                    Message::new("reconfig", payload.clone().into_bytes()),
+                );
                 self.events.push(SystemEvent::SignalSent {
                     frame,
                     from: "scram".into(),
@@ -539,7 +521,11 @@ impl System {
         let mut lost: BTreeMap<AppId, bool> = BTreeMap::new();
 
         for app_id in self.app_order.clone() {
-            let command = decision.commands.get(&app_id).expect("command per app").clone();
+            let command = decision
+                .commands
+                .get(&app_id)
+                .expect("command per app")
+                .clone();
             let app_index = self
                 .apps
                 .iter()
@@ -659,7 +645,9 @@ impl System {
                     .map(|p| NodeId::new(PROC_NODE_BASE + p.raw()))
                     .unwrap_or(SCRAM_NODE);
                 let payload = format!("{app_id}:{}:done", command.status);
-                let _ = self.bus.submit(node, Message::new("status", payload.clone().into_bytes()));
+                let _ = self
+                    .bus
+                    .submit(node, Message::new("status", payload.clone().into_bytes()));
                 self.events.push(SystemEvent::SignalSent {
                     frame,
                     from: app_id.to_string(),
@@ -682,10 +670,11 @@ impl System {
                 .config(&decision.svclvl)
                 .expect("validated config");
             for app in &self.apps {
-                let assigned = new_config
-                    .spec_for(app.id())
-                    .expect("validated assignment");
-                pre_ok.insert(app.id().clone(), Some(app.precondition_established(assigned)));
+                let assigned = new_config.spec_for(app.id()).expect("validated assignment");
+                pre_ok.insert(
+                    app.id().clone(),
+                    Some(app.precondition_established(assigned)),
+                );
             }
         }
 
@@ -702,8 +691,18 @@ impl System {
                         .cloned()
                         .expect("spec recorded per app"),
                     commanded: command.status,
-                    post_ok: post_ok.get(app_id).copied().flatten().map(Some).unwrap_or(None),
-                    pre_ok: pre_ok.get(app_id).copied().flatten().map(Some).unwrap_or(None),
+                    post_ok: post_ok
+                        .get(app_id)
+                        .copied()
+                        .flatten()
+                        .map(Some)
+                        .unwrap_or(None),
+                    pre_ok: pre_ok
+                        .get(app_id)
+                        .copied()
+                        .flatten()
+                        .map(Some)
+                        .unwrap_or(None),
                     lost: lost.get(app_id).copied().unwrap_or(false),
                 },
             );
@@ -735,7 +734,11 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "low", "critical"])
-            .app(AppDecl::new("fcs").spec(FunctionalSpec::new("full").compute(Ticks::new(30))).spec(FunctionalSpec::new("direct").compute(Ticks::new(10))))
+            .app(
+                AppDecl::new("fcs")
+                    .spec(FunctionalSpec::new("full").compute(Ticks::new(30)))
+                    .spec(FunctionalSpec::new("direct").compute(Ticks::new(10))),
+            )
             .app(
                 AppDecl::new("autopilot")
                     .spec(FunctionalSpec::new("full").compute(Ticks::new(30)))
@@ -985,8 +988,16 @@ mod tests {
         let spec = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("processor-1", ["up", "down"])
-            .app(AppDecl::new("fcs").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("direct")))
-            .app(AppDecl::new("autopilot").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("off2")))
+            .app(
+                AppDecl::new("fcs")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("direct")),
+            )
+            .app(
+                AppDecl::new("autopilot")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("off2")),
+            )
             .config(
                 Configuration::new("full-service")
                     .assign("fcs", "full")
@@ -1086,12 +1097,9 @@ mod tests {
         let table2 = properties::check_all(system.trace(), system.spec());
         assert!(table2.is_ok(), "{table2}");
         // ...the protocol-conformance extension can.
-        let conformance =
-            properties::check_protocol_conformance(system.trace(), system.spec());
+        let conformance = properties::check_protocol_conformance(system.trace(), system.spec());
         assert!(!conformance.is_empty());
-        assert!(conformance
-            .iter()
-            .any(|v| v.detail.contains("halt stage")));
+        assert!(conformance.iter().any(|v| v.detail.contains("halt stage")));
     }
 
     #[test]

@@ -217,10 +217,7 @@ impl SysTrace {
     /// application not normal) — the quantity bounded by the §5.3
     /// analysis.
     pub fn restricted_frames(&self) -> u64 {
-        self.states
-            .iter()
-            .filter(|s| s.any_reconfiguring())
-            .count() as u64
+        self.states.iter().filter(|s| s.any_reconfiguring()).count() as u64
     }
 }
 
@@ -254,14 +251,38 @@ mod tests {
     #[test]
     fn reconfigs_extracted_from_boundaries() {
         let mut t = SysTrace::new();
-        t.push(state(0, &[("a", ReconfSt::Normal), ("b", ReconfSt::Normal)]));
-        t.push(state(1, &[("a", ReconfSt::Interrupted), ("b", ReconfSt::Normal)]));
-        t.push(state(2, &[("a", ReconfSt::Halted), ("b", ReconfSt::Halted)]));
-        t.push(state(3, &[("a", ReconfSt::Prepared), ("b", ReconfSt::Prepared)]));
-        t.push(state(4, &[("a", ReconfSt::Normal), ("b", ReconfSt::Normal)]));
-        t.push(state(5, &[("a", ReconfSt::Normal), ("b", ReconfSt::Normal)]));
+        t.push(state(
+            0,
+            &[("a", ReconfSt::Normal), ("b", ReconfSt::Normal)],
+        ));
+        t.push(state(
+            1,
+            &[("a", ReconfSt::Interrupted), ("b", ReconfSt::Normal)],
+        ));
+        t.push(state(
+            2,
+            &[("a", ReconfSt::Halted), ("b", ReconfSt::Halted)],
+        ));
+        t.push(state(
+            3,
+            &[("a", ReconfSt::Prepared), ("b", ReconfSt::Prepared)],
+        ));
+        t.push(state(
+            4,
+            &[("a", ReconfSt::Normal), ("b", ReconfSt::Normal)],
+        ));
+        t.push(state(
+            5,
+            &[("a", ReconfSt::Normal), ("b", ReconfSt::Normal)],
+        ));
         let rs = t.get_reconfigs();
-        assert_eq!(rs, vec![Reconfiguration { start_c: 1, end_c: 4 }]);
+        assert_eq!(
+            rs,
+            vec![Reconfiguration {
+                start_c: 1,
+                end_c: 4
+            }]
+        );
         assert_eq!(rs[0].cycles(), 4);
         assert_eq!(t.open_reconfiguration(), None);
         assert_eq!(t.restricted_frames(), 3);
@@ -280,8 +301,20 @@ mod tests {
         t.push(state(7, &[("a", ReconfSt::Normal)]));
         let rs = t.get_reconfigs();
         assert_eq!(rs.len(), 2);
-        assert_eq!(rs[0], Reconfiguration { start_c: 3, end_c: 4 });
-        assert_eq!(rs[1], Reconfiguration { start_c: 5, end_c: 7 });
+        assert_eq!(
+            rs[0],
+            Reconfiguration {
+                start_c: 3,
+                end_c: 4
+            }
+        );
+        assert_eq!(
+            rs[1],
+            Reconfiguration {
+                start_c: 5,
+                end_c: 7
+            }
+        );
     }
 
     #[test]
@@ -300,7 +333,13 @@ mod tests {
         t.push(state(0, &[("a", ReconfSt::Halted)]));
         t.push(state(1, &[("a", ReconfSt::Normal)]));
         let rs = t.get_reconfigs();
-        assert_eq!(rs, vec![Reconfiguration { start_c: 0, end_c: 1 }]);
+        assert_eq!(
+            rs,
+            vec![Reconfiguration {
+                start_c: 0,
+                end_c: 1
+            }]
+        );
     }
 
     #[test]

@@ -21,7 +21,8 @@
 
 use std::fmt;
 
-use crate::analysis::{self, ObligationReport};
+use crate::analysis::ObligationReport;
+use crate::lint::{obligations_from, Assembly, LintEngine, LintReport, LintTarget};
 use crate::model::{ModelCheckReport, ModelChecker};
 use crate::properties::{self, PropertyId};
 use crate::scram::ScramMutation;
@@ -68,6 +69,11 @@ pub struct MutationResult {
 pub struct VerificationReport {
     /// Static obligation results.
     pub obligations: ObligationReport,
+    /// The full lint report (the obligations are derived from its error
+    /// half; it additionally carries assembly-level errors and
+    /// `ARFS-W1xx` warnings).
+    #[serde(default)]
+    pub lint: LintReport,
     /// Exhaustive bounded exploration results.
     pub model_check: ModelCheckReport,
     /// Mutation-screen results (empty if the screen was disabled).
@@ -75,10 +81,12 @@ pub struct VerificationReport {
 }
 
 impl VerificationReport {
-    /// Returns `true` if every layer passed: all obligations proved, all
-    /// schedules clean, and (when screened) every mutation caught.
+    /// Returns `true` if every layer passed: all obligations proved, no
+    /// lint errors, all schedules clean, and (when screened) every
+    /// mutation caught.
     pub fn is_verified(&self) -> bool {
         self.obligations.all_passed()
+            && !self.lint.has_errors()
             && self.model_check.all_passed()
             && self.mutations.iter().all(|m| m.caught)
     }
@@ -95,6 +103,12 @@ impl fmt::Display for VerificationReport {
                 format!("{} FAILED", self.obligations.failures().len())
             }
         )?;
+        writeln!(
+            f,
+            "lint:               {} error(s), {} warning(s)",
+            self.lint.errors().count(),
+            self.lint.warnings().count()
+        )?;
         writeln!(f, "exhaustive check:   {}", self.model_check)?;
         if self.mutations.is_empty() {
             writeln!(f, "mutation screen:    skipped")?;
@@ -109,7 +123,11 @@ impl fmt::Display for VerificationReport {
         write!(
             f,
             "verdict:            {}",
-            if self.is_verified() { "VERIFIED" } else { "NOT VERIFIED" }
+            if self.is_verified() {
+                "VERIFIED"
+            } else {
+                "NOT VERIFIED"
+            }
         )
     }
 }
@@ -153,7 +171,14 @@ impl fmt::Display for VerificationReport {
 /// assert!(report.is_verified(), "{report}");
 /// ```
 pub fn verify_spec(spec: &ReconfigSpec, options: &VerifyOptions) -> VerificationReport {
-    let obligations = analysis::check_obligations(spec);
+    // Lint the full assembly through the content-hash cache: repeated
+    // verification of an unchanged specification re-checks incrementally.
+    let engine = LintEngine::new();
+    let lint = match Assembly::derive(spec) {
+        Ok(assembly) => engine.run_cached(&LintTarget::assembled(spec, &assembly)),
+        Err(_) => engine.run_cached(&LintTarget::spec_only(spec)),
+    };
+    let obligations = obligations_from(spec, &lint);
 
     let model_check = ModelChecker::new(spec.clone(), options.horizon, options.max_events)
         .run_parallel(options.threads.max(1));
@@ -199,6 +224,7 @@ pub fn verify_spec(spec: &ReconfigSpec, options: &VerifyOptions) -> Verification
 
     VerificationReport {
         obligations,
+        lint,
         model_check,
         mutations,
     }
@@ -262,9 +288,22 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full").compute(Ticks::new(20))).spec(FunctionalSpec::new("deg").compute(Ticks::new(5))))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full").compute(Ticks::new(20)))
+                    .spec(FunctionalSpec::new("deg").compute(Ticks::new(5))),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(4000))
             .transition("safe", "full", Ticks::new(4000))
             .choose_when("power", "bad", "safe")
@@ -322,9 +361,22 @@ mod tests {
         let spec = ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("full")).spec(FunctionalSpec::new("deg")))
-            .config(Configuration::new("full").assign("a", "full").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "deg").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "safe", Ticks::new(4000))
             .choose_when("power", "bad", "safe")
             .choose_when("power", "good", "full")

@@ -95,10 +95,28 @@ mod tests {
         ReconfigSpec::builder()
             .frame_len(Ticks::new(100))
             .env_factor("power", ["good", "low", "bad"])
-            .app(AppDecl::new("a").spec(FunctionalSpec::new("f")).spec(FunctionalSpec::new("m")).spec(FunctionalSpec::new("d")))
-            .config(Configuration::new("full").assign("a", "f").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("mid").assign("a", "m").place("a", ProcessorId::new(0)))
-            .config(Configuration::new("safe").assign("a", "d").place("a", ProcessorId::new(0)).safe())
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("f"))
+                    .spec(FunctionalSpec::new("m"))
+                    .spec(FunctionalSpec::new("d")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "f")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("mid")
+                    .assign("a", "m")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "d")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .transition("full", "mid", Ticks::new(900))
             .transition("full", "safe", Ticks::new(900))
             .transition("mid", "safe", Ticks::new(900))
@@ -154,7 +172,10 @@ mod tests {
             assert!(report.is_ok(), "seed {}: {report}", scenario.name());
             reconfigs += report.reconfigs_checked;
         }
-        assert!(reconfigs > 10, "soak exercised {reconfigs} reconfigurations");
+        assert!(
+            reconfigs > 10,
+            "soak exercised {reconfigs} reconfigurations"
+        );
     }
 
     #[test]
@@ -162,7 +183,12 @@ mod tests {
         let s = ReconfigSpec::builder()
             .frame_len(Ticks::new(10))
             .app(AppDecl::new("a").spec(FunctionalSpec::new("f")))
-            .config(Configuration::new("c").assign("a", "f").place("a", ProcessorId::new(0)).safe())
+            .config(
+                Configuration::new("c")
+                    .assign("a", "f")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
             .initial_config("c")
             .initial_env(Vec::<(String, String)>::new())
             .build()

@@ -128,7 +128,9 @@ mod tests {
     #[test]
     fn builder_accumulates_events_in_order() {
         let mut plan = FaultPlan::none();
-        plan.add_lane_corruption(7).add_fail_stop(3).add_fail_stop(9);
+        plan.add_lane_corruption(7)
+            .add_fail_stop(3)
+            .add_fail_stop(9);
         let events = plan.events();
         assert_eq!(
             events,

@@ -75,7 +75,9 @@ use std::fmt;
 /// `ProcessorId`s are dense small integers assigned by the platform
 /// configuration; the static application-to-processor mapping in the
 /// reconfiguration specification refers to processors by this id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ProcessorId(u32);
 
 impl ProcessorId {

@@ -156,7 +156,11 @@ impl ProcessorPool {
     ///
     /// Returns [`FailStopError::UnknownProcessor`] if no such processor
     /// exists, or [`FailStopError::Halted`] if it has failed.
-    pub fn assign(&mut self, task: impl Into<String>, id: ProcessorId) -> Result<(), FailStopError> {
+    pub fn assign(
+        &mut self,
+        task: impl Into<String>,
+        id: ProcessorId,
+    ) -> Result<(), FailStopError> {
         let p = self
             .processors
             .get(&id)
@@ -213,15 +217,15 @@ impl ProcessorPool {
     /// Returns [`FailStopError::UnknownProcessor`] if the task is not
     /// assigned, or [`FailStopError::NoSpare`] if no spare is available.
     pub fn restart_on_spare(&mut self, task: &str) -> Result<ProcessorId, FailStopError> {
-        let from = self
-            .assignments
-            .get(task)
-            .copied()
-            .ok_or_else(|| FailStopError::StepFailed {
-                program: "pool".into(),
-                step: "restart_on_spare".into(),
-                reason: format!("task `{task}` has no assignment"),
-            })?;
+        let from =
+            self.assignments
+                .get(task)
+                .copied()
+                .ok_or_else(|| FailStopError::StepFailed {
+                    program: "pool".into(),
+                    step: "restart_on_spare".into(),
+                    reason: format!("task `{task}` has no assignment"),
+                })?;
         let to = self.find_spare().ok_or(FailStopError::NoSpare)?;
         self.assignments.insert(task.to_owned(), to);
         self.events.push(PoolEvent::Restarted {
@@ -259,7 +263,9 @@ mod tests {
         assert_eq!(pool.alive_ids(), vec![ProcessorId::new(1)]);
         assert_eq!(pool.failed_ids(), vec![ProcessorId::new(0)]);
         assert!(!pool.is_alive(ProcessorId::new(0)));
-        assert!(pool.events().contains(&PoolEvent::Failed(ProcessorId::new(0))));
+        assert!(pool
+            .events()
+            .contains(&PoolEvent::Failed(ProcessorId::new(0))));
     }
 
     #[test]

@@ -26,7 +26,17 @@ use crate::error::StorageError;
 
 /// Monotonically increasing commit version of a [`StableStorage`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Version(u64);
 
@@ -111,14 +121,17 @@ macro_rules! typed_accessors {
             match self.committed.get(key) {
                 None => Ok(None),
                 Some(StableValue::$variant(v)) => Ok(Some($as_ref(v))),
-                Some(_) => Err(StorageError::TypeMismatch { key: key.to_owned() }),
+                Some(_) => Err(StorageError::TypeMismatch {
+                    key: key.to_owned(),
+                }),
             }
         }
 
         /// Stages a write of the given type; it becomes visible at the
         /// next [`commit`](StableStorage::commit).
         pub fn $stage(&mut self, key: impl Into<String>, value: $ty) {
-            self.staged.insert(key.into(), Some(StableValue::$variant(value.into())));
+            self.staged
+                .insert(key.into(), Some(StableValue::$variant(value.into())));
         }
     };
 }
@@ -180,7 +193,14 @@ impl StableStorage {
     typed_accessors!(get_u64, try_get_u64, stage_u64, U64, u64, |v: &u64| *v);
     typed_accessors!(get_i64, try_get_i64, stage_i64, I64, i64, |v: &i64| *v);
     typed_accessors!(get_f64, try_get_f64, stage_f64, F64, f64, |v: &f64| *v);
-    typed_accessors!(get_bool, try_get_bool, stage_bool, Bool, bool, |v: &bool| *v);
+    typed_accessors!(
+        get_bool,
+        try_get_bool,
+        stage_bool,
+        Bool,
+        bool,
+        |v: &bool| *v
+    );
 
     /// Reads a committed string value.
     ///
@@ -571,7 +591,11 @@ mod tests {
         assert_eq!(spare.get_u64("altitude"), Some(3000));
         assert_eq!(spare.get_str("mode"), Some("cruise"));
         assert_eq!(spare.get_u64("own"), Some(1));
-        let keys: Vec<_> = failed.snapshot().iter().map(|(k, _)| k.to_owned()).collect();
+        let keys: Vec<_> = failed
+            .snapshot()
+            .iter()
+            .map(|(k, _)| k.to_owned())
+            .collect();
         assert_eq!(keys, vec!["altitude", "mode"]);
     }
 

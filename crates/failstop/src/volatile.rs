@@ -37,7 +37,8 @@ macro_rules! volatile_accessors {
 
         /// Writes a value, replacing any previous value under the key.
         pub fn $set(&mut self, key: impl Into<String>, value: $ty) {
-            self.values.insert(key.into(), VolatileValue::$variant(value.into()));
+            self.values
+                .insert(key.into(), VolatileValue::$variant(value.into()));
         }
     };
 }

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use std::thread;
 
 use arfs_failstop::{
-    FaultPlan, PairOutcome, Processor, ProcessorId, Program, SelfCheckingPair,
-    SharedStableStorage, StableValue,
+    FaultPlan, PairOutcome, Processor, ProcessorId, Program, SelfCheckingPair, SharedStableStorage,
+    StableValue,
 };
 use proptest::prelude::*;
 

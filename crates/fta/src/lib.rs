@@ -59,9 +59,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use arfs_failstop::{
-    FailStopError, ProcessorPool, Program, StableSnapshot, StepOutcome,
-};
+use arfs_failstop::{FailStopError, ProcessorPool, Program, StableSnapshot, StepOutcome};
 
 /// A predicate over committed stable state, used for pre/postconditions.
 pub type StatePredicate = Arc<dyn Fn(&StableSnapshot) -> bool + Send + Sync>;
@@ -270,9 +268,7 @@ impl FtaExecutor {
             match processor.run(&program) {
                 StepOutcome::Completed => {
                     if let Some(post) = &fta.postcondition {
-                        let snapshot = pool
-                            .poll_stable(host)
-                            .expect("host existed a moment ago");
+                        let snapshot = pool.poll_stable(host).expect("host existed a moment ago");
                         if !post(&snapshot) {
                             return FtaOutcome::PostconditionViolated;
                         }
@@ -449,7 +445,9 @@ mod tests {
         let mut exec = FtaExecutor::new();
         let fta = Fta::new("inc", increment_program());
         let outcome = exec.execute(&mut pool, "worker", &fta);
-        assert!(matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("no spare")));
+        assert!(
+            matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("no spare"))
+        );
     }
 
     #[test]
@@ -459,9 +457,10 @@ mod tests {
             .unwrap()
             .set_fault_plan(FaultPlan::at_instructions([1]));
         let mut exec = FtaExecutor::new();
-        let fta = Fta::new("inc", increment_program()).with_recovery(RecoveryProtocol::Reconfigure {
-            reason: "insufficient capacity after failure".into(),
-        });
+        let fta =
+            Fta::new("inc", increment_program()).with_recovery(RecoveryProtocol::Reconfigure {
+                reason: "insufficient capacity after failure".into(),
+            });
         let outcome = exec.execute(&mut pool, "worker", &fta);
         assert_eq!(
             outcome,
@@ -486,8 +485,8 @@ mod tests {
             ctx.stable.stage_str("mode", "fallback");
             Ok(())
         });
-        let fta = Fta::new("inc", increment_program())
-            .with_recovery(RecoveryProtocol::Alternate(alt));
+        let fta =
+            Fta::new("inc", increment_program()).with_recovery(RecoveryProtocol::Alternate(alt));
         let mut exec = FtaExecutor::new();
         assert_eq!(
             exec.execute(&mut pool, "worker", &fta),
@@ -517,8 +516,8 @@ mod tests {
         pool.processor_mut(ProcessorId::new(0))
             .unwrap()
             .set_fault_plan(FaultPlan::at_instructions([2]));
-        let fta = Fta::new("inc", increment_program())
-            .with_postcondition(|s| s.get_u64("n") == Some(1));
+        let fta =
+            Fta::new("inc", increment_program()).with_postcondition(|s| s.get_u64("n") == Some(1));
         let mut exec = FtaExecutor::new();
         assert_eq!(
             exec.execute(&mut pool, "worker", &fta),
@@ -534,7 +533,9 @@ mod tests {
         let fta = Fta::new("bad", p);
         let mut exec = FtaExecutor::new();
         let outcome = exec.execute(&mut pool, "worker", &fta);
-        assert!(matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("logic bug")));
+        assert!(
+            matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("logic bug"))
+        );
     }
 
     #[test]
@@ -543,7 +544,9 @@ mod tests {
         let fta = Fta::new("inc", increment_program());
         let mut exec = FtaExecutor::new();
         let outcome = exec.execute(&mut pool, "ghost", &fta);
-        assert!(matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("no processor assignment")));
+        assert!(
+            matches!(outcome, FtaOutcome::Unrecoverable { reason } if reason.contains("no processor assignment"))
+        );
     }
 
     #[test]
@@ -555,8 +558,7 @@ mod tests {
         let bad = Fta::new("bad", bad_prog);
         let never = Fta::new("never", increment_program());
         let mut exec = FtaExecutor::new();
-        let outcomes =
-            exec.execute_sequence(&mut pool, "worker", &[ok.clone(), bad, never]);
+        let outcomes = exec.execute_sequence(&mut pool, "worker", &[ok.clone(), bad, never]);
         assert_eq!(outcomes.len(), 2);
         assert_eq!(outcomes[0], FtaOutcome::Completed { recoveries: 0 });
         assert!(matches!(outcomes[1], FtaOutcome::Unrecoverable { .. }));
@@ -564,9 +566,8 @@ mod tests {
 
     #[test]
     fn debug_impls_are_informative() {
-        let fta = Fta::new("inc", increment_program()).with_recovery(RecoveryProtocol::Reconfigure {
-            reason: "r".into(),
-        });
+        let fta = Fta::new("inc", increment_program())
+            .with_recovery(RecoveryProtocol::Reconfigure { reason: "r".into() });
         let s = format!("{fta:?}");
         assert!(s.contains("inc"));
         assert!(s.contains("Reconfigure"));

@@ -1,8 +1,8 @@
 //! Property-based tests of fault-tolerant actions: the S&S recovery
 //! argument over arbitrary fault plans.
 
-use arfs_fta::{Fta, FtaExecutor, FtaOutcome, RecoveryProtocol};
 use arfs_failstop::{FaultPlan, ProcessorId, ProcessorPool, Program};
+use arfs_fta::{Fta, FtaExecutor, FtaOutcome, RecoveryProtocol};
 use proptest::prelude::*;
 
 /// An idempotent action: recompute from committed state, write once.

@@ -11,7 +11,17 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 /// specification — the T(ci, cj) transition bounds of the paper — are
 /// expressed in ticks.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
 )]
 pub struct Ticks(u64);
 

@@ -135,7 +135,11 @@ impl fmt::Debug for Executive {
             .field("major", &self.major)
             .field(
                 "partitions",
-                &self.partitions.iter().map(|p| p.name().to_owned()).collect::<Vec<_>>(),
+                &self
+                    .partitions
+                    .iter()
+                    .map(|p| p.name().to_owned())
+                    .collect::<Vec<_>>(),
             )
             .finish_non_exhaustive()
     }
@@ -311,8 +315,10 @@ mod tests {
     #[test]
     fn frames_run_in_window_order_and_clock_advances() {
         let mut exec = Executive::new(schedule());
-        exec.add_partition(Box::new(FixedCost::new("autopilot", 10))).unwrap();
-        exec.add_partition(Box::new(FixedCost::new("fcs", 20))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("autopilot", 10)))
+            .unwrap();
+        exec.add_partition(Box::new(FixedCost::new("fcs", 20)))
+            .unwrap();
         let r = exec.run_frame();
         assert_eq!(r.frame, 0);
         assert_eq!(r.consumed, Ticks::new(30));
@@ -326,7 +332,8 @@ mod tests {
     #[test]
     fn deadline_miss_detected() {
         let mut exec = Executive::new(schedule());
-        exec.add_partition(Box::new(FixedCost::new("fcs", 41))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("fcs", 41)))
+            .unwrap();
         let r = exec.run_frame();
         assert_eq!(r.health.len(), 1);
         assert_eq!(
@@ -365,7 +372,8 @@ mod tests {
     #[test]
     fn duplicate_partition_rejected() {
         let mut exec = Executive::new(schedule());
-        exec.add_partition(Box::new(FixedCost::new("fcs", 10))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("fcs", 10)))
+            .unwrap();
         let err = exec
             .add_partition(Box::new(FixedCost::new("fcs", 10)))
             .unwrap_err();
@@ -375,7 +383,8 @@ mod tests {
     #[test]
     fn missing_partition_window_is_skipped() {
         let mut exec = Executive::new(schedule());
-        exec.add_partition(Box::new(FixedCost::new("fcs", 10))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("fcs", 10)))
+            .unwrap();
         // No "autopilot" partition registered; its window idles.
         let r = exec.run_frame();
         assert_eq!(r.consumed, Ticks::new(10));
@@ -385,7 +394,8 @@ mod tests {
     #[test]
     fn remove_partition_stops_scheduling_it() {
         let mut exec = Executive::new(schedule());
-        exec.add_partition(Box::new(FixedCost::new("fcs", 10))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("fcs", 10)))
+            .unwrap();
         assert_eq!(exec.partition_names(), vec!["fcs"]);
         let removed = exec.remove_partition("fcs").unwrap();
         assert_eq!(removed.name(), "fcs");
@@ -407,8 +417,10 @@ mod tests {
             .unwrap();
         let major = MajorSchedule::new(vec![fast, slow]).unwrap();
         let mut exec = Executive::with_major(major);
-        exec.add_partition(Box::new(FixedCost::new("fcs", 10))).unwrap();
-        exec.add_partition(Box::new(FixedCost::new("nav", 10))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("fcs", 10)))
+            .unwrap();
+        exec.add_partition(Box::new(FixedCost::new("nav", 10)))
+            .unwrap();
         let reports = exec.run_frames(4);
         // fcs runs every frame (10 ticks); nav only in even frames.
         assert_eq!(reports[0].consumed, Ticks::new(20));
@@ -431,7 +443,8 @@ mod tests {
             .build()
             .unwrap();
         let mut exec = Executive::with_major(MajorSchedule::new(vec![fast, slow]).unwrap());
-        exec.add_partition(Box::new(FixedCost::new("nav", 5))).unwrap();
+        exec.add_partition(Box::new(FixedCost::new("nav", 5)))
+            .unwrap();
         let reports = exec.run_frames(2);
         assert_eq!(reports[0].consumed, Ticks::ZERO); // nav not in minor 0
         assert_eq!(reports[1].consumed, Ticks::new(5));

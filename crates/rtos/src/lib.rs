@@ -124,7 +124,9 @@ mod tests {
             frame_len: Ticks::new(100),
         };
         assert!(e.to_string().contains("120"));
-        assert!(RtosError::UnknownPartition("x".into()).to_string().contains("`x`"));
+        assert!(RtosError::UnknownPartition("x".into())
+            .to_string()
+            .contains("`x`"));
         assert!(RtosError::EmptySchedule.to_string().contains("no windows"));
     }
 }

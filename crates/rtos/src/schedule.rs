@@ -313,6 +313,9 @@ mod tests {
     fn uniform_major_is_single_minor() {
         let major = MajorSchedule::uniform(minor(&[("a", 10)]));
         assert_eq!(major.len(), 1);
-        assert_eq!(major.minor(7).window_for("a").unwrap().budget, Ticks::new(10));
+        assert_eq!(
+            major.minor(7).window_for("a").unwrap().budget,
+            Ticks::new(10)
+        );
     }
 }

@@ -215,12 +215,8 @@ impl TtBus {
     /// inbox before the round ends.
     pub fn run_round(&mut self) -> RoundReport {
         let round = self.round;
-        let mut transmitted: BTreeMap<NodeId, bool> = self
-            .schedule
-            .nodes()
-            .iter()
-            .map(|&n| (n, false))
-            .collect();
+        let mut transmitted: BTreeMap<NodeId, bool> =
+            self.schedule.nodes().iter().map(|&n| (n, false)).collect();
         let mut deliveries: Vec<Delivery> = Vec::new();
 
         // Both replicated channels down: nothing can be transmitted this
@@ -287,7 +283,10 @@ impl TtBus {
 
     /// Takes all deliveries accumulated in a node's inbox.
     pub fn drain_inbox(&mut self, node: NodeId) -> Vec<Delivery> {
-        self.inboxes.get_mut(&node).map(std::mem::take).unwrap_or_default()
+        self.inboxes
+            .get_mut(&node)
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Peeks at a node's inbox without draining it.
@@ -319,7 +318,8 @@ mod tests {
     #[test]
     fn broadcast_reaches_every_node_including_sender() {
         let mut bus = two_node_bus();
-        bus.submit(n(0), Message::new("fault", b"alt1".to_vec())).unwrap();
+        bus.submit(n(0), Message::new("fault", b"alt1".to_vec()))
+            .unwrap();
         bus.mark_present(n(1));
         let report = bus.run_round();
         assert_eq!(report.delivered, 1);
@@ -370,7 +370,11 @@ mod tests {
         let big = Message::new("x", vec![0u8; 65]);
         assert!(matches!(
             bus.submit(n(0), big),
-            Err(BusError::PayloadTooLarge { payload: 65, capacity: 64, .. })
+            Err(BusError::PayloadTooLarge {
+                payload: 65,
+                capacity: 64,
+                ..
+            })
         ));
     }
 
@@ -417,7 +421,8 @@ mod tests {
         let mut bus = two_node_bus();
         let msgs = 10usize;
         for i in 0..msgs {
-            bus.submit(n(0), Message::new(format!("m{i}"), vec![0u8; 60])).unwrap();
+            bus.submit(n(0), Message::new(format!("m{i}"), vec![0u8; 60]))
+                .unwrap();
         }
         let bound = bus
             .schedule()
@@ -465,7 +470,8 @@ mod tests {
         bus.fail_channel(0).unwrap();
         assert!(bus.is_operational());
         assert_eq!(bus.channels_ok(), [false, true]);
-        bus.submit(n(0), Message::new("fault", b"x".to_vec())).unwrap();
+        bus.submit(n(0), Message::new("fault", b"x".to_vec()))
+            .unwrap();
         let report = bus.run_round();
         assert_eq!(report.delivered, 1);
         assert!(report.membership[&n(0)]);
@@ -477,7 +483,8 @@ mod tests {
         bus.fail_channel(0).unwrap();
         bus.fail_channel(1).unwrap();
         assert!(!bus.is_operational());
-        bus.submit(n(0), Message::new("fault", b"x".to_vec())).unwrap();
+        bus.submit(n(0), Message::new("fault", b"x".to_vec()))
+            .unwrap();
         bus.mark_present(n(1));
         let report = bus.run_round();
         assert_eq!(report.delivered, 0);

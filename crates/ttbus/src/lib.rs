@@ -62,7 +62,9 @@ use std::fmt;
 /// Nodes are processors, sensor/actuator interface units, or the SCRAM
 /// kernel's host. Slot ownership in the static schedule refers to nodes by
 /// this id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(u32);
 
 impl NodeId {

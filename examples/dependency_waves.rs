@@ -24,7 +24,11 @@ fn pipeline_spec() -> Result<ReconfigSpec, SpecError> {
     ReconfigSpec::builder()
         .frame_len(Ticks::new(50))
         .env_factor("load", ["normal", "high"])
-        .app(AppDecl::new("sensor").spec(FunctionalSpec::new("fast")).spec(FunctionalSpec::new("slow")))
+        .app(
+            AppDecl::new("sensor")
+                .spec(FunctionalSpec::new("fast"))
+                .spec(FunctionalSpec::new("slow")),
+        )
         .app(
             AppDecl::new("filter")
                 .spec(FunctionalSpec::new("fir"))

@@ -39,11 +39,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the choice table.
     uav.fail_alternator(1);
     uav.run_frames(15);
-    status(&uav, "ALTERNATOR 1 FAILED -> reduced-ops (low-rate telemetry)");
+    status(
+        &uav,
+        "ALTERNATOR 1 FAILED -> reduced-ops (low-rate telemetry)",
+    );
 
     uav.fail_alternator(2);
     uav.run_frames(15);
-    status(&uav, "ALTERNATOR 2 FAILED -> minimal-ops (battery, direct law)");
+    status(
+        &uav,
+        "ALTERNATOR 2 FAILED -> minimal-ops (battery, direct law)",
+    );
 
     // The telemetry pipeline: datalink publishes, recorder consumes via
     // the stable-storage blackboard.

@@ -59,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ctx.stable.stage_str("mode", "reduced-telemetry");
         Ok(())
     });
-    let fta = Fta::new("telemetry", work_program())
-        .with_recovery(RecoveryProtocol::Alternate(minimal));
+    let fta =
+        Fta::new("telemetry", work_program()).with_recovery(RecoveryProtocol::Alternate(minimal));
     let outcome = exec.execute(&mut pool, "telemetry", &fta);
     println!("alternate recovery:   {outcome:?}");
     assert!(matches!(outcome, FtaOutcome::Completed { recoveries: 1 }));

@@ -25,8 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .env_factor("power", ["good", "bad"])
         .app(
             AppDecl::new("worker")
-                .spec(FunctionalSpec::new("full").compute(Ticks::new(40)).describe("full service"))
-                .spec(FunctionalSpec::new("lite").compute(Ticks::new(10)).describe("degraded service")),
+                .spec(
+                    FunctionalSpec::new("full")
+                        .compute(Ticks::new(40))
+                        .describe("full service"),
+                )
+                .spec(
+                    FunctionalSpec::new("lite")
+                        .compute(Ticks::new(10))
+                        .describe("degraded service"),
+                ),
         )
         .config(
             Configuration::new("full-service")
@@ -81,6 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("model check:    {model_report}");
     assert!(model_report.all_passed());
 
-    println!("\nquickstart complete: statically verified, dynamically checked, exhaustively explored.");
+    println!(
+        "\nquickstart complete: statically verified, dynamically checked, exhaustively explored."
+    );
     Ok(())
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arfs-1d87b3ef7b52fdc4.d: src/lib.rs
+
+/root/repo/target/debug/deps/arfs-1d87b3ef7b52fdc4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arfs-f8fa9c992bb85263.d: src/lib.rs
+
+/root/repo/target/debug/deps/libarfs-f8fa9c992bb85263.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libarfs-f8fa9c992bb85263.rmeta: src/lib.rs
+
+src/lib.rs:

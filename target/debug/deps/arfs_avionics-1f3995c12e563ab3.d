@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/arfs_avionics-1f3995c12e563ab3.d: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs
+
+/root/repo/target/debug/deps/arfs_avionics-1f3995c12e563ab3: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs
+
+crates/avionics/src/lib.rs:
+crates/avionics/src/autopilot.rs:
+crates/avionics/src/dynamics.rs:
+crates/avionics/src/electrical.rs:
+crates/avionics/src/extended.rs:
+crates/avionics/src/fcs.rs:
+crates/avionics/src/sensors.rs:
+crates/avionics/src/spec.rs:
+crates/avionics/src/system.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/arfs_avionics-9f5d5556e3965c74.d: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs
+
+/root/repo/target/debug/deps/libarfs_avionics-9f5d5556e3965c74.rlib: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs
+
+/root/repo/target/debug/deps/libarfs_avionics-9f5d5556e3965c74.rmeta: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs
+
+crates/avionics/src/lib.rs:
+crates/avionics/src/autopilot.rs:
+crates/avionics/src/dynamics.rs:
+crates/avionics/src/electrical.rs:
+crates/avionics/src/extended.rs:
+crates/avionics/src/fcs.rs:
+crates/avionics/src/sensors.rs:
+crates/avionics/src/spec.rs:
+crates/avionics/src/system.rs:

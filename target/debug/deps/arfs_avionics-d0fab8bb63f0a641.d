@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/arfs_avionics-d0fab8bb63f0a641.d: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_avionics-d0fab8bb63f0a641.rmeta: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs Cargo.toml
+
+crates/avionics/src/lib.rs:
+crates/avionics/src/autopilot.rs:
+crates/avionics/src/dynamics.rs:
+crates/avionics/src/electrical.rs:
+crates/avionics/src/extended.rs:
+crates/avionics/src/fcs.rs:
+crates/avionics/src/sensors.rs:
+crates/avionics/src/spec.rs:
+crates/avionics/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arfs_bench-19bca8fc91394b56.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_bench-19bca8fc91394b56.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arfs_bench-5c9674be0917659a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libarfs_bench-5c9674be0917659a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libarfs_bench-5c9674be0917659a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

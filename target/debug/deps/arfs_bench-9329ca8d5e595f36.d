@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arfs_bench-9329ca8d5e595f36.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/arfs_bench-9329ca8d5e595f36: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arfs_bench-bd0408dce3f3647f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_bench-bd0408dce3f3647f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,33 @@
+/root/repo/target/debug/deps/arfs_core-bdcebfbfb2c54e94.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/coverage.rs crates/core/src/analysis/resources.rs crates/core/src/analysis/schedulability.rs crates/core/src/analysis/timing.rs crates/core/src/app.rs crates/core/src/environment.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/lint/mod.rs crates/core/src/lint/assembly.rs crates/core/src/lint/obligations.rs crates/core/src/lint/passes.rs crates/core/src/model.rs crates/core/src/properties.rs crates/core/src/scenario.rs crates/core/src/scram.rs crates/core/src/sfta.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/verify.rs crates/core/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_core-bdcebfbfb2c54e94.rmeta: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/coverage.rs crates/core/src/analysis/resources.rs crates/core/src/analysis/schedulability.rs crates/core/src/analysis/timing.rs crates/core/src/app.rs crates/core/src/environment.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/lint/mod.rs crates/core/src/lint/assembly.rs crates/core/src/lint/obligations.rs crates/core/src/lint/passes.rs crates/core/src/model.rs crates/core/src/properties.rs crates/core/src/scenario.rs crates/core/src/scram.rs crates/core/src/sfta.rs crates/core/src/spec.rs crates/core/src/stats.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/verify.rs crates/core/src/workload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis/mod.rs:
+crates/core/src/analysis/coverage.rs:
+crates/core/src/analysis/resources.rs:
+crates/core/src/analysis/schedulability.rs:
+crates/core/src/analysis/timing.rs:
+crates/core/src/app.rs:
+crates/core/src/environment.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/lint/mod.rs:
+crates/core/src/lint/assembly.rs:
+crates/core/src/lint/obligations.rs:
+crates/core/src/lint/passes.rs:
+crates/core/src/model.rs:
+crates/core/src/properties.rs:
+crates/core/src/scenario.rs:
+crates/core/src/scram.rs:
+crates/core/src/sfta.rs:
+crates/core/src/spec.rs:
+crates/core/src/stats.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:
+crates/core/src/verify.rs:
+crates/core/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/arfs_failstop-54cf6a072ac0a280.d: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs
+
+/root/repo/target/debug/deps/libarfs_failstop-54cf6a072ac0a280.rlib: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs
+
+/root/repo/target/debug/deps/libarfs_failstop-54cf6a072ac0a280.rmeta: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs
+
+crates/failstop/src/lib.rs:
+crates/failstop/src/error.rs:
+crates/failstop/src/fault.rs:
+crates/failstop/src/pair.rs:
+crates/failstop/src/pool.rs:
+crates/failstop/src/processor.rs:
+crates/failstop/src/stable.rs:
+crates/failstop/src/volatile.rs:

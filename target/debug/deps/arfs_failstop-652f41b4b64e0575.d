@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arfs_failstop-652f41b4b64e0575.d: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs
+
+/root/repo/target/debug/deps/arfs_failstop-652f41b4b64e0575: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs
+
+crates/failstop/src/lib.rs:
+crates/failstop/src/error.rs:
+crates/failstop/src/fault.rs:
+crates/failstop/src/pair.rs:
+crates/failstop/src/pool.rs:
+crates/failstop/src/processor.rs:
+crates/failstop/src/stable.rs:
+crates/failstop/src/volatile.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/arfs_failstop-6924f44f5af6c8f1.d: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_failstop-6924f44f5af6c8f1.rmeta: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs Cargo.toml
+
+crates/failstop/src/lib.rs:
+crates/failstop/src/error.rs:
+crates/failstop/src/fault.rs:
+crates/failstop/src/pair.rs:
+crates/failstop/src/pool.rs:
+crates/failstop/src/processor.rs:
+crates/failstop/src/stable.rs:
+crates/failstop/src/volatile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

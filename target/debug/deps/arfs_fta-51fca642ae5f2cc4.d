@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arfs_fta-51fca642ae5f2cc4.d: crates/fta/src/lib.rs
+
+/root/repo/target/debug/deps/libarfs_fta-51fca642ae5f2cc4.rlib: crates/fta/src/lib.rs
+
+/root/repo/target/debug/deps/libarfs_fta-51fca642ae5f2cc4.rmeta: crates/fta/src/lib.rs
+
+crates/fta/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arfs_fta-d25c8913f54b4668.d: crates/fta/src/lib.rs
+
+/root/repo/target/debug/deps/arfs_fta-d25c8913f54b4668: crates/fta/src/lib.rs
+
+crates/fta/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arfs_fta-f8aeb6f117df9572.d: crates/fta/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_fta-f8aeb6f117df9572.rmeta: crates/fta/src/lib.rs Cargo.toml
+
+crates/fta/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arfs_integration-8c8cd4159d4462c1.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/arfs_integration-8c8cd4159d4462c1: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/arfs_integration-e08d2d3e6cecf646.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libarfs_integration-e08d2d3e6cecf646.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libarfs_integration-e08d2d3e6cecf646.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

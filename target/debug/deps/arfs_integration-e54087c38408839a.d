@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arfs_integration-e54087c38408839a.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/arfs_integration-e54087c38408839a: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arfs_integration-ffd850509a79e680.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_integration-ffd850509a79e680.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arfs_lint-0dee4ee108f1949e.d: crates/bench/src/bin/arfs_lint.rs
+
+/root/repo/target/debug/deps/arfs_lint-0dee4ee108f1949e: crates/bench/src/bin/arfs_lint.rs
+
+crates/bench/src/bin/arfs_lint.rs:

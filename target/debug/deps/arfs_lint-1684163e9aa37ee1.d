@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arfs_lint-1684163e9aa37ee1.d: crates/bench/src/bin/arfs_lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_lint-1684163e9aa37ee1.rmeta: crates/bench/src/bin/arfs_lint.rs Cargo.toml
+
+crates/bench/src/bin/arfs_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

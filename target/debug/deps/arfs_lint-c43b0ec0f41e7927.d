@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arfs_lint-c43b0ec0f41e7927.d: crates/bench/src/bin/arfs_lint.rs
+
+/root/repo/target/debug/deps/arfs_lint-c43b0ec0f41e7927: crates/bench/src/bin/arfs_lint.rs
+
+crates/bench/src/bin/arfs_lint.rs:

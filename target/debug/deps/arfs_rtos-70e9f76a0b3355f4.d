@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/arfs_rtos-70e9f76a0b3355f4.d: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs
+
+/root/repo/target/debug/deps/libarfs_rtos-70e9f76a0b3355f4.rlib: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs
+
+/root/repo/target/debug/deps/libarfs_rtos-70e9f76a0b3355f4.rmeta: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/clock.rs:
+crates/rtos/src/executive.rs:
+crates/rtos/src/schedule.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/arfs_rtos-dd27b55401b5e15c.d: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs
+
+/root/repo/target/debug/deps/arfs_rtos-dd27b55401b5e15c: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/clock.rs:
+crates/rtos/src/executive.rs:
+crates/rtos/src/schedule.rs:

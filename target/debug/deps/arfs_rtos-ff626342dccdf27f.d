@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arfs_rtos-ff626342dccdf27f.d: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_rtos-ff626342dccdf27f.rmeta: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs Cargo.toml
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/clock.rs:
+crates/rtos/src/executive.rs:
+crates/rtos/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

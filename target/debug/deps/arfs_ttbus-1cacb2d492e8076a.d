@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/arfs_ttbus-1cacb2d492e8076a.d: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs
+
+/root/repo/target/debug/deps/libarfs_ttbus-1cacb2d492e8076a.rlib: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs
+
+/root/repo/target/debug/deps/libarfs_ttbus-1cacb2d492e8076a.rmeta: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs
+
+crates/ttbus/src/lib.rs:
+crates/ttbus/src/bus.rs:
+crates/ttbus/src/error.rs:
+crates/ttbus/src/schedule.rs:

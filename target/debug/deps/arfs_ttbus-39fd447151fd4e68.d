@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/arfs_ttbus-39fd447151fd4e68.d: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarfs_ttbus-39fd447151fd4e68.rmeta: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs Cargo.toml
+
+crates/ttbus/src/lib.rs:
+crates/ttbus/src/bus.rs:
+crates/ttbus/src/error.rs:
+crates/ttbus/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/arfs_ttbus-dfa69b26fb0b9e48.d: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs
+
+/root/repo/target/debug/deps/arfs_ttbus-dfa69b26fb0b9e48: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs
+
+crates/ttbus/src/lib.rs:
+crates/ttbus/src/bus.rs:
+crates/ttbus/src/error.rs:
+crates/ttbus/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dump_spec-ef2a9c3a1800ec2e.d: crates/bench/src/bin/dump_spec.rs
+
+/root/repo/target/debug/deps/dump_spec-ef2a9c3a1800ec2e: crates/bench/src/bin/dump_spec.rs
+
+crates/bench/src/bin/dump_spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-343b49093adfabd0.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-343b49093adfabd0: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c6e9bc3b209b027d.d: tests/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c6e9bc3b209b027d: tests/tests/end_to_end.rs
+
+tests/tests/end_to_end.rs:

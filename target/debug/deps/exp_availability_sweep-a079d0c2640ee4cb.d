@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_availability_sweep-a079d0c2640ee4cb.d: crates/bench/src/bin/exp_availability_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_availability_sweep-a079d0c2640ee4cb.rmeta: crates/bench/src/bin/exp_availability_sweep.rs Cargo.toml
+
+crates/bench/src/bin/exp_availability_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_availability_sweep-afe3db3f7c5b3057.d: crates/bench/src/bin/exp_availability_sweep.rs
+
+/root/repo/target/debug/deps/exp_availability_sweep-afe3db3f7c5b3057: crates/bench/src/bin/exp_availability_sweep.rs
+
+crates/bench/src/bin/exp_availability_sweep.rs:

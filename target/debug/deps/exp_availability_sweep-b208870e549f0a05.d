@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_availability_sweep-b208870e549f0a05.d: crates/bench/src/bin/exp_availability_sweep.rs
+
+/root/repo/target/debug/deps/exp_availability_sweep-b208870e549f0a05: crates/bench/src/bin/exp_availability_sweep.rs
+
+crates/bench/src/bin/exp_availability_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_avionics_scenario-56acb154b148b16d.d: crates/bench/src/bin/exp_avionics_scenario.rs
+
+/root/repo/target/debug/deps/exp_avionics_scenario-56acb154b148b16d: crates/bench/src/bin/exp_avionics_scenario.rs
+
+crates/bench/src/bin/exp_avionics_scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_avionics_scenario-a1cb86d9e0644249.d: crates/bench/src/bin/exp_avionics_scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_avionics_scenario-a1cb86d9e0644249.rmeta: crates/bench/src/bin/exp_avionics_scenario.rs Cargo.toml
+
+crates/bench/src/bin/exp_avionics_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

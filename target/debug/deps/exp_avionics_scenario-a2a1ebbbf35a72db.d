@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_avionics_scenario-a2a1ebbbf35a72db.d: crates/bench/src/bin/exp_avionics_scenario.rs
+
+/root/repo/target/debug/deps/exp_avionics_scenario-a2a1ebbbf35a72db: crates/bench/src/bin/exp_avionics_scenario.rs
+
+crates/bench/src/bin/exp_avionics_scenario.rs:

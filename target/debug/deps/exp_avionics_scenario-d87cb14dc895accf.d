@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_avionics_scenario-d87cb14dc895accf.d: crates/bench/src/bin/exp_avionics_scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_avionics_scenario-d87cb14dc895accf.rmeta: crates/bench/src/bin/exp_avionics_scenario.rs Cargo.toml
+
+crates/bench/src/bin/exp_avionics_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_masking_vs_reconfig-170ceda0baf4ecd7.d: crates/bench/src/bin/exp_masking_vs_reconfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_masking_vs_reconfig-170ceda0baf4ecd7.rmeta: crates/bench/src/bin/exp_masking_vs_reconfig.rs Cargo.toml
+
+crates/bench/src/bin/exp_masking_vs_reconfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_masking_vs_reconfig-1a558f78c11a357a.d: crates/bench/src/bin/exp_masking_vs_reconfig.rs
+
+/root/repo/target/debug/deps/exp_masking_vs_reconfig-1a558f78c11a357a: crates/bench/src/bin/exp_masking_vs_reconfig.rs
+
+crates/bench/src/bin/exp_masking_vs_reconfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_masking_vs_reconfig-c138bad2f27cd3d4.d: crates/bench/src/bin/exp_masking_vs_reconfig.rs
+
+/root/repo/target/debug/deps/exp_masking_vs_reconfig-c138bad2f27cd3d4: crates/bench/src/bin/exp_masking_vs_reconfig.rs
+
+crates/bench/src/bin/exp_masking_vs_reconfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_midreconfig_failures-293a1e723d63d17e.d: crates/bench/src/bin/exp_midreconfig_failures.rs
+
+/root/repo/target/debug/deps/exp_midreconfig_failures-293a1e723d63d17e: crates/bench/src/bin/exp_midreconfig_failures.rs
+
+crates/bench/src/bin/exp_midreconfig_failures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_midreconfig_failures-9af5538a2b7a6324.d: crates/bench/src/bin/exp_midreconfig_failures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_midreconfig_failures-9af5538a2b7a6324.rmeta: crates/bench/src/bin/exp_midreconfig_failures.rs Cargo.toml
+
+crates/bench/src/bin/exp_midreconfig_failures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

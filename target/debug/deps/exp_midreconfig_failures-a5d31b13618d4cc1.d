@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_midreconfig_failures-a5d31b13618d4cc1.d: crates/bench/src/bin/exp_midreconfig_failures.rs
+
+/root/repo/target/debug/deps/exp_midreconfig_failures-a5d31b13618d4cc1: crates/bench/src/bin/exp_midreconfig_failures.rs
+
+crates/bench/src/bin/exp_midreconfig_failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_protocol_ablation-3b60b91f0cf285aa.d: crates/bench/src/bin/exp_protocol_ablation.rs
+
+/root/repo/target/debug/deps/exp_protocol_ablation-3b60b91f0cf285aa: crates/bench/src/bin/exp_protocol_ablation.rs
+
+crates/bench/src/bin/exp_protocol_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_protocol_ablation-7fe85ebb330369ce.d: crates/bench/src/bin/exp_protocol_ablation.rs
+
+/root/repo/target/debug/deps/exp_protocol_ablation-7fe85ebb330369ce: crates/bench/src/bin/exp_protocol_ablation.rs
+
+crates/bench/src/bin/exp_protocol_ablation.rs:

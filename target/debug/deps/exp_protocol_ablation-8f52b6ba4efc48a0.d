@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_protocol_ablation-8f52b6ba4efc48a0.d: crates/bench/src/bin/exp_protocol_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_protocol_ablation-8f52b6ba4efc48a0.rmeta: crates/bench/src/bin/exp_protocol_ablation.rs Cargo.toml
+
+crates/bench/src/bin/exp_protocol_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_random_soak-41a90b291d155cec.d: crates/bench/src/bin/exp_random_soak.rs
+
+/root/repo/target/debug/deps/exp_random_soak-41a90b291d155cec: crates/bench/src/bin/exp_random_soak.rs
+
+crates/bench/src/bin/exp_random_soak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_random_soak-bb0c747b6b1850de.d: crates/bench/src/bin/exp_random_soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_random_soak-bb0c747b6b1850de.rmeta: crates/bench/src/bin/exp_random_soak.rs Cargo.toml
+
+crates/bench/src/bin/exp_random_soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_random_soak-eae24c762e5f2bac.d: crates/bench/src/bin/exp_random_soak.rs
+
+/root/repo/target/debug/deps/exp_random_soak-eae24c762e5f2bac: crates/bench/src/bin/exp_random_soak.rs
+
+crates/bench/src/bin/exp_random_soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_restriction_time-1080bbae06769f2f.d: crates/bench/src/bin/exp_restriction_time.rs
+
+/root/repo/target/debug/deps/exp_restriction_time-1080bbae06769f2f: crates/bench/src/bin/exp_restriction_time.rs
+
+crates/bench/src/bin/exp_restriction_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_restriction_time-10aba05a79223428.d: crates/bench/src/bin/exp_restriction_time.rs
+
+/root/repo/target/debug/deps/exp_restriction_time-10aba05a79223428: crates/bench/src/bin/exp_restriction_time.rs
+
+crates/bench/src/bin/exp_restriction_time.rs:

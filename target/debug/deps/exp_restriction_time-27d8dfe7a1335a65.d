@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_restriction_time-27d8dfe7a1335a65.d: crates/bench/src/bin/exp_restriction_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_restriction_time-27d8dfe7a1335a65.rmeta: crates/bench/src/bin/exp_restriction_time.rs Cargo.toml
+
+crates/bench/src/bin/exp_restriction_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-44497898a87e2e90.d: tests/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-44497898a87e2e90: tests/tests/failure_injection.rs
+
+tests/tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-e6317ceeffe44b23.d: tests/tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-e6317ceeffe44b23.rmeta: tests/tests/failure_injection.rs Cargo.toml
+
+tests/tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-f47c14dffc3f4b5b.d: tests/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-f47c14dffc3f4b5b: tests/tests/failure_injection.rs
+
+tests/tests/failure_injection.rs:

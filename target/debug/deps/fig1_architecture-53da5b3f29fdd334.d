@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_architecture-53da5b3f29fdd334.d: crates/bench/src/bin/fig1_architecture.rs
+
+/root/repo/target/debug/deps/fig1_architecture-53da5b3f29fdd334: crates/bench/src/bin/fig1_architecture.rs
+
+crates/bench/src/bin/fig1_architecture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_architecture-7c4f033475c03b47.d: crates/bench/src/bin/fig1_architecture.rs
+
+/root/repo/target/debug/deps/fig1_architecture-7c4f033475c03b47: crates/bench/src/bin/fig1_architecture.rs
+
+crates/bench/src/bin/fig1_architecture.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_architecture-befc7a3d40409d09.d: crates/bench/src/bin/fig1_architecture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_architecture-befc7a3d40409d09.rmeta: crates/bench/src/bin/fig1_architecture.rs Cargo.toml
+
+crates/bench/src/bin/fig1_architecture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tcc_obligations-0656dd027b0b6e2f.d: crates/bench/src/bin/fig2_tcc_obligations.rs
+
+/root/repo/target/debug/deps/fig2_tcc_obligations-0656dd027b0b6e2f: crates/bench/src/bin/fig2_tcc_obligations.rs
+
+crates/bench/src/bin/fig2_tcc_obligations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_tcc_obligations-7470f0444e53ef9f.d: crates/bench/src/bin/fig2_tcc_obligations.rs
+
+/root/repo/target/debug/deps/fig2_tcc_obligations-7470f0444e53ef9f: crates/bench/src/bin/fig2_tcc_obligations.rs
+
+crates/bench/src/bin/fig2_tcc_obligations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tcc_obligations-a7a2ee18d98f0331.d: crates/bench/src/bin/fig2_tcc_obligations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tcc_obligations-a7a2ee18d98f0331.rmeta: crates/bench/src/bin/fig2_tcc_obligations.rs Cargo.toml
+
+crates/bench/src/bin/fig2_tcc_obligations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

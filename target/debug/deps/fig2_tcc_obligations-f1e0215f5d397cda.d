@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_tcc_obligations-f1e0215f5d397cda.d: crates/bench/src/bin/fig2_tcc_obligations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_tcc_obligations-f1e0215f5d397cda.rmeta: crates/bench/src/bin/fig2_tcc_obligations.rs Cargo.toml
+
+crates/bench/src/bin/fig2_tcc_obligations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-62c360decb648f64.d: tests/tests/golden_trace.rs
+
+/root/repo/target/debug/deps/golden_trace-62c360decb648f64: tests/tests/golden_trace.rs
+
+tests/tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests

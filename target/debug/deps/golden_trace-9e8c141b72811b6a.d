@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_trace-9e8c141b72811b6a.d: tests/tests/golden_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_trace-9e8c141b72811b6a.rmeta: tests/tests/golden_trace.rs Cargo.toml
+
+tests/tests/golden_trace.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

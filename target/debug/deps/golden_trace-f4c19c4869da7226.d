@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-f4c19c4869da7226.d: tests/tests/golden_trace.rs
+
+/root/repo/target/debug/deps/golden_trace-f4c19c4869da7226: tests/tests/golden_trace.rs
+
+tests/tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests

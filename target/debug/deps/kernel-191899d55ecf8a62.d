@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel-191899d55ecf8a62.d: crates/bench/benches/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel-191899d55ecf8a62.rmeta: crates/bench/benches/kernel.rs Cargo.toml
+
+crates/bench/benches/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

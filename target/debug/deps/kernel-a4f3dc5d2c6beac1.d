@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-a4f3dc5d2c6beac1.d: crates/bench/benches/kernel.rs
+
+/root/repo/target/debug/deps/kernel-a4f3dc5d2c6beac1: crates/bench/benches/kernel.rs
+
+crates/bench/benches/kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-ca4f062dbd852c8f.d: crates/bench/benches/kernel.rs
+
+/root/repo/target/debug/deps/kernel-ca4f062dbd852c8f: crates/bench/benches/kernel.rs
+
+crates/bench/benches/kernel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_diagnostics-34cbc2f867b32106.d: tests/tests/lint_diagnostics.rs
+
+/root/repo/target/debug/deps/lint_diagnostics-34cbc2f867b32106: tests/tests/lint_diagnostics.rs
+
+tests/tests/lint_diagnostics.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint_diagnostics-adb848c4850e79b1.d: tests/tests/lint_diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_diagnostics-adb848c4850e79b1.rmeta: tests/tests/lint_diagnostics.rs Cargo.toml
+
+tests/tests/lint_diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tests
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

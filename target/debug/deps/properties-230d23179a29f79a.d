@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-230d23179a29f79a.d: crates/fta/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-230d23179a29f79a.rmeta: crates/fta/tests/properties.rs Cargo.toml
+
+crates/fta/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

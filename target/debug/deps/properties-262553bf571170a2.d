@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-262553bf571170a2.d: crates/fta/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-262553bf571170a2: crates/fta/tests/properties.rs
+
+crates/fta/tests/properties.rs:

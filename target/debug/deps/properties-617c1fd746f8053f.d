@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-617c1fd746f8053f.d: crates/rtos/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-617c1fd746f8053f.rmeta: crates/rtos/tests/properties.rs Cargo.toml
+
+crates/rtos/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

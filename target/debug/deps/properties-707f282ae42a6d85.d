@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-707f282ae42a6d85.d: crates/ttbus/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-707f282ae42a6d85.rmeta: crates/ttbus/tests/properties.rs Cargo.toml
+
+crates/ttbus/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-75a39741670fd272.d: crates/failstop/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-75a39741670fd272: crates/failstop/tests/properties.rs
+
+crates/failstop/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7f4a381483864d52.d: crates/failstop/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7f4a381483864d52.rmeta: crates/failstop/tests/properties.rs Cargo.toml
+
+crates/failstop/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

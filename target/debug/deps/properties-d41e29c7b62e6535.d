@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d41e29c7b62e6535.d: crates/rtos/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d41e29c7b62e6535: crates/rtos/tests/properties.rs
+
+crates/rtos/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fe595e58fdca936d.d: crates/ttbus/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fe595e58fdca936d: crates/ttbus/tests/properties.rs
+
+crates/ttbus/tests/properties.rs:

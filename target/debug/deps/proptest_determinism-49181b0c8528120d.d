@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_determinism-49181b0c8528120d.d: tests/tests/proptest_determinism.rs
+
+/root/repo/target/debug/deps/proptest_determinism-49181b0c8528120d: tests/tests/proptest_determinism.rs
+
+tests/tests/proptest_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_determinism-742067a3d52b8f55.d: tests/tests/proptest_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_determinism-742067a3d52b8f55.rmeta: tests/tests/proptest_determinism.rs Cargo.toml
+
+tests/tests/proptest_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

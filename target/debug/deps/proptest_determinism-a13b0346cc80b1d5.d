@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_determinism-a13b0346cc80b1d5.d: tests/tests/proptest_determinism.rs
+
+/root/repo/target/debug/deps/proptest_determinism-a13b0346cc80b1d5: tests/tests/proptest_determinism.rs
+
+tests/tests/proptest_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_protocol-0455eb073b3eb5af.d: tests/tests/proptest_protocol.rs
+
+/root/repo/target/debug/deps/proptest_protocol-0455eb073b3eb5af: tests/tests/proptest_protocol.rs
+
+tests/tests/proptest_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_protocol-e11dbd097c278627.d: tests/tests/proptest_protocol.rs
+
+/root/repo/target/debug/deps/proptest_protocol-e11dbd097c278627: tests/tests/proptest_protocol.rs
+
+tests/tests/proptest_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_protocol-e2c8b6e923f31d36.d: tests/tests/proptest_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_protocol-e2c8b6e923f31d36.rmeta: tests/tests/proptest_protocol.rs Cargo.toml
+
+tests/tests/proptest_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stable_storage-0dbb81aa8e0d995c.d: tests/tests/proptest_stable_storage.rs
+
+/root/repo/target/debug/deps/proptest_stable_storage-0dbb81aa8e0d995c: tests/tests/proptest_stable_storage.rs
+
+tests/tests/proptest_stable_storage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_stable_storage-6a1f2294e7ed7099.d: tests/tests/proptest_stable_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_stable_storage-6a1f2294e7ed7099.rmeta: tests/tests/proptest_stable_storage.rs Cargo.toml
+
+tests/tests/proptest_stable_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_stable_storage-a67e8d623343c74e.d: tests/tests/proptest_stable_storage.rs
+
+/root/repo/target/debug/deps/proptest_stable_storage-a67e8d623343c74e: tests/tests/proptest_stable_storage.rs
+
+tests/tests/proptest_stable_storage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-1b65aaadf277ec16.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-1b65aaadf277ec16: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

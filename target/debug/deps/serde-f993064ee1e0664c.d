@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f993064ee1e0664c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f993064ee1e0664c.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f993064ee1e0664c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-aebe3dd98c265410.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-aebe3dd98c265410.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-aebe3dd98c265410.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-d951290cc204cc58.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-d951290cc204cc58: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate-4f6fdd04fe115fe0.d: crates/bench/benches/substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate-4f6fdd04fe115fe0.rmeta: crates/bench/benches/substrate.rs Cargo.toml
+
+crates/bench/benches/substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

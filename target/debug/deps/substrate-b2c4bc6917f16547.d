@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-b2c4bc6917f16547.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/substrate-b2c4bc6917f16547: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

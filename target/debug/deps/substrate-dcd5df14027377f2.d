@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-dcd5df14027377f2.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/substrate-dcd5df14027377f2: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_sfta_phases-387d33d23aacf3e8.d: crates/bench/src/bin/table1_sfta_phases.rs
+
+/root/repo/target/debug/deps/table1_sfta_phases-387d33d23aacf3e8: crates/bench/src/bin/table1_sfta_phases.rs
+
+crates/bench/src/bin/table1_sfta_phases.rs:

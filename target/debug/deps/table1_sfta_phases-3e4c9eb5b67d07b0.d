@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_sfta_phases-3e4c9eb5b67d07b0.d: crates/bench/src/bin/table1_sfta_phases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_sfta_phases-3e4c9eb5b67d07b0.rmeta: crates/bench/src/bin/table1_sfta_phases.rs Cargo.toml
+
+crates/bench/src/bin/table1_sfta_phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_sfta_phases-f0f6f70012de0c35.d: crates/bench/src/bin/table1_sfta_phases.rs
+
+/root/repo/target/debug/deps/table1_sfta_phases-f0f6f70012de0c35: crates/bench/src/bin/table1_sfta_phases.rs
+
+crates/bench/src/bin/table1_sfta_phases.rs:

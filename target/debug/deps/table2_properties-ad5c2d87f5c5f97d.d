@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_properties-ad5c2d87f5c5f97d.d: crates/bench/src/bin/table2_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_properties-ad5c2d87f5c5f97d.rmeta: crates/bench/src/bin/table2_properties.rs Cargo.toml
+
+crates/bench/src/bin/table2_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

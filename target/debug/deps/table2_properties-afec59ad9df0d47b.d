@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_properties-afec59ad9df0d47b.d: crates/bench/src/bin/table2_properties.rs
+
+/root/repo/target/debug/deps/table2_properties-afec59ad9df0d47b: crates/bench/src/bin/table2_properties.rs
+
+crates/bench/src/bin/table2_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_properties-e42da3f3f0fcfe1b.d: crates/bench/src/bin/table2_properties.rs
+
+/root/repo/target/debug/deps/table2_properties-e42da3f3f0fcfe1b: crates/bench/src/bin/table2_properties.rs
+
+crates/bench/src/bin/table2_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verification-0a484193b738a87a.d: tests/tests/verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverification-0a484193b738a87a.rmeta: tests/tests/verification.rs Cargo.toml
+
+tests/tests/verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

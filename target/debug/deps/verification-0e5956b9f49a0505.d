@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-0e5956b9f49a0505.d: crates/bench/benches/verification.rs
+
+/root/repo/target/debug/deps/verification-0e5956b9f49a0505: crates/bench/benches/verification.rs
+
+crates/bench/benches/verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-70836468c5f86d40.d: crates/bench/benches/verification.rs
+
+/root/repo/target/debug/deps/verification-70836468c5f86d40: crates/bench/benches/verification.rs
+
+crates/bench/benches/verification.rs:

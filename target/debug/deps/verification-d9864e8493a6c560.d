@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-d9864e8493a6c560.d: tests/tests/verification.rs
+
+/root/repo/target/debug/deps/verification-d9864e8493a6c560: tests/tests/verification.rs
+
+tests/tests/verification.rs:

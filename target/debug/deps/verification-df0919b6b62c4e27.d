@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-df0919b6b62c4e27.d: tests/tests/verification.rs
+
+/root/repo/target/debug/deps/verification-df0919b6b62c4e27: tests/tests/verification.rs
+
+tests/tests/verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_spec_cli-6a7e466b6daf66a8.d: crates/bench/src/bin/verify_spec_cli.rs
+
+/root/repo/target/debug/deps/verify_spec_cli-6a7e466b6daf66a8: crates/bench/src/bin/verify_spec_cli.rs
+
+crates/bench/src/bin/verify_spec_cli.rs:

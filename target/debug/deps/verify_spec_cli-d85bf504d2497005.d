@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_spec_cli-d85bf504d2497005.d: crates/bench/src/bin/verify_spec_cli.rs
+
+/root/repo/target/debug/deps/verify_spec_cli-d85bf504d2497005: crates/bench/src/bin/verify_spec_cli.rs
+
+crates/bench/src/bin/verify_spec_cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_spec_cli-eb30399b02ed0109.d: crates/bench/src/bin/verify_spec_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_spec_cli-eb30399b02ed0109.rmeta: crates/bench/src/bin/verify_spec_cli.rs Cargo.toml
+
+crates/bench/src/bin/verify_spec_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dependency_waves-12c82cefd85af530.d: examples/dependency_waves.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdependency_waves-12c82cefd85af530.rmeta: examples/dependency_waves.rs Cargo.toml
+
+examples/dependency_waves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dependency_waves-1a5108ff608f43b2.d: examples/dependency_waves.rs
+
+/root/repo/target/debug/examples/dependency_waves-1a5108ff608f43b2: examples/dependency_waves.rs
+
+examples/dependency_waves.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/extended_uav-a80c491dca874595.d: examples/extended_uav.rs Cargo.toml
+
+/root/repo/target/debug/examples/libextended_uav-a80c491dca874595.rmeta: examples/extended_uav.rs Cargo.toml
+
+examples/extended_uav.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

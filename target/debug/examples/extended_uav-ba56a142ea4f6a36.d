@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extended_uav-ba56a142ea4f6a36.d: examples/extended_uav.rs
+
+/root/repo/target/debug/examples/extended_uav-ba56a142ea4f6a36: examples/extended_uav.rs
+
+examples/extended_uav.rs:

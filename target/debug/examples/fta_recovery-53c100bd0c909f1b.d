@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fta_recovery-53c100bd0c909f1b.d: examples/fta_recovery.rs
+
+/root/repo/target/debug/examples/fta_recovery-53c100bd0c909f1b: examples/fta_recovery.rs
+
+examples/fta_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fta_recovery-958864f9efe888d3.d: examples/fta_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfta_recovery-958864f9efe888d3.rmeta: examples/fta_recovery.rs Cargo.toml
+
+examples/fta_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lintcheck-683a2c279468379d.d: crates/bench/examples/lintcheck.rs
+
+/root/repo/target/debug/examples/lintcheck-683a2c279468379d: crates/bench/examples/lintcheck.rs
+
+crates/bench/examples/lintcheck.rs:

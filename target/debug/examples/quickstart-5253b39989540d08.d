@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5253b39989540d08.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5253b39989540d08: examples/quickstart.rs
+
+examples/quickstart.rs:

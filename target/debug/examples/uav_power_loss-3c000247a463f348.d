@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/uav_power_loss-3c000247a463f348.d: examples/uav_power_loss.rs
+
+/root/repo/target/debug/examples/uav_power_loss-3c000247a463f348: examples/uav_power_loss.rs
+
+examples/uav_power_loss.rs:

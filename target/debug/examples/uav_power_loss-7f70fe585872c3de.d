@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/uav_power_loss-7f70fe585872c3de.d: examples/uav_power_loss.rs Cargo.toml
+
+/root/repo/target/debug/examples/libuav_power_loss-7f70fe585872c3de.rmeta: examples/uav_power_loss.rs Cargo.toml
+
+examples/uav_power_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arfs-573c06f6b0fe59b0.d: src/lib.rs
+
+/root/repo/target/release/deps/libarfs-573c06f6b0fe59b0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libarfs-573c06f6b0fe59b0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/arfs_avionics-0fe434adb9289b17.d: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs
+
+/root/repo/target/release/deps/libarfs_avionics-0fe434adb9289b17.rlib: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs
+
+/root/repo/target/release/deps/libarfs_avionics-0fe434adb9289b17.rmeta: crates/avionics/src/lib.rs crates/avionics/src/autopilot.rs crates/avionics/src/dynamics.rs crates/avionics/src/electrical.rs crates/avionics/src/extended.rs crates/avionics/src/fcs.rs crates/avionics/src/sensors.rs crates/avionics/src/spec.rs crates/avionics/src/system.rs
+
+crates/avionics/src/lib.rs:
+crates/avionics/src/autopilot.rs:
+crates/avionics/src/dynamics.rs:
+crates/avionics/src/electrical.rs:
+crates/avionics/src/extended.rs:
+crates/avionics/src/fcs.rs:
+crates/avionics/src/sensors.rs:
+crates/avionics/src/spec.rs:
+crates/avionics/src/system.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arfs_bench-04f00757512b1f6f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libarfs_bench-04f00757512b1f6f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libarfs_bench-04f00757512b1f6f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

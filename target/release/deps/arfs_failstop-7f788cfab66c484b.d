@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/arfs_failstop-7f788cfab66c484b.d: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs
+
+/root/repo/target/release/deps/libarfs_failstop-7f788cfab66c484b.rlib: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs
+
+/root/repo/target/release/deps/libarfs_failstop-7f788cfab66c484b.rmeta: crates/failstop/src/lib.rs crates/failstop/src/error.rs crates/failstop/src/fault.rs crates/failstop/src/pair.rs crates/failstop/src/pool.rs crates/failstop/src/processor.rs crates/failstop/src/stable.rs crates/failstop/src/volatile.rs
+
+crates/failstop/src/lib.rs:
+crates/failstop/src/error.rs:
+crates/failstop/src/fault.rs:
+crates/failstop/src/pair.rs:
+crates/failstop/src/pool.rs:
+crates/failstop/src/processor.rs:
+crates/failstop/src/stable.rs:
+crates/failstop/src/volatile.rs:

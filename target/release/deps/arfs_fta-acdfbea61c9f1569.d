@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/arfs_fta-acdfbea61c9f1569.d: crates/fta/src/lib.rs
+
+/root/repo/target/release/deps/libarfs_fta-acdfbea61c9f1569.rlib: crates/fta/src/lib.rs
+
+/root/repo/target/release/deps/libarfs_fta-acdfbea61c9f1569.rmeta: crates/fta/src/lib.rs
+
+crates/fta/src/lib.rs:

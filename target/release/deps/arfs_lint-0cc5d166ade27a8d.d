@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/arfs_lint-0cc5d166ade27a8d.d: crates/bench/src/bin/arfs_lint.rs
+
+/root/repo/target/release/deps/arfs_lint-0cc5d166ade27a8d: crates/bench/src/bin/arfs_lint.rs
+
+crates/bench/src/bin/arfs_lint.rs:

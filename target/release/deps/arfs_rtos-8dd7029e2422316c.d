@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/arfs_rtos-8dd7029e2422316c.d: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs
+
+/root/repo/target/release/deps/libarfs_rtos-8dd7029e2422316c.rlib: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs
+
+/root/repo/target/release/deps/libarfs_rtos-8dd7029e2422316c.rmeta: crates/rtos/src/lib.rs crates/rtos/src/clock.rs crates/rtos/src/executive.rs crates/rtos/src/schedule.rs
+
+crates/rtos/src/lib.rs:
+crates/rtos/src/clock.rs:
+crates/rtos/src/executive.rs:
+crates/rtos/src/schedule.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/arfs_ttbus-529d6037722b70b9.d: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs
+
+/root/repo/target/release/deps/libarfs_ttbus-529d6037722b70b9.rlib: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs
+
+/root/repo/target/release/deps/libarfs_ttbus-529d6037722b70b9.rmeta: crates/ttbus/src/lib.rs crates/ttbus/src/bus.rs crates/ttbus/src/error.rs crates/ttbus/src/schedule.rs
+
+crates/ttbus/src/lib.rs:
+crates/ttbus/src/bus.rs:
+crates/ttbus/src/error.rs:
+crates/ttbus/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_availability_sweep-8c241d079b1e7378.d: crates/bench/src/bin/exp_availability_sweep.rs
+
+/root/repo/target/release/deps/exp_availability_sweep-8c241d079b1e7378: crates/bench/src/bin/exp_availability_sweep.rs
+
+crates/bench/src/bin/exp_availability_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_avionics_scenario-b928c230d252f394.d: crates/bench/src/bin/exp_avionics_scenario.rs
+
+/root/repo/target/release/deps/exp_avionics_scenario-b928c230d252f394: crates/bench/src/bin/exp_avionics_scenario.rs
+
+crates/bench/src/bin/exp_avionics_scenario.rs:

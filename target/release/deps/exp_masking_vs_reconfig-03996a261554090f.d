@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_masking_vs_reconfig-03996a261554090f.d: crates/bench/src/bin/exp_masking_vs_reconfig.rs
+
+/root/repo/target/release/deps/exp_masking_vs_reconfig-03996a261554090f: crates/bench/src/bin/exp_masking_vs_reconfig.rs
+
+crates/bench/src/bin/exp_masking_vs_reconfig.rs:

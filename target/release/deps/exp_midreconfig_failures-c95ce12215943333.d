@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_midreconfig_failures-c95ce12215943333.d: crates/bench/src/bin/exp_midreconfig_failures.rs
+
+/root/repo/target/release/deps/exp_midreconfig_failures-c95ce12215943333: crates/bench/src/bin/exp_midreconfig_failures.rs
+
+crates/bench/src/bin/exp_midreconfig_failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_protocol_ablation-f01900055846f528.d: crates/bench/src/bin/exp_protocol_ablation.rs
+
+/root/repo/target/release/deps/exp_protocol_ablation-f01900055846f528: crates/bench/src/bin/exp_protocol_ablation.rs
+
+crates/bench/src/bin/exp_protocol_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_random_soak-6471cb2203a4da47.d: crates/bench/src/bin/exp_random_soak.rs
+
+/root/repo/target/release/deps/exp_random_soak-6471cb2203a4da47: crates/bench/src/bin/exp_random_soak.rs
+
+crates/bench/src/bin/exp_random_soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_restriction_time-a86be217ec42be1f.d: crates/bench/src/bin/exp_restriction_time.rs
+
+/root/repo/target/release/deps/exp_restriction_time-a86be217ec42be1f: crates/bench/src/bin/exp_restriction_time.rs
+
+crates/bench/src/bin/exp_restriction_time.rs:

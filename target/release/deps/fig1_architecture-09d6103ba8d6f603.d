@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_architecture-09d6103ba8d6f603.d: crates/bench/src/bin/fig1_architecture.rs
+
+/root/repo/target/release/deps/fig1_architecture-09d6103ba8d6f603: crates/bench/src/bin/fig1_architecture.rs
+
+crates/bench/src/bin/fig1_architecture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_tcc_obligations-38dc8d75dbb5c999.d: crates/bench/src/bin/fig2_tcc_obligations.rs
+
+/root/repo/target/release/deps/fig2_tcc_obligations-38dc8d75dbb5c999: crates/bench/src/bin/fig2_tcc_obligations.rs
+
+crates/bench/src/bin/fig2_tcc_obligations.rs:

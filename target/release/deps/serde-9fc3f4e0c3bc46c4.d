@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-9fc3f4e0c3bc46c4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-9fc3f4e0c3bc46c4.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-9fc3f4e0c3bc46c4.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-835fbaaba8348cff.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-835fbaaba8348cff.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-835fbaaba8348cff.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_sfta_phases-221c0e85fade546d.d: crates/bench/src/bin/table1_sfta_phases.rs
+
+/root/repo/target/release/deps/table1_sfta_phases-221c0e85fade546d: crates/bench/src/bin/table1_sfta_phases.rs
+
+crates/bench/src/bin/table1_sfta_phases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_properties-695081d3ff8346c7.d: crates/bench/src/bin/table2_properties.rs
+
+/root/repo/target/release/deps/table2_properties-695081d3ff8346c7: crates/bench/src/bin/table2_properties.rs
+
+crates/bench/src/bin/table2_properties.rs:

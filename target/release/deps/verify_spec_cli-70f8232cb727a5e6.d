@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify_spec_cli-70f8232cb727a5e6.d: crates/bench/src/bin/verify_spec_cli.rs
+
+/root/repo/target/release/deps/verify_spec_cli-70f8232cb727a5e6: crates/bench/src/bin/verify_spec_cli.rs
+
+crates/bench/src/bin/verify_spec_cli.rs:

@@ -73,7 +73,10 @@ fn spec_analysis_is_consistent_with_measured_behavior() {
     let r = av.system().trace().get_reconfigs()[0];
     let measured = spec.frame_len() * r.cycles();
     for (_, _, bound) in spec.transitions().iter() {
-        assert!(measured <= bound, "measured {measured} exceeds bound {bound}");
+        assert!(
+            measured <= bound,
+            "measured {measured} exceeds bound {bound}"
+        );
     }
 
     // The resource model matches the placements.

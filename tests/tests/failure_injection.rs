@@ -117,7 +117,8 @@ fn self_checking_pair_masks_value_faults_as_fail_stop() {
 #[test]
 fn fta_survives_repeated_spare_failures_then_reports_exhaustion() {
     let mut pool = arfs_failstop::ProcessorPool::with_processors(4);
-    pool.assign("job", arfs_failstop::ProcessorId::new(0)).unwrap();
+    pool.assign("job", arfs_failstop::ProcessorId::new(0))
+        .unwrap();
     // Every processor fails on its first instruction.
     for i in 0..4 {
         pool.processor_mut(arfs_failstop::ProcessorId::new(i))
@@ -161,7 +162,11 @@ impl arfs_core::app::ReconfigurableApp for FlakyApp {
     fn halt(&mut self, ctx: &mut arfs_core::app::AppContext<'_>) -> Result<(), String> {
         self.inner.halt(ctx)
     }
-    fn prepare(&mut self, ctx: &mut arfs_core::app::AppContext<'_>, t: &SpecId) -> Result<(), String> {
+    fn prepare(
+        &mut self,
+        ctx: &mut arfs_core::app::AppContext<'_>,
+        t: &SpecId,
+    ) -> Result<(), String> {
         self.inner.prepare(ctx, t)
     }
     fn initialize(

@@ -46,8 +46,7 @@ fn reference_mission_matches_golden_trace() {
     });
     let golden: SysTrace = serde_json::from_str(&body).expect("golden file parses");
     assert_eq!(
-        trace,
-        golden,
+        trace, golden,
         "the reference mission's trace changed; if intentional, regenerate with \
          `ARFS_BLESS=1 cargo test -p arfs-integration --test golden_trace`"
     );

@@ -1,0 +1,167 @@
+//! Offline vendored substitute for `criterion`.
+//!
+//! A minimal wall-clock harness with criterion's macro API:
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter`, and `black_box`. Each benchmark is warmed up and
+//! then timed over an adaptive iteration count; mean ns/iter is
+//! printed in a criterion-like line. No statistics, plotting, or
+//! baselines — enough to run `cargo bench` and compare runs by eye.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark. Overridable via the
+/// `ARFS_BENCH_MS` environment variable.
+fn measure_budget() -> Duration {
+    let ms = std::env::var("ARFS_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the
+/// workload.
+pub struct Bencher {
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { mean: None }
+    }
+
+    /// Times `routine`, storing the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: time single calls until we can
+        // estimate a batch size that fills the measurement budget.
+        let calibrate_start = Instant::now();
+        let mut calls = 0u64;
+        while calibrate_start.elapsed() < Duration::from_millis(50) && calls < 10_000 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = calibrate_start.elapsed().as_nanos().max(1) / calls.max(1) as u128;
+        let budget = measure_budget().as_nanos();
+        let iters = (budget / per_call.max(1)).clamp(10, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean = Some(elapsed / iters as u32);
+    }
+}
+
+fn print_result(id: &str, mean: Option<Duration>) {
+    match mean {
+        Some(mean) => println!("{id:<50} time: [{mean:?}/iter]"),
+        None => println!("{id:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        print_result(&format!("{}/{id}", self.name), bencher.mean);
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive iteration count
+    /// already bounds runtime, so the sample count is not used.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Finishes the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        print_result(id, bencher.mean);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("ARFS_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.sample_size(10);
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline vendored substitute for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` with the 0.8 calling convention —
+//! `scope(|s| { s.spawn(|_| ...) }).expect(...)` — implemented over
+//! `std::thread::scope` (stable since 1.63), which provides the same
+//! structured-concurrency guarantee the workspace relies on.
+
+use std::any::Any;
+use std::thread;
+
+/// Result of a scoped computation. `Err` carries a panic payload when
+/// the closure itself panics (spawned-thread panics surface through
+/// each handle's [`ScopedJoinHandle::join`]).
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle passed to [`scope`]'s closure; `spawn` borrows data
+/// from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// The argument passed to every spawned closure (crossbeam passes a
+/// nested scope; the workspace ignores it with `|_|`).
+pub struct NestedScope(());
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a [`NestedScope`]
+    /// placeholder to match crossbeam's `|scope| ...` signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&NestedScope(()))),
+        }
+    }
+}
+
+/// Handle to a scoped thread; joining returns the closure's value or
+/// its panic payload.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which threads can borrow non-`'static` data.
+/// All spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        Ok(f(&wrapper))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panic_in_worker_surfaces_via_join() {
+        let caught = scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .expect("crossbeam scope");
+        assert!(caught);
+    }
+}

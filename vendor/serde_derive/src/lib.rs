@@ -1,0 +1,562 @@
+//! Offline vendored substitute for `serde_derive`.
+//!
+//! Derive macros for the vendored `serde`'s `Serialize` /
+//! `Deserialize` traits. The item is parsed directly from the
+//! `proc_macro::TokenStream` (no `syn`/`quote`) and the impl is
+//! generated as source text, following serde's externally-tagged JSON
+//! conventions. Supported shapes: non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple, struct variants); supported
+//! attributes: `#[serde(transparent)]` (container) and
+//! `#[serde(default)]` (field). Anything else panics at compile time
+//! so unsupported uses fail loudly rather than mis-serialize.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+        transparent: bool,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct {
+            name,
+            shape,
+            transparent,
+        } => gen_struct_serialize(name, shape, *transparent),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct {
+            name,
+            shape,
+            transparent,
+        } => gen_struct_deserialize(name, shape, *transparent),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ------------------------------------------------------------------ parsing
+
+/// Flags inside `#[serde(...)]` attribute groups; `#[doc]`, `#[cfg]`,
+/// etc. yield nothing.
+fn serde_flags(attr_body: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = attr_body.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" && inner.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut flags = Vec::new();
+            // Take the first ident of each comma-separated segment.
+            let mut expecting = true;
+            for t in inner.stream() {
+                match t {
+                    TokenTree::Ident(id) if expecting => {
+                        flags.push(id.to_string());
+                        expecting = false;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => expecting = true,
+                    _ => {}
+                }
+            }
+            flags
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn is_punct(tok: &TokenTree, c: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips `#[...]` attributes starting at `i`, returning collected
+/// serde flags.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut flags = Vec::new();
+    while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
+        if let TokenTree::Group(g) = &toks[*i + 1] {
+            flags.extend(serde_flags(g));
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    flags
+}
+
+/// Skips `pub` / `pub(...)` visibility at `i`.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Counts the comma-separated fields of a tuple-struct/-variant body.
+fn count_tuple_fields(body: &Group) -> usize {
+    let mut depth = 0i64;
+    let mut fields = 0usize;
+    let mut nonempty = false;
+    for t in body.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if nonempty {
+                    fields += 1;
+                }
+                nonempty = false;
+                continue;
+            }
+            _ => {}
+        }
+        nonempty = true;
+    }
+    if nonempty {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parses the fields of a `{ ... }` body (struct or struct variant).
+fn parse_named_fields(body: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let flags = skip_attrs(&toks, &mut i);
+        let mut default = false;
+        for f in flags {
+            match f.as_str() {
+                "default" => default = true,
+                other => panic!("serde_derive: unsupported field attribute `serde({other})`"),
+            }
+        }
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        assert!(
+            i < toks.len() && is_punct(&toks[i], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type up to the next top-level comma. Bracketed
+        // groups are single tokens, so only `<`/`>` need depth.
+        let mut depth = 0i64;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(body: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let flags = skip_attrs(&toks, &mut i);
+        if let Some(f) = flags.first() {
+            panic!("serde_derive: unsupported variant attribute `serde({f})`");
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        if let Some(t) = toks.get(i) {
+            assert!(
+                is_punct(t, ','),
+                "serde_derive: unsupported token `{t}` after variant `{name}` \
+                 (discriminants are not supported)"
+            );
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+    let keyword = loop {
+        assert!(i < toks.len(), "serde_derive: no struct or enum found");
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    for f in serde_flags(g) {
+                        match f.as_str() {
+                            "transparent" => transparent = true,
+                            other => panic!(
+                                "serde_derive: unsupported container attribute `serde({other})`"
+                            ),
+                        }
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break id.to_string();
+            }
+            _ => i += 1,
+        }
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde_derive: generic type `{name}` is not supported");
+    }
+    if keyword == "enum" {
+        let TokenTree::Group(body) = &toks[i] else {
+            panic!("serde_derive: expected enum body for `{name}`");
+        };
+        return Item::Enum {
+            name,
+            variants: parse_variants(body),
+        };
+    }
+    let shape = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g))
+        }
+        Some(t) if is_punct(t, ';') => Shape::Unit,
+        None => Shape::Unit,
+        Some(other) => panic!("serde_derive: unexpected struct body `{other}`"),
+    };
+    Item::Struct {
+        name,
+        shape,
+        transparent,
+    }
+}
+
+// ------------------------------------------------------------------ codegen
+
+const S: &str = "::serde::Serialize";
+const D: &str = "::serde::Deserialize";
+const C: &str = "::serde::Content";
+const E: &str = "::serde::DeError";
+
+fn impl_header(trait_path: &str, name: &str) -> String {
+    format!("#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\nimpl {trait_path} for {name} ")
+}
+
+/// `Content::Map` expression from `(key literal, value expr)` pairs.
+fn map_expr(entries: &[(String, String)]) -> String {
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("({C}::Str({k:?}.to_string()), {v})"))
+        .collect();
+    format!("{C}::Map(::std::vec![{}])", body.join(", "))
+}
+
+fn gen_struct_serialize(name: &str, shape: &Shape, transparent: bool) -> String {
+    let body = match shape {
+        Shape::Unit => format!("{C}::Null"),
+        Shape::Tuple(1) => format!("{S}::to_content(&self.0)"),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("{S}::to_content(&self.{i})"))
+                .collect();
+            format!("{C}::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Named(fields) if transparent && fields.len() == 1 => {
+            format!("{S}::to_content(&self.{})", fields[0].name)
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| (f.name.clone(), format!("{S}::to_content(&self.{})", f.name)))
+                .collect();
+            map_expr(&entries)
+        }
+    };
+    format!(
+        "{}{{ fn to_content(&self) -> {C} {{ {body} }} }}",
+        impl_header(S, name)
+    )
+}
+
+/// Statements that read named fields out of `__map` into `__f_<name>`
+/// locals, plus the struct-literal body consuming them. `ctor` is the
+/// path of the struct or variant being built; `err_ctx` names it in
+/// error messages.
+fn named_fields_from_map(fields: &[Field], ctor: &str, err_ctx: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "let mut __f_{} = ::core::option::Option::None;\n",
+            f.name
+        ));
+    }
+    out.push_str("for (__k, __v) in __map.iter() { match __k.as_str() {\n");
+    for f in fields {
+        out.push_str(&format!(
+            "::core::option::Option::Some({:?}) => {{ __f_{} = ::core::option::Option::Some({D}::from_content(__v)?); }}\n",
+            f.name, f.name
+        ));
+    }
+    out.push_str("_ => {}\n} }\n");
+    out.push_str(&format!("return ::std::result::Result::Ok({ctor} {{\n"));
+    for f in fields {
+        let missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err({E}::custom(\"missing field `{}` in {}\"))",
+                f.name, err_ctx
+            )
+        };
+        out.push_str(&format!(
+            "{}: match __f_{} {{ ::core::option::Option::Some(__v) => __v, ::core::option::Option::None => {missing} }},\n",
+            f.name, f.name
+        ));
+    }
+    out.push_str("});\n");
+    out
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape, transparent: bool) -> String {
+    let body = match shape {
+        Shape::Unit => format!("let _ = __content; ::std::result::Result::Ok({name})"),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}({D}::from_content(__content)?))")
+        }
+        Shape::Tuple(n) => {
+            let mut out = format!(
+                "let __seq = __content.as_seq().ok_or_else(|| {E}::expected(\"sequence for `{name}`\", __content))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err({E}::custom(\"wrong tuple length for `{name}`\")); }}\n"
+            );
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("{D}::from_content(&__seq[{i}])?"))
+                .collect();
+            out.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            ));
+            out
+        }
+        Shape::Named(fields) if transparent && fields.len() == 1 => format!(
+            "::std::result::Result::Ok({name} {{ {}: {D}::from_content(__content)? }})",
+            fields[0].name
+        ),
+        Shape::Named(fields) => {
+            let mut out = format!(
+                "let __map = __content.as_map().ok_or_else(|| {E}::expected(\"map for struct `{name}`\", __content))?;\n"
+            );
+            out.push_str(&named_fields_from_map(fields, name, &format!("`{name}`")));
+            out.push_str("#[allow(unreachable_code)] { ::std::result::Result::Err(");
+            out.push_str(&format!("{E}::custom(\"unreachable\")) }}"));
+            out
+        }
+    };
+    format!(
+        "{}{{ fn from_content(__content: &{C}) -> ::std::result::Result<Self, {E}> {{ {body} }} }}",
+        impl_header(D, name)
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => {C}::Str({vname:?}.to_string()),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let value = if *n == 1 {
+                    format!("{S}::to_content(__f0)")
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("{S}::to_content({b})"))
+                        .collect();
+                    format!("{C}::Seq(::std::vec![{}])", elems.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => {C}::Map(::std::vec![({C}::Str({vname:?}.to_string()), {value})]),\n",
+                    binds.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let entries: Vec<(String, String)> = fields
+                    .iter()
+                    .map(|f| (f.name.clone(), format!("{S}::to_content({})", f.name)))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {C}::Map(::std::vec![({C}::Str({vname:?}.to_string()), {})]),\n",
+                    binds.join(", "),
+                    map_expr(&entries)
+                ));
+            }
+        }
+    }
+    format!(
+        "{}{{ fn to_content(&self) -> {C} {{ match self {{ {arms} }} }} }}",
+        impl_header(S, name)
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .collect();
+    let tagged: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .collect();
+
+    let mut body = String::new();
+    if !unit.is_empty() {
+        body.push_str(
+            "if let ::core::option::Option::Some(__s) = __content.as_str() {\nmatch __s {\n",
+        );
+        for v in &unit {
+            body.push_str(&format!(
+                "{:?} => return ::std::result::Result::Ok({name}::{}),\n",
+                v.name, v.name
+            ));
+        }
+        body.push_str("_ => {}\n} }\n");
+    }
+    if !tagged.is_empty() {
+        body.push_str(
+            "if let ::core::option::Option::Some(__entries) = __content.as_map() {\n\
+             if __entries.len() == 1 {\nlet (__tag, __v) = &__entries[0];\n\
+             if let ::core::option::Option::Some(__tag) = __tag.as_str() {\nmatch __tag {\n",
+        );
+        for v in &tagged {
+            let vname = &v.name;
+            body.push_str(&format!("{vname:?} => {{\n"));
+            match &v.shape {
+                Shape::Unit => unreachable!(),
+                Shape::Tuple(1) => body.push_str(&format!(
+                    "return ::std::result::Result::Ok({name}::{vname}({D}::from_content(__v)?));\n"
+                )),
+                Shape::Tuple(n) => {
+                    body.push_str(&format!(
+                        "let __seq = __v.as_seq().ok_or_else(|| {E}::expected(\"sequence for variant `{vname}`\", __v))?;\n\
+                         if __seq.len() != {n} {{ return ::std::result::Result::Err({E}::custom(\"wrong arity for variant `{vname}`\")); }}\n"
+                    ));
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("{D}::from_content(&__seq[{i}])?"))
+                        .collect();
+                    body.push_str(&format!(
+                        "return ::std::result::Result::Ok({name}::{vname}({}));\n",
+                        elems.join(", ")
+                    ));
+                }
+                Shape::Named(fields) => {
+                    body.push_str(&format!(
+                        "let __map = __v.as_map().ok_or_else(|| {E}::expected(\"map for variant `{vname}`\", __v))?;\n"
+                    ));
+                    body.push_str(&named_fields_from_map(
+                        fields,
+                        &format!("{name}::{vname}"),
+                        &format!("variant `{vname}`"),
+                    ));
+                }
+            }
+            body.push_str("}\n");
+        }
+        body.push_str("_ => {}\n} } } }\n");
+    }
+    body.push_str(&format!(
+        "::std::result::Result::Err({E}::custom(\"unknown variant for enum `{name}`\"))"
+    ));
+    format!(
+        "{}{{ fn from_content(__content: &{C}) -> ::std::result::Result<Self, {E}> {{ {body} }} }}",
+        impl_header(D, name)
+    )
+}

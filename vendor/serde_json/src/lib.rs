@@ -1,0 +1,568 @@
+//! Offline vendored substitute for `serde_json`.
+//!
+//! Renders and parses JSON over the vendored `serde`'s [`Content`]
+//! tree. Output conventions match the real `serde_json` closely
+//! enough that artifacts written by it (the golden avionics trace)
+//! parse and re-render stably: 2-space pretty printing, `"key": value`
+//! spacing, floats printed via `{:?}` (shortest round-trip form, e.g.
+//! `1.0`), and maps rendered in entry order.
+
+use std::fmt::Write as _;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A dynamically typed JSON value (alias of the serde data model).
+pub type Value = Content;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: Serialize>(value: T) -> Value {
+    value.to_content()
+}
+
+/// Reconstructs a typed value from a [`Value`].
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_content(value)?)
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a typed value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    Ok(T::from_content(&value)?)
+}
+
+// ----------------------------------------------------------------- printing
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON object keys must be strings; non-string keys (e.g. tuple map
+/// keys) are rendered as their compact JSON text, mirroring what a
+/// human-readable report needs without erroring.
+fn write_key(out: &mut String, key: &Content) {
+    match key {
+        Content::Str(s) => write_escaped(out, s),
+        Content::U64(n) => write_escaped(out, &n.to_string()),
+        Content::I64(n) => write_escaped(out, &n.to_string()),
+        Content::Bool(b) => write_escaped(out, if *b { "true" } else { "false" }),
+        other => {
+            let mut text = String::new();
+            write_value(&mut text, other, None, 0);
+            write_escaped(out, &text);
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Content, indent: Option<usize>, level: usize) {
+    match value {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Content::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Content::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x:?}");
+        }
+        Content::F64(_) => out.push_str("null"),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_key(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+// ------------------------------------------------------------------ parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Content::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(&format!("unexpected `{}`", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(&format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        self.pos += 4;
+        let s = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| self.err("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|_| self.err("integer out of range"))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            entries.push((Content::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn parse_value_complete(s: &str) -> Result<Content, Error> {
+    let mut parser = Parser::new(s);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+// ------------------------------------------------------------------- json!
+
+/// Builds a [`Value`] from a JSON-like literal with interpolated
+/// expressions, e.g. `json!({"n": runs, "series": points})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    // The accumulators start from `collect()` rather than `Vec::new()` so
+    // expansion sites don't trip clippy::vec_init_then_push (statement
+    // `allow`s inside macro expansions do not reach the caller's crate).
+    ([ $($tt:tt)* ]) => {{
+        let mut __items: ::std::vec::Vec<$crate::Value> =
+            ::std::iter::empty().collect();
+        $crate::json_items!(__items; $($tt)*);
+        $crate::Value::Seq(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut __entries: ::std::vec::Vec<($crate::Value, $crate::Value)> =
+            ::std::iter::empty().collect();
+        $crate::json_entries!(__entries; $($tt)*);
+        $crate::Value::Map(__entries)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: accumulates array elements (tt-muncher up to top-level
+/// commas).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ($items:ident;) => {};
+    ($items:ident; $($value:tt)+) => {
+        $crate::json_item_value!($items; []; $($value)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_item_value {
+    ($items:ident; [$($acc:tt)+]; , $($rest:tt)*) => {
+        $items.push($crate::json!($($acc)+));
+        $crate::json_items!($items; $($rest)*);
+    };
+    ($items:ident; [$($acc:tt)+];) => {
+        $items.push($crate::json!($($acc)+));
+    };
+    ($items:ident; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_item_value!($items; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+/// Internal: accumulates `"key": value` object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($entries:ident;) => {};
+    ($entries:ident; $key:literal : $($rest:tt)+) => {
+        $crate::json_entry_value!($entries; $key; []; $($rest)+);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entry_value {
+    ($entries:ident; $key:literal; [$($acc:tt)+]; , $($rest:tt)*) => {
+        $entries.push((
+            $crate::Value::Str($key.to_string()),
+            $crate::json!($($acc)+),
+        ));
+        $crate::json_entries!($entries; $($rest)*);
+    };
+    ($entries:ident; $key:literal; [$($acc:tt)+];) => {
+        $entries.push((
+            $crate::Value::Str($key.to_string()),
+            $crate::json!($($acc)+),
+        ));
+    };
+    ($entries:ident; $key:literal; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_entry_value!($entries; $key; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_rendering() {
+        let v = json!({"a": 1, "b": [true, null, "x"], "c": {"d": 1.5}});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[true,null,"x"],"c":{"d":1.5}}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("{\n  \"a\": 1,\n  \"b\": [\n    true,"));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"frame": 3, "env": {"values": {"electrical": "both"}},
+                       "ok": null, "xs": [1, -2, 3.25], "flag": false}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v.get("frame").and_then(Content::as_u64), Some(3));
+        assert_eq!(
+            v.get("env")
+                .and_then(|e| e.get("values"))
+                .and_then(|m| m.get("electrical"))
+                .and_then(Content::as_str),
+            Some("both")
+        );
+        assert!(v.get("ok").unwrap().is_null());
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::Str("quote \" slash \\ newline \n tab \t".into());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let uni: Value = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(uni.as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn floats_render_like_serde_json() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+    }
+
+    #[test]
+    fn json_macro_interpolates_expressions() {
+        let n = 3u64;
+        let label = "runs";
+        let points = vec![json!(1), json!(2)];
+        let v = json!({
+            "label": label,
+            "ratio": n as f64 / 2.0,
+            "points": points,
+            "nested": {"k": [n, 4]},
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"label":"runs","ratio":1.5,"points":[1,2],"nested":{"k":[3,4]}}"#
+        );
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("[] trailing").is_err());
+    }
+}
