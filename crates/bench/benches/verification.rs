@@ -122,6 +122,18 @@ fn bench_model_check(c: &mut Criterion) {
         let mc = ModelChecker::new(spec.clone(), 14, 1);
         b.iter(|| black_box(mc.run_parallel(4)));
     });
+    // Schedule materialization alone, two events deep: the enumeration
+    // is linear in the number of emitted schedules (each extension is
+    // pushed exactly once), so this guards against regressing back to
+    // the quadratic rebuild-every-level shape.
+    group.bench_function("schedules_h20_e2", |b| {
+        let mc = ModelChecker::new(spec.clone(), 20, 2);
+        b.iter(|| {
+            let schedules = mc.schedules();
+            assert!(schedules.len() > 100);
+            black_box(schedules)
+        });
+    });
     group.finish();
 }
 

@@ -1,0 +1,113 @@
+//! `arfs-trace` — shell access to observability journals.
+//!
+//! ```sh
+//! cargo run -p arfs-bench --bin arfs-trace -- summarize results/fig1_architecture.journal.jsonl
+//! cargo run -p arfs-bench --bin arfs-trace -- grep results/run.jsonl --kind phase-entered
+//! cargo run -p arfs-bench --bin arfs-trace -- diff results/a.jsonl results/b.jsonl
+//! ```
+//!
+//! Journals are the JSON-Lines files written by `arfs_core::obs`
+//! (`System::journal()` serialized with `Journal::to_json_lines`); the
+//! experiment binaries drop one per run under `results/`.
+//!
+//! Exit codes: `0` success (for `diff`: journals identical), `1` diff
+//! found differences, `3` usage or load error.
+
+use std::process::ExitCode;
+
+use arfs_core::obs::{Journal, Subsystem};
+
+const USAGE: &str = "\
+usage: arfs-trace <command> [args]
+
+  summarize <journal>                  event counts by kind/subsystem, frame range
+  grep <journal> --kind KIND           print events of one kind
+      [--subsystem SUBSYSTEM]          further restrict to one subsystem
+  diff <journal-a> <journal-b>         compare two journals event by event";
+
+fn load(path: &str) -> Result<Journal, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Journal::from_json_lines(&text).map_err(|(line, msg)| format!("`{path}` line {line}: {msg}"))
+}
+
+fn summarize(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("summarize expects exactly one journal path".into());
+    };
+    let journal = load(path)?;
+    print!("{}", journal.summary());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn grep(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut kind = None;
+    let mut subsystem = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--kind" => kind = Some(it.next().ok_or("--kind requires a value")?.clone()),
+            "--subsystem" => {
+                let value = it.next().ok_or("--subsystem requires a value")?;
+                subsystem = Some(
+                    Subsystem::parse(value)
+                        .ok_or_else(|| format!("unknown subsystem `{value}`"))?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional => {
+                if path.replace(positional.to_string()).is_some() {
+                    return Err("grep expects exactly one journal path".into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("grep expects a journal path")?;
+    let kind = kind.ok_or("grep requires --kind")?;
+    let journal = load(&path)?;
+    let mut shown = 0usize;
+    for event in journal.of_kind(&kind) {
+        if subsystem.is_some_and(|s| s != event.subsystem) {
+            continue;
+        }
+        println!("{event}");
+        shown += 1;
+    }
+    eprintln!("{shown} of {} events matched", journal.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn diff(args: &[String]) -> Result<ExitCode, String> {
+    let [a, b] = args else {
+        return Err("diff expects exactly two journal paths".into());
+    };
+    let diff = load(a)?.diff(&load(b)?);
+    print!("{diff}");
+    if diff.identical() {
+        println!();
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("summarize") => summarize(&args[1..]),
+        Some("grep") => grep(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        Some("--help") | Some("-h") | None => Err(String::new()),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //!    spending most of its time in *some* configuration rather than
 //!    thrashing.
 
-use arfs_bench::{banner, verdict, write_json, TextTable};
+use arfs_bench::{banner, verdict, write_json, write_text, TextTable};
 use arfs_core::properties;
 use arfs_core::stats::trace_stats;
 use arfs_core::workload::{scenario_batch, WorkloadConfig};
@@ -44,6 +44,12 @@ fn main() {
         let mut reconfigs = 0usize;
         let mut availability_sum = 0.0;
         let mut min_availability = 1.0f64;
+        // Observability counters summed over the sweep point: how often
+        // the SCRAM completed a reconfiguration vs. held a trigger back
+        // under the dwell guard at this intensity.
+        let mut completions = 0u64;
+        let mut dwell_suppressions = 0u64;
+        let mut first_run_saved = false;
         for scenario in scenario_batch(&spec, &config, 10_000, runs) {
             let system = scenario.run_on_spec(&spec).expect("valid scenario");
             let report = properties::check_extended(system.trace(), system.spec());
@@ -52,6 +58,21 @@ fn main() {
             let a = trace_stats(system.trace()).availability();
             availability_sum += a;
             min_availability = min_availability.min(a);
+            completions += system.metrics().counter("scram.completions");
+            dwell_suppressions += system.metrics().counter("scram.dwell_suppressed");
+            if !first_run_saved && mean_gap == 3 {
+                // The harshest intensity ships its first run's journal
+                // and metrics as arfs-trace artifacts.
+                first_run_saved = true;
+                write_text(
+                    "exp_availability_sweep.journal.jsonl",
+                    &system.journal().to_json_lines(),
+                );
+                write_json(
+                    "exp_availability_sweep.metrics.json",
+                    &system.metrics_snapshot(),
+                );
+            }
         }
         let mean_availability = availability_sum / runs as f64;
         availabilities.push(mean_availability);
@@ -68,6 +89,8 @@ fn main() {
             "reconfigs_per_run": reconfigs as f64 / runs as f64,
             "mean_availability": mean_availability,
             "min_availability": min_availability,
+            "scram_completions": completions,
+            "dwell_suppressions": dwell_suppressions,
         }));
     }
     println!("{table}");

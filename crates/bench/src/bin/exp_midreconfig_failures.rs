@@ -11,7 +11,7 @@
 //! compares: final configuration, total restricted frames, and whether
 //! SP1–SP4 still hold (they must, under both).
 
-use arfs_bench::{banner, verdict, write_json, TextTable};
+use arfs_bench::{banner, verdict, write_json, write_text, TextTable};
 use arfs_core::properties;
 use arfs_core::scram::MidReconfigPolicy;
 use arfs_core::system::System;
@@ -25,6 +25,7 @@ fn main() {
         "final config",
         "restricted frames",
         "reconfig count",
+        "retargets",
         "SP1-SP4",
     ]);
     let mut all_ok = true;
@@ -63,12 +64,29 @@ fn main() {
                 MidReconfigPolicy::ImmediateRetarget => immediate_total += restricted,
                 MidReconfigPolicy::BufferUntilComplete => buffered_total += restricted,
             }
+            // The journal makes the policy difference directly visible:
+            // only immediate retargeting emits `retargeted` events.
+            let retargets = system.journal().of_kind("retargeted").count();
+            if offset == 1 {
+                // One journal per policy at the same offset, so
+                // `arfs-trace diff` shows exactly where the two §5.3
+                // policies diverge.
+                write_text(
+                    &format!("exp_midreconfig_{label}.journal.jsonl"),
+                    &system.journal().to_json_lines(),
+                );
+                write_json(
+                    &format!("exp_midreconfig_{label}.metrics.json"),
+                    &system.metrics_snapshot(),
+                );
+            }
             table.row([
                 format!("+{offset} frames"),
                 label.to_string(),
                 system.current_config().to_string(),
                 restricted.to_string(),
                 reconfigs.to_string(),
+                retargets.to_string(),
                 if report.is_ok() {
                     "hold".into()
                 } else {
@@ -80,6 +98,7 @@ fn main() {
                 "policy": label,
                 "restricted_frames": restricted,
                 "reconfigurations": reconfigs,
+                "retargets": retargets,
                 "properties_ok": report.is_ok(),
             }));
         }

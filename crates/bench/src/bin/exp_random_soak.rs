@@ -6,7 +6,9 @@
 //! bounded search cannot reach. Every scenario is reproducible from its
 //! seed (see `arfs_core::workload`).
 
-use arfs_bench::{banner, verdict, write_json, TextTable};
+use std::collections::BTreeMap;
+
+use arfs_bench::{banner, verdict, write_json, write_text, TextTable};
 use arfs_core::properties;
 use arfs_core::stats::trace_stats;
 use arfs_core::workload::{scenario_batch, WorkloadConfig};
@@ -32,12 +34,14 @@ fn main() {
     let mut all_clean = true;
     let mut artifacts = Vec::new();
 
-    for (label, spec) in [
+    for (slug, label, spec) in [
         (
+            "avionics",
             "avionics (§7, 2 apps)",
             arfs_avionics::avionics_spec().expect("valid"),
         ),
         (
+            "extended_uav",
             "extended UAV (4 apps)",
             arfs_avionics::extended::extended_uav_spec().expect("valid"),
         ),
@@ -46,6 +50,10 @@ fn main() {
         let mut violations = 0usize;
         let mut availability_sum = 0.0f64;
         let mut worst_restricted = 0u64;
+        // Journal event counts aggregated over the whole soak; the first
+        // run's journal + metrics ship verbatim as arfs-trace artifacts.
+        let mut journal_kinds: BTreeMap<String, usize> = BTreeMap::new();
+        let mut first_run_saved = false;
         for scenario in scenario_batch(&spec, &config, 1, runs_per_spec) {
             let system = scenario.run_on_spec(&spec).expect("valid scenario");
             let report = properties::check_extended(system.trace(), system.spec());
@@ -58,6 +66,20 @@ fn main() {
             availability_sum += stats.availability();
             worst_restricted =
                 worst_restricted.max(stats.max_cycles.unwrap_or(0).saturating_sub(1));
+            for (kind, count) in system.journal().summary().by_kind {
+                *journal_kinds.entry(kind).or_insert(0) += count;
+            }
+            if !first_run_saved {
+                first_run_saved = true;
+                write_text(
+                    &format!("exp_random_soak.{slug}.journal.jsonl"),
+                    &system.journal().to_json_lines(),
+                );
+                write_json(
+                    &format!("exp_random_soak.{slug}.metrics.json"),
+                    &system.metrics_snapshot(),
+                );
+            }
         }
         all_clean &= violations == 0;
         let mean_availability = availability_sum / runs_per_spec as f64;
@@ -76,6 +98,7 @@ fn main() {
             "violations": violations,
             "mean_availability": mean_availability,
             "worst_restricted_frames": worst_restricted,
+            "journal_kinds": journal_kinds,
         }));
     }
     println!("{table}");

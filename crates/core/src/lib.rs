@@ -52,6 +52,8 @@
 //! - [`model`] — exhaustive bounded exploration of trigger schedules over
 //!   a specification, checking SP1–SP4 on every run (the executable
 //!   analogue of the paper's mechanically checked proofs).
+//! - [`obs`] — frame-scoped observability: the structured event journal
+//!   (JSON Lines) and the metrics registry every run reports through.
 //! - [`sfta`] — system fault-tolerant actions: the synchrony-window view
 //!   of application FTAs (§5.2).
 //!
@@ -110,6 +112,7 @@ mod error;
 mod ids;
 pub mod lint;
 pub mod model;
+pub mod obs;
 pub mod properties;
 pub mod scenario;
 pub mod scram;
@@ -128,6 +131,7 @@ pub use ids::{AppId, ConfigId, SpecId};
 pub mod prelude {
     pub use crate::app::{AppContext, ConfigStatus, NullApp, ReconfigurableApp};
     pub use crate::environment::{EnvModel, EnvState, FnMonitor};
+    pub use crate::obs::{Journal, JournalEvent, MetricsRegistry, Subsystem};
     pub use crate::scenario::Scenario;
     pub use crate::scram::{MidReconfigPolicy, Scram, StagePolicy, SyncPolicy};
     pub use crate::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};

@@ -103,6 +103,7 @@ pub struct ModelChecker {
     mid_policy: crate::scram::MidReconfigPolicy,
     sync_policy: crate::scram::SyncPolicy,
     stage_policy: crate::scram::StagePolicy,
+    mutation: Option<crate::scram::ScramMutation>,
 }
 
 impl ModelChecker {
@@ -150,6 +151,7 @@ impl ModelChecker {
             mid_policy: crate::scram::MidReconfigPolicy::default(),
             sync_policy: crate::scram::SyncPolicy::default(),
             stage_policy: crate::scram::StagePolicy::default(),
+            mutation: None,
         }
     }
 
@@ -168,6 +170,15 @@ impl ModelChecker {
         self
     }
 
+    /// Seeds a SCRAM protocol mutation into every explored system —
+    /// the verification-of-the-verifier experiment: a mutated kernel
+    /// must fail the exhaustive check.
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: crate::scram::ScramMutation) -> Self {
+        self.mutation = Some(mutation);
+        self
+    }
+
     /// The exploration horizon in frames.
     pub fn horizon(&self) -> u64 {
         self.horizon
@@ -176,12 +187,18 @@ impl ModelChecker {
     /// Enumerates every schedule: each event is a `(frame, factor,
     /// value)` triple with frames strictly increasing within a schedule;
     /// event frames leave enough tail for a triggered reconfiguration to
-    /// complete within the horizon.
+    /// complete within the horizon. A horizon too short for even one
+    /// event plus its protocol tail yields only the quiescent (empty)
+    /// schedule.
     pub fn schedules(&self) -> Vec<Schedule> {
         // Events may land on frames 1..=last_event_frame so that a
         // triggered protocol (reconfig_frames) plus one steady frame fits.
         let protocol = self.spec.reconfig_frames() + self.spec.min_dwell_frames();
-        let last_event_frame = self.horizon.saturating_sub(protocol + 1).max(1);
+        let last_event_frame = self.horizon.saturating_sub(protocol + 1);
+        if last_event_frame == 0 {
+            return vec![Schedule(Vec::new())];
+        }
+        // Built frame-outermost, so the list is sorted by frame.
         let mut single_events: Vec<(u64, String, String)> = Vec::new();
         for frame in 1..=last_event_frame {
             for factor in self.spec.env_model().factors() {
@@ -191,36 +208,44 @@ impl ModelChecker {
             }
         }
 
+        // Level-by-level extension over a single output vector:
+        // out[level_start..level_end] holds the previous level's
+        // schedules, and each extension is built and pushed exactly once
+        // (no per-level re-clone of the whole frontier).
         let mut out = vec![Schedule(Vec::new())];
-        let mut current: Vec<Vec<(u64, String, String)>> = vec![Vec::new()];
+        let mut level_start = 0;
         for _ in 0..self.max_events {
-            let mut next = Vec::new();
-            for prefix in &current {
-                let min_frame = prefix.last().map(|(f, _, _)| *f + 1).unwrap_or(1);
-                for event in &single_events {
-                    if event.0 >= min_frame {
-                        let mut schedule = prefix.clone();
-                        schedule.push(event.clone());
-                        next.push(schedule);
-                    }
+            let level_end = out.len();
+            for i in level_start..level_end {
+                let min_frame = out[i].0.last().map(|(f, _, _)| *f + 1).unwrap_or(1);
+                let from = single_events.partition_point(|e| e.0 < min_frame);
+                for event in &single_events[from..] {
+                    let mut schedule = Vec::with_capacity(out[i].0.len() + 1);
+                    schedule.extend_from_slice(&out[i].0);
+                    schedule.push(event.clone());
+                    out.push(Schedule(schedule));
                 }
             }
-            out.extend(next.iter().cloned().map(Schedule));
-            current = next;
-            if current.is_empty() {
+            if out.len() == level_end {
                 break;
             }
+            level_start = level_end;
         }
         out
     }
 
     fn run_case(&self, schedule: &Schedule) -> Option<CaseFailure> {
-        let mut system = System::builder((*self.spec).clone())
+        // Observability off: the exhaustive loop builds thousands of
+        // systems whose journals nobody reads.
+        let mut builder = System::builder((*self.spec).clone())
             .mid_policy(self.mid_policy)
             .sync_policy(self.sync_policy)
             .stage_policy(self.stage_policy)
-            .build()
-            .expect("validated spec builds");
+            .observability(false);
+        if let Some(mutation) = self.mutation.clone() {
+            builder = builder.mutation(mutation);
+        }
+        let mut system = builder.build().expect("validated spec builds");
         let mut events = schedule.0.iter().peekable();
         for frame in 0..self.horizon {
             while let Some((f, factor, value)) = events.peek() {
@@ -348,6 +373,25 @@ mod tests {
     }
 
     #[test]
+    fn short_horizon_yields_only_the_quiescent_schedule() {
+        // protocol = 4 + 1 dwell. A horizon of 6 leaves no frame with
+        // enough tail for a triggered reconfiguration to complete, so
+        // nothing may be scheduled (the pre-fix clamp forced events onto
+        // frame 1 anyway, producing 3 schedules here).
+        for horizon in 1..=6 {
+            let mc = ModelChecker::new(small_spec(), horizon, 1);
+            assert_eq!(
+                mc.schedules(),
+                vec![Schedule(Vec::new())],
+                "horizon {horizon}"
+            );
+        }
+        // The first horizon with tail room schedules events again.
+        let mc = ModelChecker::new(small_spec(), 7, 1);
+        assert_eq!(mc.schedules().len(), 3);
+    }
+
+    #[test]
     fn two_event_schedules_have_increasing_frames() {
         let mc = ModelChecker::new(small_spec(), 12, 2);
         for Schedule(events) in mc.schedules() {
@@ -372,8 +416,22 @@ mod tests {
         let mc = ModelChecker::new(small_spec(), 12, 2);
         let seq = mc.run();
         let par = mc.run_parallel(4);
-        assert_eq!(seq.cases_run, par.cases_run);
-        assert_eq!(seq.all_passed(), par.all_passed());
+        // Full report equality: same cases, same failures, same order —
+        // the determinism `run_parallel` documents.
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_failure_order_matches_sequential() {
+        // A mutated kernel fails many schedules; chunked parallel
+        // exploration must reassemble them in enumeration order.
+        let mc = ModelChecker::new(small_spec(), 12, 2).with_mutation(ScramMutation::SkipInitPhase);
+        let seq = mc.run();
+        assert!(!seq.all_passed());
+        assert!(seq.failures.len() > 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(seq, mc.run_parallel(threads), "threads={threads}");
+        }
     }
 
     #[test]
@@ -397,18 +455,10 @@ mod tests {
 
     #[test]
     fn mutated_kernel_fails_model_check() {
-        // Run the checker with a mutation wired through a custom case
-        // runner: reuse the System directly for one schedule instead.
-        let spec = small_spec();
-        let mut system = System::builder(spec.clone())
-            .mutation(ScramMutation::SkipInitPhase)
-            .build()
-            .unwrap();
-        system.run_frames(2);
-        system.set_env("power", "bad").unwrap();
-        system.run_frames(8);
-        let report = properties::check_all(system.trace(), &spec);
-        assert!(!report.is_ok());
+        let mc = ModelChecker::new(small_spec(), 12, 1).with_mutation(ScramMutation::SkipInitPhase);
+        let report = mc.run();
+        assert!(!report.all_passed());
+        assert!(report.to_string().contains("violated"));
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Run-scoped metrics: counters, gauges, and histograms.
+//!
+//! Where the [journal](super::journal) answers "what happened, in
+//! order", the registry answers "how much, how often, how long".
+//! [`System`](crate::system::System) maintains one
+//! [`MetricsRegistry`] per run and bumps it alongside the journal;
+//! experiments call [`MetricsRegistry::snapshot`] and serialize the
+//! result next to their other artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of raw samples; summarized on snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    fn summarize(&self) -> HistogramSummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let percentile = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((p / 100.0) * (count as f64 - 1.0)).round() as usize;
+            sorted[rank.min(count - 1)]
+        };
+        HistogramSummary {
+            count,
+            min: sorted.first().copied().unwrap_or(0),
+            max: sorted.last().copied().unwrap_or(0),
+            mean: if count == 0 {
+                0.0
+            } else {
+                sorted.iter().sum::<u64>() as f64 / count as f64
+            },
+            p50: percentile(50.0),
+            p90: percentile(90.0),
+            p99: percentile(99.0),
+        }
+    }
+}
+
+/// Mutable registry of named counters, gauges, and histograms.
+///
+/// Names are dotted paths (`"scram.triggers"`,
+/// `"reconfig.latency_cycles"`); the registry imposes no schema beyond
+/// that convention.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments a counter by `delta`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to the given value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records one histogram sample.
+    pub fn observe(&mut self, name: &str, sample: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .samples
+            .push(sample);
+    }
+
+    /// Freezes the current state into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.summarize()))
+                .collect(),
+        }
+    }
+}
+
+/// Five-number-ish summary of one histogram.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSummary {
+    /// Number of samples observed.
+    pub count: usize,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 90th percentile (nearest-rank).
+    pub p90: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+/// Immutable, serializable view of a registry at one instant.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for (name, v) in &self.counters {
+            writeln!(f, "  {name:<28} {v}")?;
+        }
+        writeln!(f, "gauges:")?;
+        for (name, v) in &self.gauges {
+            writeln!(f, "  {name:<28} {v:.4}")?;
+        }
+        writeln!(f, "histograms:")?;
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {name:<28} n={} min={} p50={} p90={} p99={} max={} mean={:.2}",
+                h.count, h.min, h.p50, h.p90, h.p99, h.max, h.mean
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("scram.triggers"), 0);
+        m.incr("scram.triggers");
+        m.incr("scram.triggers");
+        m.add("frames", 10);
+        assert_eq!(m.counter("scram.triggers"), 2);
+        assert_eq!(m.counter("frames"), 10);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.gauge("frames.restricted_ratio"), None);
+        m.set_gauge("frames.restricted_ratio", 0.25);
+        m.set_gauge("frames.restricted_ratio", 0.5);
+        assert_eq!(m.gauge("frames.restricted_ratio"), Some(0.5));
+    }
+
+    #[test]
+    fn histogram_summaries_are_order_independent() {
+        let mut m = MetricsRegistry::new();
+        for sample in [9, 1, 5, 3, 7] {
+            m.observe("reconfig.latency_cycles", sample);
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["reconfig.latency_cycles"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 9);
+        assert_eq!(h.p50, 5);
+        assert!((h.mean - 5.0).abs() < 1e-9);
+        assert!(h.p90 >= h.p50 && h.p99 >= h.p90);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeroes() {
+        let h = Histogram::default().summarize();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 0);
+        assert_eq!(h.mean, 0.0);
+        assert_eq!(h.p99, 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_displays() {
+        let mut m = MetricsRegistry::new();
+        m.incr("frames");
+        m.set_gauge("ratio", 0.5);
+        m.observe("lat", 4);
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let text = snap.to_string();
+        assert!(text.contains("frames"));
+        assert!(text.contains("0.5000"));
+        assert!(text.contains("n=1"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Frame-scoped observability: the structured event journal and the
+//! metrics registry.
+//!
+//! The paper's Figure 1 argument is about *signal flow* — failure
+//! signals into the SCRAM, reconfiguration signals out to the
+//! applications, status signals back — yet a running [`System`] is
+//! otherwise a black box. This module makes the flow first-class:
+//!
+//! - [`journal`] — an append-only, frame-scoped event journal. Every
+//!   auditable occurrence (a SCRAM decision, a protocol phase entry, a
+//!   stable-storage commit, a bus membership change, a deadline miss, a
+//!   fault injection) is one [`JournalEvent`] carrying
+//!   `(frame, subsystem, kind, payload)` and serializing as one JSON
+//!   line. Journals round-trip through
+//!   [`Journal::to_json_lines`]/[`Journal::from_json_lines`], summarize
+//!   ([`Journal::summary`]), and diff ([`Journal::diff`]); the
+//!   `arfs-trace` CLI in `arfs-bench` drives all three from the shell.
+//! - [`metrics`] — a registry of counters, gauges, and histograms
+//!   (reconfiguration latency in cycles, SCRAM decision time,
+//!   restricted-frame ratio) snapshot-able per run as a JSON artifact.
+//!
+//! [`System`](crate::system::System) threads both through every layer:
+//! it owns a [`Journal`] and a [`MetricsRegistry`], records into them as
+//! each frame executes, and exposes them via
+//! [`System::journal`](crate::system::System::journal) and
+//! [`System::metrics`](crate::system::System::metrics). Observability is
+//! on by default and can be disabled for hot exhaustive-exploration
+//! loops with
+//! [`SystemBuilder::observability`](crate::system::SystemBuilder::observability).
+//!
+//! [`System`]: crate::system::System
+
+pub mod journal;
+pub mod metrics;
+
+pub use journal::{Journal, JournalDiff, JournalEvent, JournalSummary, Subsystem};
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};

@@ -37,6 +37,9 @@ pub struct TraceStats {
     pub frames_per_config: BTreeMap<ConfigId, u64>,
     /// Whether a reconfiguration was still open when the trace ended.
     pub open_reconfiguration: bool,
+    /// In-flight cycles of that open reconfiguration (`None` when the
+    /// trace ended quiescent).
+    pub open_cycles: Option<u64>,
 }
 
 impl TraceStats {
@@ -48,9 +51,17 @@ impl TraceStats {
     /// Worst observed restriction expressed in ticks, given the frame
     /// length.
     pub fn max_restriction(&self, frame_len: Ticks) -> Option<Ticks> {
-        // A reconfiguration of k cycles restricts service for k - 1
-        // frames (the completion frame runs normally at its end).
-        self.max_cycles.map(|c| frame_len * c.saturating_sub(1))
+        // A completed reconfiguration of k cycles restricts service for
+        // k - 1 frames (the completion frame runs normally at its end).
+        // One still open at trace end has restricted every observed
+        // in-flight frame — ignoring it would under-report the worst
+        // case precisely when the system is stuck mid-reconfiguration.
+        let completed = self.max_cycles.map(|c| c.saturating_sub(1));
+        let worst = match (completed, self.open_cycles) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        worst.map(|frames| frame_len * frames)
     }
 }
 
@@ -116,6 +127,7 @@ pub fn trace_stats(trace: &SysTrace) -> TraceStats {
         },
         frames_per_config,
         open_reconfiguration: trace.open_reconfiguration().is_some(),
+        open_cycles: trace.open_reconfiguration().map(|start| frames - start),
     }
 }
 
@@ -210,6 +222,38 @@ mod tests {
         assert!(stats.open_reconfiguration);
         assert_eq!(stats.reconfigurations, 0);
         assert!(stats.restricted_frames > 0);
+        // The open reconfiguration started at frame 3 and was observed
+        // for 2 in-flight cycles; both frames were restricted, and the
+        // worst restriction must reflect them even though nothing
+        // completed (pre-fix, max_restriction returned None here).
+        assert_eq!(stats.open_cycles, Some(2));
+        assert_eq!(
+            stats.max_restriction(Ticks::new(100)),
+            Some(Ticks::new(200))
+        );
+    }
+
+    #[test]
+    fn open_reconfiguration_longer_than_completed_dominates_restriction() {
+        let mut system = System::builder(spec()).build().unwrap();
+        // One completed 4-cycle reconfiguration (restricts 3 frames)...
+        system.run_frames(3);
+        system.set_env("power", "bad").unwrap();
+        system.run_frames(8);
+        // ...then a reconfiguration back that the trace leaves open
+        // after 2 observed in-flight cycles.
+        system.set_env("power", "good").unwrap();
+        system.run_frames(2);
+        let stats = trace_stats(system.trace());
+        assert_eq!(stats.reconfigurations, 1);
+        assert_eq!(stats.max_cycles, Some(4));
+        assert!(stats.open_reconfiguration);
+        assert_eq!(stats.open_cycles, Some(2));
+        // Completed still dominates here: max(4 - 1, 2) = 3 frames.
+        assert_eq!(
+            stats.max_restriction(Ticks::new(100)),
+            Some(Ticks::new(300))
+        );
     }
 
     #[test]

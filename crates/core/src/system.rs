@@ -44,8 +44,9 @@ use crate::app::{
 };
 use crate::environment::Environment;
 use crate::lint::assembly::{Assembly, ENV_NODE, PROC_NODE_BASE, SCRAM_NODE};
+use crate::obs::{Journal, MetricsRegistry, MetricsSnapshot, Subsystem};
 use crate::scram::{
-    FrameDecision, MidReconfigPolicy, Scram, ScramMutation, StagePolicy, SyncPolicy,
+    FrameDecision, MidReconfigPolicy, Scram, ScramEvent, ScramMutation, StagePolicy, SyncPolicy,
 };
 use crate::spec::{dependency_order, ReconfigSpec};
 use crate::trace::{AppFrameRecord, SysState, SysTrace};
@@ -129,6 +130,7 @@ pub struct SystemBuilder {
     sync_policy: SyncPolicy,
     stage_policy: StagePolicy,
     mutation: Option<ScramMutation>,
+    observability: bool,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -188,6 +190,15 @@ impl SystemBuilder {
     #[must_use]
     pub fn mutation(mut self, mutation: ScramMutation) -> Self {
         self.mutation = Some(mutation);
+        self
+    }
+
+    /// Enables or disables the observability layer (the structured
+    /// journal and metrics registry). On by default; the bounded model
+    /// checker turns it off for its hot exhaustive-exploration loop.
+    #[must_use]
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
         self
     }
 
@@ -272,6 +283,12 @@ impl SystemBuilder {
             events: Vec::new(),
             pending_env: Vec::new(),
             pending_failures: Vec::new(),
+            journal: Journal::new(),
+            metrics: MetricsRegistry::new(),
+            obs_enabled: self.observability,
+            pool_events_cursor: 0,
+            membership_cursor: 0,
+            reconfig_started_at: None,
         })
     }
 }
@@ -292,6 +309,16 @@ pub struct System {
     events: Vec<SystemEvent>,
     pending_env: Vec<(String, String)>,
     pending_failures: Vec<ProcessorId>,
+    journal: Journal,
+    metrics: MetricsRegistry,
+    obs_enabled: bool,
+    /// Tail cursor into the processor pool's audit log.
+    pool_events_cursor: usize,
+    /// Tail cursor into the bus's membership-change log.
+    membership_cursor: usize,
+    /// Trigger frame of the in-flight reconfiguration, for the latency
+    /// histogram.
+    reconfig_started_at: Option<u64>,
 }
 
 impl std::fmt::Debug for System {
@@ -315,6 +342,7 @@ impl System {
             sync_policy: SyncPolicy::default(),
             stage_policy: StagePolicy::default(),
             mutation: None,
+            observability: true,
         }
     }
 
@@ -361,6 +389,22 @@ impl System {
     /// The cumulative system event log.
     pub fn events(&self) -> &[SystemEvent] {
         &self.events
+    }
+
+    /// The structured observability journal (empty when observability
+    /// was disabled at build time).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The run's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A serializable snapshot of the run's metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// A consistent snapshot of an application's stable-storage region.
@@ -410,6 +454,16 @@ impl System {
     pub fn run_frame(&mut self) -> FrameDecision {
         let frame = self.clock.frame();
 
+        if self.obs_enabled {
+            self.journal.record(
+                frame,
+                Subsystem::System,
+                "frame-start",
+                serde_json::json!({"config": self.scram.current_config().to_string()}),
+            );
+            self.metrics.incr("frames");
+        }
+
         // --- Virtual monitoring applications sample their components
         // (§6.3); their updates join the frame's environment changes. ---
         for monitor in &mut self.monitors {
@@ -426,6 +480,15 @@ impl System {
                     frame,
                     processor: p,
                 });
+                if self.obs_enabled {
+                    self.journal.record(
+                        frame,
+                        Subsystem::Failstop,
+                        "fault-injected",
+                        serde_json::json!({"processor": p.raw() as u64}),
+                    );
+                    self.metrics.incr("failstop.fault_injections");
+                }
             }
         }
 
@@ -463,15 +526,41 @@ impl System {
                     from: "environment".into(),
                     to: "scram".into(),
                     topic: "fault".into(),
-                    detail: payload,
+                    detail: payload.clone(),
                 });
+                if self.obs_enabled {
+                    self.journal.record(
+                        frame,
+                        Subsystem::Env,
+                        "env-changed",
+                        serde_json::json!({"factor": factor, "value": value}),
+                    );
+                    self.journal.record(
+                        frame,
+                        Subsystem::Env,
+                        "fault-signal",
+                        serde_json::json!({"from": "environment", "to": "scram", "detail": payload}),
+                    );
+                    self.metrics.incr("signals.fault");
+                }
             }
         }
         self.bus.mark_present(ENV_NODE);
         let env = self.environment.current().clone();
 
         // --- SCRAM decision. ---
+        let decision_started = std::time::Instant::now();
         let decision = self.scram.step(frame, &env);
+        if self.obs_enabled {
+            self.metrics.observe(
+                "scram.decision_ns",
+                decision_started
+                    .elapsed()
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64,
+            );
+            self.journal_scram_events(frame, &decision);
+        }
 
         // --- Reconfiguration signals: SCRAM -> each application, via the
         // configuration_status variable in stable storage and the bus. ---
@@ -486,6 +575,22 @@ impl System {
                 s.commit();
             });
             if command.status != ConfigStatus::Normal {
+                if self.obs_enabled {
+                    self.journal.record(
+                        frame,
+                        Subsystem::System,
+                        "stable-commit",
+                        serde_json::json!({
+                            "app": app_id.to_string(),
+                            "status": command.status.as_str(),
+                            "target": match &command.target {
+                                Some(t) => serde_json::Value::Str(t.to_string()),
+                                None => serde_json::Value::Null,
+                            },
+                        }),
+                    );
+                    self.metrics.incr("stable.commits");
+                }
                 let payload = format!("{app_id}:{}", command.status);
                 let _ = self.bus.submit(
                     SCRAM_NODE,
@@ -496,8 +601,21 @@ impl System {
                     from: "scram".into(),
                     to: app_id.to_string(),
                     topic: "reconfig".into(),
-                    detail: payload,
+                    detail: payload.clone(),
                 });
+                if self.obs_enabled {
+                    self.journal.record(
+                        frame,
+                        Subsystem::System,
+                        "reconfig-signal",
+                        serde_json::json!({
+                            "from": "scram",
+                            "to": app_id.to_string(),
+                            "detail": payload,
+                        }),
+                    );
+                    self.metrics.incr("signals.reconfig");
+                }
             }
         }
         self.bus.mark_present(SCRAM_NODE);
@@ -541,6 +659,17 @@ impl System {
                     app: app_id.clone(),
                     processor: placed.expect("checked above"),
                 });
+                if self.obs_enabled {
+                    self.journal.record(
+                        frame,
+                        Subsystem::App,
+                        "app-lost",
+                        serde_json::json!({
+                            "app": app_id.to_string(),
+                            "processor": placed.expect("checked above").raw() as u64,
+                        }),
+                    );
+                }
                 let app = &self.apps[app_index];
                 post_ok.insert(app_id.clone(), None);
                 pre_ok.insert(app_id.clone(), None);
@@ -605,6 +734,19 @@ impl System {
             });
 
             if let Err(error) = result {
+                if self.obs_enabled {
+                    self.journal.record(
+                        frame,
+                        Subsystem::App,
+                        "stage-error",
+                        serde_json::json!({
+                            "app": app_id.to_string(),
+                            "stage": stage,
+                            "error": error.clone(),
+                        }),
+                    );
+                    self.metrics.incr("app.stage_errors");
+                }
                 self.events.push(SystemEvent::AppStageError {
                     frame,
                     app: app_id.clone(),
@@ -619,6 +761,28 @@ impl System {
                     consumed,
                     budget,
                 });
+                if self.obs_enabled {
+                    // The executive's health-monitor view of the same
+                    // overrun (the paper's "timing monitor" trigger
+                    // source).
+                    let health = arfs_rtos::HealthEvent {
+                        frame,
+                        partition: app_id.to_string(),
+                        kind: arfs_rtos::HealthKind::DeadlineMiss { consumed, budget },
+                    };
+                    self.journal.record(
+                        frame,
+                        Subsystem::Rtos,
+                        health.kind.code(),
+                        serde_json::json!({
+                            "app": app_id.to_string(),
+                            "consumed": consumed.raw(),
+                            "budget": budget.raw(),
+                            "detail": health.to_string(),
+                        }),
+                    );
+                    self.metrics.incr("rtos.deadline_misses");
+                }
             }
 
             // Predicate evidence for the trace (Table 1's Predicate
@@ -653,8 +817,21 @@ impl System {
                     from: app_id.to_string(),
                     to: "scram".into(),
                     topic: "status".into(),
-                    detail: payload,
+                    detail: payload.clone(),
                 });
+                if self.obs_enabled {
+                    self.journal.record(
+                        frame,
+                        Subsystem::App,
+                        "status-signal",
+                        serde_json::json!({
+                            "from": app_id.to_string(),
+                            "to": "scram",
+                            "detail": payload,
+                        }),
+                    );
+                    self.metrics.incr("signals.status");
+                }
             }
         }
 
@@ -715,9 +892,152 @@ impl System {
         });
 
         // --- One bus round per frame. ---
-        self.bus.run_round();
+        let round = self.bus.run_round();
+
+        if self.obs_enabled {
+            self.metrics.add("bus.deliveries", round.delivered as u64);
+
+            // Tail the substrate audit logs into the journal.
+            for change in &self.bus.membership_changes()[self.membership_cursor..] {
+                self.journal.record(
+                    frame,
+                    Subsystem::Bus,
+                    "membership-changed",
+                    serde_json::json!({
+                        "round": change.round,
+                        "node": change.node.to_string(),
+                        "present": change.present,
+                    }),
+                );
+                self.metrics.incr("bus.membership_changes");
+            }
+            self.membership_cursor = self.bus.membership_changes().len();
+
+            for event in self.pool.events_since(self.pool_events_cursor) {
+                self.journal.push(crate::obs::JournalEvent {
+                    frame,
+                    subsystem: Subsystem::Failstop,
+                    kind: event.kind().to_owned(),
+                    payload: serde_json::Value::Str(format!("{event:?}")),
+                });
+            }
+            self.pool_events_cursor = self.pool.events().len();
+
+            let restricted = decision
+                .commands
+                .values()
+                .any(|c| c.status != ConfigStatus::Normal);
+            self.journal.record(
+                frame,
+                Subsystem::System,
+                "frame-end",
+                serde_json::json!({
+                    "config": decision.svclvl.to_string(),
+                    "restricted": restricted,
+                }),
+            );
+            let frames = self.trace.len() as f64;
+            if frames > 0.0 {
+                self.metrics.set_gauge(
+                    "frames.restricted_ratio",
+                    self.trace.restricted_frames() as f64 / frames,
+                );
+            }
+        }
+
         self.clock.advance_frame();
         decision
+    }
+
+    /// Mirrors the SCRAM's per-frame events into the journal and
+    /// metrics.
+    fn journal_scram_events(&mut self, frame: u64, decision: &FrameDecision) {
+        for event in &decision.events {
+            match event {
+                ScramEvent::TriggerAccepted {
+                    env,
+                    from,
+                    target,
+                    interrupted,
+                    ..
+                } => {
+                    self.journal.record(
+                        frame,
+                        Subsystem::Scram,
+                        "trigger-accepted",
+                        serde_json::json!({
+                            "env": env.to_string(),
+                            "from": from.to_string(),
+                            "target": target.to_string(),
+                            "interrupted": interrupted
+                                .iter()
+                                .map(|a| serde_json::Value::Str(a.to_string()))
+                                .collect::<Vec<_>>(),
+                        }),
+                    );
+                    self.metrics.incr("scram.triggers");
+                    self.reconfig_started_at = Some(frame);
+                }
+                ScramEvent::PhaseEntered { phase, target, .. } => {
+                    self.journal.record(
+                        frame,
+                        Subsystem::Scram,
+                        "phase-entered",
+                        serde_json::json!({
+                            "phase": phase.to_string(),
+                            "target": target.to_string(),
+                        }),
+                    );
+                }
+                ScramEvent::Retargeted {
+                    old_target,
+                    new_target,
+                    ..
+                } => {
+                    self.journal.record(
+                        frame,
+                        Subsystem::Scram,
+                        "retargeted",
+                        serde_json::json!({
+                            "old_target": old_target.to_string(),
+                            "new_target": new_target.to_string(),
+                        }),
+                    );
+                    self.metrics.incr("scram.retargets");
+                }
+                ScramEvent::Completed { config, .. } => {
+                    let cycles = self
+                        .reconfig_started_at
+                        .take()
+                        .map(|start| frame - start + 1);
+                    self.journal.record(
+                        frame,
+                        Subsystem::Scram,
+                        "completed",
+                        serde_json::json!({
+                            "config": config.to_string(),
+                            "cycles": match cycles {
+                                Some(c) => serde_json::Value::U64(c),
+                                None => serde_json::Value::Null,
+                            },
+                        }),
+                    );
+                    self.metrics.incr("scram.completions");
+                    if let Some(c) = cycles {
+                        self.metrics.observe("reconfig.latency_cycles", c);
+                    }
+                }
+                ScramEvent::DwellSuppressed { until, .. } => {
+                    self.journal.record(
+                        frame,
+                        Subsystem::Scram,
+                        "dwell-suppressed",
+                        serde_json::json!({"until": *until}),
+                    );
+                    self.metrics.incr("scram.dwell_suppressed");
+                }
+            }
+        }
     }
 }
 
@@ -888,6 +1208,96 @@ mod tests {
             SystemEvent::SignalSent { from, topic, .. }
                 if from == "scram" && topic == "reconfig"
         )));
+    }
+
+    #[test]
+    fn journal_captures_every_figure1_edge() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(8);
+        let journal = system.journal();
+
+        // Failure signal -> SCRAM decision -> phase signals -> commits.
+        assert_eq!(journal.of_kind("env-changed").count(), 1);
+        assert_eq!(journal.of_kind("fault-signal").count(), 1);
+        assert_eq!(journal.of_kind("trigger-accepted").count(), 1);
+        let phases: Vec<&str> = journal
+            .of_kind("phase-entered")
+            .filter_map(|e| e.payload.get("phase").and_then(|p| p.as_str()))
+            .collect();
+        assert_eq!(phases, ["halt", "prepare", "initialize"]);
+        assert_eq!(journal.of_kind("completed").count(), 1);
+        assert!(journal.of_kind("reconfig-signal").count() >= 3);
+        assert!(journal.of_kind("status-signal").count() >= 3);
+        assert!(journal.of_kind("stable-commit").count() >= 3);
+
+        // The protocol's causal order holds in the journal.
+        let pos = |kind: &str| {
+            journal
+                .events()
+                .iter()
+                .position(|e| e.kind == kind)
+                .unwrap_or_else(|| panic!("journal lacks {kind}"))
+        };
+        assert!(pos("fault-signal") < pos("trigger-accepted"));
+        assert!(pos("trigger-accepted") < pos("phase-entered"));
+        assert!(pos("phase-entered") < pos("completed"));
+
+        // Frame boundaries bracket the run; events serialize as JSON
+        // Lines and round-trip.
+        assert_eq!(journal.of_kind("frame-start").count(), 10);
+        assert_eq!(journal.of_kind("frame-end").count(), 10);
+        let text = journal.to_json_lines();
+        let back = crate::obs::Journal::from_json_lines(&text).unwrap();
+        assert_eq!(&back, journal);
+
+        // Metrics mirror the journal's story.
+        let snap = system.metrics_snapshot();
+        assert_eq!(snap.counters["frames"], 10);
+        assert_eq!(snap.counters["scram.triggers"], 1);
+        assert_eq!(snap.counters["scram.completions"], 1);
+        assert_eq!(snap.counters["signals.fault"], 1);
+        assert!(snap.counters["signals.reconfig"] >= 3);
+        let latency = &snap.histograms["reconfig.latency_cycles"];
+        assert_eq!(latency.count, 1);
+        assert_eq!(latency.max, 4); // Table 1: 4 cycles inclusive
+        assert!(snap.gauges["frames.restricted_ratio"] > 0.0);
+        assert_eq!(snap.histograms["scram.decision_ns"].count, 10);
+    }
+
+    #[test]
+    fn journal_records_substrate_events() {
+        let mut system = System::builder(spec()).build().unwrap();
+        system.run_frames(2);
+        system.fail_processor(ProcessorId::new(1));
+        system.run_frames(2);
+        let journal = system.journal();
+        assert_eq!(journal.of_kind("fault-injected").count(), 1);
+        assert_eq!(journal.of_kind("processor-failed").count(), 1);
+        assert!(journal.of_kind("app-lost").count() >= 1);
+        // The membership service observed the silent node drop.
+        assert!(journal
+            .of_kind("membership-changed")
+            .any(|e| e.payload.get("present") == Some(&serde_json::Value::Bool(false))));
+        assert_eq!(system.metrics().counter("failstop.fault_injections"), 1);
+        assert!(system.metrics().counter("bus.membership_changes") >= 1);
+    }
+
+    #[test]
+    fn observability_can_be_disabled() {
+        let mut system = System::builder(spec())
+            .observability(false)
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(6);
+        assert!(system.journal().is_empty());
+        assert_eq!(system.metrics().counter("frames"), 0);
+        // The trace and legacy event log are unaffected.
+        assert_eq!(system.trace().len(), 8);
+        assert!(!system.events().is_empty());
     }
 
     #[test]

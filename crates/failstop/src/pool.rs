@@ -44,6 +44,19 @@ pub enum PoolEvent {
     },
 }
 
+impl PoolEvent {
+    /// A stable kebab-case kind string for journals and filters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PoolEvent::Added(_) => "processor-added",
+            PoolEvent::Failed(_) => "processor-failed",
+            PoolEvent::Assigned { .. } => "task-assigned",
+            PoolEvent::Restarted { .. } => "task-restarted",
+            PoolEvent::Released { .. } => "task-released",
+        }
+    }
+}
+
 /// A set of fail-stop processors with task assignment and spare
 /// management.
 #[derive(Debug, Default)]
@@ -240,6 +253,13 @@ impl ProcessorPool {
     pub fn events(&self) -> &[PoolEvent] {
         &self.events
     }
+
+    /// The audit log from a cursor position onward, so tailing
+    /// observers can drain incrementally: read, then advance the cursor
+    /// by the returned slice's length.
+    pub fn events_since(&self, cursor: usize) -> &[PoolEvent] {
+        self.events.get(cursor..).unwrap_or(&[])
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +274,32 @@ mod tests {
         assert_eq!(pool.alive_ids().len(), 3);
         assert!(pool.failed_ids().is_empty());
         assert!(pool.is_alive(ProcessorId::new(1)));
+    }
+
+    #[test]
+    fn events_since_tails_the_audit_log() {
+        let mut pool = ProcessorPool::with_processors(2);
+        let cursor = pool.events().len();
+        assert!(pool.events_since(cursor).is_empty());
+        pool.fail(ProcessorId::new(0)).unwrap();
+        let tail = pool.events_since(cursor);
+        assert_eq!(tail, [PoolEvent::Failed(ProcessorId::new(0))]);
+        assert_eq!(tail[0].kind(), "processor-failed");
+        // A cursor past the end is an empty tail, not a panic.
+        assert!(pool.events_since(cursor + 99).is_empty());
+        assert_eq!(
+            PoolEvent::Added(ProcessorId::new(1)).kind(),
+            "processor-added"
+        );
+        assert_eq!(
+            PoolEvent::Restarted {
+                task: "t".into(),
+                from: ProcessorId::new(0),
+                to: ProcessorId::new(1),
+            }
+            .kind(),
+            "task-restarted"
+        );
     }
 
     #[test]

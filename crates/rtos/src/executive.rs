@@ -71,6 +71,16 @@ pub enum HealthKind {
     PartitionError(String),
 }
 
+impl HealthKind {
+    /// A stable kebab-case kind string for journals and filters.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HealthKind::DeadlineMiss { .. } => "deadline-miss",
+            HealthKind::PartitionError(_) => "partition-error",
+        }
+    }
+}
+
 /// A health-monitor event raised during a frame.
 ///
 /// These are reconfiguration trigger inputs: the paper lists "the failure
@@ -272,6 +282,19 @@ impl Executive {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn health_kind_codes_are_stable() {
+        let miss = HealthKind::DeadlineMiss {
+            consumed: Ticks::new(5),
+            budget: Ticks::new(3),
+        };
+        assert_eq!(miss.code(), "deadline-miss");
+        assert_eq!(
+            HealthKind::PartitionError("boom".into()).code(),
+            "partition-error"
+        );
+    }
 
     struct FixedCost {
         name: String,

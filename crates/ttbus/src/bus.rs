@@ -63,6 +63,23 @@ pub struct Delivery {
     pub message: Message,
 }
 
+/// One observed membership transition: a node joining (first observed
+/// transmission) or dropping out (first silent round after activity).
+///
+/// The bus records these continuously; observers read them with
+/// [`TtBus::membership_changes`] and keep their own cursor, so several
+/// consumers can tail the log independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipChange {
+    /// The round in which the change was observed.
+    pub round: u64,
+    /// The node whose observed presence changed.
+    pub node: NodeId,
+    /// `true` when the node was observed joining, `false` when it fell
+    /// silent.
+    pub present: bool,
+}
+
 /// What happened during one TDMA round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundReport {
@@ -89,6 +106,10 @@ pub struct TtBus {
     present: BTreeMap<NodeId, bool>,
     log: Vec<Delivery>,
     log_enabled: bool,
+    /// Membership as observed at the end of the previous round; `None`
+    /// for a node never yet observed transmitting.
+    last_membership: BTreeMap<NodeId, bool>,
+    membership_log: Vec<MembershipChange>,
     /// The two replicated physical channels of a time-triggered bus.
     /// Communication succeeds while at least one is operational.
     channel_failed: [bool; 2],
@@ -106,6 +127,8 @@ impl TtBus {
             present: nodes.iter().map(|&n| (n, false)).collect(),
             log: Vec::new(),
             log_enabled: false,
+            last_membership: BTreeMap::new(),
+            membership_log: Vec::new(),
             channel_failed: [false, false],
         }
     }
@@ -173,6 +196,35 @@ impl TtBus {
         &self.log
     }
 
+    /// All observed membership transitions, oldest first. Always
+    /// recorded (independently of [`enable_log`](TtBus::enable_log)):
+    /// only *changes* are stored, so the log stays proportional to
+    /// joins and failures, not to rounds.
+    pub fn membership_changes(&self) -> &[MembershipChange] {
+        &self.membership_log
+    }
+
+    /// Records transitions between the previous round's observation and
+    /// this round's. A node that has never transmitted is not reported
+    /// absent — silence before first contact is indistinguishable from
+    /// not having started yet.
+    fn observe_membership(&mut self, round: u64, membership: &BTreeMap<NodeId, bool>) {
+        for (&node, &present) in membership {
+            let changed = match self.last_membership.get(&node) {
+                Some(&prev) => prev != present,
+                None => present,
+            };
+            if changed {
+                self.membership_log.push(MembershipChange {
+                    round,
+                    node,
+                    present,
+                });
+                self.last_membership.insert(node, present);
+            }
+        }
+    }
+
     /// Queues a message for transmission in the sender's next slot(s).
     ///
     /// Also marks the sender present for the current round.
@@ -223,6 +275,7 @@ impl TtBus {
         // round. Queued messages are retained (they were never sent), and
         // every node appears absent — a total communication blackout.
         if !self.is_operational() {
+            self.observe_membership(round, &transmitted);
             for flag in self.present.values_mut() {
                 *flag = false;
             }
@@ -268,6 +321,7 @@ impl TtBus {
         if self.log_enabled {
             self.log.extend(deliveries);
         }
+        self.observe_membership(round, &transmitted);
 
         // Presence is per-round: it must be re-asserted each frame.
         for flag in self.present.values_mut() {
@@ -504,6 +558,71 @@ mod tests {
         let mut bus = two_node_bus();
         assert_eq!(bus.fail_channel(2), Err(BusError::NoSuchChannel(2)));
         assert_eq!(bus.repair_channel(9), Err(BusError::NoSuchChannel(9)));
+    }
+
+    #[test]
+    fn membership_changes_record_joins_and_drops() {
+        let mut bus = two_node_bus();
+        // Round 0: only n(0) transmits. n(1) has never been seen, so its
+        // silence is not a drop.
+        bus.mark_present(n(0));
+        bus.run_round();
+        assert_eq!(
+            bus.membership_changes(),
+            [MembershipChange {
+                round: 0,
+                node: n(0),
+                present: true
+            }]
+        );
+        // Round 1: both transmit — n(1) joins, n(0) unchanged.
+        bus.mark_present(n(0));
+        bus.mark_present(n(1));
+        bus.run_round();
+        assert_eq!(bus.membership_changes().len(), 2);
+        assert_eq!(
+            bus.membership_changes()[1],
+            MembershipChange {
+                round: 1,
+                node: n(1),
+                present: true
+            }
+        );
+        // Round 2: n(0) falls silent — one drop recorded; a further
+        // silent round adds nothing.
+        bus.mark_present(n(1));
+        bus.run_round();
+        bus.mark_present(n(1));
+        bus.run_round();
+        assert_eq!(
+            bus.membership_changes()[2],
+            MembershipChange {
+                round: 2,
+                node: n(0),
+                present: false
+            }
+        );
+        assert_eq!(bus.membership_changes().len(), 3);
+    }
+
+    #[test]
+    fn blackout_drops_previously_present_nodes() {
+        let mut bus = two_node_bus();
+        bus.mark_present(n(0));
+        bus.run_round();
+        bus.fail_channel(0).unwrap();
+        bus.fail_channel(1).unwrap();
+        bus.mark_present(n(0));
+        bus.run_round();
+        let last = *bus.membership_changes().last().unwrap();
+        assert_eq!(
+            last,
+            MembershipChange {
+                round: 1,
+                node: n(0),
+                present: false
+            }
+        );
     }
 
     #[test]

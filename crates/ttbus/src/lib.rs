@@ -51,7 +51,7 @@ mod bus;
 mod error;
 mod schedule;
 
-pub use bus::{Delivery, Message, RoundReport, TtBus};
+pub use bus::{Delivery, MembershipChange, Message, RoundReport, TtBus};
 pub use error::BusError;
 pub use schedule::{BusSchedule, BusScheduleBuilder, Slot};
 
