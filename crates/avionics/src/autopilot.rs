@@ -54,6 +54,7 @@ pub struct ApControls {
 pub type SharedApControls = Arc<Mutex<ApControls>>;
 
 /// The autopilot application.
+#[derive(Clone)]
 pub struct Autopilot {
     id: AppId,
     spec: SpecId,
@@ -238,6 +239,9 @@ impl ReconfigurableApp for Autopilot {
         // application whose new specification is `off` trivially
         // satisfies its precondition by not running.
         !self.halted && self.spec == *spec && (spec.is_off() || !self.engaged)
+    }
+    fn clone_box(&self) -> Box<dyn ReconfigurableApp> {
+        Box::new(self.clone())
     }
 }
 

@@ -77,6 +77,7 @@ pub type SharedRadio = Arc<Mutex<RadioState>>;
 /// number, altitude, heading) to its stable-storage region; the recorder
 /// reads it from the blackboard. Under [`DL_LOW_RATE`] it transmits every
 /// fourth frame only.
+#[derive(Clone)]
 pub struct Datalink {
     id: AppId,
     spec: SpecId,
@@ -172,10 +173,14 @@ impl ReconfigurableApp for Datalink {
     fn precondition_established(&self, spec: &SpecId) -> bool {
         !self.halted && self.spec == *spec
     }
+    fn clone_box(&self) -> Box<dyn ReconfigurableApp> {
+        Box::new(self.clone())
+    }
 }
 
 /// The flight-data recorder: consumes the datalink's published telemetry
 /// (via the stable-storage blackboard) and counts records.
+#[derive(Clone)]
 pub struct Recorder {
     id: AppId,
     datalink_id: AppId,
@@ -269,6 +274,9 @@ impl ReconfigurableApp for Recorder {
 
     fn precondition_established(&self, spec: &SpecId) -> bool {
         !self.halted && self.spec == *spec
+    }
+    fn clone_box(&self) -> Box<dyn ReconfigurableApp> {
+        Box::new(self.clone())
     }
 }
 

@@ -21,6 +21,7 @@ use crate::spec::FCS_PRIMARY;
 use crate::system::SharedWorld;
 
 /// The flight control system application.
+#[derive(Clone)]
 pub struct FlightControl {
     id: AppId,
     autopilot_id: AppId,
@@ -160,6 +161,9 @@ impl ReconfigurableApp for FlightControl {
 
     fn precondition_established(&self, spec: &SpecId) -> bool {
         !self.halted && self.spec == *spec && self.world.lock().surfaces.is_centered()
+    }
+    fn clone_box(&self) -> Box<dyn ReconfigurableApp> {
+        Box::new(self.clone())
     }
 }
 

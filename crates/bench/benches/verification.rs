@@ -122,6 +122,26 @@ fn bench_model_check(c: &mut Criterion) {
         let mc = ModelChecker::new(spec.clone(), 14, 1);
         b.iter(|| black_box(mc.run_parallel(4)));
     });
+    // The substrate snapshot the prefix-sharing walk takes at every
+    // branch point — forking must stay far cheaper than replaying the
+    // prefix (horizon x per-frame cost).
+    group.bench_function("fork_system", |b| {
+        let mut system = System::builder(spec.clone()).build().unwrap();
+        for _ in 0..10 {
+            system.run_frame();
+        }
+        b.iter(|| black_box(system.fork()));
+    });
+    // The work-stealing walk on a space big enough for stealing to
+    // matter (529 schedules at h20/e2 on the avionics spec).
+    group.bench_function("exhaustive_h20_e2_worksteal", |b| {
+        let mc = ModelChecker::new(spec.clone(), 20, 2);
+        b.iter(|| {
+            let report = mc.run_parallel(4);
+            assert!(report.all_passed());
+            black_box(report)
+        });
+    });
     // Schedule materialization alone, two events deep: the enumeration
     // is linear in the number of emitted schedules (each extension is
     // pushed exactly once), so this guards against regressing back to

@@ -1,0 +1,174 @@
+//! Experiment: state-space exploration cost of the bounded model
+//! checker — the seed replay engine vs. the prefix-sharing,
+//! work-stealing tree walk.
+//!
+//! For each case this harness reports the size of the bounded schedule
+//! space, how many trie nodes the walk actually simulates (explored vs.
+//! elided-as-no-op), the frames simulated by each engine, and measured
+//! throughput — then cross-checks that every engine reaches the same
+//! verdict. The headline case runs the extended four-app UAV
+//! specification to horizon 30 with up to three environment changes
+//! (151,879 schedules), which the seed engine has no hope of covering
+//! interactively.
+//!
+//! Usage: `exp_statespace [--smoke]` — `--smoke` runs only the small
+//! cross-checked cases (the CI entry point).
+
+use std::time::Instant;
+
+use arfs_bench::{banner, verdict, write_json, TextTable};
+use arfs_core::model::ModelChecker;
+use arfs_core::spec::ReconfigSpec;
+
+struct CaseSpec {
+    name: &'static str,
+    spec: ReconfigSpec,
+    horizon: u64,
+    max_events: usize,
+    /// Whether to time the seed replay engine too (skipped for the
+    /// headline case, where replaying every schedule is the point of
+    /// not having to).
+    run_reference: bool,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = std::thread::available_parallelism()
+        .map(Into::into)
+        .unwrap_or(4);
+    banner(if smoke {
+        "state-space exploration: engine comparison (smoke)"
+    } else {
+        "state-space exploration: engine comparison"
+    });
+
+    let avionics = arfs_avionics::avionics_spec().expect("valid spec");
+    let extended = arfs_avionics::extended::extended_uav_spec().expect("valid spec");
+    let mut cases = vec![
+        CaseSpec {
+            name: "avionics_h14_e1",
+            spec: avionics.clone(),
+            horizon: 14,
+            max_events: 1,
+            run_reference: true,
+        },
+        CaseSpec {
+            name: "avionics_h16_e2",
+            spec: avionics.clone(),
+            horizon: 16,
+            max_events: 2,
+            run_reference: true,
+        },
+    ];
+    if !smoke {
+        cases.push(CaseSpec {
+            name: "avionics_h22_e2",
+            spec: avionics,
+            horizon: 22,
+            max_events: 2,
+            run_reference: true,
+        });
+        cases.push(CaseSpec {
+            name: "exhaustive_h30_e3_extended",
+            spec: extended,
+            horizon: 30,
+            max_events: 3,
+            run_reference: false,
+        });
+    }
+
+    let mut table = TextTable::new([
+        "case",
+        "schedules",
+        "explored",
+        "elided",
+        "frames walk",
+        "frames seed",
+        "walk s",
+        "seed s",
+        "speedup",
+    ]);
+    let mut artifacts = Vec::new();
+    let mut all_passed = true;
+    let mut engines_agree = true;
+
+    for case in &cases {
+        let mc = ModelChecker::new(case.spec.clone(), case.horizon, case.max_events);
+        let total = mc.total_schedule_count();
+
+        let t0 = Instant::now();
+        let parallel = mc.run_parallel(threads);
+        let walk_secs = t0.elapsed().as_secs_f64();
+        all_passed &= parallel.all_passed();
+
+        // The true seed engine replayed every schedule — elision is an
+        // optimization of this PR — so its work is total × horizon
+        // frames regardless of which engine stands in for it here.
+        let seed_equiv_frames = (total as u64) * case.horizon;
+        let (seed_secs, speedup) = if case.run_reference {
+            let t0 = Instant::now();
+            let reference = mc.run_reference();
+            let secs = t0.elapsed().as_secs_f64();
+            engines_agree &= reference == parallel;
+            (Some(secs), Some(secs / walk_secs))
+        } else {
+            (None, None)
+        };
+
+        table.row([
+            case.name.to_string(),
+            total.to_string(),
+            parallel.cases_run.to_string(),
+            parallel.cases_elided.to_string(),
+            parallel.frames_simulated.to_string(),
+            seed_equiv_frames.to_string(),
+            format!("{walk_secs:.3}"),
+            seed_secs.map_or("-".into(), |s| format!("{s:.3}")),
+            speedup.map_or("-".into(), |s| format!("{s:.1}x")),
+        ]);
+        artifacts.push(serde_json::json!({
+            "case": case.name,
+            "horizon": case.horizon,
+            "max_events": case.max_events,
+            "threads": threads,
+            "schedules_total": total,
+            "trie_nodes": parallel.cases_run,
+            "cases_elided": parallel.cases_elided,
+            "frames_walk": parallel.frames_simulated,
+            "frames_seed_equivalent": seed_equiv_frames,
+            "frame_reduction": seed_equiv_frames as f64 / parallel.frames_simulated.max(1) as f64,
+            "walk_secs": walk_secs,
+            "walk_cases_per_sec": total as f64 / walk_secs.max(1e-9),
+            "seed_secs": seed_secs,
+            "seed_cases_per_sec": seed_secs.map(|s| total as f64 / s.max(1e-9)),
+            "speedup_wallclock": speedup,
+            "all_passed": parallel.all_passed(),
+        }));
+        println!(
+            "{}: {} ({} frames, {:.3}s, {} threads)",
+            case.name, parallel, parallel.frames_simulated, walk_secs, threads
+        );
+    }
+
+    println!("\n{table}");
+    verdict("SP1-SP4 hold on every explored schedule", all_passed);
+    verdict(
+        "walk and seed engines report identical outcomes",
+        engines_agree,
+    );
+
+    let path = write_json(
+        "BENCH_model_check.json",
+        &serde_json::json!({
+            "experiment": "exp_statespace",
+            "smoke": smoke,
+            "threads": threads,
+            "cases": artifacts,
+        }),
+    );
+    println!("artifact: {}", path.display());
+
+    if !(all_passed && engines_agree) {
+        std::process::exit(1);
+    }
+}

@@ -240,6 +240,26 @@ pub trait ReconfigurableApp: Send {
     /// Whether the precondition for operating under `spec` currently
     /// holds (checked after initialize stages).
     fn precondition_established(&self, spec: &SpecId) -> bool;
+
+    /// Forks the application at its current state.
+    ///
+    /// The bounded model checker shares simulation prefixes by forking
+    /// the whole [`System`](crate::system::System) at schedule branch
+    /// points, which requires duplicating the boxed application tree.
+    /// The fork must carry the full reconfiguration state (current
+    /// specification, halt/prepare progress) so that both replicas
+    /// produce identical traces under identical inputs. Implementations
+    /// backed by an external simulated plant (a shared world model) may
+    /// share that plant between forks — the checker itself only forks
+    /// [`NullApp`](crate::app::NullApp)-backed systems, which are fully
+    /// independent.
+    fn clone_box(&self) -> Box<dyn ReconfigurableApp>;
+}
+
+impl Clone for Box<dyn ReconfigurableApp> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A trivially correct application used by the bounded model checker and
@@ -321,6 +341,10 @@ impl ReconfigurableApp for NullApp {
 
     fn precondition_established(&self, spec: &SpecId) -> bool {
         !self.halted && self.spec == *spec
+    }
+
+    fn clone_box(&self) -> Box<dyn ReconfigurableApp> {
+        Box::new(self.clone())
     }
 }
 

@@ -287,6 +287,18 @@ pub trait EnvMonitor: Send {
 
     /// Samples the monitored component, returning factor updates.
     fn sample(&mut self, frame: u64) -> Vec<(String, String)>;
+
+    /// Forks the monitor at its current state, so a forked
+    /// [`System`](crate::system::System) keeps sampling independently.
+    /// Monitors watching a shared plant model may share it between
+    /// forks.
+    fn clone_box(&self) -> Box<dyn EnvMonitor>;
+}
+
+impl Clone for Box<dyn EnvMonitor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// An [`EnvMonitor`] built from a closure.
@@ -335,7 +347,7 @@ impl<F> std::fmt::Debug for FnMonitor<F> {
 
 impl<F> EnvMonitor for FnMonitor<F>
 where
-    F: FnMut(u64) -> Vec<(String, String)> + Send,
+    F: FnMut(u64) -> Vec<(String, String)> + Send + Clone + 'static,
 {
     fn name(&self) -> &str {
         &self.name
@@ -343,6 +355,13 @@ where
 
     fn sample(&mut self, frame: u64) -> Vec<(String, String)> {
         (self.f)(frame)
+    }
+
+    fn clone_box(&self) -> Box<dyn EnvMonitor> {
+        Box::new(FnMonitor {
+            name: self.name.clone(),
+            f: self.f.clone(),
+        })
     }
 }
 

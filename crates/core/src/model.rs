@@ -8,10 +8,42 @@
 //! functionality, exactly the abstraction level of the PVS model), and
 //! checks the four properties on every resulting trace.
 //!
-//! For the paper's example — one three-valued environment factor — a
-//! horizon of 20 frames with up to 2 changes is ~1,700 cases and runs in
-//! milliseconds; [`ModelChecker::run_parallel`] spreads larger spaces
-//! over threads.
+//! # The schedule trie
+//!
+//! Schedules form a trie: every prefix of an enumerated schedule is
+//! itself an enumerated schedule, so the set of schedules is exactly the
+//! set of nodes of a tree rooted at the quiescent (empty) schedule,
+//! where each child appends one event at a frame strictly after its
+//! parent's last event. The explorer exploits that structure three ways:
+//!
+//! - **Streaming enumeration** — [`ModelChecker::schedule_iter`] walks
+//!   the trie lazily in depth-first pre-order (the canonical enumeration
+//!   order) holding only the current path, O(depth) memory instead of
+//!   the O(total schedules) `Vec` the eager enumerator needs.
+//!   [`ModelChecker::schedules`] remains as a thin collect.
+//! - **Prefix-sharing replay** — schedules sharing a prefix share the
+//!   simulation of that prefix. The tree walk runs each trie *node*
+//!   once: while advancing a node's own run toward the horizon it
+//!   [forks](crate::system::System::fork) the system at every branch
+//!   frame, seeds the child's event, and recurses after the node's own
+//!   trace has been checked. Total work drops from
+//!   O(schedules × horizon) simulated frames to one spine per node.
+//! - **No-op elision** — an event that sets a factor to the value it
+//!   already holds at that point in the prefix leaves the environment,
+//!   and therefore the trace, untouched ([`Environment::set`] returns
+//!   `Ok(false)` and records nothing), so the subtree under it explores
+//!   traces identical to ones reached without the event. Those subtrees
+//!   are skipped — a sound symmetry reduction — and counted in
+//!   [`ModelCheckReport::cases_elided`].
+//!
+//! [`ModelChecker::run_parallel`] distributes subtrees over a
+//! work-stealing pool (each idle worker steals the oldest — largest —
+//! queued subtree), so uneven per-schedule cost no longer idles workers
+//! the way static chunking did. [`ModelChecker::run_reference`] keeps
+//! the seed replay-from-frame-0 engine as the executable specification
+//! the optimized engines are tested against.
+//!
+//! [`Environment::set`]: crate::environment::Environment::set
 
 use std::fmt;
 use std::sync::Arc;
@@ -50,18 +82,50 @@ pub struct CaseFailure {
 }
 
 /// The result of a model-checking run.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+///
+/// Equality compares the verification outcome — explored and elided
+/// case counts and the failure list (including order) — and ignores
+/// [`frames_simulated`](ModelCheckReport::frames_simulated), which is an
+/// engine-performance statistic: the prefix-sharing engines simulate far
+/// fewer frames than the reference engine while proving exactly the
+/// same thing.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ModelCheckReport {
-    /// Number of schedules explored.
+    /// Number of schedules explored (trie nodes actually simulated and
+    /// checked).
     pub cases_run: usize,
-    /// Schedules that violated a property (empty = all proved).
+    /// Number of schedules elided as no-op-equivalent: they contain an
+    /// event setting a factor to the value it already held, so their
+    /// traces are identical to an explored schedule's.
+    pub cases_elided: usize,
+    /// Total frames simulated across the run — the engine's work
+    /// measure. The seed engine spends `(cases_run × horizon)`; the
+    /// prefix-sharing walk spends one spine per trie node.
+    pub frames_simulated: u64,
+    /// Schedules that violated a property (empty = all proved), in
+    /// canonical enumeration order.
     pub failures: Vec<CaseFailure>,
 }
+
+impl PartialEq for ModelCheckReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.cases_run == other.cases_run
+            && self.cases_elided == other.cases_elided
+            && self.failures == other.failures
+    }
+}
+
+impl Eq for ModelCheckReport {}
 
 impl ModelCheckReport {
     /// Returns `true` if every explored case satisfied every property.
     pub fn all_passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Total schedules accounted for: explored plus elided.
+    pub fn cases_total(&self) -> usize {
+        self.cases_run + self.cases_elided
     }
 }
 
@@ -72,14 +136,22 @@ impl fmt::Display for ModelCheckReport {
                 f,
                 "SP1-SP4 hold on all {} explored schedules",
                 self.cases_run
-            )
-        } else {
-            writeln!(
-                f,
-                "{} of {} schedules violated a property:",
-                self.failures.len(),
-                self.cases_run
             )?;
+            if self.cases_elided > 0 {
+                write!(f, " ({} elided as no-op-equivalent)", self.cases_elided)?;
+            }
+            Ok(())
+        } else {
+            write!(
+                f,
+                "{} of {} explored schedules violated a property",
+                self.failures.len(),
+                self.cases_run,
+            )?;
+            if self.cases_elided > 0 {
+                write!(f, " ({} elided as no-op-equivalent)", self.cases_elided)?;
+            }
+            writeln!(f, ":")?;
             for c in self.failures.iter().take(5) {
                 writeln!(f, "  {}:", c.schedule)?;
                 for v in &c.violations {
@@ -92,6 +164,90 @@ impl fmt::Display for ModelCheckReport {
             Ok(())
         }
     }
+}
+
+/// Lazy depth-first generator over the schedule trie, yielding schedules
+/// in the canonical enumeration order (pre-order: every prefix before
+/// its extensions, siblings by ascending `(frame, factor, value)`).
+/// Holds only the current path — O(depth) memory.
+#[derive(Debug, Clone)]
+pub struct ScheduleIter {
+    /// All candidate single events, sorted frame-major (then factor
+    /// order, then domain order) — the trie's alphabet.
+    single_events: Vec<(u64, String, String)>,
+    max_events: usize,
+    /// The current trie path as indices into `single_events`.
+    stack: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl ScheduleIter {
+    fn current(&self) -> Schedule {
+        Schedule(
+            self.stack
+                .iter()
+                .map(|&i| self.single_events[i].clone())
+                .collect(),
+        )
+    }
+}
+
+impl Iterator for ScheduleIter {
+    type Item = Schedule;
+
+    fn next(&mut self) -> Option<Schedule> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(self.current()); // The root: the empty schedule.
+        }
+        // Descend to the first child: the first event at a frame after
+        // the current node's last event. Events are frame-sorted, so
+        // every index from that point on is a valid child.
+        if self.stack.len() < self.max_events {
+            let min_frame = self
+                .stack
+                .last()
+                .map(|&i| self.single_events[i].0 + 1)
+                .unwrap_or(1);
+            let from = self.single_events.partition_point(|e| e.0 < min_frame);
+            if from < self.single_events.len() {
+                self.stack.push(from);
+                return Some(self.current());
+            }
+        }
+        // Backtrack to the nearest ancestor with a next sibling.
+        while let Some(top) = self.stack.pop() {
+            if top + 1 < self.single_events.len() {
+                self.stack.push(top + 1);
+                return Some(self.current());
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// One unit of work for the tree-walk engines: a trie node, carried as
+/// the forked system (positioned at the node's last event frame, event
+/// pending) plus the event prefix that identifies it.
+struct NodeTask {
+    system: System,
+    events: Vec<(u64, String, String)>,
+    depth: usize,
+}
+
+/// Mutable run state threaded through the walk (per worker under
+/// parallelism, merged at the end).
+#[derive(Default)]
+struct WalkAccum {
+    cases_run: usize,
+    cases_elided: usize,
+    frames_simulated: u64,
+    failures: Vec<CaseFailure>,
 }
 
 /// Exhaustive bounded explorer of environment-change schedules.
@@ -184,22 +340,20 @@ impl ModelChecker {
         self.horizon
     }
 
-    /// Enumerates every schedule: each event is a `(frame, factor,
-    /// value)` triple with frames strictly increasing within a schedule;
-    /// event frames leave enough tail for a triggered reconfiguration to
-    /// complete within the horizon. A horizon too short for even one
-    /// event plus its protocol tail yields only the quiescent (empty)
-    /// schedule.
-    pub fn schedules(&self) -> Vec<Schedule> {
-        // Events may land on frames 1..=last_event_frame so that a
-        // triggered protocol (reconfig_frames) plus one steady frame fits.
+    /// The last frame an event may land on: a triggered protocol
+    /// (reconfig frames plus dwell) plus one steady frame must fit
+    /// within the horizon. Zero means only the quiescent schedule is
+    /// enumerable.
+    fn last_event_frame(&self) -> u64 {
         let protocol = self.spec.reconfig_frames() + self.spec.min_dwell_frames();
-        let last_event_frame = self.horizon.saturating_sub(protocol + 1);
-        if last_event_frame == 0 {
-            return vec![Schedule(Vec::new())];
-        }
-        // Built frame-outermost, so the list is sorted by frame.
-        let mut single_events: Vec<(u64, String, String)> = Vec::new();
+        self.horizon.saturating_sub(protocol + 1)
+    }
+
+    /// All candidate single events, frame-major (the trie alphabet and
+    /// the canonical sibling order).
+    fn single_events(&self) -> Vec<(u64, String, String)> {
+        let last_event_frame = self.last_event_frame();
+        let mut single_events = Vec::new();
         for frame in 1..=last_event_frame {
             for factor in self.spec.env_model().factors() {
                 for value in factor.domain() {
@@ -207,34 +361,91 @@ impl ModelChecker {
                 }
             }
         }
-
-        // Level-by-level extension over a single output vector:
-        // out[level_start..level_end] holds the previous level's
-        // schedules, and each extension is built and pushed exactly once
-        // (no per-level re-clone of the whole frontier).
-        let mut out = vec![Schedule(Vec::new())];
-        let mut level_start = 0;
-        for _ in 0..self.max_events {
-            let level_end = out.len();
-            for i in level_start..level_end {
-                let min_frame = out[i].0.last().map(|(f, _, _)| *f + 1).unwrap_or(1);
-                let from = single_events.partition_point(|e| e.0 < min_frame);
-                for event in &single_events[from..] {
-                    let mut schedule = Vec::with_capacity(out[i].0.len() + 1);
-                    schedule.extend_from_slice(&out[i].0);
-                    schedule.push(event.clone());
-                    out.push(Schedule(schedule));
-                }
-            }
-            if out.len() == level_end {
-                break;
-            }
-            level_start = level_end;
-        }
-        out
+        single_events
     }
 
-    fn run_case(&self, schedule: &Schedule) -> Option<CaseFailure> {
+    /// Distinct events available per frame (factors × domain values).
+    fn events_per_frame(&self) -> usize {
+        self.spec
+            .env_model()
+            .factors()
+            .iter()
+            .map(|f| f.domain().len())
+            .sum()
+    }
+
+    /// Number of schedules in the subtree rooted at a node whose last
+    /// event sits on `last_frame` with `depth_left` more events allowed
+    /// (including the node itself): Σₖ C(frames-left, k) · eᵏ.
+    fn subtree_count(&self, last_frame: u64, depth_left: usize) -> usize {
+        let frames_left = self.last_event_frame().saturating_sub(last_frame) as usize;
+        let e = self.events_per_frame();
+        let mut total = 1usize;
+        for k in 1..=depth_left {
+            let placements = binomial(frames_left, k);
+            let choices = e.saturating_pow(k as u32);
+            total = total.saturating_add(placements.saturating_mul(choices));
+        }
+        total
+    }
+
+    /// Total schedules in the bounded space (explored + elided), counted
+    /// analytically.
+    pub fn total_schedule_count(&self) -> usize {
+        self.subtree_count(0, self.max_events)
+    }
+
+    /// Streams every schedule lazily in canonical (depth-first
+    /// pre-order) enumeration order; O(depth) memory. The quiescent
+    /// (empty) schedule comes first; each schedule precedes its
+    /// extensions.
+    pub fn schedule_iter(&self) -> ScheduleIter {
+        ScheduleIter {
+            single_events: self.single_events(),
+            max_events: self.max_events,
+            stack: Vec::new(),
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Enumerates every schedule eagerly (a thin collect over
+    /// [`schedule_iter`](ModelChecker::schedule_iter)): each event is a
+    /// `(frame, factor, value)` triple with frames strictly increasing
+    /// within a schedule; event frames leave enough tail for a triggered
+    /// reconfiguration to complete within the horizon. A horizon too
+    /// short for even one event plus its protocol tail yields only the
+    /// quiescent (empty) schedule.
+    pub fn schedules(&self) -> Vec<Schedule> {
+        self.schedule_iter().collect()
+    }
+
+    /// The canonical enumeration-order sort key of a schedule: events as
+    /// `(frame, factor index, domain index)` triples, compared
+    /// lexicographically (so a prefix sorts before its extensions —
+    /// exactly pre-order). Used to reassemble work-stealing results
+    /// deterministically.
+    fn schedule_key(&self, schedule: &Schedule) -> Vec<(u64, usize, usize)> {
+        let factors = self.spec.env_model().factors();
+        schedule
+            .0
+            .iter()
+            .map(|(frame, factor, value)| {
+                let fi = factors
+                    .iter()
+                    .position(|f| f.name() == factor)
+                    .unwrap_or(usize::MAX);
+                let vi = factors
+                    .get(fi)
+                    .and_then(|f| f.domain().iter().position(|v| v == value))
+                    .unwrap_or(usize::MAX);
+                (*frame, fi, vi)
+            })
+            .collect()
+    }
+
+    /// Builds one fresh system at frame 0 under the checker's policies.
+    fn build_system(&self) -> System {
         // Observability off: the exhaustive loop builds thousands of
         // systems whose journals nobody reads.
         let mut builder = System::builder((*self.spec).clone())
@@ -245,7 +456,272 @@ impl ModelChecker {
         if let Some(mutation) = self.mutation.clone() {
             builder = builder.mutation(mutation);
         }
-        let mut system = builder.build().expect("validated spec builds");
+        builder.build().expect("validated spec builds")
+    }
+
+    /// Processes one trie node: advances its system through the branch
+    /// frames (forking a child per non-elided event), continues the
+    /// spine to the horizon — the node's own complete run — and checks
+    /// the properties on its trace. Returns the children in canonical
+    /// sibling order.
+    fn process_node(&self, task: NodeTask, acc: &mut WalkAccum) -> Vec<NodeTask> {
+        let NodeTask {
+            mut system,
+            events,
+            depth,
+        } = task;
+        let start_frame = system.frame();
+        let last_event_frame = self.last_event_frame();
+        let mut children = Vec::new();
+
+        if depth < self.max_events {
+            while system.frame() < last_event_frame {
+                system.run_frame();
+                let frame = system.frame();
+                for factor in self.spec.env_model().factors() {
+                    for value in factor.domain() {
+                        if system.environment().current().get(factor.name()) == Some(value.as_str())
+                        {
+                            // Setting a factor to its current value is a
+                            // no-op: the subtree's traces all coincide
+                            // with traces of schedules without this
+                            // event, which are explored elsewhere.
+                            acc.cases_elided +=
+                                self.subtree_count(frame, self.max_events - depth - 1);
+                        } else {
+                            let mut child = system.fork();
+                            child
+                                .set_env(factor.name(), value)
+                                .expect("enumerated values are valid");
+                            let mut child_events = events.clone();
+                            child_events.push((frame, factor.name().to_owned(), value.clone()));
+                            children.push(NodeTask {
+                                system: child,
+                                events: child_events,
+                                depth: depth + 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        while system.frame() < self.horizon {
+            system.run_frame();
+        }
+        acc.frames_simulated += self.horizon - start_frame;
+        acc.cases_run += 1;
+
+        let report = properties::check_all(system.trace(), system.spec());
+        let mut violations = report.violations;
+        violations.extend(properties::check_open_reconfiguration(
+            system.trace(),
+            system.spec(),
+        ));
+        if !violations.is_empty() {
+            acc.failures.push(CaseFailure {
+                schedule: Schedule(events),
+                violations,
+            });
+        }
+        children
+    }
+
+    fn walk(&self, task: NodeTask, acc: &mut WalkAccum) {
+        let children = self.process_node(task, acc);
+        for child in children {
+            self.walk(child, acc);
+        }
+    }
+
+    fn finish(&self, acc: WalkAccum) -> ModelCheckReport {
+        ModelCheckReport {
+            cases_run: acc.cases_run,
+            cases_elided: acc.cases_elided,
+            frames_simulated: acc.frames_simulated,
+            failures: acc.failures,
+        }
+    }
+
+    /// Explores every schedule sequentially with the prefix-sharing
+    /// tree walk: each trie node is simulated exactly once, and no-op
+    /// events are elided. Failures come out in canonical enumeration
+    /// order.
+    pub fn run(&self) -> ModelCheckReport {
+        let mut acc = WalkAccum::default();
+        let root = NodeTask {
+            system: self.build_system(),
+            events: Vec::new(),
+            depth: 0,
+        };
+        self.walk(root, &mut acc);
+        self.finish(acc)
+    }
+
+    /// Explores every schedule across `threads` workers with
+    /// work-stealing subtree distribution (deterministic result, same
+    /// as [`run`](ModelChecker::run): failures are reassembled into
+    /// canonical enumeration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, or if a worker panics while
+    /// simulating a schedule — in that case the panic message names the
+    /// offending schedule.
+    pub fn run_parallel(&self, threads: usize) -> ModelCheckReport {
+        assert!(threads > 0, "need at least one thread");
+        use crossbeam::deque::{Injector, Steal, Worker};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let injector: Injector<NodeTask> = Injector::new();
+        injector.push(NodeTask {
+            system: self.build_system(),
+            events: Vec::new(),
+            depth: 0,
+        });
+        // Tasks queued or in flight anywhere; workers spin until zero.
+        let pending = AtomicUsize::new(1);
+        let abort = AtomicBool::new(false);
+        let panicked: Mutex<Option<String>> = Mutex::new(None);
+
+        let locals: Vec<Worker<NodeTask>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<_> = locals.iter().map(Worker::stealer).collect();
+
+        let mut accums: Vec<WalkAccum> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for (me, local) in locals.into_iter().enumerate() {
+                let (injector, stealers) = (&injector, &stealers);
+                let (pending, abort, panicked) = (&pending, &abort, &panicked);
+                handles.push(scope.spawn(move |_| {
+                    let mut acc = WalkAccum::default();
+                    loop {
+                        if abort.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Own deque first (LIFO: depth-first, hot
+                        // caches), then the injector, then steal the
+                        // oldest — largest — subtree from a sibling.
+                        let mut task = local.pop();
+                        if task.is_none() {
+                            task = injector.steal().success();
+                        }
+                        if task.is_none() {
+                            for (i, stealer) in stealers.iter().enumerate() {
+                                if i == me {
+                                    continue;
+                                }
+                                if let Steal::Success(t) = stealer.steal() {
+                                    task = Some(t);
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(task) = task else {
+                            if pending.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        let label = Schedule(task.events.clone());
+                        match catch_unwind(AssertUnwindSafe(|| self.process_node(task, &mut acc)))
+                        {
+                            Ok(children) => {
+                                // Children become visible before this
+                                // task retires, so `pending` never dips
+                                // to zero while work remains.
+                                pending.fetch_add(children.len(), Ordering::AcqRel);
+                                for child in children {
+                                    local.push(child);
+                                }
+                                pending.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            Err(payload) => {
+                                let detail = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_owned())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                                let mut slot = panicked.lock().expect("panic slot");
+                                if slot.is_none() {
+                                    *slot = Some(format!(
+                                        "model-check worker panicked on schedule `{label}`: {detail}"
+                                    ));
+                                }
+                                abort.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
+                    }
+                    acc
+                }));
+            }
+            for h in handles {
+                accums.push(h.join().expect("worker panics are captured per-node"));
+            }
+        })
+        .expect("crossbeam scope");
+
+        if let Some(msg) = panicked.into_inner().expect("panic slot") {
+            panic!("{msg}");
+        }
+
+        let mut total = WalkAccum::default();
+        for acc in accums {
+            total.cases_run += acc.cases_run;
+            total.cases_elided += acc.cases_elided;
+            total.frames_simulated += acc.frames_simulated;
+            total.failures.extend(acc.failures);
+        }
+        // Work stealing scatters completion order; the canonical key
+        // restores the deterministic enumeration order `run` produces.
+        total
+            .failures
+            .sort_by_key(|f| self.schedule_key(&f.schedule));
+        self.finish(total)
+    }
+
+    /// The seed engine: replays every schedule independently from frame
+    /// 0 — O(schedules × horizon) frames. Kept as the executable
+    /// specification of the optimized engines (the equivalence tests
+    /// diff their reports against this one) and as the baseline for
+    /// speedup measurements. Elides the same no-op-equivalent schedules
+    /// the tree walk elides, so the reports agree exactly.
+    pub fn run_reference(&self) -> ModelCheckReport {
+        let mut acc = WalkAccum::default();
+        for schedule in self.schedule_iter() {
+            if self.contains_noop(&schedule) {
+                acc.cases_elided += 1;
+                continue;
+            }
+            acc.cases_run += 1;
+            acc.frames_simulated += self.horizon;
+            if let Some(failure) = self.run_case(&schedule) {
+                acc.failures.push(failure);
+            }
+        }
+        self.finish(acc)
+    }
+
+    /// Whether any event in the schedule sets a factor to the value it
+    /// already holds at that point — the static mirror of the dynamic
+    /// elision check (valid because schedule events are the only
+    /// environment changes during model checking).
+    fn contains_noop(&self, schedule: &Schedule) -> bool {
+        let mut env = self.spec.initial_env().clone();
+        for (_, factor, value) in &schedule.0 {
+            if env.get(factor) == Some(value.as_str()) {
+                return true;
+            }
+            env.set(factor.clone(), value.clone());
+        }
+        false
+    }
+
+    fn run_case(&self, schedule: &Schedule) -> Option<CaseFailure> {
+        let mut system = self.build_system();
         let mut events = schedule.0.iter().peekable();
         for frame in 0..self.horizon {
             while let Some((f, factor, value)) = events.peek() {
@@ -275,50 +751,20 @@ impl ModelChecker {
             })
         }
     }
+}
 
-    /// Explores every schedule sequentially.
-    pub fn run(&self) -> ModelCheckReport {
-        let schedules = self.schedules();
-        let failures = schedules.iter().filter_map(|s| self.run_case(s)).collect();
-        ModelCheckReport {
-            cases_run: schedules.len(),
-            failures,
-        }
+/// C(n, k) with saturating arithmetic (counts only — exactness beyond
+/// `usize::MAX` is irrelevant).
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
     }
-
-    /// Explores every schedule across `threads` worker threads
-    /// (deterministic result, same as [`run`](ModelChecker::run)).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    pub fn run_parallel(&self, threads: usize) -> ModelCheckReport {
-        assert!(threads > 0, "need at least one thread");
-        let schedules = self.schedules();
-        let cases_run = schedules.len();
-        let chunk = schedules.len().div_ceil(threads).max(1);
-        let mut failures: Vec<CaseFailure> = Vec::new();
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk_schedules in schedules.chunks(chunk) {
-                let checker = self.clone();
-                handles.push(scope.spawn(move |_| {
-                    chunk_schedules
-                        .iter()
-                        .filter_map(|s| checker.run_case(s))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                failures.extend(h.join().expect("model-check worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        ModelCheckReport {
-            cases_run,
-            failures,
-        }
+    let k = k.min(n - k);
+    let mut result = 1usize;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
     }
+    result
 }
 
 #[cfg(test)]
@@ -369,6 +815,7 @@ mod tests {
         let schedules = mc.schedules();
         assert_eq!(schedules.len(), 13);
         assert_eq!(schedules[0], Schedule(Vec::new()));
+        assert_eq!(mc.total_schedule_count(), 13);
         assert_eq!(mc.horizon(), 12);
     }
 
@@ -403,12 +850,70 @@ mod tests {
     }
 
     #[test]
+    fn streaming_enumeration_is_preorder_and_complete() {
+        let mc = ModelChecker::new(small_spec(), 12, 2);
+        let schedules = mc.schedules();
+        // Analytic count: Σₖ C(6,k)·2^k = 1 + 12 + 60.
+        assert_eq!(schedules.len(), 73);
+        assert_eq!(mc.total_schedule_count(), 73);
+        // Pre-order: every schedule's immediate prefix appears earlier.
+        for (i, s) in schedules.iter().enumerate() {
+            if s.0.is_empty() {
+                continue;
+            }
+            let prefix = Schedule(s.0[..s.0.len() - 1].to_vec());
+            let at = schedules.iter().position(|x| *x == prefix).unwrap();
+            assert!(at < i, "prefix of {s} enumerated after it");
+        }
+        // No duplicates.
+        for (i, a) in schedules.iter().enumerate() {
+            assert!(!schedules[i + 1..].contains(a), "duplicate {a}");
+        }
+    }
+
+    #[test]
     fn correct_protocol_passes_exhaustively() {
         let mc = ModelChecker::new(small_spec(), 14, 2);
         let report = mc.run();
-        assert!(report.cases_run > 50);
+        // protocol tail leaves frames 1..=8; Σₖ C(8,k)·2^k = 145... the
+        // bounded space is 1 + 16 + 112 = 129 schedules, of which the
+        // walk explores the 37 with no no-op events.
+        assert_eq!(report.cases_total(), 129);
+        assert_eq!(report.cases_run, 37);
+        assert_eq!(report.cases_elided, 92);
         assert!(report.all_passed(), "{report}");
         assert!(report.to_string().contains("hold on all"));
+    }
+
+    #[test]
+    fn prefix_sharing_simulates_far_fewer_frames_than_replay() {
+        // The acceptance bound: the tree walk must simulate fewer than
+        // 0.4 × (total schedules × horizon) frames — a ≥ 2.5× reduction
+        // over the seed engine, which replays every explored schedule
+        // from frame 0.
+        let mc = ModelChecker::new(small_spec(), 14, 1);
+        let report = mc.run();
+        let replay_frames = (report.cases_total() as u64) * mc.horizon();
+        assert!(
+            (report.frames_simulated as f64) < 0.4 * replay_frames as f64,
+            "walk simulated {} frames vs replay {}",
+            report.frames_simulated,
+            replay_frames
+        );
+        // And the same holds for node count vs schedule count trivially.
+        assert!(report.cases_run < report.cases_total());
+    }
+
+    #[test]
+    fn tree_walk_matches_reference_engine() {
+        let mc = ModelChecker::new(small_spec(), 14, 2);
+        let reference = mc.run_reference();
+        let walk = mc.run();
+        assert_eq!(reference, walk);
+        // The point of the exercise: same verdict, meaningfully fewer
+        // frames (at this depth the prefix savings concentrate near the
+        // root, so the ratio is gentler than the single-event case).
+        assert!(walk.frames_simulated * 3 < reference.frames_simulated * 2);
     }
 
     #[test]
@@ -417,13 +922,15 @@ mod tests {
         let seq = mc.run();
         let par = mc.run_parallel(4);
         // Full report equality: same cases, same failures, same order —
-        // the determinism `run_parallel` documents.
+        // the determinism `run_parallel` documents. The work measure is
+        // deterministic too: both engines walk the same trie.
         assert_eq!(seq, par);
+        assert_eq!(seq.frames_simulated, par.frames_simulated);
     }
 
     #[test]
     fn parallel_failure_order_matches_sequential() {
-        // A mutated kernel fails many schedules; chunked parallel
+        // A mutated kernel fails many schedules; work-stealing
         // exploration must reassemble them in enumeration order.
         let mc = ModelChecker::new(small_spec(), 12, 2).with_mutation(ScramMutation::SkipInitPhase);
         let seq = mc.run();
@@ -459,6 +966,66 @@ mod tests {
         let report = mc.run();
         assert!(!report.all_passed());
         assert!(report.to_string().contains("violated"));
+    }
+
+    #[test]
+    fn worker_panic_names_the_offending_schedule() {
+        // PanicOnTrigger aborts the kernel the moment a schedule's event
+        // actually triggers a reconfiguration; the parallel engine must
+        // attribute the crash to that schedule instead of losing it in a
+        // bare join error.
+        let mc =
+            ModelChecker::new(small_spec(), 12, 1).with_mutation(ScramMutation::PanicOnTrigger);
+        let result = std::panic::catch_unwind(|| mc.run_parallel(2));
+        let payload = result.expect_err("a triggering schedule must panic the worker");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is the formatted message");
+        assert!(
+            message.contains("model-check worker panicked on schedule"),
+            "{message}"
+        );
+        assert!(message.contains("power:=bad"), "{message}");
+    }
+
+    #[test]
+    fn report_display_stays_truthful_about_elision() {
+        let passed = ModelCheckReport {
+            cases_run: 37,
+            cases_elided: 92,
+            frames_simulated: 0,
+            failures: Vec::new(),
+        };
+        assert_eq!(
+            passed.to_string(),
+            "SP1-SP4 hold on all 37 explored schedules (92 elided as no-op-equivalent)"
+        );
+        let no_elision = ModelCheckReport {
+            cases_run: 13,
+            ..ModelCheckReport::default()
+        };
+        assert_eq!(
+            no_elision.to_string(),
+            "SP1-SP4 hold on all 13 explored schedules"
+        );
+        let failed = ModelCheckReport {
+            cases_run: 9,
+            cases_elided: 8,
+            frames_simulated: 0,
+            failures: vec![CaseFailure {
+                schedule: Schedule(vec![(3, "power".into(), "bad".into())]),
+                violations: Vec::new(),
+            }],
+        };
+        let rendered = failed.to_string();
+        assert!(
+            rendered.contains(
+                "1 of 9 explored schedules violated a property (8 elided as no-op-equivalent):"
+            ),
+            "{rendered}"
+        );
+        assert!(rendered.contains("@3 power:=bad"), "{rendered}");
     }
 
     #[test]

@@ -139,6 +139,12 @@ pub enum ScramMutation {
     /// reconfiguration — violates **SP1** (a normal application strictly
     /// inside the reconfiguration window).
     LeaveAppRunning(AppId),
+    /// Abort (panic) the moment a trigger is accepted. Unlike the other
+    /// mutations this is not a protocol defect the SP checkers can see —
+    /// it is a harness-robustness fixture: an exhaustive-exploration
+    /// engine must attribute a worker crash to the schedule that caused
+    /// it, not swallow it in a join error.
+    PanicOnTrigger,
 }
 
 /// The per-application command for one frame.
@@ -242,7 +248,11 @@ enum KernelState {
 ///
 /// See the [module documentation](self) for the protocol. Construct with
 /// [`Scram::new`], then call [`Scram::step`] exactly once per frame.
-#[derive(Debug)]
+/// The kernel owns no shared handles, so `Clone` is a full fork of the
+/// protocol state machine mid-flight (phase, progress, dwell origin,
+/// event log); the model checker relies on this to branch exploration
+/// at schedule prefixes.
+#[derive(Debug, Clone)]
 pub struct Scram {
     spec: Arc<ReconfigSpec>,
     current: ConfigId,
@@ -439,6 +449,9 @@ impl Scram {
                                 // must stop to migrate.
                                 interrupted =
                                     self.spec.apps().iter().map(|a| a.id().clone()).collect();
+                            }
+                            if matches!(self.mutation, Some(ScramMutation::PanicOnTrigger)) {
+                                panic!("SCRAM aborted on trigger acceptance (PanicOnTrigger)");
                             }
                             events.push(ScramEvent::TriggerAccepted {
                                 frame,

@@ -412,6 +412,49 @@ impl System {
         self.regions.get(id).map(SharedStableStorage::snapshot)
     }
 
+    /// Forks the whole system at the current frame boundary.
+    ///
+    /// The fork is an independent replica: it shares only the immutable
+    /// specification (`Arc`) with the original, while every mutable
+    /// substrate is duplicated — the clock, the SCRAM state machine,
+    /// the environment and its history, the bus (queues, membership,
+    /// logs), the processor pool and each application's stable-storage
+    /// region (deep copies behind fresh locks), the applications and
+    /// monitors (via `clone_box`), the trace, and all pending inputs.
+    /// Running frames on the fork and the original thereafter produces
+    /// exactly the traces two independently constructed systems would,
+    /// which is what lets the bounded model checker share the
+    /// simulation of common schedule prefixes instead of replaying
+    /// every schedule from frame 0.
+    pub fn fork(&self) -> System {
+        System {
+            spec: Arc::clone(&self.spec),
+            clock: self.clock.fork(),
+            apps: self.apps.clone(),
+            app_order: self.app_order.clone(),
+            regions: self
+                .regions
+                .iter()
+                .map(|(id, region)| (id.clone(), region.fork()))
+                .collect(),
+            pool: self.pool.fork(),
+            bus: self.bus.fork(),
+            environment: self.environment.clone(),
+            scram: self.scram.clone(),
+            monitors: self.monitors.clone(),
+            trace: self.trace.clone(),
+            events: self.events.clone(),
+            pending_env: self.pending_env.clone(),
+            pending_failures: self.pending_failures.clone(),
+            journal: self.journal.clone(),
+            metrics: self.metrics.clone(),
+            obs_enabled: self.obs_enabled,
+            pool_events_cursor: self.pool_events_cursor,
+            membership_cursor: self.membership_cursor,
+            reconfig_started_at: self.reconfig_started_at,
+        }
+    }
+
     /// Schedules an environment change; it takes effect at the start of
     /// the next frame (the monitor samples once per frame).
     ///
@@ -1444,6 +1487,7 @@ mod tests {
         assert!(report.is_ok(), "{report}");
     }
 
+    #[derive(Clone)]
     struct OverrunApp(NullApp);
     impl ReconfigurableApp for OverrunApp {
         fn id(&self) -> &AppId {
@@ -1470,6 +1514,9 @@ mod tests {
         }
         fn precondition_established(&self, s: &SpecId) -> bool {
             self.0.precondition_established(s)
+        }
+        fn clone_box(&self) -> Box<dyn ReconfigurableApp> {
+            Box::new(self.clone())
         }
     }
 
@@ -1551,6 +1598,7 @@ mod tests {
         assert!(system.trace().states().iter().all(SysState::all_normal));
     }
 
+    #[derive(Clone)]
     struct SlowStageApp(NullApp);
     impl ReconfigurableApp for SlowStageApp {
         fn id(&self) -> &AppId {
@@ -1579,6 +1627,9 @@ mod tests {
         }
         fn precondition_established(&self, s: &SpecId) -> bool {
             self.0.precondition_established(s)
+        }
+        fn clone_box(&self) -> Box<dyn ReconfigurableApp> {
+            Box::new(self.clone())
         }
     }
 

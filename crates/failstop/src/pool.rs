@@ -260,6 +260,21 @@ impl ProcessorPool {
     pub fn events_since(&self, cursor: usize) -> &[PoolEvent] {
         self.events.get(cursor..).unwrap_or(&[])
     }
+
+    /// Forks the pool: every processor is [forked](Processor::fork)
+    /// (deep stable-storage copies), assignments and the audit log are
+    /// carried over. The fork and the original evolve independently.
+    pub fn fork(&self) -> ProcessorPool {
+        ProcessorPool {
+            processors: self
+                .processors
+                .iter()
+                .map(|(&id, p)| (id, p.fork()))
+                .collect(),
+            assignments: self.assignments.clone(),
+            events: self.events.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

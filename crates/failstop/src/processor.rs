@@ -212,6 +212,20 @@ impl Processor {
         self.stable.clone()
     }
 
+    /// Forks the processor: identical status, volatile and stable state,
+    /// instruction count, and fault plan, but with its own deep-copied
+    /// stable store — mutations on the fork never reach the original.
+    pub fn fork(&self) -> Processor {
+        Processor {
+            id: self.id,
+            status: self.status,
+            volatile: self.volatile.clone(),
+            stable: self.stable.fork(),
+            executed: self.executed,
+            fault_plan: self.fault_plan.clone(),
+        }
+    }
+
     /// Consistent snapshot of committed stable state.
     ///
     /// This is the polling interface other processors use after a failure.

@@ -403,6 +403,19 @@ impl SharedStableStorage {
         self.inner.read().snapshot()
     }
 
+    /// Deep-forks the store into an independent handle.
+    ///
+    /// `clone()` on a [`SharedStableStorage`] shares the underlying
+    /// store (that is its purpose: one region, many readers). A fork,
+    /// by contrast, copies the committed *and* staged state behind a
+    /// fresh lock, so prefix-sharing exploration can diverge two system
+    /// replicas without write interference.
+    pub fn fork(&self) -> Self {
+        SharedStableStorage {
+            inner: Arc::new(RwLock::new(self.inner.read().clone())),
+        }
+    }
+
     /// Convenience: stages a single value and commits immediately.
     pub fn put(&self, key: impl Into<String>, value: StableValue) -> Version {
         let mut guard = self.inner.write();

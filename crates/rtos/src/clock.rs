@@ -147,6 +147,14 @@ impl VirtualClock {
     pub fn ticks_to_frames(&self, ticks: Ticks) -> u64 {
         ticks.raw().div_ceil(self.frame_len.raw())
     }
+
+    /// Forks the executive's clock at the current frame — the fork and
+    /// the original tick on independently. An alias for `clone()`,
+    /// named to document the snapshot guarantee prefix-sharing
+    /// exploration relies on.
+    pub fn fork(&self) -> VirtualClock {
+        self.clone()
+    }
 }
 
 #[cfg(test)]

@@ -96,8 +96,11 @@ pub struct RoundReport {
 /// The simulated time-triggered bus.
 ///
 /// See the [crate documentation](crate) for the model. Typical use couples
-/// one [`run_round`](TtBus::run_round) to one real-time frame.
-#[derive(Debug)]
+/// one [`run_round`](TtBus::run_round) to one real-time frame. The bus
+/// holds no shared handles, so `Clone` is a full fork: outboxes,
+/// inboxes, membership observations, and logs all diverge independently
+/// (see [`fork`](TtBus::fork)).
+#[derive(Debug, Clone)]
 pub struct TtBus {
     schedule: BusSchedule,
     round: u64,
@@ -188,6 +191,14 @@ impl TtBus {
     /// Enables the transmission audit log (used by the Figure 1 harness).
     pub fn enable_log(&mut self) {
         self.log_enabled = true;
+    }
+
+    /// Forks the bus mid-round-sequence: the fork carries the same
+    /// queued messages, membership view, and logs, and thereafter
+    /// evolves independently. An alias for `clone()`, named to document
+    /// the independence guarantee prefix-sharing exploration relies on.
+    pub fn fork(&self) -> TtBus {
+        self.clone()
     }
 
     /// All logged transmissions, oldest first (empty unless

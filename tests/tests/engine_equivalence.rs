@@ -1,0 +1,160 @@
+//! Engine-equivalence properties for the bounded model checker: the
+//! streaming, prefix-sharing tree walk (sequential and work-stealing
+//! parallel) must report exactly what the seed replay engine reports —
+//! same explored/elided counts, same failures, same failure order — on
+//! every horizon, event bound, policy combination, and mutated kernel.
+//!
+//! The seed engine ([`ModelChecker::run_reference`]) replays each
+//! schedule independently from frame 0; it is the executable
+//! specification the optimized engines are diffed against here.
+
+use arfs_core::model::ModelChecker;
+use arfs_core::scram::{MidReconfigPolicy, ScramMutation, StagePolicy, SyncPolicy};
+use arfs_core::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
+use arfs_core::system::System;
+use arfs_failstop::ProcessorId;
+use arfs_rtos::Ticks;
+
+/// A three-level spec whose factor domain is deliberately *not* in
+/// alphabetical order ("good" < "degraded" < "bad" by domain position),
+/// so any engine that sorted failures alphabetically instead of by the
+/// canonical enumeration key would be caught.
+fn three_level_spec() -> ReconfigSpec {
+    let mut b = ReconfigSpec::builder()
+        .frame_len(Ticks::new(100))
+        .env_factor("power", ["good", "degraded", "bad"])
+        .app(
+            AppDecl::new("a")
+                .spec(FunctionalSpec::new("full"))
+                .spec(FunctionalSpec::new("reduced"))
+                .spec(FunctionalSpec::new("minimal")),
+        )
+        .min_dwell_frames(1);
+    let configs = [("full", "full"), ("mid", "reduced"), ("safe", "minimal")];
+    for (i, (name, spec)) in configs.iter().enumerate() {
+        let mut config = Configuration::new(*name)
+            .assign("a", *spec)
+            .place("a", ProcessorId::new(0));
+        if i == configs.len() - 1 {
+            config = config.safe();
+        }
+        b = b.config(config);
+    }
+    for (from, _) in &configs {
+        for (to, _) in &configs {
+            if from != to {
+                b = b.transition(*from, *to, Ticks::new(600));
+            }
+        }
+    }
+    b.choose_when("power", "good", "full")
+        .choose_when("power", "degraded", "mid")
+        .choose_when("power", "bad", "safe")
+        .initial_config("full")
+        .initial_env([("power", "good")])
+        .build()
+        .expect("three-level spec is structurally valid")
+}
+
+/// Asserts all three engines agree on the full verification outcome,
+/// and that the walk engines account for every schedule in the bounded
+/// space (explored + elided = analytic total).
+fn assert_engines_agree(mc: &ModelChecker, label: &str) {
+    let reference = mc.run_reference();
+    let walk = mc.run();
+    let parallel = mc.run_parallel(3);
+    assert_eq!(reference, walk, "{label}: reference vs sequential walk");
+    assert_eq!(reference, parallel, "{label}: reference vs work-stealing");
+    assert_eq!(
+        walk.cases_total(),
+        mc.total_schedule_count(),
+        "{label}: explored + elided must cover the schedule space"
+    );
+    // Failure order is part of the contract, not just the set.
+    let seq_order: Vec<String> = walk
+        .failures
+        .iter()
+        .map(|f| f.schedule.to_string())
+        .collect();
+    let par_order: Vec<String> = parallel
+        .failures
+        .iter()
+        .map(|f| f.schedule.to_string())
+        .collect();
+    assert_eq!(seq_order, par_order, "{label}: failure order");
+}
+
+#[test]
+fn engines_agree_across_horizons_and_event_bounds() {
+    let spec = three_level_spec();
+    for horizon in 7..=14 {
+        for max_events in 1..=2 {
+            let mc = ModelChecker::new(spec.clone(), horizon, max_events);
+            assert_engines_agree(&mc, &format!("h{horizon} e{max_events}"));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_under_every_policy_combination() {
+    let spec = three_level_spec();
+    for mid in [
+        MidReconfigPolicy::BufferUntilComplete,
+        MidReconfigPolicy::ImmediateRetarget,
+    ] {
+        for (sync, stage) in [
+            (SyncPolicy::Simultaneous, StagePolicy::Signalled),
+            (SyncPolicy::Simultaneous, StagePolicy::CompressedPrepareInit),
+            (SyncPolicy::PhaseChecked, StagePolicy::Signalled),
+        ] {
+            let mc = ModelChecker::new(spec.clone(), 12, 1).with_policies(mid, sync, stage);
+            assert_engines_agree(&mc, &format!("{mid:?}/{sync:?}/{stage:?}"));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_a_mutated_kernel() {
+    // A broken protocol produces many failures; the engines must agree
+    // on all of them, in order — not just on the happy path.
+    let mc =
+        ModelChecker::new(three_level_spec(), 12, 2).with_mutation(ScramMutation::SkipInitPhase);
+    let reference = mc.run_reference();
+    assert!(
+        !reference.all_passed(),
+        "mutation screen needs failing cases to compare"
+    );
+    assert!(reference.failures.len() > 1);
+    assert_engines_agree(&mc, "SkipInitPhase h12 e2");
+}
+
+#[test]
+fn forked_systems_diverge_independently() {
+    // The substrate guarantee the prefix-sharing walk rests on: a fork
+    // is a full snapshot, so the parent's future and the child's future
+    // are causally independent.
+    let spec = three_level_spec();
+    let mut parent = System::builder(spec).build().expect("builds");
+    for _ in 0..3 {
+        parent.run_frame();
+    }
+    let mut child = parent.fork();
+    assert_eq!(parent.frame(), child.frame());
+
+    // Diverge: the child degrades, the parent stays quiescent.
+    child.set_env("power", "bad").expect("valid value");
+    for _ in 0..10 {
+        parent.run_frame();
+        child.run_frame();
+    }
+    assert_eq!(parent.trace().get_reconfigs().len(), 0);
+    assert_eq!(child.trace().get_reconfigs().len(), 1);
+    assert_eq!(
+        parent.environment().current().get("power"),
+        Some("good"),
+        "child's environment change must not leak into the parent"
+    );
+    // And the prefix they share is literally shared history: the first
+    // three frames of both traces coincide.
+    assert_eq!(parent.trace().states()[..3], child.trace().states()[..3]);
+}

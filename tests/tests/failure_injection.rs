@@ -141,6 +141,7 @@ fn fta_survives_repeated_spare_failures_then_reports_exhaustion() {
     assert_eq!(pool.failed_ids().len(), 4);
 }
 
+#[derive(Clone)]
 struct FlakyApp {
     inner: NullApp,
     fail_frames: Vec<u64>,
@@ -181,6 +182,9 @@ impl arfs_core::app::ReconfigurableApp for FlakyApp {
     }
     fn precondition_established(&self, s: &SpecId) -> bool {
         self.inner.precondition_established(s)
+    }
+    fn clone_box(&self) -> Box<dyn ReconfigurableApp> {
+        Box::new(self.clone())
     }
 }
 

@@ -1,0 +1,187 @@
+//! Work-stealing deques with the `crossbeam-deque` 0.8 API surface.
+//!
+//! The workspace uses three types: a per-worker [`Worker`] (LIFO pop for
+//! cache-friendly depth-first descent), its [`Stealer`] handle (FIFO
+//! steal from the opposite end, so thieves take the largest remaining
+//! subtrees), and a global [`Injector`] for seeding. The lock-free
+//! Chase-Lev implementation of the real crate is replaced by a mutexed
+//! ring buffer — same semantics, same API, no `unsafe`; contention is
+//! negligible at the coarse task granularity the model checker uses
+//! (one task = one schedule-trie node, thousands of simulated
+//! instructions each).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A worker-owned deque: the owner pushes and pops at the back (LIFO),
+/// thieves steal from the front.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a LIFO worker queue (depth-first for the owner).
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Pops the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Returns `true` if the deque holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Creates a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A handle through which other workers steal from the front (the
+/// oldest — and in a tree walk, largest — queued task).
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("deque poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A global FIFO queue every worker can push to and steal from; used to
+/// seed the pool with root tasks.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+    }
+
+    /// Attempts to steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("injector poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Returns `true` if the injector holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("injector poisoned").is_empty()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_pops_lifo_stealer_takes_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_seeds_across_threads() {
+        let injector = Injector::new();
+        for i in 0..100u64 {
+            injector.push(i);
+        }
+        let total: u64 = crate::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let injector = &injector;
+                    scope.spawn(move |_| {
+                        let mut sum = 0u64;
+                        while let Steal::Success(t) = injector.steal() {
+                            sum += t;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(total, (0..100).sum());
+    }
+}

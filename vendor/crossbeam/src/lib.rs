@@ -3,10 +3,14 @@
 //! Provides `crossbeam::scope` with the 0.8 calling convention —
 //! `scope(|s| { s.spawn(|_| ...) }).expect(...)` — implemented over
 //! `std::thread::scope` (stable since 1.63), which provides the same
-//! structured-concurrency guarantee the workspace relies on.
+//! structured-concurrency guarantee the workspace relies on — and the
+//! [`deque`] work-stealing primitives (`Worker`/`Stealer`/`Injector`)
+//! with the `crossbeam-deque` API.
 
 use std::any::Any;
 use std::thread;
+
+pub mod deque;
 
 /// Result of a scoped computation. `Err` carries a panic payload when
 /// the closure itself panics (spawned-thread panics surface through
