@@ -2,8 +2,9 @@
 //! configurations, the electrical environment factor, and the statically
 //! defined transitions between them.
 
+use arfs_core::scram::ScramMutation;
 use arfs_core::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
-use arfs_core::SpecError;
+use arfs_core::{AppId, SpecError};
 use arfs_failstop::ProcessorId;
 use arfs_rtos::Ticks;
 
@@ -59,6 +60,33 @@ pub fn avionics_spec() -> Result<ReconfigSpec, SpecError> {
 /// signature.
 pub fn negative_control_spec() -> Result<ReconfigSpec, SpecError> {
     build_spec(Some(("reduced-service", "minimal-service")))
+}
+
+/// The exploration horizon (frames) at which every
+/// [`known_bad_mutations`] defect provably surfaces under a
+/// single-event schedule sweep of [`avionics_spec`].
+pub const KNOWN_BAD_HORIZON: u64 = 16;
+
+/// The known-bad mutant fixtures: every seeded SCRAM protocol defect
+/// the bounded exhaustive model check provably catches on
+/// [`avionics_spec`], each labelled with a stable slug (used to name
+/// counterexample artifacts). The canonical checker bounds are
+/// [`KNOWN_BAD_HORIZON`] frames with one event: `extra-delay` stalls
+/// the protocol 12 frames past the trigger, and its violation only
+/// surfaces on traces at least that long. The set
+/// deliberately excludes `SkipHaltPhase`, which only the Table 1
+/// protocol-conformance check sees, and `PanicOnTrigger`, which is a
+/// harness-robustness fixture rather than a property violation.
+pub fn known_bad_mutations() -> Vec<(&'static str, ScramMutation)> {
+    vec![
+        (
+            "leave-app-running",
+            ScramMutation::LeaveAppRunning(AppId::new("autopilot")),
+        ),
+        ("wrong-target", ScramMutation::WrongTarget),
+        ("extra-delay", ScramMutation::ExtraDelayFrames(12)),
+        ("skip-init", ScramMutation::SkipInitPhase),
+    ]
 }
 
 fn build_spec(skip_transition: Option<(&str, &str)>) -> Result<ReconfigSpec, SpecError> {
@@ -228,6 +256,19 @@ mod tests {
         assert!(gaps
             .iter()
             .any(|g| g.config == ConfigId::new("reduced-service")));
+    }
+
+    #[test]
+    fn known_bad_mutations_are_caught_at_the_canonical_horizon() {
+        use arfs_core::model::ModelChecker;
+        let spec = avionics_spec().unwrap();
+        for (slug, mutation) in known_bad_mutations() {
+            let report = ModelChecker::new(spec.clone(), KNOWN_BAD_HORIZON, 1)
+                .with_flight_recorder(false)
+                .with_mutation(mutation)
+                .run();
+            assert!(!report.all_passed(), "{slug} not caught: {report}");
+        }
     }
 
     #[test]

@@ -4,18 +4,22 @@
 //! cargo run -p arfs-bench --bin arfs-trace -- summarize results/fig1_architecture.journal.jsonl
 //! cargo run -p arfs-bench --bin arfs-trace -- grep results/run.jsonl --kind phase-entered
 //! cargo run -p arfs-bench --bin arfs-trace -- diff results/a.jsonl results/b.jsonl
+//! cargo run -p arfs-bench --bin arfs-trace -- explain results/counterexample_skip-init.json
 //! ```
 //!
 //! Journals are the JSON-Lines files written by `arfs_core::obs`
 //! (`System::journal()` serialized with `Journal::to_json_lines`); the
-//! experiment binaries drop one per run under `results/`.
+//! experiment binaries drop one per run under `results/`. Counterexample
+//! artifacts are the single-object JSON files the model checker's
+//! flight recorder attaches to failing `ModelCheckReport`s.
 //!
 //! Exit codes: `0` success (for `diff`: journals identical), `1` diff
-//! found differences, `3` usage or load error.
+//! found differences or `explain` found an empty causal chain, `3`
+//! usage or load error.
 
 use std::process::ExitCode;
 
-use arfs_core::obs::{Journal, Subsystem};
+use arfs_core::obs::{Counterexample, Journal, Subsystem};
 
 const USAGE: &str = "\
 usage: arfs-trace <command> [args]
@@ -23,7 +27,9 @@ usage: arfs-trace <command> [args]
   summarize <journal>                  event counts by kind/subsystem, frame range
   grep <journal> --kind KIND           print events of one kind
       [--subsystem SUBSYSTEM]          further restrict to one subsystem
-  diff <journal-a> <journal-b>         compare two journals event by event";
+  diff <journal-a> <journal-b>         compare two journals event by event
+  explain <counterexample.json>        render a model-check counterexample:
+                                       minimized timeline, causal chain highlighted";
 
 fn load(path: &str) -> Result<Journal, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -91,12 +97,72 @@ fn diff(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn explain(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("explain expects exactly one counterexample path".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let ce = Counterexample::from_json_str(&text).map_err(|e| format!("`{path}`: {e}"))?;
+
+    let kept = ce.shrink_steps.iter().filter(|s| s.kept).count();
+    println!("original:  {}", ce.schedule);
+    println!(
+        "minimized: {}  ({} -> {} events; {} of {} shrink attempts kept)",
+        ce.minimized,
+        ce.schedule.0.len(),
+        ce.minimized.0.len(),
+        kept,
+        ce.shrink_steps.len(),
+    );
+    println!("violations:");
+    for v in &ce.violations {
+        println!("  {v}");
+    }
+
+    println!("\ntimeline of the minimized replay (»: causal-chain link):");
+    for verdict in &ce.frame_verdicts {
+        let events: Vec<_> = ce
+            .journal
+            .events()
+            .iter()
+            .filter(|e| e.frame == verdict.frame)
+            .collect();
+        let markers: String = verdict.violated.iter().map(|p| format!(" !{p}")).collect();
+        if events.is_empty() && markers.is_empty() {
+            continue;
+        }
+        println!("frame {}{}", verdict.frame, markers);
+        for event in events {
+            let causal = ce
+                .causal_chain
+                .iter()
+                .any(|l| l.frame == event.frame && l.role == event.kind);
+            println!("  {} {}", if causal { "»" } else { " " }, event);
+        }
+    }
+
+    println!("\ncausal chain:");
+    for link in &ce.causal_chain {
+        if link.detail.is_empty() {
+            println!("  @{} {}", link.frame, link.role);
+        } else {
+            println!("  @{} {} {}", link.frame, link.role, link.detail);
+        }
+    }
+    if ce.causal_chain.is_empty() {
+        eprintln!("(empty — the artifact explains nothing)");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("summarize") => summarize(&args[1..]),
         Some("grep") => grep(&args[1..]),
         Some("diff") => diff(&args[1..]),
+        Some("explain") => explain(&args[1..]),
         Some("--help") | Some("-h") | None => Err(String::new()),
         Some(other) => Err(format!("unknown command `{other}`")),
     };

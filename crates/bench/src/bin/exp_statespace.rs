@@ -11,12 +11,21 @@
 //! (151,879 schedules), which the seed engine has no hope of covering
 //! interactively.
 //!
+//! A second sweep runs every known-bad SCRAM mutation against the
+//! avionics specification: each must fail the check, and the flight
+//! recorder's shrunk, replayed counterexample is written to
+//! `results/counterexample_<slug>.json` (render with `arfs-trace
+//! explain`). The walk profiler's span timings and per-worker
+//! steal/run/elide counters land in `BENCH_model_check.json` alongside
+//! the throughput numbers.
+//!
 //! Usage: `exp_statespace [--smoke]` — `--smoke` runs only the small
-//! cross-checked cases (the CI entry point).
+//! cross-checked cases plus the mutant sweep (the CI entry point).
 
 use std::time::Instant;
 
-use arfs_bench::{banner, verdict, write_json, TextTable};
+use arfs_avionics::{known_bad_mutations, KNOWN_BAD_HORIZON};
+use arfs_bench::{banner, verdict, write_json, write_text, TextTable};
 use arfs_core::model::ModelChecker;
 use arfs_core::spec::ReconfigSpec;
 
@@ -143,6 +152,7 @@ fn main() {
             "seed_cases_per_sec": seed_secs.map(|s| total as f64 / s.max(1e-9)),
             "speedup_wallclock": speedup,
             "all_passed": parallel.all_passed(),
+            "profile": parallel.metrics,
         }));
         println!(
             "{}: {} ({} frames, {:.3}s, {} threads)",
@@ -157,6 +167,55 @@ fn main() {
         engines_agree,
     );
 
+    // The verification-of-the-verifier sweep: every known-bad mutation
+    // must fail the check, and each failure's flight-recorder artifact
+    // goes to `results/counterexample_<slug>.json`.
+    banner("known-bad mutants: counterexample flight recorder");
+    let avionics = arfs_avionics::avionics_spec().expect("valid spec");
+    let mut mutants = Vec::new();
+    let mut all_caught = true;
+    for (slug, mutation) in known_bad_mutations() {
+        let mc = ModelChecker::new(avionics.clone(), KNOWN_BAD_HORIZON, 1)
+            .with_mutation(mutation.clone());
+        let t0 = Instant::now();
+        let report = mc.run_parallel(threads);
+        let secs = t0.elapsed().as_secs_f64();
+        let caught = !report.all_passed();
+        all_caught &= caught;
+        let artifact = report.counterexample.as_ref().map(|ce| {
+            let path = write_text(&format!("counterexample_{slug}.json"), &ce.to_json_pretty());
+            println!(
+                "{slug}: {} -> minimized `{}` ({} shrink steps, chain ends @{:?}) -> {}",
+                report.failures.len(),
+                ce.minimized,
+                ce.shrink_steps.len(),
+                ce.violating_frame(),
+                path.display()
+            );
+            path.display().to_string()
+        });
+        if artifact.is_none() {
+            println!("{slug}: NOT CAUGHT ({report})");
+        }
+        mutants.push(serde_json::json!({
+            "mutant": slug,
+            "mutation": format!("{mutation:?}"),
+            "horizon": KNOWN_BAD_HORIZON,
+            "caught": caught,
+            "failures": report.failures.len(),
+            "shrink_steps": report.counterexample.as_ref().map(|ce| ce.shrink_steps.len()),
+            "minimized_events": report.counterexample.as_ref().map(|ce| ce.minimized.0.len()),
+            "violating_frame": report.counterexample.as_ref().and_then(|ce| ce.violating_frame()),
+            "counterexample_artifact": artifact,
+            "check_secs": secs,
+            "profile": report.metrics,
+        }));
+    }
+    verdict(
+        "every known-bad mutant caught with a counterexample artifact",
+        all_caught,
+    );
+
     let path = write_json(
         "BENCH_model_check.json",
         &serde_json::json!({
@@ -164,11 +223,12 @@ fn main() {
             "smoke": smoke,
             "threads": threads,
             "cases": artifacts,
+            "mutants": mutants,
         }),
     );
     println!("artifact: {}", path.display());
 
-    if !(all_passed && engines_agree) {
+    if !(all_passed && engines_agree && all_caught) {
         std::process::exit(1);
     }
 }

@@ -43,11 +43,27 @@
 //! the seed replay-from-frame-0 engine as the executable specification
 //! the optimized engines are tested against.
 //!
+//! # The flight recorder and the walk profiler
+//!
+//! When a run fails, the **counterexample flight recorder** (on by
+//! default, [`ModelChecker::with_flight_recorder`] to disable)
+//! delta-debugs the first failure in canonical order to a 1-minimal
+//! schedule, replays it with observability forced on, and attaches the
+//! packaged [`Counterexample`] — schedules, shrink lineage, journal,
+//! per-frame verdicts, causal chain — to the report. The artifact is
+//! deterministic: serial and work-stealing runs produce byte-identical
+//! JSON. Every engine also profiles itself: span totals for
+//! fork/advance/check/shrink and per-worker run/elide/steal counters
+//! land in [`ModelCheckReport::metrics`].
+//!
 //! [`Environment::set`]: crate::environment::Environment::set
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
+use crate::obs::counterexample::{Counterexample, ShrinkAction, ShrinkStep};
+use crate::obs::{MetricsRegistry, MetricsSnapshot};
 use crate::properties::{self, PropertyViolation};
 use crate::spec::ReconfigSpec;
 use crate::system::System;
@@ -85,10 +101,13 @@ pub struct CaseFailure {
 ///
 /// Equality compares the verification outcome — explored and elided
 /// case counts and the failure list (including order) — and ignores
-/// [`frames_simulated`](ModelCheckReport::frames_simulated), which is an
-/// engine-performance statistic: the prefix-sharing engines simulate far
+/// [`frames_simulated`](ModelCheckReport::frames_simulated),
+/// [`counterexample`](ModelCheckReport::counterexample), and
+/// [`metrics`](ModelCheckReport::metrics), which are engine-performance
+/// and diagnostic artifacts: the prefix-sharing engines simulate far
 /// fewer frames than the reference engine while proving exactly the
-/// same thing.
+/// same thing, and the flight recorder's artifact is derived from the
+/// (compared) failure list.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct ModelCheckReport {
     /// Number of schedules explored (trie nodes actually simulated and
@@ -105,6 +124,19 @@ pub struct ModelCheckReport {
     /// Schedules that violated a property (empty = all proved), in
     /// canonical enumeration order.
     pub failures: Vec<CaseFailure>,
+    /// The flight recorder's artifact for the first failure in
+    /// canonical order: the schedule delta-debugged to 1-minimal form,
+    /// replayed with observability on, with journal, per-frame
+    /// verdicts, and causal chain. `None` when every case passed, the
+    /// recorder was disabled
+    /// ([`ModelChecker::with_flight_recorder`]), or the run aborted on
+    /// a worker panic.
+    pub counterexample: Option<Counterexample>,
+    /// The walk profiler's view of the run: span totals for
+    /// fork/advance/check/shrink plus per-worker steal/run/elide
+    /// counters. Span timings are wall-clock and therefore
+    /// nondeterministic; everything else is exact.
+    pub metrics: MetricsSnapshot,
 }
 
 impl PartialEq for ModelCheckReport {
@@ -160,6 +192,15 @@ impl fmt::Display for ModelCheckReport {
             }
             if self.failures.len() > 5 {
                 writeln!(f, "  ... and {} more", self.failures.len() - 5)?;
+            }
+            if let Some(ce) = &self.counterexample {
+                writeln!(
+                    f,
+                    "  counterexample: `{}` minimized to `{}` ({} shrink steps)",
+                    ce.schedule,
+                    ce.minimized,
+                    ce.shrink_steps.len()
+                )?;
             }
             Ok(())
         }
@@ -241,13 +282,58 @@ struct NodeTask {
 }
 
 /// Mutable run state threaded through the walk (per worker under
-/// parallelism, merged at the end).
+/// parallelism, merged at the end). Carries the profiler's raw numbers
+/// alongside the verification outcome.
 #[derive(Default)]
 struct WalkAccum {
     cases_run: usize,
     cases_elided: usize,
     frames_simulated: u64,
     failures: Vec<CaseFailure>,
+    /// Nanoseconds spent forking child systems at branch frames.
+    fork_ns: u64,
+    /// Nanoseconds spent advancing systems frame by frame.
+    advance_ns: u64,
+    /// Nanoseconds spent checking SP1–SP4 on completed traces.
+    check_ns: u64,
+    /// Tasks this worker stole from a sibling's deque.
+    steals: u64,
+}
+
+impl WalkAccum {
+    /// Folds another accumulator into this one.
+    fn merge(&mut self, other: WalkAccum) {
+        self.cases_run += other.cases_run;
+        self.cases_elided += other.cases_elided;
+        self.frames_simulated += other.frames_simulated;
+        self.failures.extend(other.failures);
+        self.fork_ns += other.fork_ns;
+        self.advance_ns += other.advance_ns;
+        self.check_ns += other.check_ns;
+        self.steals += other.steals;
+    }
+}
+
+/// A worker panic surfaced by
+/// [`ModelChecker::try_run_parallel`]: the formatted panic message
+/// (naming the offending schedule) plus the partial report merged from
+/// every worker's accumulated state — the progress made before the
+/// abort is not discarded.
+#[derive(Debug, Clone)]
+pub struct ParallelPanic {
+    /// The panic message, naming the offending schedule and the
+    /// partial progress.
+    pub message: String,
+    /// Counts, failures, and per-worker metrics accumulated before the
+    /// abort. No counterexample is recorded: a kernel that panics
+    /// during exploration would panic again during shrink replays.
+    pub partial: ModelCheckReport,
+}
+
+impl fmt::Display for ParallelPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
 }
 
 /// Exhaustive bounded explorer of environment-change schedules.
@@ -260,6 +346,8 @@ pub struct ModelChecker {
     sync_policy: crate::scram::SyncPolicy,
     stage_policy: crate::scram::StagePolicy,
     mutation: Option<crate::scram::ScramMutation>,
+    observability: bool,
+    flight_recorder: bool,
 }
 
 impl ModelChecker {
@@ -308,7 +396,30 @@ impl ModelChecker {
             sync_policy: crate::scram::SyncPolicy::default(),
             stage_policy: crate::scram::StagePolicy::default(),
             mutation: None,
+            observability: false,
+            flight_recorder: true,
         }
+    }
+
+    /// Enables or disables the observability layer on every system the
+    /// checker builds. Off by default — the exhaustive loop builds
+    /// thousands of systems whose journals nobody reads — but debugging
+    /// runs can turn it on instead of hand-building a parallel system.
+    /// Counterexample replays always journal, regardless of this knob.
+    #[must_use]
+    pub fn with_observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
+        self
+    }
+
+    /// Enables or disables the counterexample flight recorder (on by
+    /// default). With it off, a failing run reports bare
+    /// [`CaseFailure`]s and skips the shrink/replay work — useful for
+    /// benchmarking the walk engines in isolation.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, enabled: bool) -> Self {
+        self.flight_recorder = enabled;
+        self
     }
 
     /// Explores systems running under the given kernel policies — every
@@ -445,18 +556,25 @@ impl ModelChecker {
     }
 
     /// Builds one fresh system at frame 0 under the checker's policies.
-    fn build_system(&self) -> System {
-        // Observability off: the exhaustive loop builds thousands of
-        // systems whose journals nobody reads.
-        let mut builder = System::builder((*self.spec).clone())
+    /// `observed` forces the observability layer on (counterexample
+    /// replays); otherwise the checker-level knob decides, defaulting
+    /// to off for the hot exhaustive loop.
+    fn build_system_observed(&self, observed: bool) -> System {
+        let mut builder = System::builder_arc(Arc::clone(&self.spec))
             .mid_policy(self.mid_policy)
             .sync_policy(self.sync_policy)
             .stage_policy(self.stage_policy)
-            .observability(false);
+            .observability(observed || self.observability);
         if let Some(mutation) = self.mutation.clone() {
             builder = builder.mutation(mutation);
         }
         builder.build().expect("validated spec builds")
+    }
+
+    /// Builds one fresh system at frame 0 under the checker's policies
+    /// and observability knob.
+    fn build_system(&self) -> System {
+        self.build_system_observed(false)
     }
 
     /// Processes one trie node: advances its system through the branch
@@ -476,7 +594,9 @@ impl ModelChecker {
 
         if depth < self.max_events {
             while system.frame() < last_event_frame {
+                let advance_started = Instant::now();
                 system.run_frame();
+                acc.advance_ns += span_ns(advance_started);
                 let frame = system.frame();
                 for factor in self.spec.env_model().factors() {
                     for value in factor.domain() {
@@ -489,7 +609,9 @@ impl ModelChecker {
                             acc.cases_elided +=
                                 self.subtree_count(frame, self.max_events - depth - 1);
                         } else {
+                            let fork_started = Instant::now();
                             let mut child = system.fork();
+                            acc.fork_ns += span_ns(fork_started);
                             child
                                 .set_env(factor.name(), value)
                                 .expect("enumerated values are valid");
@@ -505,18 +627,17 @@ impl ModelChecker {
                 }
             }
         }
+        let advance_started = Instant::now();
         while system.frame() < self.horizon {
             system.run_frame();
         }
+        acc.advance_ns += span_ns(advance_started);
         acc.frames_simulated += self.horizon - start_frame;
         acc.cases_run += 1;
 
-        let report = properties::check_all(system.trace(), system.spec());
-        let mut violations = report.violations;
-        violations.extend(properties::check_open_reconfiguration(
-            system.trace(),
-            system.spec(),
-        ));
+        let check_started = Instant::now();
+        let violations = collect_violations(&system);
+        acc.check_ns += span_ns(check_started);
         if !violations.is_empty() {
             acc.failures.push(CaseFailure {
                 schedule: Schedule(events),
@@ -533,12 +654,59 @@ impl ModelChecker {
         }
     }
 
-    fn finish(&self, acc: WalkAccum) -> ModelCheckReport {
+    /// Merges per-worker accumulators into the final report: failures
+    /// sorted into canonical enumeration order, the profiler's spans
+    /// and per-worker counters snapshotted into
+    /// [`ModelCheckReport::metrics`], and — when `record` is set and
+    /// the run failed — the flight recorder's [`Counterexample`] for
+    /// the first failure.
+    fn finish(&self, accums: Vec<WalkAccum>, record: bool) -> ModelCheckReport {
+        let mut metrics = MetricsRegistry::new();
+        for (worker, acc) in accums.iter().enumerate() {
+            metrics.add(&format!("walk.worker.{worker}.runs"), acc.cases_run as u64);
+            metrics.add(
+                &format!("walk.worker.{worker}.elided"),
+                acc.cases_elided as u64,
+            );
+            metrics.add(&format!("walk.worker.{worker}.steals"), acc.steals);
+        }
+        let mut total = WalkAccum::default();
+        for acc in accums {
+            total.merge(acc);
+        }
+        // Work stealing scatters completion order; the canonical key
+        // restores the deterministic enumeration order (a no-op for the
+        // serial engines, which already walk in pre-order).
+        total
+            .failures
+            .sort_by_key(|f| self.schedule_key(&f.schedule));
+
+        metrics.add("walk.cases_run", total.cases_run as u64);
+        metrics.add("walk.cases_elided", total.cases_elided as u64);
+        metrics.add("walk.frames_simulated", total.frames_simulated);
+        metrics.add("walk.span.fork_ns", total.fork_ns);
+        metrics.add("walk.span.advance_ns", total.advance_ns);
+        metrics.add("walk.span.check_ns", total.check_ns);
+
+        let counterexample = if record && self.flight_recorder {
+            let shrink_started = Instant::now();
+            let ce = total
+                .failures
+                .first()
+                .map(|failure| self.record_counterexample(failure));
+            metrics.add("walk.span.shrink_ns", span_ns(shrink_started));
+            ce
+        } else {
+            None
+        };
+
         ModelCheckReport {
-            cases_run: acc.cases_run,
-            cases_elided: acc.cases_elided,
-            frames_simulated: acc.frames_simulated,
-            failures: acc.failures,
+            cases_run: total.cases_run,
+            cases_elided: total.cases_elided,
+            frames_simulated: total.frames_simulated,
+            failures: total.failures,
+            counterexample,
+            metrics: metrics.snapshot(),
         }
     }
 
@@ -554,7 +722,7 @@ impl ModelChecker {
             depth: 0,
         };
         self.walk(root, &mut acc);
-        self.finish(acc)
+        self.finish(vec![acc], true)
     }
 
     /// Explores every schedule across `threads` workers with
@@ -566,8 +734,31 @@ impl ModelChecker {
     ///
     /// Panics if `threads` is zero, or if a worker panics while
     /// simulating a schedule — in that case the panic message names the
-    /// offending schedule.
+    /// offending schedule and the progress made before the abort. Use
+    /// [`try_run_parallel`](ModelChecker::try_run_parallel) to recover
+    /// the partial report instead.
     pub fn run_parallel(&self, threads: usize) -> ModelCheckReport {
+        match self.try_run_parallel(threads) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// [`run_parallel`](ModelChecker::run_parallel) with the worker
+    /// panic surfaced as a value: on a panic the per-worker accumulators
+    /// gathered before the abort — counts, failures found so far, and
+    /// the profiler's per-worker metrics — are merged into
+    /// [`ParallelPanic::partial`] instead of being discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelPanic`] (boxed — it carries the whole partial
+    /// report) if any worker panicked while simulating a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn try_run_parallel(&self, threads: usize) -> Result<ModelCheckReport, Box<ParallelPanic>> {
         assert!(threads > 0, "need at least one thread");
         use crossbeam::deque::{Injector, Steal, Worker};
         use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -613,6 +804,7 @@ impl ModelChecker {
                                     continue;
                                 }
                                 if let Steal::Success(t) = stealer.steal() {
+                                    acc.steals += 1;
                                     task = Some(t);
                                     break;
                                 }
@@ -665,22 +857,17 @@ impl ModelChecker {
         .expect("crossbeam scope");
 
         if let Some(msg) = panicked.into_inner().expect("panic slot") {
-            panic!("{msg}");
+            // Skip the flight recorder: a kernel that panicked during
+            // exploration would panic again during shrink replays.
+            let partial = self.finish(accums, false);
+            let message = format!(
+                "{msg} ({} cases checked, {} failures found before abort)",
+                partial.cases_run,
+                partial.failures.len()
+            );
+            return Err(Box::new(ParallelPanic { message, partial }));
         }
-
-        let mut total = WalkAccum::default();
-        for acc in accums {
-            total.cases_run += acc.cases_run;
-            total.cases_elided += acc.cases_elided;
-            total.frames_simulated += acc.frames_simulated;
-            total.failures.extend(acc.failures);
-        }
-        // Work stealing scatters completion order; the canonical key
-        // restores the deterministic enumeration order `run` produces.
-        total
-            .failures
-            .sort_by_key(|f| self.schedule_key(&f.schedule));
-        self.finish(total)
+        Ok(self.finish(accums, true))
     }
 
     /// The seed engine: replays every schedule independently from frame
@@ -702,7 +889,7 @@ impl ModelChecker {
                 acc.failures.push(failure);
             }
         }
-        self.finish(acc)
+        self.finish(vec![acc], true)
     }
 
     /// Whether any event in the schedule sets a factor to the value it
@@ -721,7 +908,23 @@ impl ModelChecker {
     }
 
     fn run_case(&self, schedule: &Schedule) -> Option<CaseFailure> {
-        let mut system = self.build_system();
+        let violations = self.check_schedule(schedule);
+        if violations.is_empty() {
+            None
+        } else {
+            Some(CaseFailure {
+                schedule: schedule.clone(),
+                violations,
+            })
+        }
+    }
+
+    /// Runs one schedule on a fresh system to the horizon and returns
+    /// the finished system. `observed` forces the observability layer
+    /// on — counterexample replays capture a journal even when the
+    /// exhaustive loop explores dark.
+    fn simulate(&self, schedule: &Schedule, observed: bool) -> System {
+        let mut system = self.build_system_observed(observed);
         let mut events = schedule.0.iter().peekable();
         for frame in 0..self.horizon {
             while let Some((f, factor, value)) = events.peek() {
@@ -736,21 +939,130 @@ impl ModelChecker {
             }
             system.run_frame();
         }
-        let report = properties::check_all(system.trace(), system.spec());
-        let mut violations = report.violations;
-        violations.extend(properties::check_open_reconfiguration(
-            system.trace(),
-            system.spec(),
-        ));
-        if violations.is_empty() {
-            None
-        } else {
-            Some(CaseFailure {
-                schedule: schedule.clone(),
-                violations,
-            })
+        system
+    }
+
+    /// Simulates one schedule from frame 0 and checks SP1–SP4 plus the
+    /// open-reconfiguration property on its trace. This is the oracle
+    /// both the reference engine and the delta-debugging shrinker call
+    /// per candidate.
+    pub fn check_schedule(&self, schedule: &Schedule) -> Vec<PropertyViolation> {
+        collect_violations(&self.simulate(schedule, false))
+    }
+
+    /// Delta-debugs a failing schedule to a 1-minimal form, appending
+    /// every attempt to `steps`. Two alternating passes run to a joint
+    /// fixpoint:
+    ///
+    /// - **greedy removal** — drop each event in turn, keeping the
+    ///   candidate whenever the violation persists; at the pass's
+    ///   fixpoint removing *any* single event loses the violation
+    ///   (1-minimality);
+    /// - **frame-left-shifting** — move each surviving event one frame
+    ///   earlier while the violation persists, pulling the failure as
+    ///   close to frame 0 as it will go.
+    ///
+    /// Each kept candidate strictly decreases `(event count, Σ frames)`
+    /// lexicographically, so the loop terminates; each kept candidate
+    /// was re-checked and still violates, so the result provably fails
+    /// (soundness).
+    fn shrink(&self, schedule: &Schedule, steps: &mut Vec<ShrinkStep>) -> Schedule {
+        let mut current = schedule.clone();
+        loop {
+            let mut changed = false;
+            // Greedy removal to fixpoint.
+            let mut i = 0;
+            while i < current.0.len() {
+                let mut candidate = current.clone();
+                candidate.0.remove(i);
+                let kept = !self.check_schedule(&candidate).is_empty();
+                steps.push(ShrinkStep {
+                    action: ShrinkAction::RemoveEvent { index: i },
+                    candidate: candidate.clone(),
+                    kept,
+                });
+                if kept {
+                    current = candidate;
+                    changed = true;
+                    // The next event now sits at index i; retry it.
+                } else {
+                    i += 1;
+                }
+            }
+            // Left-shift each survivor while the violation persists.
+            // Frames stay strictly increasing: an event stops one frame
+            // after its predecessor (or at frame 1).
+            for i in 0..current.0.len() {
+                loop {
+                    let from_frame = current.0[i].0;
+                    let floor = if i == 0 { 1 } else { current.0[i - 1].0 + 1 };
+                    if from_frame <= floor {
+                        break;
+                    }
+                    let mut candidate = current.clone();
+                    candidate.0[i].0 = from_frame - 1;
+                    let kept = !self.check_schedule(&candidate).is_empty();
+                    steps.push(ShrinkStep {
+                        action: ShrinkAction::ShiftLeft {
+                            index: i,
+                            from_frame,
+                            to_frame: from_frame - 1,
+                        },
+                        candidate: candidate.clone(),
+                        kept,
+                    });
+                    if !kept {
+                        break;
+                    }
+                    current = candidate;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return current;
+            }
         }
     }
+
+    /// The flight recorder: shrinks a failure to 1-minimal form,
+    /// replays the minimal schedule with observability on, and packages
+    /// schedule, lineage, journal, per-frame verdicts, and causal chain
+    /// into the [`Counterexample`] artifact.
+    fn record_counterexample(&self, failure: &CaseFailure) -> Counterexample {
+        let mut shrink_steps = Vec::new();
+        let minimized = self.shrink(&failure.schedule, &mut shrink_steps);
+        let system = self.simulate(&minimized, true);
+        let violations = collect_violations(&system);
+        let journal = system.journal().clone();
+        let frame_verdicts = Counterexample::derive_frame_verdicts(&violations, self.horizon);
+        let causal_chain = Counterexample::derive_causal_chain(&journal, &violations, self.horizon);
+        Counterexample {
+            schedule: failure.schedule.clone(),
+            minimized,
+            violations,
+            shrink_steps,
+            journal,
+            frame_verdicts,
+            causal_chain,
+        }
+    }
+}
+
+/// Elapsed nanoseconds since `started`, clamped into `u64`.
+fn span_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Checks SP1–SP4 plus the open-reconfiguration property on a finished
+/// system's trace.
+fn collect_violations(system: &System) -> Vec<PropertyViolation> {
+    let report = properties::check_all(system.trace(), system.spec());
+    let mut violations = report.violations;
+    violations.extend(properties::check_open_reconfiguration(
+        system.trace(),
+        system.spec(),
+    ));
+    violations
 }
 
 /// C(n, k) with saturating arithmetic (counts only — exactness beyond
@@ -990,12 +1302,128 @@ mod tests {
     }
 
     #[test]
+    fn flight_recorder_packages_a_counterexample() {
+        let mc = ModelChecker::new(small_spec(), 12, 2).with_mutation(ScramMutation::SkipInitPhase);
+        let report = mc.run();
+        assert!(!report.all_passed());
+        let ce = report.counterexample.as_ref().expect("recorder is on");
+        // The artifact describes the first failure in canonical order...
+        assert_eq!(ce.schedule, report.failures[0].schedule);
+        // ...shrunk no larger than the original and still failing.
+        assert!(ce.minimized.0.len() <= ce.schedule.0.len());
+        assert!(!ce.violations.is_empty());
+        assert!(
+            !mc.check_schedule(&ce.minimized).is_empty(),
+            "minimized schedule must still violate"
+        );
+        // The replay journaled, and the chain ends at a violating frame.
+        assert!(!ce.journal.events().is_empty());
+        let violating = ce.violating_frame().expect("chain has a violation link");
+        assert!(violating < mc.horizon());
+        assert!(ce.frame_verdicts.len() as u64 == mc.horizon());
+        assert!(!ce.frame_verdicts[violating as usize].violated.is_empty());
+        // 1-minimality: dropping any single event loses the violation.
+        for i in 0..ce.minimized.0.len() {
+            let mut cand = ce.minimized.clone();
+            cand.0.remove(i);
+            assert!(
+                mc.check_schedule(&cand).is_empty(),
+                "minimized schedule is not 1-minimal at index {i}"
+            );
+        }
+        assert!(report.to_string().contains("counterexample:"));
+    }
+
+    #[test]
+    fn flight_recorder_can_be_disabled() {
+        let mc = ModelChecker::new(small_spec(), 12, 1)
+            .with_mutation(ScramMutation::SkipInitPhase)
+            .with_flight_recorder(false);
+        let report = mc.run();
+        assert!(!report.all_passed());
+        assert!(report.counterexample.is_none());
+        // A passing run records nothing either, recorder on or off.
+        let clean = ModelChecker::new(small_spec(), 12, 1).run();
+        assert!(clean.counterexample.is_none());
+    }
+
+    #[test]
+    fn walk_profiler_reports_spans_and_worker_counters() {
+        let mc = ModelChecker::new(small_spec(), 12, 2);
+        let seq = mc.run();
+        for key in [
+            "walk.span.fork_ns",
+            "walk.span.advance_ns",
+            "walk.span.check_ns",
+        ] {
+            assert!(
+                seq.metrics.counters.contains_key(key),
+                "missing span counter {key}"
+            );
+        }
+        assert_eq!(seq.metrics.counters["walk.cases_run"], seq.cases_run as u64);
+        assert_eq!(
+            seq.metrics.counters["walk.worker.0.runs"],
+            seq.cases_run as u64
+        );
+        assert_eq!(seq.metrics.counters["walk.worker.0.steals"], 0);
+
+        let par = mc.run_parallel(3);
+        let runs: u64 = (0..3)
+            .map(|w| par.metrics.counters[&format!("walk.worker.{w}.runs")])
+            .sum();
+        assert_eq!(runs, par.cases_run as u64);
+    }
+
+    #[test]
+    fn parallel_panic_surfaces_partial_progress() {
+        // PanicOnTrigger only fires once a schedule's event actually
+        // triggers a reconfiguration, so the root (quiescent) node
+        // always completes first: the partial report deterministically
+        // carries at least that case, and the per-worker accumulators
+        // merge into its metrics instead of being discarded.
+        let mc =
+            ModelChecker::new(small_spec(), 12, 1).with_mutation(ScramMutation::PanicOnTrigger);
+        let err = mc
+            .try_run_parallel(2)
+            .expect_err("a triggering schedule must panic the worker");
+        assert!(
+            err.message
+                .contains("model-check worker panicked on schedule"),
+            "{}",
+            err.message
+        );
+        assert!(err.message.contains("before abort"), "{}", err.message);
+        assert!(err.partial.cases_run >= 1);
+        assert!(err.partial.counterexample.is_none());
+        assert_eq!(
+            err.partial.metrics.counters["walk.cases_run"],
+            err.partial.cases_run as u64
+        );
+        let worker_runs: u64 = (0..2)
+            .map(|w| err.partial.metrics.counters[&format!("walk.worker.{w}.runs")])
+            .sum();
+        assert_eq!(worker_runs, err.partial.cases_run as u64);
+        assert_eq!(err.to_string(), err.message);
+    }
+
+    #[test]
+    fn counterexample_is_deterministic_across_engines() {
+        let mc = ModelChecker::new(small_spec(), 12, 2).with_mutation(ScramMutation::SkipInitPhase);
+        let serial = mc.run().counterexample.expect("serial counterexample");
+        let parallel = mc
+            .run_parallel(4)
+            .counterexample
+            .expect("parallel counterexample");
+        assert_eq!(serial.to_json_pretty(), parallel.to_json_pretty());
+    }
+
+    #[test]
     fn report_display_stays_truthful_about_elision() {
         let passed = ModelCheckReport {
             cases_run: 37,
             cases_elided: 92,
-            frames_simulated: 0,
-            failures: Vec::new(),
+            ..ModelCheckReport::default()
         };
         assert_eq!(
             passed.to_string(),
@@ -1012,11 +1440,11 @@ mod tests {
         let failed = ModelCheckReport {
             cases_run: 9,
             cases_elided: 8,
-            frames_simulated: 0,
             failures: vec![CaseFailure {
                 schedule: Schedule(vec![(3, "power".into(), "bad".into())]),
                 violations: Vec::new(),
             }],
+            ..ModelCheckReport::default()
         };
         let rendered = failed.to_string();
         assert!(

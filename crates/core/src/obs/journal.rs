@@ -86,10 +86,10 @@ pub struct JournalEvent {
 }
 
 impl JournalEvent {
-    /// Serializes the event as one compact JSON line (no trailing
-    /// newline).
-    pub fn to_json_line(&self) -> String {
-        let obj = Value::Map(vec![
+    /// The event as a JSON value — the same object shape
+    /// [`to_json_line`](JournalEvent::to_json_line) prints.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
             (Value::Str("frame".into()), Value::U64(self.frame)),
             (
                 Value::Str("subsystem".into()),
@@ -97,18 +97,16 @@ impl JournalEvent {
             ),
             (Value::Str("kind".into()), Value::Str(self.kind.clone())),
             (Value::Str("payload".into()), self.payload.clone()),
-        ]);
-        serde_json::to_string(&obj).expect("journal events serialize")
+        ])
     }
 
-    /// Parses one JSON line back into an event.
+    /// Reconstructs an event from the value shape produced by
+    /// [`to_value`](JournalEvent::to_value).
     ///
     /// # Errors
     ///
-    /// Returns a description of the malformed field if the line is not
-    /// a journal event.
-    pub fn from_json_line(line: &str) -> Result<JournalEvent, String> {
-        let value: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    /// Returns a description of the malformed field.
+    pub fn from_value(value: &Value) -> Result<JournalEvent, String> {
         let frame = value
             .get("frame")
             .and_then(Value::as_u64)
@@ -130,6 +128,54 @@ impl JournalEvent {
             kind,
             payload,
         })
+    }
+
+    /// Serializes the event as one compact JSON line (no trailing
+    /// newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("journal events serialize")
+    }
+
+    /// Parses one JSON line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field if the line is not
+    /// a journal event.
+    pub fn from_json_line(line: &str) -> Result<JournalEvent, String> {
+        let value: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        JournalEvent::from_value(&value)
+    }
+}
+
+impl serde::Serialize for JournalEvent {
+    fn to_content(&self) -> Value {
+        self.to_value()
+    }
+}
+
+impl serde::Deserialize for JournalEvent {
+    fn from_content(content: &Value) -> Result<Self, serde::DeError> {
+        JournalEvent::from_value(content).map_err(serde::DeError::custom)
+    }
+}
+
+impl serde::Serialize for Journal {
+    fn to_content(&self) -> Value {
+        Value::Seq(self.events.iter().map(JournalEvent::to_value).collect())
+    }
+}
+
+impl serde::Deserialize for Journal {
+    fn from_content(content: &Value) -> Result<Self, serde::DeError> {
+        let Value::Seq(items) = content else {
+            return Err(serde::DeError::custom("journal must be a JSON array"));
+        };
+        let mut journal = Journal::new();
+        for item in items {
+            journal.push(JournalEvent::from_value(item).map_err(serde::DeError::custom)?);
+        }
+        Ok(journal)
     }
 }
 

@@ -96,6 +96,26 @@ impl MetricsRegistry {
             .push(sample);
     }
 
+    /// Folds another registry into this one: counters add, histogram
+    /// samples concatenate, and gauges overwrite (last writer wins).
+    /// This is how per-worker registries from a parallel model-check
+    /// walk combine into one run-level registry.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .samples
+                .extend_from_slice(&h.samples);
+        }
+    }
+
     /// Freezes the current state into a serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -130,7 +150,7 @@ pub struct HistogramSummary {
 }
 
 /// Immutable, serializable view of a registry at one instant.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,

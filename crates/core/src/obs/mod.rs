@@ -18,6 +18,11 @@
 //! - [`metrics`] — a registry of counters, gauges, and histograms
 //!   (reconfiguration latency in cycles, SCRAM decision time,
 //!   restricted-frame ratio) snapshot-able per run as a JSON artifact.
+//! - [`counterexample`] — the model checker's flight-recorder artifact:
+//!   a failing schedule delta-debugged to a 1-minimal form, replayed
+//!   with observability on, and packaged with its journal, per-frame
+//!   verdicts, and derived causal chain. `arfs-trace explain` renders
+//!   it from the shell.
 //!
 //! [`System`](crate::system::System) threads both through every layer:
 //! it owns a [`Journal`] and a [`MetricsRegistry`], records into them as
@@ -30,8 +35,10 @@
 //!
 //! [`System`]: crate::system::System
 
+pub mod counterexample;
 pub mod journal;
 pub mod metrics;
 
+pub use counterexample::{CausalLink, Counterexample, FrameVerdict, ShrinkAction, ShrinkStep};
 pub use journal::{Journal, JournalDiff, JournalEvent, JournalSummary, Subsystem};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};

@@ -334,8 +334,18 @@ impl std::fmt::Debug for System {
 impl System {
     /// Starts building a system for a specification.
     pub fn builder(spec: ReconfigSpec) -> SystemBuilder {
+        System::builder_arc(Arc::new(spec))
+    }
+
+    /// Starts building a system for an already-shared specification.
+    ///
+    /// Systems never mutate their specification, so callers that build
+    /// many systems over the same spec — the bounded model checker
+    /// builds one per run plus one per counterexample replay — share
+    /// one `Arc` instead of deep-cloning the spec each time.
+    pub fn builder_arc(spec: Arc<ReconfigSpec>) -> SystemBuilder {
         SystemBuilder {
-            spec: Arc::new(spec),
+            spec,
             apps: Vec::new(),
             monitors: Vec::new(),
             mid_policy: MidReconfigPolicy::default(),
@@ -344,6 +354,23 @@ impl System {
             mutation: None,
             observability: true,
         }
+    }
+
+    /// Enables or disables the observability layer on a running (or
+    /// forked) system.
+    ///
+    /// The journal and metrics only cover frames executed while
+    /// observability is on; flipping it mid-run does not reconstruct
+    /// history. The counterexample flight recorder uses this to re-arm
+    /// journaling on systems rebuilt for a replay, and debugging
+    /// sessions can use it to journal only the frames under suspicion.
+    pub fn set_observability(&mut self, enabled: bool) {
+        self.obs_enabled = enabled;
+    }
+
+    /// Whether the observability layer is currently recording.
+    pub fn observability(&self) -> bool {
+        self.obs_enabled
     }
 
     /// The specification the system runs under.
@@ -1341,6 +1368,40 @@ mod tests {
         // The trace and legacy event log are unaffected.
         assert_eq!(system.trace().len(), 8);
         assert!(!system.events().is_empty());
+    }
+
+    #[test]
+    fn observability_can_be_rearmed_mid_run() {
+        // The flight recorder's replay path: a system built dark (as
+        // the model checker builds them) starts journaling the moment
+        // observability is re-armed.
+        let mut system = System::builder(spec())
+            .observability(false)
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        assert!(!system.observability());
+        assert!(system.journal().is_empty());
+
+        system.set_observability(true);
+        assert!(system.observability());
+        system.set_env("power", "low").unwrap();
+        system.run_frames(6);
+        let journal = system.journal();
+        assert_eq!(journal.of_kind("trigger-accepted").count(), 1);
+        // History is not reconstructed: the journal starts at the frame
+        // observability came on.
+        assert_eq!(journal.events().first().unwrap().frame, 2);
+        assert_eq!(system.metrics().counter("frames"), 6);
+    }
+
+    #[test]
+    fn builder_arc_shares_the_specification() {
+        let shared = Arc::new(spec());
+        let a = System::builder_arc(Arc::clone(&shared)).build().unwrap();
+        let b = System::builder_arc(Arc::clone(&shared)).build().unwrap();
+        assert!(Arc::ptr_eq(&a.spec, &shared));
+        assert!(Arc::ptr_eq(&b.spec, &shared));
     }
 
     #[test]
