@@ -25,11 +25,14 @@ const USAGE: &str = "\
 usage: arfs-trace <command> [args]
 
   summarize <journal>                  event counts by kind/subsystem, frame range
-  grep <journal> --kind KIND           print events of one kind
-      [--subsystem SUBSYSTEM]          further restrict to one subsystem
+  grep <journal> --kind KIND           print events of one kind (chaos campaigns emit
+      [--subsystem SUBSYSTEM]          torn-write, bus-silenced, clock-jitter,
+                                       commit-retry, quarantined, safe-fallback);
+                                       --subsystem restricts further
   diff <journal-a> <journal-b>         compare two journals event by event
   explain <counterexample.json>        render a model-check counterexample:
-                                       minimized timeline, causal chain highlighted";
+                                       minimized schedule and fault plan, timeline,
+                                       causal chain highlighted";
 
 fn load(path: &str) -> Result<Journal, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -114,6 +117,15 @@ fn explain(args: &[String]) -> Result<ExitCode, String> {
         kept,
         ce.shrink_steps.len(),
     );
+    if !ce.fault_plan.is_empty() {
+        println!("fault plan:           {}", ce.fault_plan);
+        println!(
+            "minimized fault plan: {}  ({} -> {} faults)",
+            ce.minimized_fault_plan,
+            ce.fault_plan.len(),
+            ce.minimized_fault_plan.len(),
+        );
+    }
     println!("violations:");
     for v in &ce.violations {
         println!("  {v}");

@@ -29,6 +29,10 @@
 //! - [`app`] — the reconfigurable-application abstraction: normal cyclic
 //!   operation plus the `halt` / `prepare` / `initialize` reconfiguration
 //!   interface with per-stage bounds (§5.3, §6.2).
+//! - [`chaos`] — deterministic, seedable substrate fault injection
+//!   (torn stable-storage writes, bus silence, clock jitter) plus the
+//!   defense knobs (retry budgets, quarantine windows) that make the
+//!   injected faults survivable.
 //! - [`scram`] — the System Control Reconfiguration Analysis and
 //!   Management kernel: accepts failure signals, chooses targets from the
 //!   static table, and drives the three-frame SFTA protocol of Table 1.
@@ -107,6 +111,7 @@
 
 pub mod analysis;
 pub mod app;
+pub mod chaos;
 pub mod environment;
 mod error;
 mod ids;

@@ -62,6 +62,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::chaos::{ChaosDefense, FaultPlan};
 use crate::obs::counterexample::{Counterexample, ShrinkAction, ShrinkStep};
 use crate::obs::{MetricsRegistry, MetricsSnapshot};
 use crate::properties::{self, PropertyViolation};
@@ -348,6 +349,8 @@ pub struct ModelChecker {
     mutation: Option<crate::scram::ScramMutation>,
     observability: bool,
     flight_recorder: bool,
+    fault_plan: FaultPlan,
+    chaos_defense: ChaosDefense,
 }
 
 impl ModelChecker {
@@ -398,6 +401,8 @@ impl ModelChecker {
             mutation: None,
             observability: false,
             flight_recorder: true,
+            fault_plan: FaultPlan::new(),
+            chaos_defense: ChaosDefense::default(),
         }
     }
 
@@ -444,6 +449,28 @@ impl ModelChecker {
     pub fn with_mutation(mut self, mutation: crate::scram::ScramMutation) -> Self {
         self.mutation = Some(mutation);
         self
+    }
+
+    /// Installs a substrate fault plan into every explored system: the
+    /// checker replays the same plan under every enumerated schedule (a
+    /// chaos campaign). Empty by default — the pre-chaos behavior.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Configures the chaos defenses (retry budget, backoff,
+    /// quarantine window) of every explored system.
+    #[must_use]
+    pub fn with_chaos_defense(mut self, defense: ChaosDefense) -> Self {
+        self.chaos_defense = defense;
+        self
+    }
+
+    /// The fault plan installed into every explored system.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// The exploration horizon in frames.
@@ -560,10 +587,19 @@ impl ModelChecker {
     /// replays); otherwise the checker-level knob decides, defaulting
     /// to off for the hot exhaustive loop.
     fn build_system_observed(&self, observed: bool) -> System {
+        self.build_system_with_plan(&self.fault_plan, observed)
+    }
+
+    /// Builds one fresh system under the checker's policies but an
+    /// explicit fault plan — the shrinker's oracle varies the plan
+    /// while everything else stays fixed.
+    fn build_system_with_plan(&self, plan: &FaultPlan, observed: bool) -> System {
         let mut builder = System::builder_arc(Arc::clone(&self.spec))
             .mid_policy(self.mid_policy)
             .sync_policy(self.sync_policy)
             .stage_policy(self.stage_policy)
+            .fault_plan(plan.clone())
+            .chaos_defense(self.chaos_defense)
             .observability(observed || self.observability);
         if let Some(mutation) = self.mutation.clone() {
             builder = builder.mutation(mutation);
@@ -924,7 +960,13 @@ impl ModelChecker {
     /// on — counterexample replays capture a journal even when the
     /// exhaustive loop explores dark.
     fn simulate(&self, schedule: &Schedule, observed: bool) -> System {
-        let mut system = self.build_system_observed(observed);
+        self.simulate_with(schedule, &self.fault_plan, observed)
+    }
+
+    /// Runs one schedule under an explicit fault plan on a fresh
+    /// system to the horizon and returns the finished system.
+    fn simulate_with(&self, schedule: &Schedule, plan: &FaultPlan, observed: bool) -> System {
+        let mut system = self.build_system_with_plan(plan, observed);
         let mut events = schedule.0.iter().peekable();
         for frame in 0..self.horizon {
             while let Some((f, factor, value)) = events.peek() {
@@ -942,7 +984,8 @@ impl ModelChecker {
         system
     }
 
-    /// Simulates one schedule from frame 0 and checks SP1–SP4 plus the
+    /// Simulates one schedule from frame 0 (under the checker's
+    /// installed fault plan) and checks SP1–SP4 plus the
     /// open-reconfiguration property on its trace. This is the oracle
     /// both the reference engine and the delta-debugging shrinker call
     /// per candidate.
@@ -950,35 +993,54 @@ impl ModelChecker {
         collect_violations(&self.simulate(schedule, false))
     }
 
-    /// Delta-debugs a failing schedule to a 1-minimal form, appending
-    /// every attempt to `steps`. Two alternating passes run to a joint
-    /// fixpoint:
+    /// The chaos oracle: simulates one `(schedule, fault plan)` pair
+    /// from frame 0 and checks the properties on its trace. The joint
+    /// shrinker calls this per candidate; chaos harnesses use it to
+    /// probe plans other than the installed one.
+    pub fn check_pair(&self, schedule: &Schedule, plan: &FaultPlan) -> Vec<PropertyViolation> {
+        collect_violations(&self.simulate_with(schedule, plan, false))
+    }
+
+    /// Delta-debugs a failing `(schedule, fault plan)` pair to a
+    /// 1-minimal form, appending every attempt to `steps`. Four passes
+    /// alternate to a joint fixpoint:
     ///
-    /// - **greedy removal** — drop each event in turn, keeping the
-    ///   candidate whenever the violation persists; at the pass's
-    ///   fixpoint removing *any* single event loses the violation
-    ///   (1-minimality);
-    /// - **frame-left-shifting** — move each surviving event one frame
-    ///   earlier while the violation persists, pulling the failure as
-    ///   close to frame 0 as it will go.
+    /// - **greedy event removal** — drop each schedule event in turn,
+    ///   keeping the candidate whenever the violation persists; at the
+    ///   pass's fixpoint removing *any* single event loses the
+    ///   violation (1-minimality);
+    /// - **event frame-left-shifting** — move each surviving event one
+    ///   frame earlier while the violation persists, pulling the
+    ///   failure as close to frame 0 as it will go;
+    /// - **greedy fault removal** — same discipline over the fault
+    ///   plan: every surviving fault is necessary;
+    /// - **fault frame-left-shifting** — each surviving fault moves as
+    ///   early (floor: frame 1) as the violation allows.
     ///
-    /// Each kept candidate strictly decreases `(event count, Σ frames)`
-    /// lexicographically, so the loop terminates; each kept candidate
-    /// was re-checked and still violates, so the result provably fails
-    /// (soundness).
-    fn shrink(&self, schedule: &Schedule, steps: &mut Vec<ShrinkStep>) -> Schedule {
+    /// Each kept candidate strictly decreases
+    /// `(event count + fault count, Σ frames)` lexicographically, so
+    /// the loop terminates; each kept candidate was re-checked and
+    /// still violates, so the result provably fails (soundness).
+    fn shrink(
+        &self,
+        schedule: &Schedule,
+        plan: &FaultPlan,
+        steps: &mut Vec<ShrinkStep>,
+    ) -> (Schedule, FaultPlan) {
         let mut current = schedule.clone();
+        let mut faults = plan.clone();
         loop {
             let mut changed = false;
-            // Greedy removal to fixpoint.
+            // Greedy event removal to fixpoint.
             let mut i = 0;
             while i < current.0.len() {
                 let mut candidate = current.clone();
                 candidate.0.remove(i);
-                let kept = !self.check_schedule(&candidate).is_empty();
+                let kept = !self.check_pair(&candidate, &faults).is_empty();
                 steps.push(ShrinkStep {
                     action: ShrinkAction::RemoveEvent { index: i },
                     candidate: candidate.clone(),
+                    candidate_faults: faults.clone(),
                     kept,
                 });
                 if kept {
@@ -1001,7 +1063,7 @@ impl ModelChecker {
                     }
                     let mut candidate = current.clone();
                     candidate.0[i].0 = from_frame - 1;
-                    let kept = !self.check_schedule(&candidate).is_empty();
+                    let kept = !self.check_pair(&candidate, &faults).is_empty();
                     steps.push(ShrinkStep {
                         action: ShrinkAction::ShiftLeft {
                             index: i,
@@ -1009,6 +1071,7 @@ impl ModelChecker {
                             to_frame: from_frame - 1,
                         },
                         candidate: candidate.clone(),
+                        candidate_faults: faults.clone(),
                         kept,
                     });
                     if !kept {
@@ -1018,20 +1081,72 @@ impl ModelChecker {
                     changed = true;
                 }
             }
+            // Greedy fault removal to fixpoint.
+            let mut i = 0;
+            while i < faults.0.len() {
+                let mut candidate = faults.clone();
+                candidate.0.remove(i);
+                let kept = !self.check_pair(&current, &candidate).is_empty();
+                steps.push(ShrinkStep {
+                    action: ShrinkAction::RemoveFault { index: i },
+                    candidate: current.clone(),
+                    candidate_faults: candidate.clone(),
+                    kept,
+                });
+                if kept {
+                    faults = candidate;
+                    changed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            // Left-shift each surviving fault while the violation
+            // persists. Faults are not ordered among themselves, so the
+            // floor is always frame 1; the plan is renormalized after
+            // the pass.
+            for i in 0..faults.0.len() {
+                loop {
+                    let from_frame = faults.0[i].frame;
+                    if from_frame <= 1 {
+                        break;
+                    }
+                    let mut candidate = faults.clone();
+                    candidate.0[i].frame = from_frame - 1;
+                    let kept = !self.check_pair(&current, &candidate).is_empty();
+                    steps.push(ShrinkStep {
+                        action: ShrinkAction::ShiftFaultLeft {
+                            index: i,
+                            from_frame,
+                            to_frame: from_frame - 1,
+                        },
+                        candidate: current.clone(),
+                        candidate_faults: candidate.clone(),
+                        kept,
+                    });
+                    if !kept {
+                        break;
+                    }
+                    faults = candidate;
+                    changed = true;
+                }
+            }
+            faults.normalize();
             if !changed {
-                return current;
+                return (current, faults);
             }
         }
     }
 
     /// The flight recorder: shrinks a failure to 1-minimal form,
-    /// replays the minimal schedule with observability on, and packages
-    /// schedule, lineage, journal, per-frame verdicts, and causal chain
-    /// into the [`Counterexample`] artifact.
+    /// replays the minimal `(schedule, fault plan)` pair with
+    /// observability on, and packages schedules, plans, lineage,
+    /// journal, per-frame verdicts, and causal chain into the
+    /// [`Counterexample`] artifact.
     fn record_counterexample(&self, failure: &CaseFailure) -> Counterexample {
         let mut shrink_steps = Vec::new();
-        let minimized = self.shrink(&failure.schedule, &mut shrink_steps);
-        let system = self.simulate(&minimized, true);
+        let (minimized, minimized_fault_plan) =
+            self.shrink(&failure.schedule, &self.fault_plan, &mut shrink_steps);
+        let system = self.simulate_with(&minimized, &minimized_fault_plan, true);
         let violations = collect_violations(&system);
         let journal = system.journal().clone();
         let frame_verdicts = Counterexample::derive_frame_verdicts(&violations, self.horizon);
@@ -1039,6 +1154,8 @@ impl ModelChecker {
         Counterexample {
             schedule: failure.schedule.clone(),
             minimized,
+            fault_plan: self.fault_plan.clone(),
+            minimized_fault_plan,
             violations,
             shrink_steps,
             journal,
@@ -1467,5 +1584,142 @@ mod tests {
     #[should_panic(expected = "horizon")]
     fn zero_horizon_panics() {
         let _ = ModelChecker::new(small_spec(), 0, 1);
+    }
+
+    /// Three service levels so a safe-state fallback is observable: the
+    /// choice function points at "mid" but the fallback lands in
+    /// "safe", which SP2 distinguishes.
+    fn three_level_spec() -> ReconfigSpec {
+        let mut b = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "degraded", "bad"])
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("reduced"))
+                    .spec(FunctionalSpec::new("minimal")),
+            )
+            .min_dwell_frames(1);
+        let configs = [("full", "full"), ("mid", "reduced"), ("safe", "minimal")];
+        for (i, (name, spec)) in configs.iter().enumerate() {
+            let mut config = Configuration::new(*name)
+                .assign("a", *spec)
+                .place("a", ProcessorId::new(0));
+            if i == configs.len() - 1 {
+                config = config.safe();
+            }
+            b = b.config(config);
+        }
+        for (from, _) in &configs {
+            for (to, _) in &configs {
+                if from != to {
+                    b = b.transition(*from, *to, Ticks::new(600));
+                }
+            }
+        }
+        b.choose_when("power", "good", "full")
+            .choose_when("power", "degraded", "mid")
+            .choose_when("power", "bad", "safe")
+            .initial_config("full")
+            .initial_env([("power", "good")])
+            .build()
+            .expect("three-level spec is structurally valid")
+    }
+
+    fn torn_write_plan(frame: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            frame,
+            crate::chaos::FaultKind::CommitFault {
+                app: crate::AppId::new("a"),
+            },
+        );
+        plan
+    }
+
+    #[test]
+    fn chaos_campaign_within_budget_passes_with_zero_fallbacks() {
+        // Acceptance: h >= 10, schedules x a nonempty plan, defenses at
+        // their defaults — SP1-SP4 hold and no schedule ever needed the
+        // safe-state fallback. The torn write lands mid-protocol for
+        // early-event schedules, so the retry path genuinely runs.
+        let mc = ModelChecker::new(three_level_spec(), 12, 1).with_fault_plan(torn_write_plan(3));
+        let report = mc.run();
+        assert!(report.all_passed(), "{report}");
+        assert_eq!(report, mc.run_parallel(3));
+
+        let mut retries = 0u64;
+        for schedule in mc.schedule_iter() {
+            if mc.contains_noop(&schedule) {
+                continue;
+            }
+            let system = mc.simulate(&schedule, true);
+            assert_eq!(
+                system.journal().of_kind("safe-fallback").count(),
+                0,
+                "schedule {schedule} fell back to the safe state"
+            );
+            retries += system.journal().of_kind("commit-retry").count() as u64;
+        }
+        assert!(retries > 0, "the campaign never exercised the retry path");
+    }
+
+    #[test]
+    fn zero_retry_budget_campaign_shrinks_to_a_minimal_fault_and_schedule() {
+        // Retry budget 0: the same plan aborts an in-flight
+        // reconfiguration to "mid" into the safe state, and SP2 flags
+        // the divergence. The flight recorder shrinks schedule and
+        // fault plan jointly to a 1-minimal pair.
+        let defense = ChaosDefense {
+            retry_budget_frames: 0,
+            ..ChaosDefense::default()
+        };
+        let mc = ModelChecker::new(three_level_spec(), 12, 1)
+            .with_fault_plan(torn_write_plan(3))
+            .with_chaos_defense(defense);
+        let report = mc.run();
+        assert!(!report.all_passed());
+        let ce = report.counterexample.as_ref().expect("recorder is on");
+        assert_eq!(ce.fault_plan, *mc.fault_plan());
+        assert_eq!(ce.minimized.0.len(), 1);
+        assert_eq!(ce.minimized_fault_plan.len(), 1);
+        // Joint 1-minimality: dropping the event or the fault each
+        // loses the violation.
+        assert!(mc
+            .check_pair(&Schedule(Vec::new()), &ce.minimized_fault_plan)
+            .is_empty());
+        assert!(mc.check_pair(&ce.minimized, &FaultPlan::new()).is_empty());
+        assert!(!mc
+            .check_pair(&ce.minimized, &ce.minimized_fault_plan)
+            .is_empty());
+        // The shrink lineage records fault-side attempts too.
+        assert!(ce.shrink_steps.iter().any(|s| matches!(
+            s.action,
+            ShrinkAction::RemoveFault { .. } | ShrinkAction::ShiftFaultLeft { .. }
+        )));
+        // The replayed journal carries the chaos causal kinds.
+        assert!(ce.journal.of_kind("torn-write").count() >= 1);
+        assert!(ce.journal.of_kind("safe-fallback").count() >= 1);
+        assert!(ce
+            .causal_chain
+            .iter()
+            .any(|l| l.role == "torn-write" || l.role == "safe-fallback"));
+    }
+
+    #[test]
+    fn chaos_counterexample_is_byte_identical_across_engines() {
+        let defense = ChaosDefense {
+            retry_budget_frames: 0,
+            ..ChaosDefense::default()
+        };
+        let mc = ModelChecker::new(three_level_spec(), 12, 1)
+            .with_fault_plan(torn_write_plan(3))
+            .with_chaos_defense(defense);
+        let serial = mc.run().counterexample.expect("serial counterexample");
+        let parallel = mc
+            .run_parallel(3)
+            .counterexample
+            .expect("parallel counterexample");
+        assert_eq!(serial.to_json_pretty(), parallel.to_json_pretty());
     }
 }

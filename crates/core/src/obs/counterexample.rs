@@ -26,6 +26,7 @@
 //! no timestamps, no machine state — so identical runs (serial or
 //! work-stealing) produce byte-identical artifacts.
 
+use crate::chaos::FaultPlan;
 use crate::model::Schedule;
 use crate::properties::{PropertyId, PropertyViolation};
 
@@ -38,6 +39,10 @@ pub struct ShrinkStep {
     pub action: ShrinkAction,
     /// The candidate schedule the action produced.
     pub candidate: Schedule,
+    /// The candidate fault plan the action produced (unchanged for
+    /// schedule-side actions; empty for pre-chaos artifacts).
+    #[serde(default)]
+    pub candidate_faults: FaultPlan,
     /// Whether the violation persisted — `true` means the candidate
     /// replaced the current schedule, `false` means it was discarded.
     pub kept: bool,
@@ -54,6 +59,20 @@ pub enum ShrinkAction {
     /// Move the event at `index` one frame earlier.
     ShiftLeft {
         /// Index of the shifted event.
+        index: usize,
+        /// Frame before the shift.
+        from_frame: u64,
+        /// Frame after the shift.
+        to_frame: u64,
+    },
+    /// Remove the fault at `index` from the current fault plan.
+    RemoveFault {
+        /// Index of the removed fault in the pre-removal plan.
+        index: usize,
+    },
+    /// Move the fault at `index` to an earlier frame.
+    ShiftFaultLeft {
+        /// Index of the shifted fault.
         index: usize,
         /// Frame before the shift.
         from_frame: u64,
@@ -87,7 +106,7 @@ pub struct CausalLink {
 
 /// The journal kinds that participate in a causal chain, in the order
 /// the protocol produces them.
-const CAUSAL_KINDS: [&str; 7] = [
+const CAUSAL_KINDS: [&str; 13] = [
     "env-changed",
     "fault-signal",
     "trigger-accepted",
@@ -95,6 +114,12 @@ const CAUSAL_KINDS: [&str; 7] = [
     "dwell-suppressed",
     "phase-entered",
     "completed",
+    "torn-write",
+    "bus-silenced",
+    "clock-jitter",
+    "commit-retry",
+    "quarantined",
+    "safe-fallback",
 ];
 
 /// A packaged counterexample: schedule, shrink lineage, replayed
@@ -108,6 +133,14 @@ pub struct Counterexample {
     /// single event makes the violation disappear, and no event can
     /// move to an earlier frame without losing it.
     pub minimized: Schedule,
+    /// The fault plan the walk ran under, exactly as installed (empty
+    /// for pre-chaos campaigns).
+    #[serde(default)]
+    pub fault_plan: FaultPlan,
+    /// The 1-minimal fault plan after delta-debugging jointly with the
+    /// schedule: removing any single fault loses the violation.
+    #[serde(default)]
+    pub minimized_fault_plan: FaultPlan,
     /// The violations the *minimized* schedule's replay produced.
     pub violations: Vec<PropertyViolation>,
     /// Every shrink attempt, in order — the reduction's audit trail.
@@ -321,18 +354,36 @@ mod tests {
             serde_json::json!({"target": "safe"}),
         );
         let violations = vec![violation(PropertyId::Sp4, Some(4), None)];
+        let mut fault_plan = FaultPlan::new();
+        fault_plan.push(
+            2,
+            crate::chaos::FaultKind::CommitFault {
+                app: crate::AppId::new("worker"),
+            },
+        );
         let ce = Counterexample {
             schedule: Schedule(vec![
                 (1, "power".into(), "bad".into()),
                 (3, "power".into(), "good".into()),
             ]),
             minimized: Schedule(vec![(1, "power".into(), "bad".into())]),
+            fault_plan: fault_plan.clone(),
+            minimized_fault_plan: fault_plan.clone(),
             violations: violations.clone(),
-            shrink_steps: vec![ShrinkStep {
-                action: ShrinkAction::RemoveEvent { index: 1 },
-                candidate: Schedule(vec![(1, "power".into(), "bad".into())]),
-                kept: true,
-            }],
+            shrink_steps: vec![
+                ShrinkStep {
+                    action: ShrinkAction::RemoveEvent { index: 1 },
+                    candidate: Schedule(vec![(1, "power".into(), "bad".into())]),
+                    candidate_faults: fault_plan.clone(),
+                    kept: true,
+                },
+                ShrinkStep {
+                    action: ShrinkAction::RemoveFault { index: 0 },
+                    candidate: Schedule(vec![(1, "power".into(), "bad".into())]),
+                    candidate_faults: FaultPlan::new(),
+                    kept: false,
+                },
+            ],
             frame_verdicts: Counterexample::derive_frame_verdicts(&violations, 6),
             causal_chain: Counterexample::derive_causal_chain(&journal, &violations, 6),
             journal,

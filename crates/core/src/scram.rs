@@ -24,11 +24,12 @@
 //! this simplifies subsequent verification, since the SCRAM need only be
 //! verified once".
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
 use crate::app::ConfigStatus;
+use crate::chaos::ChaosDefense;
 use crate::environment::EnvState;
 use crate::spec::{dependency_depths, ReconfigSpec, StageBounds};
 use crate::trace::ReconfSt;
@@ -209,6 +210,35 @@ pub enum ScramEvent {
         /// First frame at which a trigger will be accepted.
         until: u64,
     },
+    /// A Table 1 stage frame was voided by a substrate fault (a torn
+    /// stable-storage commit) and will be retried: the frame's stage
+    /// ran but its commit never took effect, so the protocol holds its
+    /// position and re-issues the stage, burning one frame of the
+    /// retry budget (plus any configured backoff).
+    CommitRetry {
+        /// The disrupted frame.
+        frame: u64,
+        /// Target of the in-flight reconfiguration being retried.
+        target: ConfigId,
+        /// Retry-budget frames consumed so far, this one included.
+        used: u64,
+        /// The configured budget
+        /// ([`ChaosDefense::retry_budget_frames`]).
+        budget: u64,
+    },
+    /// The retry budget was exhausted mid-reconfiguration: the SCRAM
+    /// abandoned the in-flight target and fell back to the safe
+    /// configuration — the last-resort defense. Deliberately ignores
+    /// the choice function (which still wants the abandoned target),
+    /// so a fallback is visible to SP2 whenever safe ≠ chosen.
+    SafeFallback {
+        /// The frame the budget ran out.
+        frame: u64,
+        /// The abandoned in-flight target.
+        abandoned: ConfigId,
+        /// The safe configuration now being reconfigured to.
+        safe: ConfigId,
+    },
 }
 
 /// What the kernel decided for one frame.
@@ -236,6 +266,14 @@ struct InFlight {
     phase_progress: u64,
     /// Remaining stall frames (mutation only).
     stall_left: u64,
+    /// Retry-budget frames consumed by substrate faults so far.
+    retries_used: u64,
+    /// Remaining backoff Hold frames before the next stage attempt.
+    backoff_left: u64,
+    /// Whether the current phase instance has already pushed its
+    /// `PhaseEntered` event — retried frames keep `phase_progress` at
+    /// its pre-fault value, and must not announce the phase again.
+    announced: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -261,6 +299,7 @@ pub struct Scram {
     sync_policy: SyncPolicy,
     stage_policy: StagePolicy,
     mutation: Option<ScramMutation>,
+    defense: ChaosDefense,
     phase_frames: StageBounds,
     depths: BTreeMap<AppId, u64>,
     wave_count: u64,
@@ -281,6 +320,7 @@ impl Scram {
             sync_policy: SyncPolicy::default(),
             stage_policy: StagePolicy::default(),
             mutation: None,
+            defense: ChaosDefense::default(),
             phase_frames,
             depths,
             wave_count,
@@ -340,6 +380,15 @@ impl Scram {
     #[must_use]
     pub fn with_mutation(mut self, mutation: ScramMutation) -> Self {
         self.mutation = Some(mutation);
+        self
+    }
+
+    /// Tunes the substrate-fault defenses (retry budget and backoff).
+    /// Only consulted on frames a fault actually disrupts, so kernels
+    /// stepped without faults behave identically under every setting.
+    #[must_use]
+    pub fn with_chaos_defense(mut self, defense: ChaosDefense) -> Self {
+        self.defense = defense;
         self
     }
 
@@ -425,6 +474,29 @@ impl Scram {
     /// carries the commands the system must deliver to the applications
     /// *this* frame and the end-of-frame trace annotations.
     pub fn step(&mut self, frame: u64, env: &EnvState) -> FrameDecision {
+        self.step_chaos(frame, env, &BTreeSet::new())
+    }
+
+    /// [`step`](Scram::step) under substrate faults: `faulted` names
+    /// the applications whose stable-storage commit tears this frame.
+    ///
+    /// A frame is atomic — a stage whose commit tears contributes no
+    /// protocol progress. The kernel still issues this frame's
+    /// commands (the stage *runs*; its effects are simply never
+    /// committed), but an in-flight reconfiguration holds its phase
+    /// position and retries, burning one frame of the
+    /// [`ChaosDefense::retry_budget_frames`] budget and emitting
+    /// [`ScramEvent::CommitRetry`]; past the budget it abandons the
+    /// target for the safe configuration
+    /// ([`ScramEvent::SafeFallback`]). Faults on steady or stall
+    /// frames disturb no protocol state and are absorbed silently —
+    /// the torn application data is the surrounding system's problem.
+    pub fn step_chaos(
+        &mut self,
+        frame: u64,
+        env: &EnvState,
+        faulted: &BTreeSet<AppId>,
+    ) -> FrameDecision {
         let mut events = Vec::new();
         let decision = match &mut self.state {
             KernelState::Steady { since } => {
@@ -470,6 +542,9 @@ impl Scram {
                                 phase: Phase::Halt,
                                 phase_progress: 0,
                                 stall_left: stall,
+                                retries_used: 0,
+                                backoff_left: 0,
+                                announced: false,
                             });
                             // Trigger frame: applications still hold their
                             // current (interrupted) state; commands stay
@@ -504,7 +579,9 @@ impl Scram {
                     _ => self.steady_decision(frame, std::mem::take(&mut events)),
                 }
             }
-            KernelState::Reconfiguring(_) => self.reconfiguring_step(frame, env, &mut events),
+            KernelState::Reconfiguring(_) => {
+                self.reconfiguring_step(frame, env, faulted, &mut events)
+            }
         };
         let mut decision = decision;
         decision.events.extend(events);
@@ -538,8 +615,60 @@ impl Scram {
         &mut self,
         frame: u64,
         env: &EnvState,
+        faulted: &BTreeSet<AppId>,
         events: &mut Vec<ScramEvent>,
     ) -> FrameDecision {
+        // Backoff frames are dead frames: every application holds, the
+        // phase position is untouched, and (since Hold carries no
+        // protocol progress) a fault striking one costs nothing. A
+        // pending retarget is noticed on the next live frame — the
+        // choice function is recomputed from `env` every frame.
+        {
+            let KernelState::Reconfiguring(r) = &mut self.state else {
+                unreachable!("caller checked state")
+            };
+            if r.backoff_left > 0 {
+                r.backoff_left -= 1;
+                let phase = r.phase;
+                let svclvl = self.current.clone();
+                let mut commands = BTreeMap::new();
+                let mut reconf_st = BTreeMap::new();
+                for app in self.spec.apps() {
+                    let id = app.id().clone();
+                    if self.exempted(&id) {
+                        commands.insert(
+                            id.clone(),
+                            AppCommand {
+                                status: ConfigStatus::Normal,
+                                target: None,
+                            },
+                        );
+                        reconf_st.insert(id, ReconfSt::Normal);
+                        continue;
+                    }
+                    commands.insert(
+                        id.clone(),
+                        AppCommand {
+                            status: ConfigStatus::Hold,
+                            target: None,
+                        },
+                    );
+                    let st = match phase {
+                        Phase::Halt | Phase::Prepare => ReconfSt::Halted,
+                        Phase::Init | Phase::Stall => ReconfSt::Prepared,
+                    };
+                    reconf_st.insert(id, st);
+                }
+                return FrameDecision {
+                    frame,
+                    commands,
+                    reconf_st,
+                    svclvl,
+                    events: Vec::new(),
+                };
+            }
+        }
+
         // Mid-reconfiguration trigger handling.
         if self.mid_policy == MidReconfigPolicy::ImmediateRetarget {
             let (source, target, phase) = {
@@ -568,6 +697,7 @@ impl Scram {
                         // back to preparing for the new target.
                         r.phase = Phase::Prepare;
                         r.phase_progress = 0;
+                        r.announced = false;
                         events.push(ScramEvent::PhaseEntered {
                             frame,
                             phase: Phase::Prepare,
@@ -579,7 +709,7 @@ impl Scram {
             }
         }
 
-        let (target, phase, progress, mut next_phase, mut next_progress, mut next_stall) = {
+        let (target, phase, progress, announced, retries_used) = {
             let KernelState::Reconfiguring(r) = &self.state else {
                 unreachable!("caller checked state")
             };
@@ -587,18 +717,31 @@ impl Scram {
                 r.target.clone(),
                 r.phase,
                 r.phase_progress,
-                r.phase,
-                r.phase_progress,
-                r.stall_left,
+                r.announced,
+                r.retries_used,
             )
         };
+        let (mut next_phase, mut next_progress, mut next_stall) = {
+            let KernelState::Reconfiguring(r) = &self.state else {
+                unreachable!("caller checked state")
+            };
+            (r.phase, r.phase_progress, r.stall_left)
+        };
+        let mut next_target = target.clone();
+        let mut next_retries = retries_used;
+        let mut next_backoff = 0u64;
+        let mut next_announced = announced;
 
-        if progress == 0 {
+        if progress == 0 && !announced {
+            // Announce once per phase instance: a retried frame keeps
+            // `progress` at its pre-fault value, and must not announce
+            // the phase a second time.
             events.push(ScramEvent::PhaseEntered {
                 frame,
                 phase,
                 target: target.clone(),
             });
+            next_announced = true;
         }
 
         let mut commands = BTreeMap::new();
@@ -790,6 +933,69 @@ impl Scram {
             }
         }
 
+        let fault_hit = phase != Phase::Stall
+            && self
+                .spec
+                .apps()
+                .iter()
+                .any(|a| faulted.contains(a.id()) && !self.exempted(a.id()));
+        if fault_hit {
+            // The frame is atomic: its stage ran, but the torn commit
+            // voids the outcome. Hold the phase position, keep every
+            // application visibly restricted (a voided completion must
+            // not end the SP1 window), and spend the retry budget.
+            completed = false;
+            next_phase = phase;
+            next_progress = progress;
+            for app in self.spec.apps() {
+                let id = app.id().clone();
+                if self.exempted(&id) {
+                    continue;
+                }
+                let st = match phase {
+                    Phase::Halt | Phase::Prepare => ReconfSt::Halted,
+                    Phase::Init => ReconfSt::Initializing,
+                    Phase::Stall => ReconfSt::Prepared,
+                };
+                reconf_st.insert(id, st);
+            }
+            next_retries = retries_used + 1;
+            if next_retries > self.defense.retry_budget_frames {
+                let safe = self
+                    .spec
+                    .safe_configs()
+                    .first()
+                    .map(|c| (*c).clone())
+                    .expect("validated specs declare a safe configuration");
+                events.push(ScramEvent::SafeFallback {
+                    frame,
+                    abandoned: target.clone(),
+                    safe: safe.clone(),
+                });
+                // Postconditions established by a completed halt phase
+                // survive (earlier frames committed); anything later is
+                // redone for the safe target, mirroring the §5.3
+                // retarget fallback-to-prepare rule.
+                next_phase = if phase == Phase::Halt {
+                    Phase::Halt
+                } else {
+                    Phase::Prepare
+                };
+                next_progress = 0;
+                next_retries = 0;
+                next_announced = false;
+                next_target = safe;
+            } else {
+                events.push(ScramEvent::CommitRetry {
+                    frame,
+                    target: target.clone(),
+                    used: next_retries,
+                    budget: self.defense.retry_budget_frames,
+                });
+                next_backoff = self.defense.retry_backoff_frames;
+            }
+        }
+
         let svclvl = if completed {
             self.current = target.clone();
             self.state = KernelState::Steady { since: frame + 1 };
@@ -799,10 +1005,18 @@ impl Scram {
             });
             target
         } else {
+            if next_phase != phase {
+                // A fresh phase instance announces itself next frame.
+                next_announced = false;
+            }
             if let KernelState::Reconfiguring(r) = &mut self.state {
                 r.phase = next_phase;
                 r.phase_progress = next_progress;
                 r.stall_left = next_stall;
+                r.target = next_target;
+                r.retries_used = next_retries;
+                r.backoff_left = next_backoff;
+                r.announced = next_announced;
             }
             self.current.clone()
         };
@@ -1259,6 +1473,8 @@ mod tests {
                 ScramEvent::Retargeted { .. } => "retarget",
                 ScramEvent::Completed { .. } => "completed",
                 ScramEvent::DwellSuppressed { .. } => "dwell",
+                ScramEvent::CommitRetry { .. } => "retry",
+                ScramEvent::SafeFallback { .. } => "fallback",
             })
             .collect();
         assert_eq!(
@@ -1356,6 +1572,186 @@ mod tests {
                 .unwrap(),
         );
         let _ = Scram::new(spec).with_stage_policy(StagePolicy::CompressedPrepareInit);
+    }
+
+    fn fault(names: &[&str]) -> BTreeSet<AppId> {
+        names.iter().map(|n| AppId::new(*n)).collect()
+    }
+
+    #[test]
+    fn step_chaos_with_empty_fault_set_is_plain_step() {
+        let mut a = Scram::new(two_app_spec(0));
+        let mut b = Scram::new(two_app_spec(0));
+        for f in 0..=5 {
+            let e = if f == 1 { env("low") } else { env("good") };
+            let da = a.step(f, &e);
+            let db = b.step_chaos(f, &e, &BTreeSet::new());
+            assert_eq!(da, db, "frame {f}");
+        }
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn torn_commit_retries_the_stage_and_stretches_the_protocol() {
+        let mut scram = Scram::new(two_app_spec(0)).with_chaos_defense(ChaosDefense {
+            retry_budget_frames: 2,
+            retry_backoff_frames: 0,
+            quarantine_window_frames: 3,
+        });
+        scram.step(0, &env("good"));
+        scram.step(1, &env("low")); // trigger -> reduced
+                                    // Frame 2's halt commit tears: the stage is retried.
+        let d2 = scram.step_chaos(2, &env("low"), &fault(&["fcs"]));
+        assert!(d2.commands.values().all(|c| c.status == ConfigStatus::Halt));
+        assert!(d2.reconf_st.values().all(|s| *s == ReconfSt::Halted));
+        assert!(scram.log().iter().any(|e| matches!(
+            e,
+            ScramEvent::CommitRetry {
+                used: 1,
+                budget: 2,
+                ..
+            }
+        )));
+        // The halt stage re-runs, then prepare/init as usual: the
+        // protocol completes one frame late, on the chosen target.
+        let d3 = scram.step(3, &env("low"));
+        assert!(d3.commands.values().all(|c| c.status == ConfigStatus::Halt));
+        scram.step(4, &env("low")); // prepare
+        let d5 = scram.step(5, &env("low")); // init completes
+        assert_eq!(d5.svclvl, ConfigId::new("reduced"));
+        assert!(!scram.is_reconfiguring());
+        // Exactly one PhaseEntered per phase instance despite the retry.
+        let halts = scram
+            .log()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ScramEvent::PhaseEntered {
+                        phase: Phase::Halt,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(halts, 1);
+        assert!(!scram
+            .log()
+            .iter()
+            .any(|e| matches!(e, ScramEvent::SafeFallback { .. })));
+    }
+
+    #[test]
+    fn voided_completion_frame_keeps_the_window_restricted() {
+        let mut scram = Scram::new(two_app_spec(0));
+        scram.step(0, &env("good"));
+        scram.step(1, &env("low"));
+        scram.step(2, &env("low")); // halt
+        scram.step(3, &env("low")); // prepare
+                                    // Frame 4 would complete, but the init commit tears.
+        let d4 = scram.step_chaos(4, &env("low"), &fault(&["autopilot"]));
+        assert!(scram.is_reconfiguring(), "completion must be voided");
+        assert_eq!(d4.svclvl, ConfigId::new("full-service"));
+        // The trace must not show a normal frame inside the window.
+        assert!(d4.reconf_st.values().all(|s| *s == ReconfSt::Initializing));
+        assert!(!scram
+            .log()
+            .iter()
+            .any(|e| matches!(e, ScramEvent::Completed { .. })));
+        // The retried init completes next frame.
+        let d5 = scram.step(5, &env("low"));
+        assert_eq!(d5.svclvl, ConfigId::new("reduced"));
+        assert!(!scram.is_reconfiguring());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_falls_back_to_the_safe_configuration() {
+        let mut scram = Scram::new(two_app_spec(0)).with_chaos_defense(ChaosDefense {
+            retry_budget_frames: 0,
+            retry_backoff_frames: 0,
+            quarantine_window_frames: 3,
+        });
+        scram.step(0, &env("good"));
+        scram.step(1, &env("low")); // trigger -> reduced
+                                    // Budget 0: the first torn frame abandons "reduced" for the
+                                    // safe configuration "minimal".
+        scram.step_chaos(2, &env("low"), &fault(&["fcs"]));
+        assert!(scram.log().iter().any(|e| matches!(
+            e,
+            ScramEvent::SafeFallback { abandoned, safe, .. }
+                if *abandoned == ConfigId::new("reduced") && *safe == ConfigId::new("minimal")
+        )));
+        // Halt restarts for the safe target, then prepare and init.
+        scram.step(3, &env("low"));
+        scram.step(4, &env("low"));
+        let d5 = scram.step(5, &env("low"));
+        assert_eq!(d5.svclvl, ConfigId::new("minimal"));
+        assert_eq!(scram.current_config(), &ConfigId::new("minimal"));
+        // The choice function wanted "reduced": SP2 will see this.
+        assert_ne!(scram.current_config(), &ConfigId::new("reduced"));
+    }
+
+    #[test]
+    fn retry_backoff_inserts_hold_frames_between_attempts() {
+        let mut scram = Scram::new(two_app_spec(0)).with_chaos_defense(ChaosDefense {
+            retry_budget_frames: 2,
+            retry_backoff_frames: 2,
+            quarantine_window_frames: 3,
+        });
+        scram.step(0, &env("good"));
+        scram.step(1, &env("low"));
+        scram.step_chaos(2, &env("low"), &fault(&["fcs"])); // halt torn
+                                                            // Two backoff frames: all-Hold, no progress, still restricted.
+        for f in 3..=4 {
+            let d = scram.step(f, &env("low"));
+            assert!(
+                d.commands.values().all(|c| c.status == ConfigStatus::Hold),
+                "frame {f}"
+            );
+            assert!(d.reconf_st.values().all(|s| *s == ReconfSt::Halted));
+            assert!(scram.is_reconfiguring());
+        }
+        // Attempt resumes: halt retries, then prepare, then init.
+        let d5 = scram.step(5, &env("low"));
+        assert!(d5.commands.values().all(|c| c.status == ConfigStatus::Halt));
+        scram.step(6, &env("low"));
+        let d7 = scram.step(7, &env("low"));
+        assert_eq!(d7.svclvl, ConfigId::new("reduced"));
+    }
+
+    #[test]
+    fn steady_frame_faults_do_not_disturb_the_kernel() {
+        let mut scram = Scram::new(two_app_spec(0));
+        let d = scram.step_chaos(0, &env("good"), &fault(&["fcs", "autopilot"]));
+        assert!(d
+            .commands
+            .values()
+            .all(|c| c.status == ConfigStatus::Normal));
+        assert!(!scram.is_reconfiguring());
+        assert!(scram.log().is_empty());
+        // A later fault-free reconfiguration runs the normal protocol.
+        scram.step(1, &env("low"));
+        for f in 2..=4 {
+            scram.step(f, &env("low"));
+        }
+        assert_eq!(scram.current_config(), &ConfigId::new("reduced"));
+    }
+
+    #[test]
+    fn fault_on_exempted_app_costs_no_budget() {
+        let mut scram = Scram::new(two_app_spec(0))
+            .with_mutation(ScramMutation::LeaveAppRunning(AppId::new("autopilot")));
+        scram.step(0, &env("good"));
+        scram.step(1, &env("low"));
+        // Only the exempted app faults: the protocol proceeds.
+        scram.step_chaos(2, &env("low"), &fault(&["autopilot"]));
+        scram.step(3, &env("low"));
+        let d4 = scram.step(4, &env("low"));
+        assert_eq!(d4.svclvl, ConfigId::new("reduced"));
+        assert!(!scram
+            .log()
+            .iter()
+            .any(|e| matches!(e, ScramEvent::CommitRetry { .. })));
     }
 
     #[test]

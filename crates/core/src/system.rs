@@ -31,7 +31,7 @@
 //! membership service observes processor `n` silent, the factor flips to
 //! `"down"` without any manual [`System::set_env`] call.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use arfs_failstop::{ProcessorId, ProcessorPool, SharedStableStorage, StableSnapshot};
@@ -42,6 +42,7 @@ use crate::app::{
     AppContext, Blackboard, ConfigStatus, NullApp, ReconfigurableApp, CONFIG_STATUS_KEY,
     TARGET_SPEC_KEY,
 };
+use crate::chaos::{ChaosDefense, ChaosState, FaultKind, FaultPlan};
 use crate::environment::Environment;
 use crate::lint::assembly::{Assembly, ENV_NODE, PROC_NODE_BASE, SCRAM_NODE};
 use crate::obs::{Journal, MetricsRegistry, MetricsSnapshot, Subsystem};
@@ -131,6 +132,8 @@ pub struct SystemBuilder {
     stage_policy: StagePolicy,
     mutation: Option<ScramMutation>,
     observability: bool,
+    fault_plan: FaultPlan,
+    chaos_defense: ChaosDefense,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -202,6 +205,22 @@ impl SystemBuilder {
         self
     }
 
+    /// Installs a substrate fault-injection plan (chaos campaigns).
+    /// The default is the empty plan — no faults ever strike.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Configures the chaos defenses (commit retry budget, backoff,
+    /// bus-silence quarantine window).
+    #[must_use]
+    pub fn chaos_defense(mut self, defense: ChaosDefense) -> Self {
+        self.chaos_defense = defense;
+        self
+    }
+
     /// Builds the system.
     ///
     /// # Errors
@@ -253,7 +272,8 @@ impl SystemBuilder {
         let scram = Scram::new(Arc::clone(&spec))
             .with_mid_policy(self.mid_policy)
             .with_sync_policy(self.sync_policy)
-            .with_stage_policy(self.stage_policy);
+            .with_stage_policy(self.stage_policy)
+            .with_chaos_defense(self.chaos_defense);
         let scram = match self.mutation {
             Some(m) => scram.with_mutation(m),
             None => scram,
@@ -289,6 +309,12 @@ impl SystemBuilder {
             pool_events_cursor: 0,
             membership_cursor: 0,
             reconfig_started_at: None,
+            chaos: ChaosState {
+                plan: self.fault_plan,
+                defense: self.chaos_defense,
+                silenced_until: BTreeMap::new(),
+                silent_streak: BTreeMap::new(),
+            },
         })
     }
 }
@@ -319,6 +345,9 @@ pub struct System {
     /// Trigger frame of the in-flight reconfiguration, for the latency
     /// histogram.
     reconfig_started_at: Option<u64>,
+    /// The substrate fault-injection plan and its live state (silence
+    /// windows, quarantine streaks).
+    chaos: ChaosState,
 }
 
 impl std::fmt::Debug for System {
@@ -353,6 +382,8 @@ impl System {
             stage_policy: StagePolicy::default(),
             mutation: None,
             observability: true,
+            fault_plan: FaultPlan::new(),
+            chaos_defense: ChaosDefense::default(),
         }
     }
 
@@ -411,6 +442,11 @@ impl System {
     /// The fail-stop processor pool.
     pub fn pool(&self) -> &ProcessorPool {
         &self.pool
+    }
+
+    /// The chaos plan and its live state (silence windows, streaks).
+    pub fn chaos(&self) -> &ChaosState {
+        &self.chaos
     }
 
     /// The cumulative system event log.
@@ -479,6 +515,7 @@ impl System {
             pool_events_cursor: self.pool_events_cursor,
             membership_cursor: self.membership_cursor,
             reconfig_started_at: self.reconfig_started_at,
+            chaos: self.chaos.clone(),
         }
     }
 
@@ -562,9 +599,97 @@ impl System {
             }
         }
 
+        // --- Scheduled substrate faults strike (the chaos plan). ---
+        let mut faulted_apps: BTreeSet<AppId> = BTreeSet::new();
+        let mut jitter: BTreeMap<AppId, Ticks> = BTreeMap::new();
+        let struck: Vec<FaultKind> = self
+            .chaos
+            .plan
+            .events_at(frame)
+            .map(|e| e.kind.clone())
+            .collect();
+        for kind in struck {
+            match &kind {
+                FaultKind::CommitFault { app } => {
+                    faulted_apps.insert(app.clone());
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Failstop,
+                            "torn-write",
+                            serde_json::json!({"app": app.to_string()}),
+                        );
+                    }
+                }
+                FaultKind::BusSilence { processor, frames } => {
+                    let until = frame + frames;
+                    let entry = self.chaos.silenced_until.entry(*processor).or_insert(until);
+                    *entry = (*entry).max(until);
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Bus,
+                            "bus-silenced",
+                            serde_json::json!({
+                                "processor": processor.raw() as u64,
+                                "frames": *frames,
+                            }),
+                        );
+                    }
+                }
+                FaultKind::ClockJitter { app, ticks } => {
+                    let slot = jitter.entry(app.clone()).or_insert(Ticks::ZERO);
+                    *slot += Ticks::new(*ticks);
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Rtos,
+                            "clock-jitter",
+                            serde_json::json!({"app": app.to_string(), "ticks": *ticks}),
+                        );
+                    }
+                }
+            }
+            if self.obs_enabled {
+                self.metrics.incr("chaos.faults_injected");
+            }
+        }
+
         // --- Membership: alive processors announce themselves; silent
-        // processors flip their status factors. ---
+        // processors flip their status factors. A chaos-silenced
+        // processor skips its slot without halting; past the detection
+        // window the defense converts it into an explicit fail-stop
+        // quarantine (the membership-by-silence contract restored by
+        // force). ---
         for p in self.pool.alive_ids() {
+            if self.chaos.is_silenced(p, frame) {
+                let streak = self.chaos.silent_streak.entry(p).or_insert(0);
+                *streak += 1;
+                let streak = *streak;
+                if streak >= self.chaos.defense.quarantine_window_frames {
+                    let _ = self.pool.fail(p);
+                    self.events.push(SystemEvent::ProcessorDown {
+                        frame,
+                        processor: p,
+                    });
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Failstop,
+                            "quarantined",
+                            serde_json::json!({
+                                "processor": p.raw() as u64,
+                                "silent_frames": streak,
+                            }),
+                        );
+                        self.metrics.incr("chaos.quarantines");
+                    }
+                    self.chaos.silent_streak.remove(&p);
+                    self.chaos.silenced_until.remove(&p);
+                }
+                continue;
+            }
+            self.chaos.silent_streak.remove(&p);
             self.bus.mark_present(NodeId::new(PROC_NODE_BASE + p.raw()));
         }
         for p in self.pool.failed_ids() {
@@ -620,7 +745,7 @@ impl System {
 
         // --- SCRAM decision. ---
         let decision_started = std::time::Instant::now();
-        let decision = self.scram.step(frame, &env);
+        let decision = self.scram.step_chaos(frame, &env, &faulted_apps);
         if self.obs_enabled {
             self.metrics.observe(
                 "scram.decision_ns",
@@ -763,6 +888,7 @@ impl System {
             } else {
                 self.spec.frame_len()
             };
+            let torn = faulted_apps.contains(&app_id);
             let app = &mut self.apps[app_index];
             let (result, consumed, stage) = region.write(|stable| {
                 let mut ctx = AppContext {
@@ -798,10 +924,22 @@ impl System {
                     ConfigStatus::Hold => (Ok(()), "hold"),
                 };
                 let consumed = ctx.consumed;
-                // Frame-end stable-storage commit (§6.1).
-                stable.commit();
+                // Frame-end stable-storage commit (§6.1) — unless this
+                // frame's commit tears, in which case every staged write
+                // is discarded and the stage leaves no durable effect.
+                if torn {
+                    stable.discard();
+                } else {
+                    stable.commit();
+                }
                 (result, consumed, stage)
             });
+            // Injected clock jitter inflates the frame's consumed ticks
+            // before the deadline check sees them.
+            let consumed = match jitter.get(&app_id) {
+                Some(extra) => consumed + *extra,
+                None => consumed,
+            };
 
             if let Err(error) = result {
                 if self.obs_enabled {
@@ -1105,6 +1243,38 @@ impl System {
                         serde_json::json!({"until": *until}),
                     );
                     self.metrics.incr("scram.dwell_suppressed");
+                }
+                ScramEvent::CommitRetry {
+                    target,
+                    used,
+                    budget,
+                    ..
+                } => {
+                    self.journal.record(
+                        frame,
+                        Subsystem::Scram,
+                        "commit-retry",
+                        serde_json::json!({
+                            "target": target.to_string(),
+                            "used": *used,
+                            "budget": *budget,
+                        }),
+                    );
+                    self.metrics.incr("chaos.commit_retries");
+                }
+                ScramEvent::SafeFallback {
+                    abandoned, safe, ..
+                } => {
+                    self.journal.record(
+                        frame,
+                        Subsystem::Scram,
+                        "safe-fallback",
+                        serde_json::json!({
+                            "abandoned": abandoned.to_string(),
+                            "safe": safe.to_string(),
+                        }),
+                    );
+                    self.metrics.incr("chaos.safe_fallbacks");
                 }
             }
         }
@@ -1713,6 +1883,157 @@ mod tests {
             e,
             SystemEvent::DeadlineMiss { app, consumed, .. }
                 if *app == AppId::new("fcs") && *consumed == Ticks::new(5000)
+        )));
+    }
+
+    #[test]
+    fn torn_commit_mid_reconfig_retries_and_still_lands_with_properties_intact() {
+        // One torn write on the halt frame: the default retry budget
+        // absorbs it, the reconfiguration completes a frame late, and
+        // SP1-SP4 still hold over the chaos trace.
+        let mut plan = FaultPlan::new();
+        plan.push(
+            3,
+            FaultKind::CommitFault {
+                app: AppId::new("fcs"),
+            },
+        );
+        let mut system = System::builder(spec()).fault_plan(plan).build().unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(10);
+
+        assert_eq!(system.current_config(), &ConfigId::new("reduced"));
+        let journal = system.journal();
+        assert_eq!(journal.of_kind("torn-write").count(), 1);
+        assert_eq!(journal.of_kind("commit-retry").count(), 1);
+        assert_eq!(journal.of_kind("safe-fallback").count(), 0);
+        assert_eq!(system.metrics().counter("chaos.faults_injected"), 1);
+        assert_eq!(system.metrics().counter("chaos.commit_retries"), 1);
+        // The retry stretched Table 1's 4 cycles to 5.
+        let reconfigs = system.trace().get_reconfigs();
+        assert_eq!(reconfigs.len(), 1);
+        assert_eq!(reconfigs[0].cycles(), 5);
+        let report = properties::check_all(system.trace(), system.spec());
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_falls_back_to_safe_and_sp2_sees_it() {
+        // Retry budget zero: the same torn write aborts the in-flight
+        // reconfiguration to "reduced" and restarts toward the safe
+        // configuration. The system lands somewhere safe — but not
+        // where the choice function pointed, which is exactly an SP2
+        // violation.
+        let mut plan = FaultPlan::new();
+        plan.push(
+            3,
+            FaultKind::CommitFault {
+                app: AppId::new("fcs"),
+            },
+        );
+        let defense = crate::chaos::ChaosDefense {
+            retry_budget_frames: 0,
+            ..crate::chaos::ChaosDefense::default()
+        };
+        let mut system = System::builder(spec())
+            .fault_plan(plan)
+            .chaos_defense(defense)
+            .build()
+            .unwrap();
+        system.run_frames(2);
+        system.set_env("power", "low").unwrap();
+        system.run_frames(10);
+
+        let journal = system.journal();
+        assert_eq!(journal.of_kind("safe-fallback").count(), 1);
+        assert_eq!(system.metrics().counter("chaos.safe_fallbacks"), 1);
+        // The fallback window landed in "minimal" (not the chosen
+        // "reduced"); once the substrate calmed, a fresh trigger
+        // re-converged on the choice function's target.
+        let reconfigs = system.trace().get_reconfigs();
+        assert_eq!(reconfigs.len(), 2);
+        let fallback_end = system.trace().state(reconfigs[0].end_c).unwrap();
+        assert_eq!(fallback_end.svclvl, ConfigId::new("minimal"));
+        assert_eq!(system.current_config(), &ConfigId::new("reduced"));
+        let report = properties::check_all(system.trace(), system.spec());
+        assert!(!report.of(crate::properties::PropertyId::Sp2).is_empty());
+    }
+
+    #[test]
+    fn persistent_bus_silence_is_quarantined_as_fail_stop() {
+        // Three silent frames hit the default detection window: the
+        // processor is force-failed, and from there the ordinary
+        // membership/processor-status machinery takes over.
+        let mut plan = FaultPlan::new();
+        plan.push(
+            2,
+            FaultKind::BusSilence {
+                processor: ProcessorId::new(1),
+                frames: 3,
+            },
+        );
+        let mut system = System::builder(spec()).fault_plan(plan).build().unwrap();
+        system.run_frames(6);
+
+        assert!(!system.pool().is_alive(ProcessorId::new(1)));
+        let journal = system.journal();
+        assert_eq!(journal.of_kind("bus-silenced").count(), 1);
+        assert_eq!(journal.of_kind("quarantined").count(), 1);
+        assert_eq!(system.metrics().counter("chaos.quarantines"), 1);
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::ProcessorDown { processor, .. } if *processor == ProcessorId::new(1)
+        )));
+        // The quarantined host's application is lost thereafter.
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::AppLost { app, .. } if *app == AppId::new("autopilot")
+        )));
+    }
+
+    #[test]
+    fn single_membership_flap_is_harmless() {
+        // A one-frame silence never reaches the quarantine window; the
+        // streak resets and the processor stays in service.
+        let mut plan = FaultPlan::new();
+        plan.push(
+            2,
+            FaultKind::BusSilence {
+                processor: ProcessorId::new(1),
+                frames: 1,
+            },
+        );
+        let mut system = System::builder(spec()).fault_plan(plan).build().unwrap();
+        system.run_frames(8);
+
+        assert!(system.pool().is_alive(ProcessorId::new(1)));
+        assert_eq!(system.journal().of_kind("quarantined").count(), 0);
+        assert!(system.chaos().silent_streak.is_empty());
+        assert!(system.trace().states().iter().all(SysState::all_normal));
+        let report = properties::check_all(system.trace(), system.spec());
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn clock_jitter_surfaces_as_deadline_miss() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            1,
+            FaultKind::ClockJitter {
+                app: AppId::new("fcs"),
+                ticks: 200,
+            },
+        );
+        let mut system = System::builder(spec()).fault_plan(plan).build().unwrap();
+        system.run_frames(3);
+
+        assert_eq!(system.journal().of_kind("clock-jitter").count(), 1);
+        assert_eq!(system.metrics().counter("rtos.deadline_misses"), 1);
+        assert!(system.events().iter().any(|e| matches!(
+            e,
+            SystemEvent::DeadlineMiss { frame, app, .. }
+                if *frame == 1 && *app == AppId::new("fcs")
         )));
     }
 

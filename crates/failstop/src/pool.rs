@@ -42,6 +42,20 @@ pub enum PoolEvent {
         /// Logical task name.
         task: String,
     },
+    /// A failure was requested for a processor that had already
+    /// failed — redundant, but auditable: injected faults and explicit
+    /// quarantines can race to fail the same processor.
+    AlreadyFailed(ProcessorId),
+    /// A restart was requested but no spare was available: the task
+    /// stays on its failed host and the caller sees
+    /// [`FailStopError::NoSpare`], but the exhaustion itself is now on
+    /// the audit log.
+    RestartExhausted {
+        /// Logical task name.
+        task: String,
+        /// The failed processor the task is stranded on.
+        from: ProcessorId,
+    },
 }
 
 impl PoolEvent {
@@ -53,6 +67,8 @@ impl PoolEvent {
             PoolEvent::Assigned { .. } => "task-assigned",
             PoolEvent::Restarted { .. } => "task-restarted",
             PoolEvent::Released { .. } => "task-released",
+            PoolEvent::AlreadyFailed(_) => "processor-already-failed",
+            PoolEvent::RestartExhausted { .. } => "restart-exhausted",
         }
     }
 }
@@ -153,6 +169,8 @@ impl ProcessorPool {
         if p.is_running() {
             p.force_fail();
             self.events.push(PoolEvent::Failed(id));
+        } else {
+            self.events.push(PoolEvent::AlreadyFailed(id));
         }
         Ok(())
     }
@@ -239,7 +257,13 @@ impl ProcessorPool {
                     step: "restart_on_spare".into(),
                     reason: format!("task `{task}` has no assignment"),
                 })?;
-        let to = self.find_spare().ok_or(FailStopError::NoSpare)?;
+        let Some(to) = self.find_spare() else {
+            self.events.push(PoolEvent::RestartExhausted {
+                task: task.to_owned(),
+                from,
+            });
+            return Err(FailStopError::NoSpare);
+        };
         self.assignments.insert(task.to_owned(), to);
         self.events.push(PoolEvent::Restarted {
             task: task.to_owned(),
@@ -380,6 +404,47 @@ mod tests {
         pool.fail(ProcessorId::new(0)).unwrap();
         // P1 is busy with "ap"; no spare remains.
         assert_eq!(pool.restart_on_spare("fcs"), Err(FailStopError::NoSpare));
+    }
+
+    #[test]
+    fn refailing_a_failed_processor_is_journaled_not_silent() {
+        let mut pool = ProcessorPool::with_processors(2);
+        pool.fail(ProcessorId::new(0)).unwrap();
+        let cursor = pool.events().len();
+        // A second failure request (e.g. an injected fault racing a
+        // quarantine) succeeds but leaves an audit event, not nothing.
+        pool.fail(ProcessorId::new(0)).unwrap();
+        let tail = pool.events_since(cursor);
+        assert_eq!(tail, [PoolEvent::AlreadyFailed(ProcessorId::new(0))]);
+        assert_eq!(tail[0].kind(), "processor-already-failed");
+        // The processor is still exactly one Failed event deep.
+        let failed = pool
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PoolEvent::Failed(_)))
+            .count();
+        assert_eq!(failed, 1);
+    }
+
+    #[test]
+    fn restart_exhaustion_is_journaled_alongside_the_error() {
+        let mut pool = ProcessorPool::with_processors(2);
+        pool.assign("fcs", ProcessorId::new(0)).unwrap();
+        pool.assign("ap", ProcessorId::new(1)).unwrap();
+        pool.fail(ProcessorId::new(0)).unwrap();
+        let cursor = pool.events().len();
+        assert_eq!(pool.restart_on_spare("fcs"), Err(FailStopError::NoSpare));
+        let tail = pool.events_since(cursor);
+        assert_eq!(
+            tail,
+            [PoolEvent::RestartExhausted {
+                task: "fcs".into(),
+                from: ProcessorId::new(0),
+            }]
+        );
+        assert_eq!(tail[0].kind(), "restart-exhausted");
+        // The stranded task keeps its (failed) assignment.
+        assert_eq!(pool.assignment("fcs"), Some(ProcessorId::new(0)));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Determinism and fork-safety properties of the chaos engine: a seeded
+//! fault campaign must be exactly reproducible (same `FaultPlan` + same
+//! schedule ⇒ byte-identical journal), and [`System::fork`] must carry
+//! pending chaos state — an in-progress bus-silence window, the silent
+//! streaks it has accumulated — into the child so prefix-sharing replay
+//! over chaotic traces is sound.
+
+use arfs_core::chaos::{ChaosProfile, FaultKind, FaultPlan};
+use arfs_core::model::ModelChecker;
+use arfs_core::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
+use arfs_core::system::System;
+use arfs_failstop::ProcessorId;
+use arfs_rtos::Ticks;
+
+fn three_level_spec() -> ReconfigSpec {
+    let mut b = ReconfigSpec::builder()
+        .frame_len(Ticks::new(100))
+        .env_factor("power", ["good", "degraded", "bad"])
+        .app(
+            AppDecl::new("a")
+                .spec(FunctionalSpec::new("full"))
+                .spec(FunctionalSpec::new("reduced"))
+                .spec(FunctionalSpec::new("minimal")),
+        )
+        .min_dwell_frames(1);
+    let configs = [("full", "full"), ("mid", "reduced"), ("safe", "minimal")];
+    for (i, (name, spec)) in configs.iter().enumerate() {
+        let mut config = Configuration::new(*name)
+            .assign("a", *spec)
+            .place("a", ProcessorId::new(0));
+        if i == configs.len() - 1 {
+            config = config.safe();
+        }
+        b = b.config(config);
+    }
+    for (from, _) in &configs {
+        for (to, _) in &configs {
+            if from != to {
+                b = b.transition(*from, *to, Ticks::new(600));
+            }
+        }
+    }
+    b.choose_when("power", "good", "full")
+        .choose_when("power", "degraded", "mid")
+        .choose_when("power", "bad", "safe")
+        .initial_config("full")
+        .initial_env([("power", "good")])
+        .build()
+        .expect("three-level spec is structurally valid")
+}
+
+/// Two processors plus a `processor-1` status factor, so a quarantine
+/// propagates through membership into a reconfiguration to `solo`.
+fn two_processor_spec() -> ReconfigSpec {
+    ReconfigSpec::builder()
+        .frame_len(Ticks::new(100))
+        .env_factor("processor-1", ["up", "down"])
+        .app(
+            AppDecl::new("fcs")
+                .spec(FunctionalSpec::new("full"))
+                .spec(FunctionalSpec::new("direct")),
+        )
+        .app(
+            AppDecl::new("autopilot")
+                .spec(FunctionalSpec::new("full"))
+                .spec(FunctionalSpec::new("off2")),
+        )
+        .config(
+            Configuration::new("full-service")
+                .assign("fcs", "full")
+                .assign("autopilot", "full")
+                .place("fcs", ProcessorId::new(0))
+                .place("autopilot", ProcessorId::new(1)),
+        )
+        .config(
+            Configuration::new("solo")
+                .assign("fcs", "direct")
+                .assign("autopilot", "off")
+                .place("fcs", ProcessorId::new(0))
+                .safe(),
+        )
+        .transition("full-service", "solo", Ticks::new(800))
+        .choose_when("processor-1", "down", "solo")
+        .choose_when("processor-1", "up", "full-service")
+        .initial_config("full-service")
+        .initial_env([("processor-1", "up")])
+        .build()
+        .expect("two-processor spec is structurally valid")
+}
+
+/// Runs one chaotic scenario to the horizon: degrade at frame 1,
+/// recover at frame 6, under whatever faults the plan injects.
+fn run_campaign(spec: &ReconfigSpec, plan: &FaultPlan) -> System {
+    let mut system = System::builder(spec.clone())
+        .fault_plan(plan.clone())
+        .observability(true)
+        .build()
+        .expect("validated spec builds");
+    for frame in 0..12 {
+        match frame {
+            1 => system.set_env("power", "degraded").expect("valid value"),
+            6 => system.set_env("power", "good").expect("valid value"),
+            _ => {}
+        }
+        system.run_frame();
+    }
+    system
+}
+
+#[test]
+fn same_seed_and_schedule_yield_byte_identical_journals() {
+    let spec = three_level_spec();
+    let profile = ChaosProfile {
+        bus_silence_permille: 0,
+        commit_fault_permille: 300,
+        clock_jitter_permille: 200,
+        ..ChaosProfile::for_spec(&spec, 8)
+    };
+    // FaultPlan::random is pure in its seed.
+    let plan = FaultPlan::random(42, &profile);
+    assert_eq!(plan, FaultPlan::random(42, &profile));
+    assert!(
+        !plan.is_empty(),
+        "seed 42 must actually inject faults for this test to mean anything"
+    );
+
+    let a = run_campaign(&spec, &plan);
+    let b = run_campaign(&spec, &plan);
+    assert_eq!(
+        a.journal().to_json_lines(),
+        b.journal().to_json_lines(),
+        "identical (plan, schedule) must replay to a byte-identical journal"
+    );
+    assert!(
+        a.journal().of_kind("torn-write").count() > 0,
+        "the campaign exercised the fault path"
+    );
+
+    // A different seed is a different campaign: at least one of the
+    // nearby seeds must draw a different plan (all-equal would mean the
+    // seed is ignored).
+    assert!(
+        (1..=10).any(|seed| FaultPlan::random(seed, &profile) != plan),
+        "fault plans must depend on the seed"
+    );
+}
+
+#[test]
+fn campaign_reports_are_deterministic_per_seed() {
+    let spec = three_level_spec();
+    let profile = ChaosProfile {
+        bus_silence_permille: 0,
+        commit_fault_permille: 300,
+        ..ChaosProfile::for_spec(&spec, 8)
+    };
+    let plan = FaultPlan::random(7, &profile);
+    let mc = ModelChecker::new(spec.clone(), 12, 1).with_fault_plan(plan.clone());
+    let first = mc.run();
+    let second = ModelChecker::new(spec, 12, 1).with_fault_plan(plan).run();
+    assert_eq!(
+        first, second,
+        "the same seeded campaign must produce the same report object"
+    );
+}
+
+#[test]
+fn fork_preserves_pending_chaos_state() {
+    // A bus-silence window opens at frame 2 and runs four frames; the
+    // quarantine defense (window 3) will convict at frame 4. Fork at
+    // the end of frame 3 — mid-silence, streak at 2, one frame short of
+    // conviction — and both timelines must independently complete the
+    // quarantine on the very next frame.
+    let spec = two_processor_spec();
+    let mut plan = FaultPlan::new();
+    plan.push(
+        2,
+        FaultKind::BusSilence {
+            processor: ProcessorId::new(1),
+            frames: 4,
+        },
+    );
+    let mut parent = System::builder(spec)
+        .fault_plan(plan)
+        .observability(true)
+        .build()
+        .expect("builds");
+    for _ in 0..4 {
+        parent.run_frame();
+    }
+    // The silence window is open and the streak is pending but below
+    // the conviction threshold.
+    assert!(parent.chaos().is_silenced(ProcessorId::new(1), 4));
+    assert_eq!(
+        parent.chaos().silent_streak.get(&ProcessorId::new(1)),
+        Some(&2)
+    );
+    assert_eq!(parent.journal().of_kind("quarantined").count(), 0);
+
+    let mut child = parent.fork();
+    assert_eq!(
+        parent.chaos().silenced_until,
+        child.chaos().silenced_until,
+        "fork must carry the open silence window"
+    );
+    assert_eq!(
+        parent.chaos().silent_streak,
+        child.chaos().silent_streak,
+        "fork must carry the accumulated silent streak"
+    );
+
+    // Run the child first and to completion; the parent afterwards. If
+    // fork shared (rather than snapshotted) chaos state, the child's
+    // consumption of the window would corrupt the parent's replay.
+    for _ in 0..8 {
+        child.run_frame();
+    }
+    for _ in 0..8 {
+        parent.run_frame();
+    }
+    for system in [&parent, &child] {
+        assert_eq!(system.journal().of_kind("quarantined").count(), 1);
+        assert_eq!(system.current_config().to_string(), "solo");
+    }
+    assert_eq!(
+        parent.journal().to_json_lines(),
+        child.journal().to_json_lines(),
+        "identical continuations from the fork point must replay identically"
+    );
+}
+
+#[test]
+fn fork_divergence_does_not_leak_chaos_effects() {
+    // Like `forked_systems_diverge_independently`, but the divergence
+    // is a chaos outcome: the child lives through the quarantine while
+    // the parent is frozen at the fork point; the parent's membership
+    // must be untouched when it resumes.
+    let spec = two_processor_spec();
+    let mut plan = FaultPlan::new();
+    plan.push(
+        2,
+        FaultKind::BusSilence {
+            processor: ProcessorId::new(1),
+            frames: 4,
+        },
+    );
+    let mut parent = System::builder(spec)
+        .fault_plan(plan)
+        .observability(true)
+        .build()
+        .expect("builds");
+    for _ in 0..3 {
+        parent.run_frame();
+    }
+    let mut child = parent.fork();
+    for _ in 0..9 {
+        child.run_frame();
+    }
+    assert_eq!(child.journal().of_kind("quarantined").count(), 1);
+    // The child's quarantine did not reach back into the parent.
+    assert_eq!(parent.journal().of_kind("quarantined").count(), 0);
+    assert!(parent.pool().is_alive(ProcessorId::new(1)));
+    // And the parent still completes its own conviction on resume.
+    for _ in 0..9 {
+        parent.run_frame();
+    }
+    assert_eq!(parent.journal().of_kind("quarantined").count(), 1);
+    assert_eq!(parent.current_config().to_string(), "solo");
+}
