@@ -62,6 +62,110 @@ pub fn negative_control_spec() -> Result<ReconfigSpec, SpecError> {
     build_spec(Some(("reduced-service", "minimal-service")))
 }
 
+/// A negative-control fixture for the refined-reachability analysis
+/// (`ARFS-E010`): a `standby-service` configuration the choice function
+/// selects on one-alternator power, but with **no declared inbound
+/// transition** — every path to it exists only over undeclared (E002)
+/// edges, so it is refined-dead. Its declared *outbound* transitions
+/// can therefore never fire either (`ARFS-W108`).
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is the builder's validation
+/// signature.
+pub fn reach_negative_dead_config_spec() -> Result<ReconfigSpec, SpecError> {
+    ReconfigSpec::builder()
+        .frame_len(Ticks::new(100))
+        .env_factor("electrical", ["both", "one", "battery"])
+        .app(
+            AppDecl::new("fcs")
+                .spec(FunctionalSpec::new(FCS_PRIMARY))
+                .spec(FunctionalSpec::new(FCS_DIRECT)),
+        )
+        .config(
+            Configuration::new("full-service")
+                .assign("fcs", FCS_PRIMARY)
+                .place("fcs", ProcessorId::new(0)),
+        )
+        .config(
+            Configuration::new("standby-service")
+                .assign("fcs", FCS_DIRECT)
+                .place("fcs", ProcessorId::new(0)),
+        )
+        .config(
+            Configuration::new("minimal-service")
+                .assign("fcs", FCS_DIRECT)
+                .place("fcs", ProcessorId::new(0))
+                .safe(),
+        )
+        .transition("full-service", "minimal-service", Ticks::new(800))
+        .transition("minimal-service", "full-service", Ticks::new(800))
+        // Outbound edges from standby are declared; no inbound edge is.
+        .transition("standby-service", "full-service", Ticks::new(800))
+        .transition("standby-service", "minimal-service", Ticks::new(800))
+        .choose_when("electrical", "battery", "minimal-service")
+        .choose_when("electrical", "one", "standby-service")
+        .choose_when("electrical", "both", "full-service")
+        .initial_config("full-service")
+        .initial_env([("electrical", "both")])
+        .min_dwell_frames(6)
+        .build()
+}
+
+/// A negative-control fixture for the unchosen-escape-path analysis
+/// (`ARFS-E011`): a reachable `holding-service` configuration with a
+/// *declared* transition to safety that the choice function never
+/// takes — once entered, every environment keeps choosing
+/// `holding-service`, so no safe configuration is reachable over the
+/// refined relation. The escape route exists on paper only.
+///
+/// # Errors
+///
+/// Never fails in practice; the `Result` is the builder's validation
+/// signature.
+pub fn reach_negative_trap_spec() -> Result<ReconfigSpec, SpecError> {
+    use arfs_core::spec::ChooseRule;
+    ReconfigSpec::builder()
+        .frame_len(Ticks::new(100))
+        .env_factor("electrical", ["both", "one", "battery"])
+        .app(
+            AppDecl::new("fcs")
+                .spec(FunctionalSpec::new(FCS_PRIMARY))
+                .spec(FunctionalSpec::new(FCS_DIRECT)),
+        )
+        .config(
+            Configuration::new("full-service")
+                .assign("fcs", FCS_PRIMARY)
+                .place("fcs", ProcessorId::new(0)),
+        )
+        .config(
+            Configuration::new("holding-service")
+                .assign("fcs", FCS_DIRECT)
+                .place("fcs", ProcessorId::new(0)),
+        )
+        .config(
+            Configuration::new("minimal-service")
+                .assign("fcs", FCS_DIRECT)
+                .place("fcs", ProcessorId::new(0))
+                .safe(),
+        )
+        .transition("full-service", "holding-service", Ticks::new(800))
+        .transition("full-service", "minimal-service", Ticks::new(800))
+        .transition("holding-service", "minimal-service", Ticks::new(800))
+        .transition("minimal-service", "holding-service", Ticks::new(800))
+        .transition("minimal-service", "full-service", Ticks::new(800))
+        // The trap: once in holding-service, every environment keeps
+        // choosing it, so the declared escape to safety never fires.
+        .choose_rule(ChooseRule::any_from("holding-service").from_config("holding-service"))
+        .choose_when("electrical", "battery", "minimal-service")
+        .choose_when("electrical", "one", "holding-service")
+        .choose_when("electrical", "both", "full-service")
+        .initial_config("full-service")
+        .initial_env([("electrical", "both")])
+        .min_dwell_frames(6)
+        .build()
+}
+
 /// The exploration horizon (frames) at which every
 /// [`known_bad_mutations`] defect provably surfaces under a
 /// single-event schedule sweep of [`avionics_spec`].
@@ -268,6 +372,49 @@ mod tests {
                 .with_mutation(mutation)
                 .run();
             assert!(!report.all_passed(), "{slug} not caught: {report}");
+        }
+    }
+
+    #[test]
+    fn reach_negative_controls_fire_exactly_their_diagnostic() {
+        use arfs_core::lint::{codes, LintEngine, LintTarget};
+        let engine = LintEngine::new();
+
+        let dead = reach_negative_dead_config_spec().unwrap();
+        let report = engine.run(&LintTarget::spec_only(&dead));
+        assert_eq!(report.of_code(codes::E010).len(), 1, "{}", report.render());
+        assert!(
+            report.of_code(codes::E011).is_empty(),
+            "{}",
+            report.render()
+        );
+        assert_eq!(report.of_code(codes::W108).len(), 2, "{}", report.render());
+
+        let trap = reach_negative_trap_spec().unwrap();
+        let report = engine.run(&LintTarget::spec_only(&trap));
+        assert_eq!(report.of_code(codes::E011).len(), 1, "{}", report.render());
+        assert!(
+            report.of_code(codes::E010).is_empty(),
+            "{}",
+            report.render()
+        );
+
+        // The real spec stays silent on every reachability and
+        // independence diagnostic.
+        let good = avionics_spec().unwrap();
+        let report = engine.run(&LintTarget::spec_only(&good));
+        for code in [
+            codes::E010,
+            codes::E011,
+            codes::W108,
+            codes::W109,
+            codes::W110,
+        ] {
+            assert!(
+                report.of_code(code).is_empty(),
+                "{code} fired on the good spec: {}",
+                report.render()
+            );
         }
     }
 

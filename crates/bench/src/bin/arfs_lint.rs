@@ -5,6 +5,9 @@
 //! cargo run -p arfs-bench --bin arfs-lint -- avionics
 //! cargo run -p arfs-bench --bin arfs-lint -- extended --deny-warnings
 //! cargo run -p arfs-bench --bin arfs-lint -- path/to/spec.json --format json
+//! cargo run -p arfs-bench --bin arfs-lint -- independence avionics --write results/independence_avionics.json
+//! cargo run -p arfs-bench --bin arfs-lint -- independence avionics --check results/independence_avionics.json
+//! cargo run -p arfs-bench --bin arfs-lint -- reach extended
 //! ```
 //!
 //! The spec selector is one of the built-in instantiations (`avionics`,
@@ -12,22 +15,42 @@
 //! controls) or a path to a JSON file containing either a bare
 //! `ReconfigSpec` or a `{"spec": ..., "assembly": ...}` fixture.
 //!
-//! Exit codes: `0` clean, `1` errors reported, `2` warnings reported
-//! under `--deny-warnings`, `3` usage or load error.
+//! Besides the default lint run, two subcommands expose the analyses
+//! behind the diagnostics:
+//!
+//! - `independence <spec>` prints the choice-equivalence classes,
+//!   interference graph, and certified commuting pairs. `--write PATH`
+//!   stores the content-hashed [`IndependenceCertificate`] artifact;
+//!   `--check PATH` re-derives the certificate and exits `1` if the
+//!   stored artifact differs (stale spec hash or drifted analysis) —
+//!   the CI freshness gate.
+//! - `reach <spec>` prints the naive vs refined reachability of every
+//!   configuration and the refined edge relation.
+//!
+//! Exit codes: `0` clean, `1` errors reported (or a stale certificate
+//! under `--check`), `2` warnings reported under `--deny-warnings`,
+//! `3` usage or load error.
 
 use std::process::ExitCode;
 
-use arfs_core::lint::{Assembly, LintEngine, LintReport, LintTarget};
+use arfs_core::lint::independence::spec_content_hash;
+use arfs_core::lint::reach::ReachAnalysis;
+use arfs_core::lint::{Assembly, IndependenceCertificate, LintEngine, LintReport, LintTarget};
 use arfs_core::spec::ReconfigSpec;
 
 const USAGE: &str = "\
 usage: arfs-lint <spec> [--format text|json] [--deny-warnings] [--spec-only]
+       arfs-lint independence <spec> [--format text|json] [--write PATH] [--check PATH]
+       arfs-lint reach <spec> [--format text|json]
 
   <spec>            avionics | extended | avionics-broken | extended-broken
                     | a path to a JSON spec or {\"spec\", \"assembly\"} fixture
   --format FORMAT   output format: text (rustc-style, default) or json
   --deny-warnings   exit 2 if any warning is reported
-  --spec-only       skip assembly derivation; run spec-level passes only";
+  --spec-only       skip assembly derivation; run spec-level passes only
+  --write PATH      (independence) write the certificate artifact to PATH
+  --check PATH      (independence) exit 1 unless PATH holds the exact
+                    certificate this spec derives to (CI freshness gate)";
 
 #[derive(Debug)]
 enum Format {
@@ -35,18 +58,30 @@ enum Format {
     Json,
 }
 
+#[derive(Debug, PartialEq)]
+enum Command {
+    Lint,
+    Independence,
+    Reach,
+}
+
 struct Options {
+    command: Command,
     selector: String,
     format: Format,
     deny_warnings: bool,
     spec_only: bool,
+    write: Option<String>,
+    check: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut selector = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut format = Format::Text;
     let mut deny_warnings = false;
     let mut spec_only = false;
+    let mut write = None;
+    let mut check = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -60,20 +95,47 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--deny-warnings" => deny_warnings = true,
             "--spec-only" => spec_only = true,
+            "--write" => {
+                write = Some(it.next().ok_or("--write requires a path")?.to_string());
+            }
+            "--check" => {
+                check = Some(it.next().ok_or("--check requires a path")?.to_string());
+            }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
-            positional => {
-                if selector.replace(positional.to_string()).is_some() {
-                    return Err("expected exactly one spec selector".into());
-                }
-            }
+            positional => positionals.push(positional.to_string()),
         }
     }
+    let (command, selector) = match positionals.first().map(String::as_str) {
+        Some("independence") | Some("reach") => {
+            let command = if positionals[0] == "independence" {
+                Command::Independence
+            } else {
+                Command::Reach
+            };
+            if positionals.len() != 2 {
+                return Err(format!(
+                    "`{}` expects exactly one spec selector",
+                    positionals[0]
+                ));
+            }
+            (command, positionals[1].clone())
+        }
+        Some(_) if positionals.len() == 1 => (Command::Lint, positionals[0].clone()),
+        Some(_) => return Err("expected exactly one spec selector".into()),
+        None => return Err("expected a spec selector".into()),
+    };
+    if command != Command::Independence && (write.is_some() || check.is_some()) {
+        return Err("--write/--check only apply to the `independence` subcommand".into());
+    }
     Ok(Options {
-        selector: selector.ok_or("expected a spec selector")?,
+        command,
+        selector,
         format,
         deny_warnings,
         spec_only,
+        write,
+        check,
     })
 }
 
@@ -152,6 +214,96 @@ fn run(opts: &Options, loaded: &Loaded) -> LintReport {
     }
 }
 
+/// The `independence` subcommand: render or persist the certificate,
+/// or gate on an existing artifact's freshness.
+fn run_independence(opts: &Options, spec: &ReconfigSpec) -> ExitCode {
+    let certificate = IndependenceCertificate::build(spec);
+    if let Some(path) = &opts.check {
+        let body = match std::fs::read_to_string(path) {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("error: cannot read certificate `{path}`: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let stored: IndependenceCertificate = match serde_json::from_str(&body) {
+            Ok(stored) => stored,
+            Err(e) => {
+                eprintln!("error: cannot parse certificate `{path}`: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        if stored != certificate {
+            if stored.spec_hash != certificate.spec_hash {
+                eprintln!(
+                    "stale certificate: `{path}` was derived from spec {}, but the spec now \
+                     hashes to {} — regenerate with `arfs-lint independence {} --write {path}`",
+                    stored.spec_hash,
+                    spec_content_hash(spec),
+                    opts.selector
+                );
+            } else {
+                eprintln!(
+                    "stale certificate: `{path}` matches the spec hash but not the analysis — \
+                     regenerate with `arfs-lint independence {} --write {path}`",
+                    opts.selector
+                );
+            }
+            return ExitCode::from(1);
+        }
+        println!(
+            "certificate `{path}` is fresh (spec {})",
+            certificate.spec_hash
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &opts.write {
+        let json = match serde_json::to_string_pretty(&certificate) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("error: cannot serialize certificate: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("error: cannot write `{path}`: {e}");
+            return ExitCode::from(3);
+        }
+        println!(
+            "wrote certificate for spec {} to `{path}`",
+            certificate.spec_hash
+        );
+        return ExitCode::SUCCESS;
+    }
+    match opts.format {
+        Format::Text => println!("{}", certificate.render()),
+        Format::Json => match serde_json::to_string_pretty(&certificate) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize certificate: {e}");
+                return ExitCode::from(3);
+            }
+        },
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `reach` subcommand: render the naive/refined reachability.
+fn run_reach(opts: &Options, spec: &ReconfigSpec) -> ExitCode {
+    let analysis = ReachAnalysis::compute(spec);
+    match opts.format {
+        Format::Text => println!("{}", analysis.render(spec)),
+        Format::Json => match serde_json::to_string_pretty(&analysis) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize analysis: {e}");
+                return ExitCode::from(3);
+            }
+        },
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -171,6 +323,12 @@ fn main() -> ExitCode {
             return ExitCode::from(3);
         }
     };
+
+    match opts.command {
+        Command::Independence => return run_independence(&opts, &loaded.spec),
+        Command::Reach => return run_reach(&opts, &loaded.spec),
+        Command::Lint => {}
+    }
 
     let report = run(&opts, &loaded);
     match opts.format {

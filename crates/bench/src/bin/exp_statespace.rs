@@ -11,6 +11,14 @@
 //! (151,879 schedules), which the seed engine has no hope of covering
 //! interactively.
 //!
+//! Each case also runs with the certified partial-order reduction on
+//! ([`ModelChecker::with_por`]): choice-equivalence merging plus
+//! quiescent-state fingerprint dedup, cross-checked against the plain
+//! walk's verdict and against the accounting invariant
+//! `run + elided + merged = total`. The content-hashed
+//! [`IndependenceCertificate`] artifacts CI gates on are regenerated
+//! into `results/independence_{avionics,extended}.json`.
+//!
 //! A second sweep runs every known-bad SCRAM mutation against the
 //! avionics specification: each must fail the check, and the flight
 //! recorder's shrunk, replayed counterexample is written to
@@ -21,13 +29,36 @@
 //!
 //! Usage: `exp_statespace [--smoke]` — `--smoke` runs only the small
 //! cross-checked cases plus the mutant sweep (the CI entry point).
+//!
+//! Exit codes: `0` all verdicts pass, `1` a verification or agreement
+//! check failed, `3` the walk regressed below the seed replay engine on
+//! the `avionics_h14_e1` guard case.
 
 use std::time::Instant;
 
 use arfs_avionics::{known_bad_mutations, KNOWN_BAD_HORIZON};
 use arfs_bench::{banner, verdict, write_json, write_text, TextTable};
+use arfs_core::lint::IndependenceCertificate;
 use arfs_core::model::ModelChecker;
 use arfs_core::spec::ReconfigSpec;
+
+/// The small case the walk must never lose to the seed engine on: a
+/// wallclock regression here fails the run with exit code 3.
+const GUARD_CASE: &str = "avionics_h14_e1";
+
+/// Times `f` best-of-`rounds` (small cases are noise-dominated; the
+/// minimum is the stable statistic).
+fn best_of<T>(rounds: u32, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let value = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (out.expect("at least one round"), best)
+}
 
 struct CaseSpec {
     name: &'static str,
@@ -53,6 +84,28 @@ fn main() {
 
     let avionics = arfs_avionics::avionics_spec().expect("valid spec");
     let extended = arfs_avionics::extended::extended_uav_spec().expect("valid spec");
+
+    // Regenerate the independence certificates CI gates on
+    // (`arfs-lint independence <spec> --check results/...`).
+    banner("independence certificates");
+    let mut certificates = Vec::new();
+    for (slug, spec) in [("avionics", &avionics), ("extended", &extended)] {
+        let cert = IndependenceCertificate::build(spec);
+        let path = write_json(&format!("independence_{slug}.json"), &cert);
+        println!(
+            "{slug}: spec {} ({} commuting pairs) -> {}",
+            cert.spec_hash,
+            cert.commuting_pairs.len(),
+            path.display()
+        );
+        certificates.push(serde_json::json!({
+            "spec": slug,
+            "spec_hash": cert.spec_hash,
+            "commuting_pairs": cert.commuting_pairs.len(),
+            "artifact": path.display().to_string(),
+        }));
+    }
+
     let mut cases = vec![
         CaseSpec {
             name: "avionics_h14_e1",
@@ -91,34 +144,47 @@ fn main() {
         "schedules",
         "explored",
         "elided",
-        "frames walk",
-        "frames seed",
+        "merged",
         "walk s",
+        "por s",
         "seed s",
         "speedup",
+        "por gain",
     ]);
     let mut artifacts = Vec::new();
     let mut all_passed = true;
     let mut engines_agree = true;
+    let mut guard_regressed = false;
 
     for case in &cases {
         let mc = ModelChecker::new(case.spec.clone(), case.horizon, case.max_events);
         let total = mc.total_schedule_count();
 
-        let t0 = Instant::now();
-        let parallel = mc.run_parallel(threads);
-        let walk_secs = t0.elapsed().as_secs_f64();
+        // Small cases finish in microseconds; best-of-3 damps the noise
+        // (and the h14/e1 guard below depends on a stable number).
+        let rounds = if total < 1_000 { 3 } else { 1 };
+        let (parallel, walk_secs) = best_of(rounds, || mc.run_parallel(threads));
         all_passed &= parallel.all_passed();
+
+        // The same space under certified partial-order reduction:
+        // choice-equivalence merging + quiescent fingerprint dedup.
+        let por_mc = ModelChecker::new(case.spec.clone(), case.horizon, case.max_events).with_por();
+        let (por, por_secs) = best_of(rounds, || por_mc.run_parallel(threads));
+        all_passed &= por.all_passed();
+        engines_agree &= por.all_passed() == parallel.all_passed();
+        engines_agree &= por.cases_run + por.cases_elided + por.cases_merged == total;
 
         // The true seed engine replayed every schedule — elision is an
         // optimization of this PR — so its work is total × horizon
         // frames regardless of which engine stands in for it here.
         let seed_equiv_frames = (total as u64) * case.horizon;
         let (seed_secs, speedup) = if case.run_reference {
-            let t0 = Instant::now();
-            let reference = mc.run_reference();
-            let secs = t0.elapsed().as_secs_f64();
+            let (reference, secs) = best_of(rounds, || mc.run_reference());
             engines_agree &= reference == parallel;
+            engines_agree &= reference.all_passed() == por.all_passed();
+            if case.name == GUARD_CASE && walk_secs > secs {
+                guard_regressed = true;
+            }
             (Some(secs), Some(secs / walk_secs))
         } else {
             (None, None)
@@ -129,11 +195,12 @@ fn main() {
             total.to_string(),
             parallel.cases_run.to_string(),
             parallel.cases_elided.to_string(),
-            parallel.frames_simulated.to_string(),
-            seed_equiv_frames.to_string(),
+            por.cases_merged.to_string(),
             format!("{walk_secs:.3}"),
+            format!("{por_secs:.3}"),
             seed_secs.map_or("-".into(), |s| format!("{s:.3}")),
             speedup.map_or("-".into(), |s| format!("{s:.1}x")),
+            format!("{:.1}x", walk_secs / por_secs.max(1e-9)),
         ]);
         artifacts.push(serde_json::json!({
             "case": case.name,
@@ -151,20 +218,30 @@ fn main() {
             "seed_secs": seed_secs,
             "seed_cases_per_sec": seed_secs.map(|s| total as f64 / s.max(1e-9)),
             "speedup_wallclock": speedup,
+            "por_cases_run": por.cases_run,
+            "por_cases_merged": por.cases_merged,
+            "por_frames_walk": por.frames_simulated,
+            "por_secs": por_secs,
+            "por_gain_wallclock": walk_secs / por_secs.max(1e-9),
             "all_passed": parallel.all_passed(),
             "profile": parallel.metrics,
+            "por_profile": por.metrics,
         }));
         println!(
-            "{}: {} ({} frames, {:.3}s, {} threads)",
-            case.name, parallel, parallel.frames_simulated, walk_secs, threads
+            "{}: {} ({} frames, {:.3}s walk / {:.3}s por, {} threads)",
+            case.name, por, parallel.frames_simulated, walk_secs, por_secs, threads
         );
     }
 
     println!("\n{table}");
     verdict("SP1-SP4 hold on every explored schedule", all_passed);
     verdict(
-        "walk and seed engines report identical outcomes",
+        "walk, POR, and seed engines report identical outcomes",
         engines_agree,
+    );
+    verdict(
+        &format!("walk is no slower than the seed engine on {GUARD_CASE}"),
+        !guard_regressed,
     );
 
     // The verification-of-the-verifier sweep: every known-bad mutation
@@ -222,6 +299,7 @@ fn main() {
             "experiment": "exp_statespace",
             "smoke": smoke,
             "threads": threads,
+            "certificates": certificates,
             "cases": artifacts,
             "mutants": mutants,
         }),
@@ -230,5 +308,8 @@ fn main() {
 
     if !(all_passed && engines_agree && all_caught) {
         std::process::exit(1);
+    }
+    if guard_regressed {
+        std::process::exit(3);
     }
 }

@@ -241,6 +241,19 @@ pub trait ReconfigurableApp: Send {
     /// holds (checked after initialize stages).
     fn precondition_established(&self, spec: &SpecId) -> bool;
 
+    /// A digest of the application's full behavioral state, or `None`
+    /// if the application cannot summarize itself.
+    ///
+    /// Two applications with equal digests (and equal ids) must behave
+    /// identically under identical future inputs — the model checker's
+    /// visited-state deduplication hashes this into its canonical state
+    /// fingerprint and **merges** subtrees whose fingerprints collide.
+    /// The default `None` disables deduplication for any system hosting
+    /// the application, which is always sound.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
+
     /// Forks the application at its current state.
     ///
     /// The bounded model checker shares simulation prefixes by forking
@@ -341,6 +354,26 @@ impl ReconfigurableApp for NullApp {
 
     fn precondition_established(&self, spec: &SpecId) -> bool {
         !self.halted && self.spec == *spec
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        // FNV-1a over every behavior-relevant field: spec, halt flag,
+        // prepare target, and work counter.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.spec.as_str().as_bytes());
+        eat(&[u8::from(self.halted)]);
+        match &self.prepared_for {
+            Some(t) => eat(t.as_str().as_bytes()),
+            None => eat(&[0xff]),
+        }
+        eat(&self.frames_run.to_le_bytes());
+        Some(h)
     }
 
     fn clone_box(&self) -> Box<dyn ReconfigurableApp> {

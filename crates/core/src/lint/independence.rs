@@ -1,0 +1,467 @@
+//! Static independence analysis: which environment events commute.
+//!
+//! The model checker's schedule space is the set of interleavings of
+//! environment-update events `(frame, factor := value)`. Two values of
+//! the same factor are **choice-equivalent** when swapping one for the
+//! other can never change the chosen configuration:
+//!
+//! ```text
+//! a ~f b   iff   ∀ configuration c, ∀ environment e:
+//!                choose(c, e[f := a]) = choose(c, e[f := b])
+//! ```
+//!
+//! Because the SP1–SP4 properties consume the environment *only*
+//! through the choice function (the verdict of a trace is a function of
+//! the per-frame `choose` outcomes plus kernel state), an event that
+//! moves a factor within one equivalence class is behaviorally inert:
+//! the schedule with the event and the schedule without it drive the
+//! kernel identically. This is the static certificate behind the
+//! checker's sleep-set-style partial-order reduction
+//! ([`crate::model::ModelChecker::with_por`]), and the runtime
+//! re-verifies a sample of claimed equivalences in debug builds.
+//!
+//! The analysis also builds an **interference graph** whose nodes are
+//! the environment factors, the SCRAM, and the processors: an edge
+//! records that a factor's value changes can trigger the SCRAM or
+//! re-place applications across a processor. Factors isolated in this
+//! graph are *inert* and reported as [`codes::W109`].
+//!
+//! Everything serializes into a deterministic, content-hashed
+//! [`IndependenceCertificate`] JSON artifact (`arfs-lint independence
+//! --write`), which CI regenerates to catch stale commits.
+
+use std::collections::BTreeSet;
+
+use super::{codes, fnv64, Diagnostic, LintPass, LintTarget, Span};
+use crate::spec::ReconfigSpec;
+use crate::ConfigId;
+
+/// The per-factor partition of domain values into choice-equivalence
+/// classes.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FactorClasses {
+    /// The factor name.
+    pub factor: String,
+    /// The domain, in declaration order.
+    pub values: Vec<String>,
+    /// `classes[i]` is the equivalence class of `values[i]`; classes are
+    /// numbered by first appearance in domain order.
+    pub classes: Vec<usize>,
+    /// Whether every value falls in one class (no value change can ever
+    /// alter the chosen configuration).
+    pub inert: bool,
+}
+
+impl FactorClasses {
+    /// The equivalence class of a domain value.
+    pub fn class_of(&self, value: &str) -> Option<usize> {
+        self.values
+            .iter()
+            .position(|v| v == value)
+            .map(|i| self.classes[i])
+    }
+
+    /// Whether two domain values are choice-equivalent.
+    pub fn equivalent(&self, a: &str, b: &str) -> bool {
+        match (self.class_of(a), self.class_of(b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+}
+
+/// One edge of the interference graph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct InterferenceEdge {
+    /// One endpoint (node name, e.g. `env:power`).
+    pub a: String,
+    /// The other endpoint (e.g. `scram` or `proc:0`).
+    pub b: String,
+    /// Why the two interfere.
+    pub why: String,
+}
+
+/// One certified commuting value pair: swapping `a` for `b` (or
+/// deleting the event entirely) never changes any chosen configuration.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CommutingPair {
+    /// The factor.
+    pub factor: String,
+    /// First value.
+    pub a: String,
+    /// Second value.
+    pub b: String,
+}
+
+/// The machine-checkable output of the independence analysis, hashed
+/// against the specification it was derived from.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IndependenceCertificate {
+    /// FNV-1a content hash (hex) of the spec's canonical JSON form; a
+    /// consumer must refuse a certificate whose hash does not match.
+    pub spec_hash: String,
+    /// Per-factor choice-equivalence classes, in factor order.
+    pub factors: Vec<FactorClasses>,
+    /// Interference-graph nodes: `env:<factor>`, `scram`, `proc:<N>`.
+    pub nodes: Vec<String>,
+    /// Interference-graph edges, sorted.
+    pub edges: Vec<InterferenceEdge>,
+    /// All certified commuting value pairs, in factor/domain order.
+    pub commuting_pairs: Vec<CommutingPair>,
+}
+
+/// The content hash a certificate must carry for `spec`.
+pub fn spec_content_hash(spec: &ReconfigSpec) -> String {
+    let json = serde_json::to_string(spec).unwrap_or_default();
+    format!("{:016x}", fnv64(json.as_bytes()))
+}
+
+impl IndependenceCertificate {
+    /// Runs the analysis and builds the certificate. Deterministic: the
+    /// same spec always serializes to the same bytes.
+    pub fn build(spec: &ReconfigSpec) -> Self {
+        let states = spec.env_model().all_states();
+        let mut factors = Vec::new();
+        let mut edges: BTreeSet<InterferenceEdge> = BTreeSet::new();
+        let mut commuting_pairs = Vec::new();
+
+        for factor in spec.env_model().factors() {
+            let values: Vec<String> = factor.domain().to_vec();
+
+            // Signature of a value: the full choose image with the
+            // factor pinned to it, quantified over every configuration
+            // and every base environment state.
+            let signatures: Vec<Vec<Option<ConfigId>>> = values
+                .iter()
+                .map(|v| {
+                    let mut sig = Vec::with_capacity(states.len() * spec.configs().len());
+                    for base in &states {
+                        let pinned = base.with(factor.name(), v);
+                        for config in spec.configs() {
+                            sig.push(spec.choose(config.id(), &pinned).cloned());
+                        }
+                    }
+                    sig
+                })
+                .collect();
+
+            let mut classes = Vec::with_capacity(values.len());
+            let mut reps: Vec<usize> = Vec::new();
+            for (i, sig) in signatures.iter().enumerate() {
+                match reps.iter().position(|&r| signatures[r] == *sig) {
+                    Some(class) => classes.push(class),
+                    None => {
+                        classes.push(reps.len());
+                        reps.push(i);
+                    }
+                }
+            }
+            let inert = reps.len() <= 1;
+
+            for i in 0..values.len() {
+                for j in (i + 1)..values.len() {
+                    if classes[i] == classes[j] {
+                        commuting_pairs.push(CommutingPair {
+                            factor: factor.name().to_owned(),
+                            a: values[i].clone(),
+                            b: values[j].clone(),
+                        });
+                    }
+                }
+            }
+
+            // Interference edges: a non-inert factor touches the SCRAM
+            // trigger state; where its value swings the choice between
+            // targets with different app placements, it also touches
+            // those processors.
+            if !inert {
+                let node = format!("env:{}", factor.name());
+                edges.insert(InterferenceEdge {
+                    a: node.clone(),
+                    b: "scram".to_owned(),
+                    why: "a value change can alter the chosen configuration".to_owned(),
+                });
+                for base in &states {
+                    for config in spec.configs() {
+                        let targets: BTreeSet<Option<ConfigId>> = values
+                            .iter()
+                            .map(|v| {
+                                spec.choose(config.id(), &base.with(factor.name(), v))
+                                    .cloned()
+                            })
+                            .collect();
+                        let concrete: Vec<&ConfigId> =
+                            targets.iter().filter_map(|t| t.as_ref()).collect();
+                        for (x, t1) in concrete.iter().enumerate() {
+                            for t2 in concrete.iter().skip(x + 1) {
+                                for proc in placement_delta(spec, t1, t2) {
+                                    edges.insert(InterferenceEdge {
+                                        a: node.clone(),
+                                        b: format!("proc:{}", proc),
+                                        why: format!(
+                                            "its value selects between `{t1}` and `{t2}`, which \
+                                             place different applications there"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            factors.push(FactorClasses {
+                factor: factor.name().to_owned(),
+                values,
+                classes,
+                inert,
+            });
+        }
+
+        let mut nodes: Vec<String> = spec
+            .env_model()
+            .factors()
+            .iter()
+            .map(|f| format!("env:{}", f.name()))
+            .collect();
+        nodes.push("scram".to_owned());
+        let mut procs: BTreeSet<u32> = BTreeSet::new();
+        for config in spec.configs() {
+            for p in config.processors() {
+                procs.insert(p.raw());
+            }
+        }
+        nodes.extend(procs.into_iter().map(|p| format!("proc:{p}")));
+
+        IndependenceCertificate {
+            spec_hash: spec_content_hash(spec),
+            factors,
+            nodes,
+            edges: edges.into_iter().collect(),
+            commuting_pairs,
+        }
+    }
+
+    /// Whether this certificate was derived from exactly `spec`.
+    pub fn matches_spec(&self, spec: &ReconfigSpec) -> bool {
+        self.spec_hash == spec_content_hash(spec)
+    }
+
+    /// The classes for one factor.
+    pub fn factor(&self, name: &str) -> Option<&FactorClasses> {
+        self.factors.iter().find(|f| f.factor == name)
+    }
+
+    /// Renders the certificate human-readably (the `arfs-lint
+    /// independence` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "independence certificate (spec {})", self.spec_hash);
+        for f in &self.factors {
+            let mut by_class: Vec<Vec<&str>> = Vec::new();
+            for (v, &c) in f.values.iter().zip(&f.classes) {
+                if c == by_class.len() {
+                    by_class.push(Vec::new());
+                }
+                by_class[c].push(v);
+            }
+            let classes: Vec<String> = by_class
+                .iter()
+                .map(|vs| format!("{{{}}}", vs.join(", ")))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  factor `{}`: {} class(es) {}{}",
+                f.factor,
+                by_class.len(),
+                classes.join(" "),
+                if f.inert { "  [inert]" } else { "" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  interference graph: {} node(s), {} edge(s)",
+            self.nodes.len(),
+            self.edges.len()
+        );
+        for e in &self.edges {
+            let _ = writeln!(out, "    {} -- {}  ({})", e.a, e.b, e.why);
+        }
+        let _ = write!(
+            out,
+            "  {} commuting value pair(s) certified",
+            self.commuting_pairs.len()
+        );
+        out
+    }
+}
+
+/// Processors on which `a` and `b` run different (application,
+/// specification) sets.
+fn placement_delta(spec: &ReconfigSpec, a: &ConfigId, b: &ConfigId) -> Vec<u32> {
+    let (Some(ca), Some(cb)) = (spec.config(a), spec.config(b)) else {
+        return Vec::new();
+    };
+    let mut procs: BTreeSet<u32> = BTreeSet::new();
+    for config in [ca, cb] {
+        for p in config.processors() {
+            procs.insert(p.raw());
+        }
+    }
+    procs
+        .into_iter()
+        .filter(|&p| {
+            let on = |c: &crate::spec::Configuration| {
+                c.assignments()
+                    .filter(|(app, _)| c.placement_for(app).map(|q| q.raw()) == Some(p))
+                    .map(|(app, s)| (app.clone(), s.clone()))
+                    .collect::<BTreeSet<_>>()
+            };
+            on(ca) != on(cb)
+        })
+        .collect()
+}
+
+/// `ARFS-W109`: environment factors whose value never matters.
+pub struct IndependencePass;
+
+impl LintPass for IndependencePass {
+    fn name(&self) -> &'static str {
+        "independence"
+    }
+
+    fn description(&self) -> &'static str {
+        "derives choice-equivalence classes per factor and flags inert factors"
+    }
+
+    fn run(&self, target: &LintTarget<'_>) -> Vec<Diagnostic> {
+        let cert = IndependenceCertificate::build(target.spec);
+        let mut out = Vec::new();
+        for f in &cert.factors {
+            if f.inert && f.values.len() > 1 {
+                out.push(
+                    Diagnostic::warning(
+                        codes::W109,
+                        self.name(),
+                        Span::Factor(f.factor.clone()),
+                        format!(
+                            "environment factor `{}` is inert: all {} values are \
+                             choice-equivalent, so no value change can alter the chosen \
+                             configuration",
+                            f.factor,
+                            f.values.len()
+                        ),
+                    )
+                    .note(
+                        "the factor widens the model-checked schedule space without affecting \
+                         behavior; drop it or reference it from a choice rule",
+                    ),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::LintTarget;
+    use crate::spec::{AppDecl, Configuration, FunctionalSpec};
+    use arfs_failstop::ProcessorId;
+    use arfs_rtos::Ticks;
+
+    fn spec_with_inert_factor() -> ReconfigSpec {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["ok", "low"])
+            .env_factor("telemetry", ["on", "off"])
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("hi"))
+                    .spec(FunctionalSpec::new("lo")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "hi")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "lo")
+                    .place("a", ProcessorId::new(1))
+                    .safe(),
+            )
+            .transition("full", "safe", Ticks::new(800))
+            .transition("safe", "full", Ticks::new(800))
+            .choose_when("power", "low", "safe")
+            .choose_when("power", "ok", "full")
+            .initial_config("full")
+            .initial_env([("power", "ok"), ("telemetry", "on")])
+            .min_dwell_frames(6)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inert_factor_collapses_to_one_class_and_fires_w109() {
+        let spec = spec_with_inert_factor();
+        let cert = IndependenceCertificate::build(&spec);
+        assert!(cert.matches_spec(&spec));
+
+        let power = cert.factor("power").unwrap();
+        assert!(!power.inert);
+        assert!(!power.equivalent("ok", "low"));
+
+        let telem = cert.factor("telemetry").unwrap();
+        assert!(telem.inert);
+        assert!(telem.equivalent("on", "off"));
+        assert!(cert
+            .commuting_pairs
+            .iter()
+            .any(|p| p.factor == "telemetry" && p.a == "on" && p.b == "off"));
+
+        // The inert factor is isolated in the interference graph; the
+        // live one touches the SCRAM and the re-placed processors.
+        assert!(!cert.edges.iter().any(|e| e.a == "env:telemetry"));
+        assert!(cert
+            .edges
+            .iter()
+            .any(|e| e.a == "env:power" && e.b == "scram"));
+        assert!(cert
+            .edges
+            .iter()
+            .any(|e| e.a == "env:power" && e.b == "proc:0"));
+
+        let diags = IndependencePass.run(&LintTarget::spec_only(&spec));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::W109);
+    }
+
+    #[test]
+    fn certificate_serialization_is_deterministic_and_hash_is_binding() {
+        let spec = spec_with_inert_factor();
+        let a = serde_json::to_string_pretty(&IndependenceCertificate::build(&spec)).unwrap();
+        let b = serde_json::to_string_pretty(&IndependenceCertificate::build(&spec)).unwrap();
+        assert_eq!(a, b);
+
+        let other = ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["ok", "low"])
+            .app(AppDecl::new("a").spec(FunctionalSpec::new("hi")))
+            .config(
+                Configuration::new("only")
+                    .assign("a", "hi")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
+            .choose_rule(crate::spec::ChooseRule::any_from("only"))
+            .initial_config("only")
+            .initial_env([("power", "ok")])
+            .build()
+            .unwrap();
+        let cert: IndependenceCertificate = serde_json::from_str(&a).unwrap();
+        assert!(!cert.matches_spec(&other));
+    }
+}

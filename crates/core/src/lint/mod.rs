@@ -27,12 +27,16 @@
 //! lint CLI can never disagree.
 
 pub mod assembly;
+pub mod independence;
 mod obligations;
 mod passes;
+pub mod reach;
 
 pub use assembly::Assembly;
+pub use independence::{IndependenceCertificate, IndependencePass};
 pub use obligations::{obligations_from, Obligation, ObligationReport, ObligationResult};
 pub use passes::all_passes;
+pub use reach::{ReachAnalysis, ReachPass, WaveTimingPass};
 
 use std::collections::HashMap;
 use std::fmt;
@@ -95,11 +99,50 @@ pub mod codes {
     pub const W106: &str = "ARFS-W106";
     /// Reconfiguration saves no hardware over masking (§5.1).
     pub const W107: &str = "ARFS-W107";
+    /// A configuration is selected by the choice function but
+    /// unreachable once undeclared transitions are discounted
+    /// (`ARFS-E002` errors on those pairs): the refined reachability
+    /// abstract interpretation proves the system can never actually
+    /// enter it.
+    pub const E010: &str = "ARFS-E010";
+    /// A reachable configuration cannot reach any safe configuration
+    /// through transitions the choice function both declares and takes:
+    /// the declared escape path (`ARFS-E003` is silent) is never chosen.
+    pub const E011: &str = "ARFS-E011";
+    /// A declared transition is taken by the choice function, but its
+    /// source configuration is unreachable under the refined transition
+    /// relation — the edge can never fire at runtime.
+    pub const W108: &str = "ARFS-W108";
+    /// An environment factor is inert: every pair of its values is
+    /// choice-equivalent, so no value change can ever alter the chosen
+    /// configuration.
+    pub const W109: &str = "ARFS-W109";
+    /// A transition bound admits one bare protocol run (`ARFS-E004` is
+    /// silent) but not a staged run across the spec's initialization
+    /// waves — timing-infeasible for the dependency structure declared.
+    pub const W110: &str = "ARFS-W110";
+
+    /// The retired pre-registry warning code: early artifacts tagged
+    /// every specification smell `ARFS-W1`. It redirects to the first
+    /// stable warning code of the registry scheme (see DESIGN.md,
+    /// "Legacy `ARFS-W1` redirect").
+    pub const LEGACY_W1: &str = "ARFS-W1";
+
+    /// Canonicalizes a diagnostic code: stable codes map to themselves,
+    /// the retired [`LEGACY_W1`] maps into the `ARFS-W1xx` scheme, so
+    /// old JSON artifacts remain interpretable.
+    pub fn canonical(code: &str) -> &str {
+        if code == LEGACY_W1 {
+            W101
+        } else {
+            code
+        }
+    }
 
     /// Every code in the catalog, in report order.
     pub const ALL: &[&str] = &[
-        E001, E002, E003, E004, E005, E006, E007, E008, E009, W101, W102, W103, W104, W105, W106,
-        W107,
+        E001, E002, E003, E004, E005, E006, E007, E008, E009, E010, E011, W101, W102, W103, W104,
+        W105, W106, W107, W108, W109, W110,
     ];
 }
 
@@ -161,6 +204,8 @@ pub enum Span {
         /// The environment state.
         env: EnvState,
     },
+    /// One environment factor.
+    Factor(String),
     /// One TDMA bus slot, by owning node.
     BusSlot {
         /// Raw id of the owning node.
@@ -187,6 +232,7 @@ impl fmt::Display for Span {
                 write!(f, "choose rule #{index} (-> `{target}`)")
             }
             Span::Pair { config, env } => write!(f, "configuration `{config}` under {env}"),
+            Span::Factor(name) => write!(f, "environment factor `{name}`"),
             Span::BusSlot { node } => write!(f, "bus slot of node N{node}"),
             Span::Partition { config, processor } => {
                 write!(f, "configuration `{config}` on {processor}")
@@ -341,9 +387,15 @@ impl LintReport {
         self.diagnostics.is_empty()
     }
 
-    /// Diagnostics carrying the given code.
+    /// Diagnostics carrying the given code. Retired codes are matched
+    /// through [`codes::canonical`], so reports deserialized from old
+    /// artifacts (which used the ad-hoc `ARFS-W1` tag) are still found
+    /// under their stable registry code.
     pub fn of_code(&self, code: &str) -> Vec<&Diagnostic> {
-        self.diagnostics.iter().filter(|d| d.code == code).collect()
+        self.diagnostics
+            .iter()
+            .filter(|d| codes::canonical(&d.code) == codes::canonical(code))
+            .collect()
     }
 
     /// The distinct codes present, in first-appearance order.
@@ -505,6 +557,14 @@ fn lint_cache() -> &'static Mutex<HashMap<u64, LintReport>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// FNV-1a over a byte slice — the content hash behind the lint cache
+/// and the [`independence::IndependenceCertificate`] spec hash.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.finish()
+}
+
 /// FNV-1a, the content hash behind the lint cache.
 struct Fnv(u64);
 
@@ -601,6 +661,29 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: LintReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn legacy_w1_artifacts_resolve_to_the_registry_scheme() {
+        // Pre-registry JSON artifacts carry the ad-hoc `ARFS-W1` tag;
+        // they must still be interpretable through the stable-code API.
+        let json = r#"{
+            "diagnostics": [{
+                "code": "ARFS-W1",
+                "severity": "Warning",
+                "pass": "choose-image",
+                "span": "Spec",
+                "message": "legacy specification smell",
+                "notes": []
+            }],
+            "passes": ["choose-image"]
+        }"#;
+        let report: LintReport = serde_json::from_str(json).unwrap();
+        assert_eq!(codes::canonical("ARFS-W1"), codes::W101);
+        assert_eq!(report.of_code(codes::W101).len(), 1);
+        assert_eq!(report.of_code(codes::LEGACY_W1).len(), 1);
+        // Stable codes are untouched by canonicalization.
+        assert_eq!(codes::canonical(codes::E010), codes::E010);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! | `thrash-dwell` | `ARFS-W104` | spec |
 //! | `unused-spec` | `ARFS-W105` | spec |
 //! | `resource-savings` | `ARFS-W107` | spec |
+//! | `reach` | `ARFS-E010`, `ARFS-E011`, `ARFS-W108` | spec |
+//! | `independence` | `ARFS-W109` | spec |
+//! | `wave-timing` | `ARFS-W110` | spec |
 //!
 //! Assembly-level passes emit nothing on a spec-only target.
 
@@ -48,6 +51,9 @@ pub fn all_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(ThrashDwellPass),
         Box::new(UnusedSpecPass),
         Box::new(ResourcePass),
+        Box::new(super::reach::ReachPass),
+        Box::new(super::independence::IndependencePass),
+        Box::new(super::reach::WaveTimingPass),
     ]
 }
 

@@ -36,12 +36,46 @@
 //!   are skipped — a sound symmetry reduction — and counted in
 //!   [`ModelCheckReport::cases_elided`].
 //!
+//! # Certified partial-order reduction
+//!
+//! [`ModelChecker::with_por`] layers two further reductions on top of
+//! no-op elision, both justified by the static
+//! [`IndependenceCertificate`](crate::lint::IndependenceCertificate)
+//! (see [`crate::lint::independence`]):
+//!
+//! - **Choice-equivalence merging** — the kernel consumes the
+//!   environment only through the choice function, so an event moving a
+//!   factor to a value in the same choice-equivalence class as the one
+//!   it already holds — or as an already-forked sibling's value — is
+//!   behaviorally inert: every trace under it coincides, verdict-wise,
+//!   with one under the class representative. The subtree is merged
+//!   into the representative's and counted in
+//!   [`ModelCheckReport::cases_merged`].
+//! - **Quiescent-state deduplication** — when the parent state at a
+//!   branch frame is *quiescent* (kernel steady, pending queues empty,
+//!   substrate healthy, chaos quiet), the child subtree's future is a
+//!   function of the parent's canonical fingerprint
+//!   ([`System::quiescent_fingerprint`]), the branch frame, the seeded
+//!   event, and the remaining event budget alone. A subtree whose
+//!   identity was already explored is merged instead of re-walked.
+//!
+//! The accounting invariant `cases_run + cases_elided + cases_merged =
+//! total_schedule_count` always holds. Reduction is *opt-in* because a
+//! reduced run reports a (verdict-preserving) subset of the unreduced
+//! failure list; the equivalence suite diffs reduced verdicts against
+//! [`ModelChecker::run_reference`] wholesale, and debug builds
+//! spot-check a sample of claimed commutations against the live choice
+//! function as they are used.
+//!
 //! [`ModelChecker::run_parallel`] distributes subtrees over a
 //! work-stealing pool (each idle worker steals the oldest — largest —
 //! queued subtree), so uneven per-schedule cost no longer idles workers
-//! the way static chunking did. [`ModelChecker::run_reference`] keeps
-//! the seed replay-from-frame-0 engine as the executable specification
-//! the optimized engines are tested against.
+//! the way static chunking did; spaces smaller than
+//! [`SERIAL_CUTOVER`] schedules are walked on the caller's thread,
+//! where thread spin-up would cost more than it saves.
+//! [`ModelChecker::run_reference`] keeps the seed replay-from-frame-0
+//! engine as the executable specification the optimized engines are
+//! tested against.
 //!
 //! # The flight recorder and the walk profiler
 //!
@@ -58,11 +92,14 @@
 //!
 //! [`Environment::set`]: crate::environment::Environment::set
 
+use std::collections::HashSet;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::chaos::{ChaosDefense, FaultPlan};
+use crate::lint::independence::IndependenceCertificate;
 use crate::obs::counterexample::{Counterexample, ShrinkAction, ShrinkStep};
 use crate::obs::{MetricsRegistry, MetricsSnapshot};
 use crate::properties::{self, PropertyViolation};
@@ -118,6 +155,13 @@ pub struct ModelCheckReport {
     /// event setting a factor to the value it already held, so their
     /// traces are identical to an explored schedule's.
     pub cases_elided: usize,
+    /// Number of schedules merged by the certified partial-order
+    /// reduction ([`ModelChecker::with_por`]): the independence
+    /// certificate proves their subtrees verdict-equivalent to an
+    /// explored representative's, so their outcomes are implied rather
+    /// than simulated. Always zero with reduction off (the default).
+    #[serde(default)]
+    pub cases_merged: usize,
     /// Total frames simulated across the run — the engine's work
     /// measure. The seed engine spends `(cases_run × horizon)`; the
     /// prefix-sharing walk spends one spine per trie node.
@@ -156,9 +200,9 @@ impl ModelCheckReport {
         self.failures.is_empty()
     }
 
-    /// Total schedules accounted for: explored plus elided.
+    /// Total schedules accounted for: explored plus elided plus merged.
     pub fn cases_total(&self) -> usize {
-        self.cases_run + self.cases_elided
+        self.cases_run + self.cases_elided + self.cases_merged
     }
 }
 
@@ -173,6 +217,13 @@ impl fmt::Display for ModelCheckReport {
             if self.cases_elided > 0 {
                 write!(f, " ({} elided as no-op-equivalent)", self.cases_elided)?;
             }
+            if self.cases_merged > 0 {
+                write!(
+                    f,
+                    " ({} merged by partial-order reduction)",
+                    self.cases_merged
+                )?;
+            }
             Ok(())
         } else {
             write!(
@@ -183,6 +234,13 @@ impl fmt::Display for ModelCheckReport {
             )?;
             if self.cases_elided > 0 {
                 write!(f, " ({} elided as no-op-equivalent)", self.cases_elided)?;
+            }
+            if self.cases_merged > 0 {
+                write!(
+                    f,
+                    " ({} merged by partial-order reduction)",
+                    self.cases_merged
+                )?;
             }
             writeln!(f, ":")?;
             for c in self.failures.iter().take(5) {
@@ -289,6 +347,7 @@ struct NodeTask {
 struct WalkAccum {
     cases_run: usize,
     cases_elided: usize,
+    cases_merged: usize,
     frames_simulated: u64,
     failures: Vec<CaseFailure>,
     /// Nanoseconds spent forking child systems at branch frames.
@@ -306,6 +365,7 @@ impl WalkAccum {
     fn merge(&mut self, other: WalkAccum) {
         self.cases_run += other.cases_run;
         self.cases_elided += other.cases_elided;
+        self.cases_merged += other.cases_merged;
         self.frames_simulated += other.frames_simulated;
         self.failures.extend(other.failures);
         self.fork_ns += other.fork_ns;
@@ -337,6 +397,49 @@ impl fmt::Display for ParallelPanic {
     }
 }
 
+/// Below this many total schedules [`ModelChecker::run_parallel`] walks
+/// the space on the caller's thread: spinning up a work-stealing scope
+/// costs a few hundred microseconds, which small spaces (the whole
+/// h14/e1 avionics space, say) cannot amortize.
+pub const SERIAL_CUTOVER: usize = 256;
+
+/// Identity of one fork subtree for quiescent-state deduplication:
+/// `(parent quiescent fingerprint, branch frame, factor index, value
+/// index, events left)`.
+type SubtreeKey = (u64, u64, usize, usize, usize);
+
+/// Per-run state of the certified partial-order reduction: the
+/// certificate driving choice-equivalence merges, the visited-subtree
+/// set backing quiescent-state deduplication (shared across workers),
+/// and the debug-build spot-check counter.
+struct PorRun {
+    certificate: Arc<IndependenceCertificate>,
+    /// Identities of subtrees already claimed for exploration. Two
+    /// forks with equal keys have frame-identical futures, so the
+    /// second is merged.
+    visited: Mutex<HashSet<SubtreeKey>>,
+    /// Commutation merges spot-checked so far (debug builds re-verify
+    /// the first [`SPOT_CHECK_BUDGET`] against the live choice
+    /// function).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    spot_checks: AtomicU32,
+}
+
+/// How many choice-equivalence merges a debug build re-verifies
+/// dynamically per run.
+#[cfg_attr(not(debug_assertions), allow(dead_code))]
+const SPOT_CHECK_BUDGET: u32 = 64;
+
+impl PorRun {
+    fn new(certificate: Arc<IndependenceCertificate>) -> Self {
+        PorRun {
+            certificate,
+            visited: Mutex::new(HashSet::new()),
+            spot_checks: AtomicU32::new(0),
+        }
+    }
+}
+
 /// Exhaustive bounded explorer of environment-change schedules.
 #[derive(Debug, Clone)]
 pub struct ModelChecker {
@@ -351,6 +454,7 @@ pub struct ModelChecker {
     flight_recorder: bool,
     fault_plan: FaultPlan,
     chaos_defense: ChaosDefense,
+    por: Option<Arc<IndependenceCertificate>>,
 }
 
 impl ModelChecker {
@@ -403,6 +507,7 @@ impl ModelChecker {
             flight_recorder: true,
             fault_plan: FaultPlan::new(),
             chaos_defense: ChaosDefense::default(),
+            por: None,
         }
     }
 
@@ -466,6 +571,47 @@ impl ModelChecker {
     pub fn with_chaos_defense(mut self, defense: ChaosDefense) -> Self {
         self.chaos_defense = defense;
         self
+    }
+
+    /// Enables certified partial-order reduction: derives the
+    /// [`IndependenceCertificate`] for this checker's spec and lets the
+    /// walk engines merge subtrees the certificate proves
+    /// verdict-equivalent to an explored representative
+    /// (choice-equivalence merging plus quiescent-state deduplication;
+    /// see the module docs). Merged subtrees are counted in
+    /// [`ModelCheckReport::cases_merged`]; the accounting invariant
+    /// `cases_run + cases_elided + cases_merged ==
+    /// total_schedule_count` always holds.
+    ///
+    /// Off by default: a reduced run reports a verdict-preserving
+    /// *subset* of the unreduced failure list, so the reference engine
+    /// and unreduced walks remain the baseline for report-equality
+    /// comparisons. [`run_reference`](ModelChecker::run_reference)
+    /// ignores the reduction either way.
+    #[must_use]
+    pub fn with_por(mut self) -> Self {
+        self.por = Some(Arc::new(IndependenceCertificate::build(&self.spec)));
+        self
+    }
+
+    /// Like [`with_por`](ModelChecker::with_por) but consumes a
+    /// pre-built certificate — e.g. the `arfs-lint independence
+    /// --write` artifact CI keeps fresh — instead of re-deriving it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the certificate back if its content hash was not derived
+    /// from exactly this checker's spec: a stale certificate must never
+    /// drive reduction.
+    pub fn with_certificate(
+        mut self,
+        certificate: IndependenceCertificate,
+    ) -> Result<Self, Box<IndependenceCertificate>> {
+        if !certificate.matches_spec(&self.spec) {
+            return Err(Box::new(certificate));
+        }
+        self.por = Some(Arc::new(certificate));
+        Ok(self)
     }
 
     /// The fault plan installed into every explored system.
@@ -617,8 +763,15 @@ impl ModelChecker {
     /// frames (forking a child per non-elided event), continues the
     /// spine to the horizon — the node's own complete run — and checks
     /// the properties on its trace. Returns the children in canonical
-    /// sibling order.
-    fn process_node(&self, task: NodeTask, acc: &mut WalkAccum) -> Vec<NodeTask> {
+    /// sibling order. With `por` set, subtrees the certificate proves
+    /// verdict-equivalent to an explored representative are merged
+    /// instead of forked.
+    fn process_node(
+        &self,
+        task: NodeTask,
+        acc: &mut WalkAccum,
+        por: Option<&PorRun>,
+    ) -> Vec<NodeTask> {
         let NodeTask {
             mut system,
             events,
@@ -634,31 +787,82 @@ impl ModelChecker {
                 system.run_frame();
                 acc.advance_ns += span_ns(advance_started);
                 let frame = system.frame();
-                for factor in self.spec.env_model().factors() {
-                    for value in factor.domain() {
-                        if system.environment().current().get(factor.name()) == Some(value.as_str())
-                        {
+                let remaining = self.max_events - depth - 1;
+                // One canonical fingerprint per branch frame; `None`
+                // (state not quiescent, or reduction off) disables
+                // deduplication for every fork below.
+                let parent_fp = por.and_then(|_| system.quiescent_fingerprint());
+                for (fi, factor) in self.spec.env_model().factors().iter().enumerate() {
+                    let current = system
+                        .environment()
+                        .current()
+                        .get(factor.name())
+                        .map(str::to_owned);
+                    let classes = por.and_then(|r| r.certificate.factor(factor.name()));
+                    // Choice-equivalence classes already represented at
+                    // this branch point, seeded by the held value:
+                    // staying inside its class is behaviorally inert.
+                    let mut covered: Vec<(usize, String)> = Vec::new();
+                    if let (Some(fc), Some(cur)) = (classes, current.as_deref()) {
+                        if let Some(class) = fc.class_of(cur) {
+                            covered.push((class, cur.to_owned()));
+                        }
+                    }
+                    for (vi, value) in factor.domain().iter().enumerate() {
+                        if current.as_deref() == Some(value.as_str()) {
                             // Setting a factor to its current value is a
                             // no-op: the subtree's traces all coincide
                             // with traces of schedules without this
                             // event, which are explored elsewhere.
-                            acc.cases_elided +=
-                                self.subtree_count(frame, self.max_events - depth - 1);
-                        } else {
-                            let fork_started = Instant::now();
-                            let mut child = system.fork();
-                            acc.fork_ns += span_ns(fork_started);
-                            child
-                                .set_env(factor.name(), value)
-                                .expect("enumerated values are valid");
-                            let mut child_events = events.clone();
-                            child_events.push((frame, factor.name().to_owned(), value.clone()));
-                            children.push(NodeTask {
-                                system: child,
-                                events: child_events,
-                                depth: depth + 1,
-                            });
+                            acc.cases_elided += self.subtree_count(frame, remaining);
+                            continue;
                         }
+                        if let Some(fc) = classes {
+                            if let Some(class) = fc.class_of(value) {
+                                if let Some((_, rep)) = covered.iter().find(|(c, _)| *c == class) {
+                                    // The certificate proves every choice
+                                    // outcome under this value equal to
+                                    // the representative's, so the
+                                    // subtrees share their verdicts.
+                                    acc.cases_merged += self.subtree_count(frame, remaining);
+                                    if let Some(run) = por {
+                                        self.spot_check_commutation(
+                                            run,
+                                            system.environment().current(),
+                                            factor.name(),
+                                            value,
+                                            rep,
+                                        );
+                                    }
+                                    continue;
+                                }
+                                covered.push((class, value.clone()));
+                            }
+                        }
+                        if let (Some(fp), Some(run)) = (parent_fp, por) {
+                            // Quiescent parent: this fork's future is a
+                            // function of (fingerprint, frame, event,
+                            // budget). Walk each identity once.
+                            let key = (fp, frame, fi, vi, remaining);
+                            let claimed = run.visited.lock().expect("POR visited set").insert(key);
+                            if !claimed {
+                                acc.cases_merged += self.subtree_count(frame, remaining);
+                                continue;
+                            }
+                        }
+                        let fork_started = Instant::now();
+                        let mut child = system.fork();
+                        acc.fork_ns += span_ns(fork_started);
+                        child
+                            .set_env(factor.name(), value)
+                            .expect("enumerated values are valid");
+                        let mut child_events = events.clone();
+                        child_events.push((frame, factor.name().to_owned(), value.clone()));
+                        children.push(NodeTask {
+                            system: child,
+                            events: child_events,
+                            depth: depth + 1,
+                        });
                     }
                 }
             }
@@ -683,10 +887,46 @@ impl ModelChecker {
         children
     }
 
-    fn walk(&self, task: NodeTask, acc: &mut WalkAccum) {
-        let children = self.process_node(task, acc);
+    /// The dynamic soundness oracle behind the static certificate: in
+    /// debug builds the first [`SPOT_CHECK_BUDGET`] choice-equivalence
+    /// merges are re-verified against the live choice function on the
+    /// concrete environment the merge happened in — over *every*
+    /// configuration, since the claim is universally quantified.
+    /// Compiled to nothing in release builds.
+    fn spot_check_commutation(
+        &self,
+        run: &PorRun,
+        env: &crate::environment::EnvState,
+        factor: &str,
+        merged: &str,
+        rep: &str,
+    ) {
+        #[cfg(debug_assertions)]
+        {
+            if run.spot_checks.fetch_add(1, Ordering::Relaxed) < SPOT_CHECK_BUDGET {
+                let with_merged = env.with(factor, merged);
+                let with_rep = env.with(factor, rep);
+                for config in self.spec.configs() {
+                    assert_eq!(
+                        self.spec.choose(config.id(), &with_merged),
+                        self.spec.choose(config.id(), &with_rep),
+                        "independence certificate is unsound: from `{}`, `{factor}:={merged}` \
+                         and `{factor}:={rep}` choose different configurations",
+                        config.id()
+                    );
+                }
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (run, env, factor, merged, rep);
+        }
+    }
+
+    fn walk(&self, task: NodeTask, acc: &mut WalkAccum, por: Option<&PorRun>) {
+        let children = self.process_node(task, acc, por);
         for child in children {
-            self.walk(child, acc);
+            self.walk(child, acc, por);
         }
     }
 
@@ -704,6 +944,10 @@ impl ModelChecker {
                 &format!("walk.worker.{worker}.elided"),
                 acc.cases_elided as u64,
             );
+            metrics.add(
+                &format!("walk.worker.{worker}.merged"),
+                acc.cases_merged as u64,
+            );
             metrics.add(&format!("walk.worker.{worker}.steals"), acc.steals);
         }
         let mut total = WalkAccum::default();
@@ -719,6 +963,7 @@ impl ModelChecker {
 
         metrics.add("walk.cases_run", total.cases_run as u64);
         metrics.add("walk.cases_elided", total.cases_elided as u64);
+        metrics.add("walk.cases_merged", total.cases_merged as u64);
         metrics.add("walk.frames_simulated", total.frames_simulated);
         metrics.add("walk.span.fork_ns", total.fork_ns);
         metrics.add("walk.span.advance_ns", total.advance_ns);
@@ -739,6 +984,7 @@ impl ModelChecker {
         ModelCheckReport {
             cases_run: total.cases_run,
             cases_elided: total.cases_elided,
+            cases_merged: total.cases_merged,
             frames_simulated: total.frames_simulated,
             failures: total.failures,
             counterexample,
@@ -751,13 +997,14 @@ impl ModelChecker {
     /// events are elided. Failures come out in canonical enumeration
     /// order.
     pub fn run(&self) -> ModelCheckReport {
+        let por = self.por.as_ref().map(|c| PorRun::new(Arc::clone(c)));
         let mut acc = WalkAccum::default();
         let root = NodeTask {
             system: self.build_system(),
             events: Vec::new(),
             depth: 0,
         };
-        self.walk(root, &mut acc);
+        self.walk(root, &mut acc, por.as_ref());
         self.finish(vec![acc], true)
     }
 
@@ -798,8 +1045,17 @@ impl ModelChecker {
         assert!(threads > 0, "need at least one thread");
         use crossbeam::deque::{Injector, Steal, Worker};
         use std::panic::{catch_unwind, AssertUnwindSafe};
-        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-        use std::sync::Mutex;
+        use std::sync::atomic::{AtomicBool, AtomicUsize};
+
+        let por_run = self.por.as_ref().map(|c| PorRun::new(Arc::clone(c)));
+        let por = por_run.as_ref();
+
+        // Small spaces lose more to thread spin-up and steal traffic
+        // than sharing saves: walk them on the caller's thread with the
+        // same panic contract and accumulator shape.
+        if threads == 1 || self.total_schedule_count() < SERIAL_CUTOVER {
+            return self.run_serial_for(threads, por);
+        }
 
         let injector: Injector<NodeTask> = Injector::new();
         injector.push(NodeTask {
@@ -854,8 +1110,9 @@ impl ModelChecker {
                             continue;
                         };
                         let label = Schedule(task.events.clone());
-                        match catch_unwind(AssertUnwindSafe(|| self.process_node(task, &mut acc)))
-                        {
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            self.process_node(task, &mut acc, por)
+                        })) {
                             Ok(children) => {
                                 // Children become visible before this
                                 // task retires, so `pending` never dips
@@ -895,6 +1152,61 @@ impl ModelChecker {
         if let Some(msg) = panicked.into_inner().expect("panic slot") {
             // Skip the flight recorder: a kernel that panicked during
             // exploration would panic again during shrink replays.
+            let partial = self.finish(accums, false);
+            let message = format!(
+                "{msg} ({} cases checked, {} failures found before abort)",
+                partial.cases_run,
+                partial.failures.len()
+            );
+            return Err(Box::new(ParallelPanic { message, partial }));
+        }
+        Ok(self.finish(accums, true))
+    }
+
+    /// The parallel engine's small-space fast path: an exact pre-order
+    /// walk on the caller's thread that keeps `run_parallel`'s
+    /// contract — panics surface as [`ParallelPanic`] naming the
+    /// offending schedule with partial progress attached, and the
+    /// accumulator list is padded to `threads` entries so the
+    /// per-worker metric keys exist either way.
+    fn run_serial_for(
+        &self,
+        threads: usize,
+        por: Option<&PorRun>,
+    ) -> Result<ModelCheckReport, Box<ParallelPanic>> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let mut acc = WalkAccum::default();
+        let mut stack = vec![NodeTask {
+            system: self.build_system(),
+            events: Vec::new(),
+            depth: 0,
+        }];
+        let mut panicked: Option<String> = None;
+        while let Some(task) = stack.pop() {
+            let label = Schedule(task.events.clone());
+            match catch_unwind(AssertUnwindSafe(|| self.process_node(task, &mut acc, por))) {
+                Ok(children) => {
+                    // LIFO stack: reversed children keep the visit in
+                    // canonical pre-order.
+                    stack.extend(children.into_iter().rev());
+                }
+                Err(payload) => {
+                    let detail = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    panicked = Some(format!(
+                        "model-check worker panicked on schedule `{label}`: {detail}"
+                    ));
+                    break;
+                }
+            }
+        }
+        let mut accums = vec![acc];
+        accums.resize_with(threads, WalkAccum::default);
+        if let Some(msg) = panicked {
             let partial = self.finish(accums, false);
             let message = format!(
                 "{msg} ({} cases checked, {} failures found before abort)",
@@ -1571,6 +1883,15 @@ mod tests {
             "{rendered}"
         );
         assert!(rendered.contains("@3 power:=bad"), "{rendered}");
+        let merged = ModelCheckReport {
+            cases_run: 5,
+            cases_merged: 4,
+            ..ModelCheckReport::default()
+        };
+        assert_eq!(
+            merged.to_string(),
+            "SP1-SP4 hold on all 5 explored schedules (4 merged by partial-order reduction)"
+        );
     }
 
     #[test]
@@ -1704,6 +2025,150 @@ mod tests {
             .causal_chain
             .iter()
             .any(|l| l.role == "torn-write" || l.role == "safe-fallback"));
+    }
+
+    /// `telemetry` never appears in a choice rule, so the certificate
+    /// collapses its domain to one class: every telemetry event is
+    /// behaviorally inert and POR merges its whole subtree.
+    fn inert_factor_spec() -> ReconfigSpec {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "bad"])
+            .env_factor("telemetry", ["on", "off"])
+            .app(
+                AppDecl::new("a")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("deg")),
+            )
+            .config(
+                Configuration::new("full")
+                    .assign("a", "full")
+                    .place("a", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe")
+                    .assign("a", "deg")
+                    .place("a", ProcessorId::new(0))
+                    .safe(),
+            )
+            .transition("full", "safe", Ticks::new(600))
+            .transition("safe", "full", Ticks::new(600))
+            .choose_when("power", "bad", "safe")
+            .choose_when("power", "good", "full")
+            .initial_config("full")
+            .initial_env([("power", "good"), ("telemetry", "on")])
+            .min_dwell_frames(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn por_merges_inert_subtrees_and_accounts_for_the_whole_space() {
+        let plain = ModelChecker::new(inert_factor_spec(), 14, 2);
+        let reduced = ModelChecker::new(inert_factor_spec(), 14, 2).with_por();
+        let full = plain.run();
+        let por = reduced.run();
+
+        // Soundness: same verdict; completeness of the accounting: every
+        // schedule in the bounded space is run, elided, or merged.
+        assert!(full.all_passed(), "{full}");
+        assert!(por.all_passed(), "{por}");
+        assert_eq!(por.cases_total(), plain.total_schedule_count());
+        assert_eq!(full.cases_total(), por.cases_total());
+
+        // The point of the exercise: the inert factor's subtrees are
+        // merged, not simulated.
+        assert!(por.cases_merged > 0, "{por}");
+        assert!(por.cases_run < full.cases_run, "{por} vs {full}");
+        assert!(por.frames_simulated < full.frames_simulated);
+        assert_eq!(
+            por.metrics.counters["walk.cases_merged"],
+            por.cases_merged as u64
+        );
+        assert_eq!(full.cases_merged, 0);
+        assert!(por
+            .to_string()
+            .contains("merged by partial-order reduction"));
+    }
+
+    #[test]
+    fn por_preserves_the_failure_verdict_under_mutation() {
+        // The dynamic soundness oracle in miniature: a mutated kernel
+        // must fail identically with reduction on — same first failure
+        // in canonical order, every reduced failure present unreduced.
+        let plain = ModelChecker::new(small_spec(), 12, 2)
+            .with_mutation(ScramMutation::SkipInitPhase)
+            .with_flight_recorder(false);
+        let reduced = ModelChecker::new(small_spec(), 12, 2)
+            .with_mutation(ScramMutation::SkipInitPhase)
+            .with_flight_recorder(false)
+            .with_por();
+        let full = plain.run();
+        let por = reduced.run();
+
+        assert!(!full.all_passed());
+        assert!(!por.all_passed());
+        assert_eq!(por.failures[0], full.failures[0], "first failure drifted");
+        for failure in &por.failures {
+            assert!(
+                full.failures.contains(failure),
+                "reduced run invented a failure: {}",
+                failure.schedule
+            );
+        }
+        assert_eq!(por.cases_total(), plain.total_schedule_count());
+    }
+
+    #[test]
+    fn por_parallel_agrees_with_por_serial() {
+        // h16 pushes the space past SERIAL_CUTOVER, so the true
+        // work-stealing path runs with the shared visited set.
+        let mc = ModelChecker::new(inert_factor_spec(), 16, 2).with_por();
+        assert!(mc.total_schedule_count() >= SERIAL_CUTOVER);
+        let seq = mc.run();
+        let par = mc.run_parallel(4);
+        assert_eq!(seq.cases_run, par.cases_run);
+        assert_eq!(seq.cases_elided, par.cases_elided);
+        assert_eq!(seq.cases_merged, par.cases_merged);
+        assert_eq!(seq.failures, par.failures);
+        assert!(seq.all_passed() && par.all_passed());
+    }
+
+    #[test]
+    fn stale_certificate_is_rejected_fresh_one_accepted() {
+        let foreign = crate::lint::independence::IndependenceCertificate::build(&small_spec());
+        let err = ModelChecker::new(three_level_spec(), 12, 1)
+            .with_certificate(foreign)
+            .expect_err("a certificate for another spec must be refused");
+        assert!(!err.matches_spec(&three_level_spec()));
+
+        let fresh = crate::lint::independence::IndependenceCertificate::build(&small_spec());
+        let mc = ModelChecker::new(small_spec(), 12, 1)
+            .with_certificate(fresh)
+            .expect("matching certificate installs");
+        let report = mc.run();
+        assert!(report.all_passed(), "{report}");
+        assert_eq!(report.cases_total(), mc.total_schedule_count());
+    }
+
+    #[test]
+    fn small_space_parallel_fast_path_matches_the_walk() {
+        // h12/e1 sits far below SERIAL_CUTOVER: run_parallel takes the
+        // caller-thread fast path but must report identically, padded
+        // per-worker metric keys included.
+        let mc = ModelChecker::new(small_spec(), 12, 1);
+        assert!(mc.total_schedule_count() < SERIAL_CUTOVER);
+        let seq = mc.run();
+        let par = mc.run_parallel(3);
+        assert_eq!(seq, par);
+        assert_eq!(seq.frames_simulated, par.frames_simulated);
+        for w in 0..3 {
+            assert!(par
+                .metrics
+                .counters
+                .contains_key(&format!("walk.worker.{w}.runs")));
+        }
+        assert_eq!(par.metrics.counters["walk.worker.1.runs"], 0);
     }
 
     #[test]

@@ -403,6 +403,22 @@ impl Scram {
         matches!(self.state, KernelState::Reconfiguring(_))
     }
 
+    /// Frames of minimum dwell still suppressing triggers at `frame`,
+    /// or `None` while a reconfiguration is in flight.
+    ///
+    /// This — not the absolute steady-since frame — is the dwell
+    /// component of the model checker's canonical state fingerprint:
+    /// two steady kernels with the same remaining dwell accept the same
+    /// future triggers, regardless of *when* they became steady.
+    pub fn steady_dwell_remaining(&self, frame: u64) -> Option<u64> {
+        match &self.state {
+            KernelState::Steady { since } => {
+                Some((since + self.spec.min_dwell_frames()).saturating_sub(frame))
+            }
+            KernelState::Reconfiguring(_) => None,
+        }
+    }
+
     /// The cumulative event log.
     pub fn log(&self) -> &[ScramEvent] {
         &self.log

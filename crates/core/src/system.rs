@@ -475,6 +475,75 @@ impl System {
         self.regions.get(id).map(SharedStableStorage::snapshot)
     }
 
+    /// A canonical fingerprint of the system's behavioral state, or
+    /// `None` if the system is not *quiescent* enough to summarize.
+    ///
+    /// Two quiescent systems with equal fingerprints at the same frame
+    /// produce identical futures under identical future inputs; the
+    /// model checker's visited-state deduplication relies on exactly
+    /// this to merge converged schedule subtrees. Quiescence requires:
+    /// the SCRAM steady with no pending trigger (the choice function
+    /// endorses the current configuration), no queued environment
+    /// updates or processor failures, no live or future chaos faults,
+    /// every processor alive, no attached monitors (their hidden state
+    /// is not summarizable), and every application able to digest
+    /// itself ([`ReconfigurableApp::state_digest`]).
+    ///
+    /// The hash covers the environment, the current configuration, the
+    /// *remaining* dwell (not the absolute steady-since frame — see
+    /// [`Scram::steady_dwell_remaining`]), and each application's
+    /// digest plus committed stable-storage region.
+    pub fn quiescent_fingerprint(&self) -> Option<u64> {
+        let frame = self.clock.frame();
+        if !self.monitors.is_empty()
+            || !self.pending_env.is_empty()
+            || !self.pending_failures.is_empty()
+            || !self.pool.failed_ids().is_empty()
+            || !self.chaos.silent_streak.is_empty()
+            || self
+                .chaos
+                .silenced_until
+                .values()
+                .any(|&until| until > frame)
+            || (!self.chaos.plan.is_empty() && self.chaos.plan.last_frame() >= frame)
+        {
+            return None;
+        }
+        let dwell_remaining = self.scram.steady_dwell_remaining(frame)?;
+        let current = self.scram.current_config();
+        if let Some(target) = self.spec.choose(current, self.environment.current()) {
+            if target != current {
+                return None; // trigger pending, not quiescent
+            }
+        }
+
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let eat = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (factor, value) in self.environment.current().iter() {
+            eat(&mut h, factor.as_bytes());
+            eat(&mut h, value.as_bytes());
+        }
+        eat(&mut h, current.as_str().as_bytes());
+        eat(&mut h, &dwell_remaining.to_le_bytes());
+        for app in &self.apps {
+            eat(&mut h, app.id().as_str().as_bytes());
+            eat(&mut h, &app.state_digest()?.to_le_bytes());
+        }
+        for (id, region) in &self.regions {
+            eat(&mut h, id.as_str().as_bytes());
+            for (key, value) in region.snapshot().iter() {
+                eat(&mut h, key.as_bytes());
+                eat(&mut h, format!("{value:?}").as_bytes());
+            }
+        }
+        Some(h)
+    }
+
     /// Forks the whole system at the current frame boundary.
     ///
     /// The fork is an independent replica: it shares only the immutable

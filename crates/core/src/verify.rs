@@ -71,7 +71,10 @@ pub struct VerificationReport {
     pub obligations: ObligationReport,
     /// The full lint report (the obligations are derived from its error
     /// half; it additionally carries assembly-level errors and
-    /// `ARFS-W1xx` warnings).
+    /// `ARFS-W1xx` warnings). Diagnostics always carry codes from the
+    /// [`crate::lint::codes`] registry; the pre-registry ad-hoc
+    /// `ARFS-W1` code survives only as a deserialization alias that
+    /// [`crate::lint::codes::canonical`] folds into `ARFS-W101`.
     #[serde(default)]
     pub lint: LintReport,
     /// Exhaustive bounded exploration results.

@@ -128,6 +128,113 @@ fn engines_agree_on_a_mutated_kernel() {
     assert_engines_agree(&mc, "SkipInitPhase h12 e2");
 }
 
+/// Asserts the POR-enabled walk agrees with the reference engine at the
+/// outcome level: same verdict, failures a subset of the reference set
+/// (the serial pre-order preserves the first one), and full accounting
+/// of the schedule space (`run + elided + merged = total`).
+fn assert_por_agrees(mc: ModelChecker, label: &str) {
+    let reference = mc.run_reference();
+    let por = mc.with_por();
+    let report = por.run();
+    assert_eq!(
+        reference.all_passed(),
+        report.all_passed(),
+        "{label}: POR verdict"
+    );
+    assert_eq!(
+        report.cases_run + report.cases_elided + report.cases_merged,
+        por.total_schedule_count(),
+        "{label}: run + elided + merged must cover the schedule space"
+    );
+    for f in &report.failures {
+        assert!(
+            reference.failures.contains(f),
+            "{label}: POR failure `{}` not found by the reference engine",
+            f.schedule
+        );
+    }
+    assert_eq!(
+        reference.failures.first(),
+        report.failures.first(),
+        "{label}: the serial POR walk must preserve the first failure"
+    );
+    // The parallel POR walk agrees with the serial one on every count;
+    // fingerprint dedup may vary *which* witness survives, so failures
+    // are only required to be reference failures.
+    let parallel = por.run_parallel(3);
+    assert_eq!(report.cases_run, parallel.cases_run, "{label}: run count");
+    assert_eq!(
+        report.cases_elided, parallel.cases_elided,
+        "{label}: elided count"
+    );
+    assert_eq!(
+        report.cases_merged, parallel.cases_merged,
+        "{label}: merged count"
+    );
+    assert_eq!(
+        report.all_passed(),
+        parallel.all_passed(),
+        "{label}: parallel POR verdict"
+    );
+    for f in &parallel.failures {
+        assert!(
+            reference.failures.contains(f),
+            "{label}: parallel POR failure `{}` not found by the reference engine",
+            f.schedule
+        );
+    }
+}
+
+#[test]
+fn por_matches_the_reference_outcome_across_horizons_and_event_bounds() {
+    let spec = three_level_spec();
+    for horizon in 7..=14 {
+        for max_events in 1..=2 {
+            assert_por_agrees(
+                ModelChecker::new(spec.clone(), horizon, max_events),
+                &format!("POR h{horizon} e{max_events}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn por_matches_the_reference_outcome_under_every_policy_combination() {
+    let spec = three_level_spec();
+    for mid in [
+        MidReconfigPolicy::BufferUntilComplete,
+        MidReconfigPolicy::ImmediateRetarget,
+    ] {
+        for (sync, stage) in [
+            (SyncPolicy::Simultaneous, StagePolicy::Signalled),
+            (SyncPolicy::Simultaneous, StagePolicy::CompressedPrepareInit),
+            (SyncPolicy::PhaseChecked, StagePolicy::Signalled),
+        ] {
+            assert_por_agrees(
+                ModelChecker::new(spec.clone(), 12, 1).with_policies(mid, sync, stage),
+                &format!("POR {mid:?}/{sync:?}/{stage:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn por_matches_the_reference_outcome_on_mutated_kernels() {
+    let spec = three_level_spec();
+    for mutation in [
+        ScramMutation::WrongTarget,
+        ScramMutation::ExtraDelayFrames(3),
+        ScramMutation::SkipInitPhase,
+        ScramMutation::SkipHaltPhase,
+    ] {
+        let label = format!("POR {mutation:?} h12 e2");
+        assert_por_agrees(
+            ModelChecker::new(spec.clone(), 12, 2).with_mutation(mutation),
+            &label,
+        );
+    }
+}
+
 #[test]
 fn forked_systems_diverge_independently() {
     // The substrate guarantee the prefix-sharing walk rests on: a fork

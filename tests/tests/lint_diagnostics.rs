@@ -315,6 +315,74 @@ fn e009() -> Fixture {
     )
 }
 
+/// `aux` is chosen under `power = crit` but no declared transition
+/// leads into it: naive-reachable, dead under the refined relation.
+fn e010() -> Fixture {
+    Fixture::spec_only(
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["ok", "low", "crit"])
+            .app(app_a())
+            .app(app_b())
+            .config(full())
+            .config(safe_cfg())
+            .config(
+                Configuration::new("aux")
+                    .assign("a", "a-hi")
+                    .assign("b", "b-hi")
+                    .place("a", P1)
+                    .place("b", P0),
+            )
+            .transition("full", "safe", Ticks::new(800))
+            .transition("safe", "full", Ticks::new(800))
+            .transition("aux", "full", Ticks::new(800))
+            .transition("aux", "safe", Ticks::new(800))
+            .choose_when("power", "crit", "aux")
+            .choose_when("power", "low", "safe")
+            .choose_when("power", "ok", "full")
+            .initial_config("full")
+            .initial_env([("power", "ok")])
+            .min_dwell_frames(6)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// `trap` is reachable and `trap -> safe` is declared, but the choice
+/// function pins `trap` in place forever.
+fn e011() -> Fixture {
+    Fixture::spec_only(
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["ok", "low", "crit"])
+            .app(app_a())
+            .app(app_b())
+            .config(full())
+            .config(safe_cfg())
+            .config(
+                Configuration::new("trap")
+                    .assign("a", "a-hi")
+                    .assign("b", "b-hi")
+                    .place("a", P1)
+                    .place("b", P0),
+            )
+            .transition("full", "trap", Ticks::new(800))
+            .transition("full", "safe", Ticks::new(800))
+            .transition("trap", "safe", Ticks::new(800))
+            .transition("safe", "trap", Ticks::new(800))
+            .transition("safe", "full", Ticks::new(800))
+            .choose_rule(ChooseRule::any_from("trap").from_config("trap"))
+            .choose_when("power", "crit", "safe")
+            .choose_when("power", "low", "trap")
+            .choose_when("power", "ok", "full")
+            .initial_config("full")
+            .initial_env([("power", "ok")])
+            .min_dwell_frames(6)
+            .build()
+            .unwrap(),
+    )
+}
+
 /// `aux` is a declared configuration the choice function never selects.
 fn w101() -> Fixture {
     Fixture::spec_only(
@@ -467,6 +535,76 @@ fn w107() -> Fixture {
     )
 }
 
+/// `aux -> safe` is declared and the choice function would take it,
+/// but nothing ever reaches `aux`.
+fn w108() -> Fixture {
+    Fixture::spec_only(
+        base(6)
+            .config(
+                Configuration::new("aux")
+                    .assign("a", "a-hi")
+                    .assign("b", "b-hi")
+                    .place("a", P0)
+                    .place("b", P1),
+            )
+            .transition("aux", "safe", Ticks::new(800))
+            .build()
+            .unwrap(),
+    )
+}
+
+/// `telemetry` never appears in a choice rule: both values are
+/// choice-equivalent, so the factor only widens the schedule space.
+fn w109() -> Fixture {
+    Fixture::spec_only(
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["ok", "low"])
+            .env_factor("telemetry", ["on", "off"])
+            .app(app_a())
+            .app(app_b())
+            .config(full())
+            .config(safe_cfg())
+            .transition("full", "safe", Ticks::new(800))
+            .transition("safe", "full", Ticks::new(800))
+            .choose_when("power", "low", "safe")
+            .choose_when("power", "ok", "full")
+            .initial_config("full")
+            .initial_env([("power", "ok"), ("telemetry", "on")])
+            .min_dwell_frames(6)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// `b` depends on `a`, forcing a second initialization wave:
+/// `T(full, safe) = 450` admits the bare 4-frame run but not the
+/// staged 5-frame one.
+fn w110() -> Fixture {
+    Fixture::spec_only(
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["ok", "low"])
+            .app(app_a())
+            .app(
+                AppDecl::new("b")
+                    .spec(FunctionalSpec::new("b-hi").compute(Ticks::new(40)))
+                    .depends_on("a"),
+            )
+            .config(full())
+            .config(safe_cfg())
+            .transition("full", "safe", Ticks::new(450))
+            .transition("safe", "full", Ticks::new(800))
+            .choose_when("power", "low", "safe")
+            .choose_when("power", "ok", "full")
+            .initial_config("full")
+            .initial_env([("power", "ok")])
+            .min_dwell_frames(6)
+            .build()
+            .unwrap(),
+    )
+}
+
 fn fixtures() -> Vec<(&'static str, Fixture)> {
     vec![
         (codes::E001, e001()),
@@ -478,6 +616,8 @@ fn fixtures() -> Vec<(&'static str, Fixture)> {
         (codes::E007, e007()),
         (codes::E008, e008()),
         (codes::E009, e009()),
+        (codes::E010, e010()),
+        (codes::E011, e011()),
         (codes::W101, w101()),
         (codes::W102, w102()),
         (codes::W103, w103()),
@@ -485,6 +625,9 @@ fn fixtures() -> Vec<(&'static str, Fixture)> {
         (codes::W105, w105()),
         (codes::W106, w106()),
         (codes::W107, w107()),
+        (codes::W108, w108()),
+        (codes::W109, w109()),
+        (codes::W110, w110()),
     ]
 }
 
