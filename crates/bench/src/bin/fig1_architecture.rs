@@ -72,10 +72,8 @@ fn main() {
     );
 
     // Everything rode the simulated time-triggered bus.
-    let bus_topics: Vec<&str> = av
-        .system()
-        .bus()
-        .log()
+    let bus_log = av.system().bus().log();
+    let bus_topics: Vec<&str> = bus_log
         .iter()
         .map(|d| d.message.topic())
         .collect();

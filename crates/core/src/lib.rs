@@ -122,6 +122,7 @@ pub mod properties;
 pub mod scenario;
 pub mod scram;
 pub mod sfta;
+pub mod snapshot;
 pub mod spec;
 pub mod stats;
 pub mod system;

@@ -162,6 +162,15 @@ pub struct ModelCheckReport {
     /// than simulated. Always zero with reduction off (the default).
     #[serde(default)]
     pub cases_merged: usize,
+    /// `true` if any analytic schedule count overflowed `usize` during
+    /// the run. The affected counts (`cases_elided`, `cases_merged`,
+    /// and [`ModelChecker::total_schedule_count`]) saturate instead of
+    /// wrapping, so they remain safe lower bounds, but the exact
+    /// accounting invariant `run + elided + merged = total` can no
+    /// longer be relied on. See
+    /// [`ModelChecker::try_total_schedule_count`].
+    #[serde(default)]
+    pub count_overflowed: bool,
     /// Total frames simulated across the run — the engine's work
     /// measure. The seed engine spends `(cases_run × horizon)`; the
     /// prefix-sharing walk spends one spine per trie node.
@@ -348,6 +357,7 @@ struct WalkAccum {
     cases_run: usize,
     cases_elided: usize,
     cases_merged: usize,
+    count_overflowed: bool,
     frames_simulated: u64,
     failures: Vec<CaseFailure>,
     /// Nanoseconds spent forking child systems at branch frames.
@@ -366,6 +376,7 @@ impl WalkAccum {
         self.cases_run += other.cases_run;
         self.cases_elided += other.cases_elided;
         self.cases_merged += other.cases_merged;
+        self.count_overflowed |= other.count_overflowed;
         self.frames_simulated += other.frames_simulated;
         self.failures.extend(other.failures);
         self.fork_ns += other.fork_ns;
@@ -403,9 +414,11 @@ impl fmt::Display for ParallelPanic {
 /// h14/e1 avionics space, say) cannot amortize.
 pub const SERIAL_CUTOVER: usize = 256;
 
-/// Identity of one fork subtree for quiescent-state deduplication:
-/// `(parent quiescent fingerprint, branch frame, factor index, value
-/// index, events left)`.
+/// Identity of one fork subtree for canonical-state deduplication:
+/// `(parent state fingerprint, branch frame, factor index, value
+/// index, events left)`. The fingerprint covers quiescent *and*
+/// mid-reconfiguration ("busy") parents — see
+/// [`System::state_fingerprint`].
 type SubtreeKey = (u64, u64, usize, usize, usize);
 
 /// Per-run state of the certified partial-order reduction: the
@@ -661,22 +674,73 @@ impl ModelChecker {
     /// Number of schedules in the subtree rooted at a node whose last
     /// event sits on `last_frame` with `depth_left` more events allowed
     /// (including the node itself): Σₖ C(frames-left, k) · eᵏ.
-    fn subtree_count(&self, last_frame: u64, depth_left: usize) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CountOverflow`] if the exact count does not fit in a
+    /// `usize` — every term is computed with checked arithmetic, so an
+    /// overflow is detected rather than silently saturated.
+    fn try_subtree_count(
+        &self,
+        last_frame: u64,
+        depth_left: usize,
+    ) -> Result<usize, CountOverflow> {
         let frames_left = self.last_event_frame().saturating_sub(last_frame) as usize;
         let e = self.events_per_frame();
+        let overflow = || CountOverflow {
+            frames_left,
+            events_per_frame: e,
+            depth_left,
+        };
         let mut total = 1usize;
         for k in 1..=depth_left {
-            let placements = binomial(frames_left, k);
-            let choices = e.saturating_pow(k as u32);
-            total = total.saturating_add(placements.saturating_mul(choices));
+            let placements = checked_binomial(frames_left, k).ok_or_else(overflow)?;
+            let choices = e.checked_pow(k as u32).ok_or_else(overflow)?;
+            total = placements
+                .checked_mul(choices)
+                .and_then(|term| total.checked_add(term))
+                .ok_or_else(overflow)?;
         }
-        total
+        Ok(total)
+    }
+
+    /// [`ModelChecker::try_subtree_count`], saturated at `usize::MAX`
+    /// on overflow with the condition recorded in the accumulator —
+    /// the walk engines' counting path. A saturated count is still a
+    /// safe lower bound; the report's
+    /// [`count_overflowed`](ModelCheckReport::count_overflowed) flag
+    /// tells consumers the exact accounting invariant is off the table.
+    fn subtree_count_recorded(
+        &self,
+        last_frame: u64,
+        depth_left: usize,
+        acc: &mut WalkAccum,
+    ) -> usize {
+        self.try_subtree_count(last_frame, depth_left)
+            .unwrap_or_else(|_| {
+                acc.count_overflowed = true;
+                usize::MAX
+            })
+    }
+
+    /// Total schedules in the bounded space (explored + elided +
+    /// merged), counted analytically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CountOverflow`] if the total exceeds `usize::MAX`. A
+    /// space that large is not walkable anyway, but the explicit error
+    /// lets planning tools (and the bench harness) distinguish "huge"
+    /// from a silently wrong number.
+    pub fn try_total_schedule_count(&self) -> Result<usize, CountOverflow> {
+        self.try_subtree_count(0, self.max_events)
     }
 
     /// Total schedules in the bounded space (explored + elided), counted
-    /// analytically.
+    /// analytically; saturates at `usize::MAX` if the exact total
+    /// overflows (see [`ModelChecker::try_total_schedule_count`]).
     pub fn total_schedule_count(&self) -> usize {
-        self.subtree_count(0, self.max_events)
+        self.try_total_schedule_count().unwrap_or(usize::MAX)
     }
 
     /// Streams every schedule lazily in canonical (depth-first
@@ -789,9 +853,12 @@ impl ModelChecker {
                 let frame = system.frame();
                 let remaining = self.max_events - depth - 1;
                 // One canonical fingerprint per branch frame; `None`
-                // (state not quiescent, or reduction off) disables
-                // deduplication for every fork below.
-                let parent_fp = por.and_then(|_| system.quiescent_fingerprint());
+                // (state not summarizable, or reduction off) disables
+                // deduplication for every fork below. Busy
+                // (mid-reconfiguration) states fingerprint too, so
+                // schedules converging inside a reconfiguration window
+                // also merge.
+                let parent_fp = por.and_then(|_| system.state_fingerprint());
                 for (fi, factor) in self.spec.env_model().factors().iter().enumerate() {
                     let current = system
                         .environment()
@@ -814,7 +881,8 @@ impl ModelChecker {
                             // no-op: the subtree's traces all coincide
                             // with traces of schedules without this
                             // event, which are explored elsewhere.
-                            acc.cases_elided += self.subtree_count(frame, remaining);
+                            let elided = self.subtree_count_recorded(frame, remaining, acc);
+                            acc.cases_elided += elided;
                             continue;
                         }
                         if let Some(fc) = classes {
@@ -824,7 +892,9 @@ impl ModelChecker {
                                     // outcome under this value equal to
                                     // the representative's, so the
                                     // subtrees share their verdicts.
-                                    acc.cases_merged += self.subtree_count(frame, remaining);
+                                    let merged =
+                                        self.subtree_count_recorded(frame, remaining, acc);
+                                    acc.cases_merged += merged;
                                     if let Some(run) = por {
                                         self.spot_check_commutation(
                                             run,
@@ -846,7 +916,8 @@ impl ModelChecker {
                             let key = (fp, frame, fi, vi, remaining);
                             let claimed = run.visited.lock().expect("POR visited set").insert(key);
                             if !claimed {
-                                acc.cases_merged += self.subtree_count(frame, remaining);
+                                let merged = self.subtree_count_recorded(frame, remaining, acc);
+                                acc.cases_merged += merged;
                                 continue;
                             }
                         }
@@ -985,6 +1056,7 @@ impl ModelChecker {
             cases_run: total.cases_run,
             cases_elided: total.cases_elided,
             cases_merged: total.cases_merged,
+            count_overflowed: total.count_overflowed,
             frames_simulated: total.frames_simulated,
             failures: total.failures,
             counterexample,
@@ -1494,18 +1566,49 @@ fn collect_violations(system: &System) -> Vec<PropertyViolation> {
     violations
 }
 
-/// C(n, k) with saturating arithmetic (counts only — exactness beyond
-/// `usize::MAX` is irrelevant).
-fn binomial(n: usize, k: usize) -> usize {
+/// An analytic schedule count exceeded `usize::MAX`.
+///
+/// Raised by [`ModelChecker::try_total_schedule_count`] (and the
+/// internal subtree counting it shares with the walk engines' elision
+/// and merge accounting) when `Σₖ C(frames_left, k) · eᵏ` overflows.
+/// The parameters identify the subtree whose count blew up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountOverflow {
+    /// Frames still available for event placement in the subtree.
+    pub frames_left: usize,
+    /// Distinct events available per frame (factors × domain values).
+    pub events_per_frame: usize,
+    /// Events the budget still allows in the subtree.
+    pub depth_left: usize,
+}
+
+impl fmt::Display for CountOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule count overflows usize: {} frames x {} events/frame, \
+             up to {} more events",
+            self.frames_left, self.events_per_frame, self.depth_left
+        )
+    }
+}
+
+impl std::error::Error for CountOverflow {}
+
+/// C(n, k) with checked arithmetic: `None` if the exact value (or the
+/// single-step product `C(n, i) · (n - i)` on the way to it, which is
+/// at most `k` times larger) does not fit in a `usize`. Conservative
+/// by at most that factor, never silently wrong.
+fn checked_binomial(n: usize, k: usize) -> Option<usize> {
     if k > n {
-        return 0;
+        return Some(0);
     }
     let k = k.min(n - k);
     let mut result = 1usize;
     for i in 0..k {
-        result = result.saturating_mul(n - i) / (i + 1);
+        result = result.checked_mul(n - i)? / (i + 1);
     }
-    result
+    Some(result)
 }
 
 #[cfg(test)]
@@ -1558,6 +1661,46 @@ mod tests {
         assert_eq!(schedules[0], Schedule(Vec::new()));
         assert_eq!(mc.total_schedule_count(), 13);
         assert_eq!(mc.horizon(), 12);
+    }
+
+    #[test]
+    fn schedule_count_overflow_is_an_explicit_condition() {
+        // A deliberately overflowing space: at horizon 2^40 with a
+        // 30-event budget, Σₖ C(frames,k)·2ᵏ blows through usize well
+        // before k reaches 30. The checked path must say so rather
+        // than return a silently saturated (or, worse, wrapped) count.
+        let mc = ModelChecker::new(small_spec(), 1 << 40, 30);
+        let err = mc
+            .try_total_schedule_count()
+            .expect_err("2^40 frames x 30 events must overflow");
+        assert_eq!(err.events_per_frame, 2);
+        assert_eq!(err.depth_left, 30);
+        assert!(err.frames_left > (1 << 39));
+        assert!(err.to_string().contains("overflows usize"));
+        // The lossy accessor saturates instead of wrapping.
+        assert_eq!(mc.total_schedule_count(), usize::MAX);
+        // And the walk-side accounting records the condition in the
+        // accumulator (the report's `count_overflowed` flag).
+        let mut acc = WalkAccum::default();
+        assert_eq!(mc.subtree_count_recorded(0, 30, &mut acc), usize::MAX);
+        assert!(acc.count_overflowed);
+        // Small spaces stay exact and unflagged.
+        let small = ModelChecker::new(small_spec(), 12, 1);
+        assert_eq!(small.try_total_schedule_count(), Ok(13));
+        let mut acc = WalkAccum::default();
+        assert_eq!(small.subtree_count_recorded(0, 1, &mut acc), 13);
+        assert!(!acc.count_overflowed);
+        let report = small.run();
+        assert!(!report.count_overflowed);
+    }
+
+    #[test]
+    fn checked_binomial_detects_overflow() {
+        assert_eq!(checked_binomial(6, 2), Some(15));
+        assert_eq!(checked_binomial(2, 6), Some(0));
+        assert_eq!(checked_binomial(64, 0), Some(1));
+        assert_eq!(checked_binomial(68, 34), None); // C(68,34) > 2^64
+        assert_eq!(checked_binomial(1 << 40, 8), None);
     }
 
     #[test]

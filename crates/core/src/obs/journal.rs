@@ -132,8 +132,14 @@ impl JournalEvent {
 
     /// Serializes the event as one compact JSON line (no trailing
     /// newline).
+    ///
+    /// Infallible by construction
+    /// ([`serde_json::to_string_infallible`]): journaling runs inside
+    /// the frame hot path, and no payload — non-finite floats,
+    /// non-string map keys, control characters — may ever abort a
+    /// model-check run through a serialization panic.
     pub fn to_json_line(&self) -> String {
-        serde_json::to_string(&self.to_value()).expect("journal events serialize")
+        serde_json::to_string_infallible(&self.to_value())
     }
 
     /// Parses one JSON line back into an event.
@@ -183,11 +189,7 @@ impl fmt::Display for JournalEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "@{} [{}] {}", self.frame, self.subsystem, self.kind)?;
         if !self.payload.is_null() {
-            write!(
-                f,
-                " {}",
-                serde_json::to_string(&self.payload).expect("payload serializes")
-            )?;
+            write!(f, " {}", serde_json::to_string_infallible(&self.payload))?;
         }
         Ok(())
     }
@@ -443,6 +445,48 @@ mod tests {
         let err = Journal::from_json_lines("{}").unwrap_err();
         assert!(err.1.contains("frame"));
         assert!(Journal::from_json_lines("not json").is_err());
+    }
+
+    #[test]
+    fn pathological_payloads_never_panic() {
+        // The frame hot path must survive any payload a subsystem (or a
+        // bug in one) can produce: non-finite floats, non-string map
+        // keys, control characters, deep nesting.
+        let payloads = [
+            Value::F64(f64::NAN),
+            Value::F64(f64::INFINITY),
+            Value::F64(f64::NEG_INFINITY),
+            Value::Map(vec![
+                (Value::U64(7), Value::Str("numeric key".into())),
+                (Value::Null, Value::Bool(true)),
+                (
+                    Value::Seq(vec![Value::U64(1), Value::U64(2)]),
+                    Value::Null,
+                ),
+            ]),
+            Value::Str("control \u{0} chars \u{1b} and \"quotes\"\n".into()),
+            (0..64).fold(Value::Null, |inner, _| Value::Seq(vec![inner])),
+        ];
+        for payload in payloads {
+            let event = JournalEvent {
+                frame: 3,
+                subsystem: Subsystem::App,
+                kind: "pathological".into(),
+                payload,
+            };
+            let line = event.to_json_line();
+            assert!(!line.is_empty());
+            let _ = event.to_string(); // Display takes the same path.
+        }
+        // Non-finite floats render as null, so the line still parses.
+        let nan = JournalEvent {
+            frame: 0,
+            subsystem: Subsystem::Env,
+            kind: "nan".into(),
+            payload: Value::F64(f64::NAN),
+        };
+        let back = JournalEvent::from_json_line(&nan.to_json_line()).unwrap();
+        assert_eq!(back.payload, Value::Null);
     }
 
     #[test]

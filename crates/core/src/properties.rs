@@ -541,7 +541,7 @@ mod tests {
             .push("safe", "bad", ReconfSt::Normal, "deg", Some(true))
             .push("safe", "bad", ReconfSt::Normal, "deg", None);
         // Annotate the protocol stages the way the system records them.
-        let mut states: Vec<_> = tb.trace.states().to_vec();
+        let mut states: Vec<_> = tb.trace.states_vec();
         let app = AppId::new("a");
         states[2].apps.get_mut(&app).unwrap().commanded = ConfigStatus::Halt;
         states[2].apps.get_mut(&app).unwrap().post_ok = Some(true);
@@ -827,7 +827,7 @@ mod tests {
             .push("full", "bad", ReconfSt::Interrupted, "full", None)
             .push("full", "bad", ReconfSt::Halted, "full", None)
             .push("safe", "bad", ReconfSt::Normal, "deg", Some(true));
-        let mut states: Vec<_> = tb.trace.states().to_vec();
+        let mut states: Vec<_> = tb.trace.states_vec();
         // The app's host processor died during the window.
         states[2].apps.get_mut(&AppId::new("a")).unwrap().lost = true;
         let mut trace = SysTrace::new();

@@ -28,6 +28,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use arfs_failstop::CowLog;
+
 use crate::app::ConfigStatus;
 use crate::chaos::ChaosDefense;
 use crate::environment::EnvState;
@@ -303,7 +305,35 @@ pub struct Scram {
     phase_frames: StageBounds,
     depths: BTreeMap<AppId, u64>,
     wave_count: u64,
-    log: Vec<ScramEvent>,
+    log: CowLog<ScramEvent>,
+}
+
+/// A read-only view of the in-flight reconfiguration protocol state,
+/// for mid-reconfiguration ("busy") state fingerprinting.
+///
+/// Together with the frames elapsed since the trigger, these fields
+/// determine every future `PhaseEntered`/`WaveCompleted`/completion
+/// event and every remaining restricted frame of the reconfiguration:
+/// two kernels with equal busy views at the same protocol offset
+/// behave identically under identical future inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusyView<'a> {
+    /// The configuration being reconfigured away from.
+    pub source: &'a ConfigId,
+    /// The target configuration.
+    pub target: &'a ConfigId,
+    /// The protocol phase currently executing.
+    pub phase: Phase,
+    /// Frames already spent in the current phase.
+    pub phase_progress: u64,
+    /// Remaining stall frames (mutation only).
+    pub stall_left: u64,
+    /// Retry-budget frames consumed by substrate faults so far.
+    pub retries_used: u64,
+    /// Remaining backoff Hold frames before the next stage attempt.
+    pub backoff_left: u64,
+    /// Whether the current phase instance already announced itself.
+    pub announced: bool,
 }
 
 impl Scram {
@@ -325,7 +355,7 @@ impl Scram {
             depths,
             wave_count,
             spec,
-            log: Vec::new(),
+            log: CowLog::new(),
         }
     }
 
@@ -419,9 +449,51 @@ impl Scram {
         }
     }
 
-    /// The cumulative event log.
-    pub fn log(&self) -> &[ScramEvent] {
-        &self.log
+    /// The cumulative event log, collected into a fresh vector.
+    pub fn log(&self) -> Vec<ScramEvent> {
+        self.log.to_vec()
+    }
+
+    /// Number of events logged so far.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The in-flight protocol state, or `None` while steady. See
+    /// [`BusyView`].
+    pub fn busy_view(&self) -> Option<BusyView<'_>> {
+        match &self.state {
+            KernelState::Steady { .. } => None,
+            KernelState::Reconfiguring(inflight) => Some(BusyView {
+                source: &inflight.source,
+                target: &inflight.target,
+                phase: inflight.phase,
+                phase_progress: inflight.phase_progress,
+                stall_left: inflight.stall_left,
+                retries_used: inflight.retries_used,
+                backoff_left: inflight.backoff_left,
+                announced: inflight.announced,
+            }),
+        }
+    }
+
+    /// Forks the kernel: protocol state is duplicated, the event log's
+    /// history is sealed and shared (never copied) with the fork.
+    pub fn fork(&mut self) -> Scram {
+        Scram {
+            spec: Arc::clone(&self.spec),
+            current: self.current.clone(),
+            state: self.state.clone(),
+            mid_policy: self.mid_policy,
+            sync_policy: self.sync_policy,
+            stage_policy: self.stage_policy,
+            mutation: self.mutation.clone(),
+            defense: self.defense,
+            phase_frames: self.phase_frames.clone(),
+            depths: self.depths.clone(),
+            wave_count: self.wave_count,
+            log: self.log.fork(),
+        }
     }
 
     /// The number of frames one complete reconfiguration takes under the

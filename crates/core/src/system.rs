@@ -34,7 +34,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use arfs_failstop::{ProcessorId, ProcessorPool, SharedStableStorage, StableSnapshot};
+use arfs_failstop::{CowLog, ProcessorId, ProcessorPool, SharedStableStorage, StableSnapshot};
 use arfs_rtos::{Ticks, VirtualClock};
 use arfs_ttbus::{Message, NodeId, TtBus};
 
@@ -46,6 +46,7 @@ use crate::chaos::{ChaosDefense, ChaosState, FaultKind, FaultPlan};
 use crate::environment::Environment;
 use crate::lint::assembly::{Assembly, ENV_NODE, PROC_NODE_BASE, SCRAM_NODE};
 use crate::obs::{Journal, MetricsRegistry, MetricsSnapshot, Subsystem};
+use crate::snapshot::ForkSnapshot;
 use crate::scram::{
     FrameDecision, MidReconfigPolicy, Scram, ScramEvent, ScramMutation, StagePolicy, SyncPolicy,
 };
@@ -300,7 +301,7 @@ impl SystemBuilder {
             scram,
             monitors: self.monitors,
             trace: SysTrace::new(),
-            events: Vec::new(),
+            events: CowLog::new(),
             pending_env: Vec::new(),
             pending_failures: Vec::new(),
             journal: Journal::new(),
@@ -332,7 +333,7 @@ pub struct System {
     scram: Scram,
     monitors: Vec<Box<dyn crate::environment::EnvMonitor>>,
     trace: SysTrace,
-    events: Vec<SystemEvent>,
+    events: CowLog<SystemEvent>,
     pending_env: Vec<(String, String)>,
     pending_failures: Vec<ProcessorId>,
     journal: Journal,
@@ -449,9 +450,14 @@ impl System {
         &self.chaos
     }
 
-    /// The cumulative system event log.
-    pub fn events(&self) -> &[SystemEvent] {
-        &self.events
+    /// The cumulative system event log, collected into a fresh vector.
+    pub fn events(&self) -> Vec<SystemEvent> {
+        self.events.to_vec()
+    }
+
+    /// Number of system events recorded so far.
+    pub fn events_len(&self) -> usize {
+        self.events.len()
     }
 
     /// The structured observability journal (empty when observability
@@ -494,6 +500,34 @@ impl System {
     /// [`Scram::steady_dwell_remaining`]), and each application's
     /// digest plus committed stable-storage region.
     pub fn quiescent_fingerprint(&self) -> Option<u64> {
+        if self.scram.is_reconfiguring() {
+            return None;
+        }
+        self.state_fingerprint()
+    }
+
+    /// A canonical fingerprint of the system's behaviorally relevant
+    /// state — quiescent *or* mid-reconfiguration.
+    ///
+    /// This widens [`System::quiescent_fingerprint`] to "busy" states:
+    /// when a reconfiguration is in flight, the hash additionally
+    /// covers the SCRAM's in-flight protocol record
+    /// ([`BusyView`](crate::scram::BusyView):
+    /// source and target configuration, phase, phase progress, stall /
+    /// retry / backoff counters, announcement flag) and the offset into
+    /// the reconfiguration window (`frame - trigger frame`). Those
+    /// fields determine every future protocol decision and every
+    /// remaining restricted frame, so two busy systems with equal
+    /// fingerprints at the same frame — reached by *different* event
+    /// schedules — produce identical futures under identical future
+    /// inputs, and the model checker may merge their subtrees exactly
+    /// as it merges quiescent ones.
+    ///
+    /// The same preconditions as for quiescent fingerprints apply
+    /// (no monitors, no queued inputs, no failed processors, no live or
+    /// future chaos, digestible applications); a pending-but-unaccepted
+    /// trigger still disqualifies a *steady* kernel.
+    pub fn state_fingerprint(&self) -> Option<u64> {
         let frame = self.clock.frame();
         if !self.monitors.is_empty()
             || !self.pending_env.is_empty()
@@ -509,13 +543,23 @@ impl System {
         {
             return None;
         }
-        let dwell_remaining = self.scram.steady_dwell_remaining(frame)?;
         let current = self.scram.current_config();
-        if let Some(target) = self.spec.choose(current, self.environment.current()) {
-            if target != current {
-                return None; // trigger pending, not quiescent
+        let busy = self.scram.busy_view();
+        let dwell_remaining = match busy {
+            Some(_) => 0,
+            None => {
+                let remaining = self
+                    .scram
+                    .steady_dwell_remaining(frame)
+                    .expect("steady kernel has a dwell");
+                if let Some(target) = self.spec.choose(current, self.environment.current()) {
+                    if target != current {
+                        return None; // trigger pending, not quiescent
+                    }
+                }
+                remaining
             }
-        }
+        };
 
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let eat = |h: &mut u64, bytes: &[u8]| {
@@ -530,6 +574,25 @@ impl System {
         }
         eat(&mut h, current.as_str().as_bytes());
         eat(&mut h, &dwell_remaining.to_le_bytes());
+        if let Some(view) = &self.scram.busy_view() {
+            // The protocol offset: where in the reconfiguration window
+            // this frame sits. Together with the in-flight record it
+            // pins the remaining restricted-frame pattern.
+            let offset = self
+                .reconfig_started_at
+                .map(|started| frame - started)
+                .unwrap_or(0);
+            eat(&mut h, b"busy");
+            eat(&mut h, &offset.to_le_bytes());
+            eat(&mut h, view.source.as_str().as_bytes());
+            eat(&mut h, view.target.as_str().as_bytes());
+            eat(&mut h, format!("{:?}", view.phase).as_bytes());
+            eat(&mut h, &view.phase_progress.to_le_bytes());
+            eat(&mut h, &view.stall_left.to_le_bytes());
+            eat(&mut h, &view.retries_used.to_le_bytes());
+            eat(&mut h, &view.backoff_left.to_le_bytes());
+            eat(&mut h, &[u8::from(view.announced)]);
+        }
         for app in &self.apps {
             eat(&mut h, app.id().as_str().as_bytes());
             eat(&mut h, &app.state_digest()?.to_le_bytes());
@@ -546,23 +609,29 @@ impl System {
 
     /// Forks the whole system at the current frame boundary.
     ///
-    /// The fork is an independent replica: it shares only the immutable
-    /// specification (`Arc`) with the original, while every mutable
-    /// substrate is duplicated — the clock, the SCRAM state machine,
-    /// the environment and its history, the bus (queues, membership,
-    /// logs), the processor pool and each application's stable-storage
-    /// region (deep copies behind fresh locks), the applications and
-    /// monitors (via `clone_box`), the trace, and all pending inputs.
-    /// Running frames on the fork and the original thereafter produces
-    /// exactly the traces two independently constructed systems would,
-    /// which is what lets the bounded model checker share the
-    /// simulation of common schedule prefixes instead of replaying
-    /// every schedule from frame 0.
-    pub fn fork(&self) -> System {
+    /// The fork is an independent replica: running frames on the fork
+    /// and the original thereafter produces exactly the traces two
+    /// independently constructed systems would, which is what lets the
+    /// bounded model checker share the simulation of common schedule
+    /// prefixes instead of replaying every schedule from frame 0.
+    ///
+    /// Independence does **not** mean deep copies. Every append-only
+    /// history — the trace, the system/SCRAM event logs, the bus
+    /// delivery and membership logs, the pool audit log — is a
+    /// [`CowLog`] whose sealed past is shared behind `Arc`s (which is
+    /// why forking takes `&mut self`: the open tails are sealed into
+    /// shared segments), and stable-storage regions share their
+    /// committed store copy-on-write. The cost of a fork is therefore
+    /// O(components + prior forks), independent of how much history has
+    /// accumulated. Bounded live state (clock, queues, pending inputs,
+    /// chaos ledger, environment) is cloned; the boxed applications and
+    /// monitors are duplicated through the explicit
+    /// [`ForkSnapshot`](crate::snapshot::ForkSnapshot) protocol.
+    pub fn fork(&mut self) -> System {
         System {
             spec: Arc::clone(&self.spec),
             clock: self.clock.fork(),
-            apps: self.apps.clone(),
+            apps: self.apps.fork_snapshot(),
             app_order: self.app_order.clone(),
             regions: self
                 .regions
@@ -572,10 +641,10 @@ impl System {
             pool: self.pool.fork(),
             bus: self.bus.fork(),
             environment: self.environment.clone(),
-            scram: self.scram.clone(),
-            monitors: self.monitors.clone(),
-            trace: self.trace.clone(),
-            events: self.events.clone(),
+            scram: self.scram.fork(),
+            monitors: self.monitors.fork_snapshot(),
+            trace: self.trace.fork(),
+            events: self.events.fork(),
             pending_env: self.pending_env.clone(),
             pending_failures: self.pending_failures.clone(),
             journal: self.journal.clone(),
@@ -1174,8 +1243,10 @@ impl System {
         if self.obs_enabled {
             self.metrics.add("bus.deliveries", round.delivered as u64);
 
-            // Tail the substrate audit logs into the journal.
-            for change in &self.bus.membership_changes()[self.membership_cursor..] {
+            // Tail the substrate audit logs into the journal. The
+            // cursor-based iterators skip already-seen history without
+            // rescanning (or copying) the shared COW segments.
+            for change in self.bus.membership_changes_from(self.membership_cursor) {
                 self.journal.record(
                     frame,
                     Subsystem::Bus,
@@ -1188,7 +1259,7 @@ impl System {
                 );
                 self.metrics.incr("bus.membership_changes");
             }
-            self.membership_cursor = self.bus.membership_changes().len();
+            self.membership_cursor = self.bus.membership_len();
 
             for event in self.pool.events_since(self.pool_events_cursor) {
                 self.journal.push(crate::obs::JournalEvent {
@@ -1198,7 +1269,7 @@ impl System {
                     payload: serde_json::Value::Str(format!("{event:?}")),
                 });
             }
-            self.pool_events_cursor = self.pool.events().len();
+            self.pool_events_cursor = self.pool.events_len();
 
             let restricted = decision
                 .commands
@@ -1443,7 +1514,7 @@ mod tests {
         let mut system = System::builder(spec()).build().unwrap();
         system.run_frames(5);
         assert_eq!(system.trace().len(), 5);
-        assert!(system.trace().states().iter().all(SysState::all_normal));
+        assert!(system.trace().states().all(SysState::all_normal));
         assert!(system.trace().get_reconfigs().is_empty());
         let report = properties::check_extended(system.trace(), system.spec());
         assert!(report.is_ok(), "{report}");
@@ -1497,12 +1568,8 @@ mod tests {
         system.run_frames(2);
         system.set_env("power", "critical").unwrap();
         system.run_frames(6);
-        let topics: Vec<&str> = system
-            .bus()
-            .log()
-            .iter()
-            .map(|d| d.message.topic())
-            .collect();
+        let log = system.bus().log();
+        let topics: Vec<&str> = log.iter().map(|d| d.message.topic()).collect();
         assert!(topics.contains(&"fault"));
         assert!(topics.contains(&"reconfig"));
         assert!(topics.contains(&"status"));
@@ -1895,7 +1962,7 @@ mod tests {
         system.run_frames(4);
         // Out-of-domain samples never reach the environment.
         assert_eq!(system.environment().current().get("power"), Some("good"));
-        assert!(system.trace().states().iter().all(SysState::all_normal));
+        assert!(system.trace().states().all(SysState::all_normal));
     }
 
     #[derive(Clone)]
@@ -2079,7 +2146,7 @@ mod tests {
         assert!(system.pool().is_alive(ProcessorId::new(1)));
         assert_eq!(system.journal().of_kind("quarantined").count(), 0);
         assert!(system.chaos().silent_streak.is_empty());
-        assert!(system.trace().states().iter().all(SysState::all_normal));
+        assert!(system.trace().states().all(SysState::all_normal));
         let report = properties::check_all(system.trace(), system.spec());
         assert!(report.is_ok(), "{report}");
     }

@@ -26,6 +26,8 @@
 
 use std::collections::BTreeMap;
 
+use arfs_failstop::CowLog;
+
 use crate::app::ConfigStatus;
 use crate::environment::EnvState;
 use crate::{AppId, ConfigId, SpecId};
@@ -127,9 +129,14 @@ impl Reconfiguration {
 }
 
 /// A recorded system trace.
+///
+/// States are held in a [`CowLog`] so that [`SysTrace::fork`] shares
+/// the entire recorded history with the fork instead of deep-copying
+/// it — the schedule-trie walk forks a system (and hence its trace) at
+/// every branch frame, and the trace grows linearly with the horizon.
 #[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SysTrace {
-    states: Vec<SysState>,
+    states: CowLog<SysState>,
 }
 
 impl SysTrace {
@@ -154,9 +161,22 @@ impl SysTrace {
         self.states.push(state);
     }
 
-    /// All recorded states, oldest first.
-    pub fn states(&self) -> &[SysState] {
-        &self.states
+    /// Iterates all recorded states, oldest first.
+    pub fn states(&self) -> impl Iterator<Item = &SysState> {
+        self.states.iter()
+    }
+
+    /// Collects all recorded states into a fresh vector.
+    pub fn states_vec(&self) -> Vec<SysState> {
+        self.states.to_vec()
+    }
+
+    /// Forks the trace: both sides keep the (shared, never copied)
+    /// history recorded so far and append independently from here on.
+    pub fn fork(&mut self) -> SysTrace {
+        SysTrace {
+            states: self.states.fork(),
+        }
     }
 
     /// The state at a frame, if recorded.

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cow;
 mod error;
 mod fault;
 mod pair;
@@ -60,6 +61,7 @@ mod processor;
 mod stable;
 mod volatile;
 
+pub use cow::CowLog;
 pub use error::{FailStopError, StorageError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use pair::{LaneDivergence, PairOutcome, SelfCheckingPair};

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::cow::CowLog;
 use crate::processor::Processor;
 use crate::stable::StableSnapshot;
 use crate::{FailStopError, ProcessorId};
@@ -79,7 +80,7 @@ impl PoolEvent {
 pub struct ProcessorPool {
     processors: BTreeMap<ProcessorId, Processor>,
     assignments: BTreeMap<String, ProcessorId>,
-    events: Vec<PoolEvent>,
+    events: CowLog<PoolEvent>,
 }
 
 impl ProcessorPool {
@@ -273,22 +274,30 @@ impl ProcessorPool {
         Ok(to)
     }
 
-    /// The audit log of pool events, oldest first.
-    pub fn events(&self) -> &[PoolEvent] {
-        &self.events
+    /// The audit log of pool events, oldest first (cloned out of the
+    /// copy-on-write log).
+    pub fn events(&self) -> Vec<PoolEvent> {
+        self.events.to_vec()
+    }
+
+    /// Number of audit-log events recorded so far (the cursor position
+    /// tailing observers advance to).
+    pub fn events_len(&self) -> usize {
+        self.events.len()
     }
 
     /// The audit log from a cursor position onward, so tailing
     /// observers can drain incrementally: read, then advance the cursor
-    /// by the returned slice's length.
-    pub fn events_since(&self, cursor: usize) -> &[PoolEvent] {
-        self.events.get(cursor..).unwrap_or(&[])
+    /// to [`events_len`](ProcessorPool::events_len).
+    pub fn events_since(&self, cursor: usize) -> Vec<PoolEvent> {
+        self.events.iter_from(cursor).cloned().collect()
     }
 
     /// Forks the pool: every processor is [forked](Processor::fork)
-    /// (deep stable-storage copies), assignments and the audit log are
-    /// carried over. The fork and the original evolve independently.
-    pub fn fork(&self) -> ProcessorPool {
+    /// (copy-on-write stable storage), assignments are carried over,
+    /// and the audit log's history is sealed and shared. The fork and
+    /// the original evolve independently at pointer-bump cost.
+    pub fn fork(&mut self) -> ProcessorPool {
         ProcessorPool {
             processors: self
                 .processors
@@ -296,7 +305,7 @@ impl ProcessorPool {
                 .map(|(&id, p)| (id, p.fork()))
                 .collect(),
             assignments: self.assignments.clone(),
-            events: self.events.clone(),
+            events: self.events.fork(),
         }
     }
 }
@@ -472,6 +481,26 @@ mod tests {
         assert_eq!(pool.find_spare(), Some(ProcessorId::new(0)));
         // Releasing again is a no-op.
         pool.release("t");
+    }
+
+    #[test]
+    fn forked_pool_diverges_independently() {
+        let mut parent = ProcessorPool::with_processors(2);
+        parent.assign("fcs", ProcessorId::new(0)).unwrap();
+        let mut child = parent.fork();
+        child.fail(ProcessorId::new(0)).unwrap();
+        child.restart_on_spare("fcs").unwrap();
+        parent.fail(ProcessorId::new(1)).unwrap();
+        assert_eq!(parent.assignment("fcs"), Some(ProcessorId::new(0)));
+        assert_eq!(child.assignment("fcs"), Some(ProcessorId::new(1)));
+        assert_eq!(parent.failed_ids(), vec![ProcessorId::new(1)]);
+        assert_eq!(child.failed_ids(), vec![ProcessorId::new(0)]);
+        // Shared history, divergent tails.
+        let shared = 3; // 2 × Added + 1 × Assigned
+        assert_eq!(parent.events()[..shared], child.events()[..shared]);
+        assert!(parent.events_len() > shared);
+        assert!(child.events_len() > shared);
+        assert_ne!(parent.events(), child.events());
     }
 
     #[test]

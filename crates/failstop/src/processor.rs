@@ -213,8 +213,9 @@ impl Processor {
     }
 
     /// Forks the processor: identical status, volatile and stable state,
-    /// instruction count, and fault plan, but with its own deep-copied
-    /// stable store — mutations on the fork never reach the original.
+    /// instruction count, and fault plan, but with its own
+    /// copy-on-write stable store — mutations on the fork never reach
+    /// the original, and nothing is copied until one side writes.
     pub fn fork(&self) -> Processor {
         Processor {
             id: self.id,

@@ -377,9 +377,17 @@ impl StableSnapshot {
 /// of a failed processor*, and the SCRAM exchanges reconfiguration
 /// variables with applications through stable storage. Both require shared
 /// read access, which this cheap-to-clone handle provides.
+///
+/// The store behind the lock is held in an `Arc`, making
+/// [`fork`](SharedStableStorage::fork) a pointer bump: the forked
+/// handle shares the data until the first write on either side, which
+/// clones it then (`Arc::make_mut`). The bounded model checker forks
+/// whole systems at every schedule branch point, so this copy-on-write
+/// step is what keeps a fork O(1) regardless of how much state the
+/// regions have accumulated.
 #[derive(Debug, Clone, Default)]
 pub struct SharedStableStorage {
-    inner: Arc<RwLock<StableStorage>>,
+    inner: Arc<RwLock<Arc<StableStorage>>>,
 }
 
 impl SharedStableStorage {
@@ -394,8 +402,11 @@ impl SharedStableStorage {
     }
 
     /// Runs `f` with exclusive write access to the store.
+    ///
+    /// If the store is still shared with a fork, the first write clones
+    /// it (copy-on-write); thereafter writes are in place.
     pub fn write<R>(&self, f: impl FnOnce(&mut StableStorage) -> R) -> R {
-        f(&mut self.inner.write())
+        f(Arc::make_mut(&mut self.inner.write()))
     }
 
     /// Takes a consistent snapshot (never sees a half-applied commit).
@@ -403,24 +414,27 @@ impl SharedStableStorage {
         self.inner.read().snapshot()
     }
 
-    /// Deep-forks the store into an independent handle.
+    /// Forks the store into an independent handle.
     ///
     /// `clone()` on a [`SharedStableStorage`] shares the underlying
     /// store (that is its purpose: one region, many readers). A fork,
-    /// by contrast, copies the committed *and* staged state behind a
-    /// fresh lock, so prefix-sharing exploration can diverge two system
-    /// replicas without write interference.
+    /// by contrast, yields a handle whose future writes are invisible
+    /// to the original (and vice versa): both sides share the current
+    /// committed *and* staged state copy-on-write behind fresh locks,
+    /// so prefix-sharing exploration can diverge two system replicas
+    /// without write interference — at pointer-bump cost.
     pub fn fork(&self) -> Self {
         SharedStableStorage {
-            inner: Arc::new(RwLock::new(self.inner.read().clone())),
+            inner: Arc::new(RwLock::new(Arc::clone(&self.inner.read()))),
         }
     }
 
     /// Convenience: stages a single value and commits immediately.
     pub fn put(&self, key: impl Into<String>, value: StableValue) -> Version {
         let mut guard = self.inner.write();
-        guard.stage(key, value);
-        guard.commit()
+        let store = Arc::make_mut(&mut guard);
+        store.stage(key, value);
+        store.commit()
     }
 
     /// Convenience: reads a committed `u64`.
@@ -610,6 +624,32 @@ mod tests {
             .map(|(k, _)| k.to_owned())
             .collect();
         assert_eq!(keys, vec!["altitude", "mode"]);
+    }
+
+    #[test]
+    fn forked_storage_is_copy_on_write_isolated() {
+        let parent = SharedStableStorage::new();
+        parent.put("x", StableValue::U64(1));
+        let child = parent.fork();
+        // Until either side writes, the committed store is literally
+        // shared memory.
+        assert!(Arc::ptr_eq(&parent.inner.read(), &child.inner.read()));
+        child.put("x", StableValue::U64(2));
+        parent.put("y", StableValue::U64(3));
+        assert_eq!(parent.get_u64("x"), Some(1));
+        assert_eq!(parent.get_u64("y"), Some(3));
+        assert_eq!(child.get_u64("x"), Some(2));
+        assert_eq!(child.get_u64("y"), None);
+        // Staged-but-uncommitted writes fork too.
+        let staged = SharedStableStorage::new();
+        staged.write(|s| s.stage_u64("pending", 9));
+        let fork = staged.fork();
+        staged.write(|s| s.discard());
+        fork.write(|s| {
+            s.commit();
+        });
+        assert_eq!(fork.get_u64("pending"), Some(9));
+        assert_eq!(staged.get_u64("pending"), None);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use arfs_failstop::CowLog;
+
 use crate::schedule::BusSchedule;
 use crate::{BusError, NodeId};
 
@@ -97,22 +99,33 @@ pub struct RoundReport {
 ///
 /// See the [crate documentation](crate) for the model. Typical use couples
 /// one [`run_round`](TtBus::run_round) to one real-time frame. The bus
-/// holds no shared handles, so `Clone` is a full fork: outboxes,
-/// inboxes, membership observations, and logs all diverge independently
-/// (see [`fork`](TtBus::fork)).
+/// holds no shared mutable state, so a [`fork`](TtBus::fork) diverges
+/// independently: outboxes, inboxes, membership observations, and logs
+/// are all private to each side. The (append-only) transmission and
+/// membership logs are [`CowLog`]s, so forking shares their history by
+/// pointer instead of copying it.
 #[derive(Debug, Clone)]
 pub struct TtBus {
     schedule: BusSchedule,
     round: u64,
     outboxes: BTreeMap<NodeId, VecDeque<Message>>,
-    inboxes: BTreeMap<NodeId, Vec<Delivery>>,
+    /// Every delivery ever made, in order, stored exactly once. Each
+    /// node's logical inbox is the suffix of this log past its drain
+    /// cursor — the broadcast medium delivers every transmission to
+    /// every node, so per-node copies would multiply both memory and
+    /// fork cost by the node count.
+    delivered: CowLog<Delivery>,
+    /// Per-node drain positions into `delivered`.
+    inbox_cursors: BTreeMap<NodeId, usize>,
     present: BTreeMap<NodeId, bool>,
-    log: Vec<Delivery>,
-    log_enabled: bool,
+    /// Position in `delivered` at which the audit log was enabled;
+    /// `None` while disabled. The log is the suffix past this point —
+    /// stored once, shared with every fork.
+    log_from: Option<usize>,
     /// Membership as observed at the end of the previous round; `None`
     /// for a node never yet observed transmitting.
     last_membership: BTreeMap<NodeId, bool>,
-    membership_log: Vec<MembershipChange>,
+    membership_log: CowLog<MembershipChange>,
     /// The two replicated physical channels of a time-triggered bus.
     /// Communication succeeds while at least one is operational.
     channel_failed: [bool; 2],
@@ -126,12 +139,12 @@ impl TtBus {
             schedule,
             round: 0,
             outboxes: nodes.iter().map(|&n| (n, VecDeque::new())).collect(),
-            inboxes: nodes.iter().map(|&n| (n, Vec::new())).collect(),
+            delivered: CowLog::new(),
+            inbox_cursors: nodes.iter().map(|&n| (n, 0)).collect(),
             present: nodes.iter().map(|&n| (n, false)).collect(),
-            log: Vec::new(),
-            log_enabled: false,
+            log_from: None,
             last_membership: BTreeMap::new(),
-            membership_log: Vec::new(),
+            membership_log: CowLog::new(),
             channel_failed: [false, false],
         }
     }
@@ -188,31 +201,77 @@ impl TtBus {
         self.round
     }
 
-    /// Enables the transmission audit log (used by the Figure 1 harness).
+    /// Enables the transmission audit log (used by the Figure 1
+    /// harness): deliveries from this point on are visible through
+    /// [`log`](TtBus::log). Idempotent.
     pub fn enable_log(&mut self) {
-        self.log_enabled = true;
+        if self.log_from.is_none() {
+            self.log_from = Some(self.delivered.len());
+        }
     }
 
     /// Forks the bus mid-round-sequence: the fork carries the same
     /// queued messages, membership view, and logs, and thereafter
-    /// evolves independently. An alias for `clone()`, named to document
-    /// the independence guarantee prefix-sharing exploration relies on.
-    pub fn fork(&self) -> TtBus {
-        self.clone()
+    /// evolves independently — the independence guarantee
+    /// prefix-sharing exploration relies on. The bounded queues are
+    /// copied; the append-only logs seal and share their history
+    /// ([`CowLog::fork`]), so fork cost does not grow with rounds run.
+    pub fn fork(&mut self) -> TtBus {
+        TtBus {
+            schedule: self.schedule.clone(),
+            round: self.round,
+            outboxes: self.outboxes.clone(),
+            delivered: self.delivered.fork(),
+            inbox_cursors: self.inbox_cursors.clone(),
+            present: self.present.clone(),
+            log_from: self.log_from,
+            last_membership: self.last_membership.clone(),
+            membership_log: self.membership_log.fork(),
+            channel_failed: self.channel_failed,
+        }
     }
 
     /// All logged transmissions, oldest first (empty unless
-    /// [`enable_log`](TtBus::enable_log) was called).
-    pub fn log(&self) -> &[Delivery] {
-        &self.log
+    /// [`enable_log`](TtBus::enable_log) was called), cloned out of the
+    /// copy-on-write log.
+    pub fn log(&self) -> Vec<Delivery> {
+        match self.log_from {
+            Some(start) => self.delivered.iter_from(start).cloned().collect(),
+            None => Vec::new(),
+        }
     }
 
-    /// All observed membership transitions, oldest first. Always
-    /// recorded (independently of [`enable_log`](TtBus::enable_log)):
-    /// only *changes* are stored, so the log stays proportional to
-    /// joins and failures, not to rounds.
-    pub fn membership_changes(&self) -> &[MembershipChange] {
-        &self.membership_log
+    /// Number of logged transmissions.
+    pub fn log_len(&self) -> usize {
+        self.log_from
+            .map(|start| self.delivered.len() - start)
+            .unwrap_or(0)
+    }
+
+    /// All observed membership transitions, oldest first (cloned out of
+    /// the copy-on-write log). Always recorded (independently of
+    /// [`enable_log`](TtBus::enable_log)): only *changes* are stored,
+    /// so the log stays proportional to joins and failures, not to
+    /// rounds.
+    pub fn membership_changes(&self) -> Vec<MembershipChange> {
+        self.membership_log.to_vec()
+    }
+
+    /// Number of membership transitions recorded so far — the cursor
+    /// position for [`membership_changes_from`]
+    /// (TtBus::membership_changes_from) tailers.
+    pub fn membership_len(&self) -> usize {
+        self.membership_log.len()
+    }
+
+    /// Membership transitions from a cursor position onward, without
+    /// cloning: tailing observers read, then advance their cursor to
+    /// [`membership_len`](TtBus::membership_len).
+    pub fn membership_changes_from(
+        &self,
+        cursor: usize,
+    ) -> impl Iterator<Item = &MembershipChange> {
+        self.membership_log.iter_from(cursor)
     }
 
     /// Records transitions between the previous round's observation and
@@ -324,14 +383,9 @@ impl TtBus {
         }
 
         let delivered = deliveries.len();
-        for delivery in &deliveries {
-            for inbox in self.inboxes.values_mut() {
-                inbox.push(delivery.clone());
-            }
-        }
-        if self.log_enabled {
-            self.log.extend(deliveries);
-        }
+        // One shared record per delivery; every node's inbox and the
+        // audit log are views (cursors) into it.
+        self.delivered.extend(deliveries);
         self.observe_membership(round, &transmitted);
 
         // Presence is per-round: it must be re-asserted each frame.
@@ -346,17 +400,23 @@ impl TtBus {
         }
     }
 
-    /// Takes all deliveries accumulated in a node's inbox.
+    /// Takes all deliveries accumulated in a node's inbox (everything
+    /// delivered since the node's last drain).
     pub fn drain_inbox(&mut self, node: NodeId) -> Vec<Delivery> {
-        self.inboxes
-            .get_mut(&node)
-            .map(std::mem::take)
-            .unwrap_or_default()
+        let Some(cursor) = self.inbox_cursors.get_mut(&node) else {
+            return Vec::new();
+        };
+        let start = *cursor;
+        *cursor = self.delivered.len();
+        self.delivered.iter_from(start).cloned().collect()
     }
 
     /// Peeks at a node's inbox without draining it.
-    pub fn inbox(&self, node: NodeId) -> &[Delivery] {
-        self.inboxes.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    pub fn inbox(&self, node: NodeId) -> Vec<Delivery> {
+        self.inbox_cursors
+            .get(&node)
+            .map(|&start| self.delivered.iter_from(start).cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Bytes still queued for transmission by a node.
@@ -634,6 +694,33 @@ mod tests {
                 present: false
             }
         );
+    }
+
+    #[test]
+    fn forked_bus_shares_history_and_diverges() {
+        let mut parent = two_node_bus();
+        parent.enable_log();
+        parent.submit(n(0), Message::new("before", Vec::new())).unwrap();
+        parent.mark_present(n(1));
+        parent.run_round();
+        let mut child = parent.fork();
+        assert_eq!(parent.round(), child.round());
+        assert_eq!(parent.log(), child.log());
+        assert_eq!(parent.membership_changes(), child.membership_changes());
+
+        parent.submit(n(0), Message::new("parent", Vec::new())).unwrap();
+        parent.run_round();
+        child.submit(n(1), Message::new("child", Vec::new())).unwrap();
+        child.run_round();
+        assert_eq!(parent.log()[1].message.topic(), "parent");
+        assert_eq!(child.log()[1].message.topic(), "child");
+        assert_eq!(parent.log_len(), 2);
+        // Divergent membership: in the parent round 1, n(1) fell
+        // silent; in the child, n(0) did.
+        assert_ne!(parent.membership_changes(), child.membership_changes());
+        // Cursor tailing sees only the post-fork entries.
+        let tail: Vec<_> = child.membership_changes_from(2).collect();
+        assert!(tail.iter().all(|c| c.round == 1));
     }
 
     #[test]

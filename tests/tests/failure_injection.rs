@@ -200,10 +200,10 @@ fn application_stage_errors_surface_as_health_events() {
         .build()
         .unwrap();
     system.run_frames(6);
-    let errors: Vec<_> = system
+    let errors = system
         .events()
         .iter()
         .filter(|e| matches!(e, SystemEvent::AppStageError { app, .. } if *app == AppId::new("primary")))
-        .collect();
-    assert_eq!(errors.len(), 2);
+        .count();
+    assert_eq!(errors, 2);
 }

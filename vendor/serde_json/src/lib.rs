@@ -52,9 +52,21 @@ pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
 
 /// Serializes to compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_string_infallible(value))
+}
+
+/// Serializes to compact JSON, infallibly.
+///
+/// This shim's renderer is pure string building and total over
+/// [`Content`]: non-finite floats render as `null` and non-string map
+/// keys are stringified (see `write_key`), so no input can make it
+/// fail. The `Result`-free signature states that at the type level;
+/// per-frame hot paths (the observability journal) use it so a
+/// serialization quirk can never abort a model-check run.
+pub fn to_string_infallible<T: Serialize + ?Sized>(value: &T) -> String {
     let mut out = String::new();
     write_value(&mut out, &value.to_content(), None, 0);
-    Ok(out)
+    out
 }
 
 /// Serializes to pretty JSON (2-space indent).
