@@ -1,0 +1,337 @@
+//! Experiment: fleet-scale simulation throughput — 10³/10⁴/10⁵
+//! independent avionics systems advanced in lockstep frames with
+//! streaming SP1–SP4 verification, sampled frame-batched journaling, and
+//! the allocation-free steady-state fast path.
+//!
+//! Three sweeps:
+//!
+//! 1. **Fleet size** — 10³ and 10⁴ systems (plus 10⁵ in the full run)
+//!    under the default random workload, reporting frames/sec,
+//!    frames/sec/core, reconfigurations, and the streaming verification
+//!    verdict. Every violation would carry its seed and schedule for
+//!    replay; a clean fleet is the expected outcome.
+//! 2. **Thread scaling** — the 10⁴ fleet at 1/2/4/8 workers, reporting
+//!    parallel efficiency against the single-threaded run. The host's
+//!    core count is recorded in the artifact: on a single-core container
+//!    the extra workers only add barrier overhead and the honest
+//!    efficiency numbers show exactly that.
+//! 3. **Allocation probe** — this binary installs a counting global
+//!    allocator and measures heap allocations per steady-state frame on
+//!    a warmed-up quiet fleet. The fast path's contract is **zero**; the
+//!    measured number is recorded and gated.
+//!
+//! The harness gates on its own previous artifact
+//! (`results/BENCH_fleet.json`): if the 10⁴ fleet's frames/sec drops
+//! more than 25% against the recorded run, or the allocation probe stops
+//! reading zero, the run fails. A missing or unparsable previous
+//! artifact just records a fresh baseline.
+//!
+//! Usage: `exp_fleet [--smoke]` — `--smoke` drops the 10⁵ case and
+//! trims the thread sweep (the CI entry point).
+//!
+//! Exit codes: `0` clean, `1` a property violation or a non-zero
+//! allocation count, `3` a throughput regression against the previous
+//! artifact.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use arfs_avionics::avionics_spec;
+use arfs_bench::{banner, verdict, write_json, TextTable};
+use arfs_core::fleet::{Fleet, FleetConfig, FleetReport};
+use arfs_core::spec::ReconfigSpec;
+
+/// Counts every allocation and reallocation; the per-frame delta on a
+/// warmed-up quiet fleet is the number the fast path promises is zero.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The case whose throughput is gated against the previous artifact.
+const REGRESSION_CASE: &str = "fleet_10k";
+
+/// How much the gated throughput may drop versus its previous recording
+/// before the run fails with exit code 3.
+const REGRESSION_TOLERANCE: f64 = 1.25;
+
+const MASTER_SEED: u64 = 0xF1EE7;
+
+/// The previous run's artifact, if one exists and still parses.
+fn prior_artifact() -> Option<serde_json::Value> {
+    let path = arfs_bench::results_dir().join("BENCH_fleet.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn prior_case_f64(prior: &serde_json::Value, case: &str, key: &str) -> Option<f64> {
+    prior
+        .get("cases")?
+        .as_seq()?
+        .iter()
+        .find(|c| c.get("case").and_then(|v| v.as_str()) == Some(case))?
+        .get(key)?
+        .as_f64()
+}
+
+fn fleet_config(systems: usize, threads: usize) -> FleetConfig {
+    FleetConfig {
+        systems,
+        threads,
+        seed: MASTER_SEED,
+        // Journal roughly 100 systems regardless of fleet size.
+        journal_sample: (systems / 100).max(1),
+        ..FleetConfig::default()
+    }
+}
+
+struct CaseResult {
+    report: FleetReport,
+    secs: f64,
+}
+
+fn run_case(spec: &Arc<ReconfigSpec>, config: FleetConfig) -> CaseResult {
+    let mut fleet = Fleet::new(Arc::clone(spec), config).expect("fleet builds");
+    let t0 = Instant::now();
+    let report = fleet.run();
+    CaseResult {
+        report,
+        secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Measures heap allocations per steady-state frame: a quiet 256-system
+/// fleet, warmed past any initial settling, advanced 64 more lockstep
+/// frames under the counting allocator.
+fn measure_allocs_per_frame(spec: &Arc<ReconfigSpec>) -> f64 {
+    let systems = 256usize;
+    let mut fleet = Fleet::new(
+        Arc::clone(spec),
+        FleetConfig {
+            systems,
+            workload: None,
+            journal_sample: 0,
+            ..fleet_config(systems, 1)
+        },
+    )
+    .expect("fleet builds");
+    for frame in 0..16u64 {
+        fleet.advance_frame(frame);
+    }
+    let frames = 64u64;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for frame in 16..16 + frames {
+        fleet.advance_frame(frame);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    (after - before) as f64 / (frames * systems as u64) as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores: usize = std::thread::available_parallelism()
+        .map(Into::into)
+        .unwrap_or(1);
+    banner(if smoke {
+        "fleet-scale simulation (smoke)"
+    } else {
+        "fleet-scale simulation"
+    });
+    println!("host cores: {cores}");
+
+    let spec = Arc::new(avionics_spec().expect("valid spec"));
+    let prior = prior_artifact();
+
+    // --- Sweep 1: fleet size. ---
+    let sizes: &[(usize, &str)] = if smoke {
+        &[(1_000, "fleet_1k"), (10_000, "fleet_10k")]
+    } else {
+        &[
+            (1_000, "fleet_1k"),
+            (10_000, "fleet_10k"),
+            (100_000, "fleet_100k"),
+        ]
+    };
+
+    let mut table = TextTable::new([
+        "case",
+        "systems",
+        "frames",
+        "fast %",
+        "reconfigs",
+        "violations",
+        "secs",
+        "frames/s",
+        "frames/s/core",
+    ]);
+    let mut cases = Vec::new();
+    let mut all_clean = true;
+    let mut gated_frames_per_sec = None;
+
+    for &(systems, name) in sizes {
+        let threads = cores.clamp(1, 4);
+        let result = run_case(&spec, fleet_config(systems, threads));
+        let report = &result.report;
+        all_clean &= report.is_clean();
+        for v in report.violations.iter().take(3) {
+            println!(
+                "VIOLATION {name}: system {} seed {:#x} {} @{:?}: {}",
+                v.system, v.seed, v.property, v.frame, v.detail
+            );
+        }
+        let frames_per_sec = report.total_frames as f64 / result.secs.max(1e-9);
+        if name == REGRESSION_CASE {
+            gated_frames_per_sec = Some(frames_per_sec);
+        }
+        table.row([
+            name.to_string(),
+            systems.to_string(),
+            report.total_frames.to_string(),
+            format!(
+                "{:.1}",
+                100.0 * report.fast_frames as f64 / report.total_frames.max(1) as f64
+            ),
+            report.reconfigs.to_string(),
+            report.violations.len().to_string(),
+            format!("{:.2}", result.secs),
+            format!("{frames_per_sec:.0}"),
+            format!("{:.0}", frames_per_sec / cores as f64),
+        ]);
+        cases.push(serde_json::json!({
+            "case": name,
+            "systems": systems,
+            "horizon": report.horizon,
+            "threads": threads,
+            "frames_total": report.total_frames,
+            "frames_fast": report.fast_frames,
+            "frames_full": report.full_frames,
+            "reconfigs": report.reconfigs,
+            "restricted_frames": report.restricted_frames,
+            "violations": report.violations.len(),
+            "journal_lines": report.journal_lines,
+            "secs": result.secs,
+            "frames_per_sec": frames_per_sec,
+            "frames_per_sec_per_core": frames_per_sec / cores as f64,
+            "metrics": report.metrics,
+        }));
+        println!(
+            "{name}: {} systems x {} frames in {:.2}s ({:.0} frames/s), {} reconfigs, {} violations",
+            systems,
+            report.horizon,
+            result.secs,
+            frames_per_sec,
+            report.reconfigs,
+            report.violations.len()
+        );
+    }
+    println!("\n{table}");
+
+    // --- Sweep 2: thread scaling at 10⁴ systems. ---
+    banner("thread scaling (10^4 systems)");
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut scaling_table =
+        TextTable::new(["threads", "secs", "frames/s", "speedup", "efficiency"]);
+    let mut scaling = Vec::new();
+    let mut base_secs = None;
+    for &threads in thread_counts {
+        let result = run_case(&spec, fleet_config(10_000, threads));
+        all_clean &= result.report.is_clean();
+        let fps = result.report.total_frames as f64 / result.secs.max(1e-9);
+        let base = *base_secs.get_or_insert(result.secs);
+        let speedup = base / result.secs.max(1e-9);
+        scaling_table.row([
+            threads.to_string(),
+            format!("{:.2}", result.secs),
+            format!("{fps:.0}"),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", 100.0 * speedup / threads as f64),
+        ]);
+        scaling.push(serde_json::json!({
+            "threads": threads,
+            "secs": result.secs,
+            "frames_per_sec": fps,
+            "speedup": speedup,
+            "efficiency": speedup / threads as f64,
+        }));
+    }
+    println!("{scaling_table}");
+    if cores < 8 {
+        println!("note: host has {cores} core(s); speedup is bounded by physical parallelism");
+    }
+
+    // --- Sweep 3: allocation probe. ---
+    banner("steady-state allocation probe");
+    let allocs_per_frame = measure_allocs_per_frame(&spec);
+    let alloc_free = allocs_per_frame == 0.0;
+    verdict(
+        &format!("steady-state frames allocation-free ({allocs_per_frame} allocs/frame)"),
+        alloc_free,
+    );
+
+    verdict(
+        "streaming SP1-SP4 verification clean on every fleet",
+        all_clean,
+    );
+
+    // --- Bench-regression gate against the previous artifact. ---
+    banner("bench-regression gate");
+    let mut bench_regressed = false;
+    if let Some(new_fps) = gated_frames_per_sec {
+        match prior
+            .as_ref()
+            .and_then(|p| prior_case_f64(p, REGRESSION_CASE, "frames_per_sec"))
+        {
+            Some(prev) => {
+                let ok = new_fps >= prev / REGRESSION_TOLERANCE;
+                verdict(
+                    &format!(
+                        "{REGRESSION_CASE} throughput {new_fps:.0} frames/s within 25% of recorded {prev:.0}"
+                    ),
+                    ok,
+                );
+                bench_regressed |= !ok;
+            }
+            None => println!("{REGRESSION_CASE}: no prior recording; baseline set"),
+        }
+    }
+
+    let path = write_json(
+        "BENCH_fleet.json",
+        &serde_json::json!({
+            "experiment": "exp_fleet",
+            "smoke": smoke,
+            "cores": cores,
+            "allocs_per_frame": allocs_per_frame,
+            "cases": cases,
+            "scaling": scaling,
+        }),
+    );
+    println!("artifact: {}", path.display());
+
+    if !all_clean || !alloc_free {
+        std::process::exit(1);
+    }
+    if bench_regressed {
+        std::process::exit(3);
+    }
+}

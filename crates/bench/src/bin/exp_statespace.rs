@@ -126,7 +126,9 @@ fn measure_fork_cost_ns() -> f64 {
     for f in 0..200u64 {
         if f % 25 == 24 {
             level = (level + 1) % values.len();
-            system.set_env("electrical", values[level]).expect("known factor");
+            system
+                .set_env("electrical", values[level])
+                .expect("known factor");
         }
         system.run_frame();
     }

@@ -73,10 +73,7 @@ fn main() {
 
     // Everything rode the simulated time-triggered bus.
     let bus_log = av.system().bus().log();
-    let bus_topics: Vec<&str> = bus_log
-        .iter()
-        .map(|d| d.message.topic())
-        .collect();
+    let bus_topics: Vec<&str> = bus_log.iter().map(|d| d.message.topic()).collect();
     verdict(
         "all three signal kinds appear on the real-time data bus",
         ["fault", "reconfig", "status"]

@@ -1,0 +1,991 @@
+//! Fleet-scale simulation: advance 10⁵+ independent [`System`]s in
+//! lockstep frames on a work-stealing pool.
+//!
+//! The paper verifies *one* three-processor fail-stop system. This
+//! module is the population-scale counterpart: a [`Fleet`] constructs N
+//! independent systems from a seeded scenario distribution (one
+//! [`workload::random_scenario`] per system, seeds derived from a master
+//! seed by a splitmix-style mix), partitions them into cache-friendly
+//! contiguous [shards](FleetConfig::shards), and advances every shard
+//! through the same frame before any shard starts the next — a lockstep
+//! barrier, so "frame f of the fleet" is a well-defined global cut.
+//!
+//! # Execution model
+//!
+//! Each worker thread pulls shard indices for the current frame from a
+//! [`crossbeam::deque::Injector`] (the same work-stealing pattern as
+//! `ModelChecker`'s parallel walk); a [`std::sync::Barrier`] separates
+//! frames. Within a shard, each cell applies its scenario stimuli and
+//! calls [`System::advance_frame`] — the allocation-free steady-state
+//! fast path when eligible, the full frame otherwise.
+//!
+//! # Streaming verification
+//!
+//! Traces are **not** recorded (memory would grow with
+//! `systems × horizon`). Instead a per-system [`StreamVerifier`] watches
+//! each frame: steady fast frames only bump counters; around every
+//! reconfiguration it buffers the restricted window (forcing full
+//! frames while the window is open), then replays the window through the
+//! real [`properties`] checkers on a miniature trace and maps frame
+//! numbers back. Violations carry the offending system's seed and
+//! stimulus schedule, so any report line replays through the existing
+//! flight-recorder tooling.
+//!
+//! # Journal sampling and batching
+//!
+//! Journaling every system at fleet scale is ruinous; journaling none
+//! blinds you. The [`journal_sample`](FleetConfig::journal_sample) knob
+//! journals 1-in-K systems with full fidelity (those cells keep
+//! observability on and never take the fast path), drained per frame
+//! into a per-cell [`BatchedJournalWriter`] with frame-batched flush.
+//! Batched flushing cannot reorder events within a system — see
+//! [`obs::batch`](crate::obs::batch).
+//!
+//! # Determinism
+//!
+//! A fleet run is a pure function of its config: systems are seeded
+//! deterministically, cells never share mutable state, and aggregation
+//! iterates cells in global system-id order. The aggregate
+//! [`FleetReport`] and journal are therefore byte-identical across
+//! thread counts *and* shard counts; wall-clock throughput lives outside
+//! the report (see [`FleetReport::rollup_metrics`]).
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::chaos::{ChaosProfile, FaultPlan};
+use crate::obs::batch::BatchedJournalWriter;
+use crate::obs::{MetricsRegistry, MetricsSnapshot};
+use crate::properties::{self, PropertyViolation};
+use crate::scenario::{ScenarioAction, ScenarioEvent};
+use crate::spec::ReconfigSpec;
+use crate::system::System;
+use crate::trace::{SysState, SysTrace};
+use crate::workload::{self, WorkloadConfig};
+use crate::SystemError;
+
+/// Mixes a master seed and a system index into an independent
+/// per-system seed (splitmix64 finalizer).
+fn mix_seed(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of independent systems.
+    pub systems: usize,
+    /// Number of shards; `0` picks one shard per 256 systems (at least
+    /// one per worker thread) so work steals at useful granularity.
+    pub shards: usize,
+    /// Worker threads; `<= 1` runs serially on the caller's thread.
+    pub threads: usize,
+    /// Master seed; every per-system seed derives from it.
+    pub seed: u64,
+    /// Frames to advance every system through.
+    pub horizon: u64,
+    /// Journal 1-in-K systems (`0` disables journaling entirely).
+    pub journal_sample: usize,
+    /// Flush each journaling cell's buffered lines every K frames.
+    pub journal_flush_frames: u64,
+    /// Scenario distribution; `None` runs a quiet fleet (no stimuli).
+    pub workload: Option<WorkloadConfig>,
+    /// Per-system substrate fault plans drawn from this profile.
+    pub chaos: Option<ChaosProfile>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            systems: 1_000,
+            shards: 0,
+            threads: 1,
+            seed: 0xA2F5,
+            horizon: 120,
+            journal_sample: 0,
+            journal_flush_frames: 16,
+            workload: Some(WorkloadConfig::default()),
+            chaos: None,
+        }
+    }
+}
+
+/// One aggregate-level violation, carrying everything needed to replay
+/// the offending system through the flight recorder: its seed and its
+/// full stimulus schedule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetViolation {
+    /// Global index of the offending system.
+    pub system: usize,
+    /// The system's derived seed (rebuilds its scenario and fault plan).
+    pub seed: u64,
+    /// The violated property (`"SP1"` ... `"PROTOCOL-CONFORMANCE"`).
+    pub property: String,
+    /// The frame involved, in the system's own frame numbering.
+    pub frame: Option<u64>,
+    /// The reconfiguration interval involved, `(start_c, end_c)`.
+    pub reconfig: Option<(u64, u64)>,
+    /// Human-readable description from the underlying checker.
+    pub detail: String,
+    /// The system's stimulus schedule, one `"f<frame> <action>"` line
+    /// per event.
+    pub schedule: Vec<String>,
+}
+
+/// The deterministic result of a fleet run.
+///
+/// Everything in here is a pure function of the [`FleetConfig`]:
+/// byte-identical across thread and shard counts. Wall-clock throughput
+/// is deliberately excluded; see [`FleetReport::rollup_metrics`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FleetReport {
+    /// Number of systems advanced.
+    pub systems: usize,
+    /// Frames each system was advanced through.
+    pub horizon: u64,
+    /// Total frames advanced (`systems × horizon`).
+    pub total_frames: u64,
+    /// Frames that took the allocation-free steady-state fast path.
+    pub fast_frames: u64,
+    /// Frames that ran the full per-frame machinery.
+    pub full_frames: u64,
+    /// Completed reconfigurations across the fleet.
+    pub reconfigs: u64,
+    /// Frames spent with service restricted, across the fleet.
+    pub restricted_frames: u64,
+    /// All property violations, in system-id order.
+    pub violations: Vec<FleetViolation>,
+    /// Deterministic fleet metrics: reconfig-latency and
+    /// restricted-ratio histograms, violation counters.
+    pub metrics: MetricsSnapshot,
+    /// Aggregate JSON-Lines journal of the sampled systems: per system
+    /// (in id order) one header line then its events in recording order.
+    pub journal: String,
+    /// Lines in the aggregate journal.
+    pub journal_lines: u64,
+}
+
+impl FleetReport {
+    /// Returns `true` if streaming verification found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Folds wall-clock measurements into a [`MetricsRegistry`] holding
+    /// both the deterministic fleet metrics and throughput gauges
+    /// (frames/sec, frames/sec/core, violations/sec).
+    ///
+    /// Timing lives here, outside the report, so that the report itself
+    /// stays byte-identical across runs — the determinism tests compare
+    /// serialized reports directly.
+    pub fn rollup_metrics(&self, elapsed_secs: f64, cores: usize) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        registry.add("fleet.systems", self.systems as u64);
+        registry.add("fleet.frames_total", self.total_frames);
+        registry.add("fleet.frames_fast", self.fast_frames);
+        registry.add("fleet.frames_full", self.full_frames);
+        registry.add("fleet.reconfigs", self.reconfigs);
+        registry.add("fleet.violations", self.violations.len() as u64);
+        if elapsed_secs > 0.0 {
+            let fps = self.total_frames as f64 / elapsed_secs;
+            registry.set_gauge("fleet.frames_per_sec", fps);
+            registry.set_gauge("fleet.frames_per_sec_per_core", fps / cores.max(1) as f64);
+            registry.set_gauge(
+                "fleet.violations_per_sec",
+                self.violations.len() as f64 / elapsed_secs,
+            );
+        }
+        registry
+    }
+}
+
+/// Streams one system's frames past the SP1–SP4 (and extension)
+/// checkers without retaining its trace.
+///
+/// Steady fast frames cannot change the verified state (the fast path's
+/// eligibility proof covers exactly the checkers' premises), so they
+/// only bump counters. Around a reconfiguration the verifier asks the
+/// fleet to force full frames ([`needs_full_state`]
+/// (StreamVerifier::needs_full_state)), buffers the restricted window
+/// plus one all-normal state on each side, replays that miniature trace
+/// through [`properties::check_all`] and
+/// [`properties::check_protocol_conformance`], and maps reported frames
+/// back to the system's own numbering. Responsiveness is checked
+/// incrementally (the same run-length rule as
+/// [`properties::check_responsiveness`]); a window still open at the
+/// horizon goes through [`properties::check_open_reconfiguration`].
+#[derive(Debug)]
+pub struct StreamVerifier {
+    spec: Arc<ReconfigSpec>,
+    /// Last all-normal full state seen (stays valid across fast frames:
+    /// they can change neither configuration nor environment).
+    prev_normal: Option<SysState>,
+    /// Restricted states of the currently open window, in real frames.
+    window: Vec<SysState>,
+    /// Completed-reconfiguration latencies, in cycles.
+    latencies: Vec<u64>,
+    reconfigs: u64,
+    restricted_frames: u64,
+    mismatch_run: u64,
+    mismatch_reported: bool,
+    violations: Vec<PropertyViolation>,
+}
+
+impl StreamVerifier {
+    /// Creates a verifier for one system running under `spec`.
+    pub fn new(spec: Arc<ReconfigSpec>) -> Self {
+        StreamVerifier {
+            spec,
+            prev_normal: None,
+            window: Vec::new(),
+            latencies: Vec::new(),
+            reconfigs: 0,
+            restricted_frames: 0,
+            mismatch_run: 0,
+            mismatch_reported: false,
+            violations: Vec::new(),
+        }
+    }
+
+    /// `true` while a restricted window is open: the next frame must be
+    /// a full frame so its state can be observed.
+    pub fn needs_full_state(&self) -> bool {
+        !self.window.is_empty()
+    }
+
+    /// Observes a steady fast frame (no state recorded; eligibility
+    /// proved the frame changed nothing the checkers look at).
+    pub fn observe_fast(&mut self) {
+        debug_assert!(self.window.is_empty(), "fast frame inside open window");
+        // The fast path requires the choice function to endorse the
+        // current configuration, so any responsiveness mismatch run ends.
+        self.mismatch_run = 0;
+        self.mismatch_reported = false;
+    }
+
+    /// Observes a full frame's recorded state.
+    pub fn observe_full(&mut self, state: &SysState) {
+        // Incremental responsiveness — the same rule as
+        // `check_responsiveness`, evaluated online.
+        let steady = state.all_normal();
+        let wants_move = steady
+            && self
+                .spec
+                .choose(&state.svclvl, &state.env)
+                .is_some_and(|t| *t != state.svclvl);
+        if wants_move {
+            self.mismatch_run += 1;
+            if self.mismatch_run > self.spec.min_dwell_frames() + 1 && !self.mismatch_reported {
+                self.violations.push(PropertyViolation {
+                    property: properties::PropertyId::Responsiveness,
+                    reconfig: None,
+                    frame: Some(state.frame),
+                    detail: format!(
+                        "choice function has selected `{}` over `{}` for {} frames with no reconfiguration started",
+                        self.spec.choose(&state.svclvl, &state.env).expect("checked above"),
+                        state.svclvl,
+                        self.mismatch_run,
+                    ),
+                });
+                self.mismatch_reported = true;
+            }
+        } else {
+            self.mismatch_run = 0;
+            self.mismatch_reported = false;
+        }
+
+        if state.any_reconfiguring() {
+            self.restricted_frames += 1;
+            self.window.push(state.clone());
+        } else if self.window.is_empty() {
+            self.prev_normal = Some(state.clone());
+        } else {
+            // Window closes on this all-normal state: replay it through
+            // the real checkers as a miniature trace.
+            self.close_window(state);
+            self.prev_normal = Some(state.clone());
+        }
+    }
+
+    /// Replays `[prev_normal?, window..., end]` through the checkers.
+    fn close_window(&mut self, end: &SysState) {
+        let mut states: Vec<SysState> = Vec::with_capacity(self.window.len() + 2);
+        if let Some(prev) = &self.prev_normal {
+            states.push(prev.clone());
+        }
+        states.append(&mut self.window);
+        states.push(end.clone());
+
+        let real_frames: Vec<u64> = states.iter().map(|s| s.frame).collect();
+        let mut mini = SysTrace::new();
+        for (i, mut state) in states.into_iter().enumerate() {
+            state.frame = i as u64;
+            mini.push(state);
+        }
+
+        let reconfigs = mini.get_reconfigs();
+        self.reconfigs += reconfigs.len() as u64;
+        for r in &reconfigs {
+            self.latencies.push(r.cycles());
+        }
+
+        let mut report = properties::check_all(&mini, &self.spec);
+        report
+            .violations
+            .extend(properties::check_protocol_conformance(&mini, &self.spec));
+        for v in report.violations {
+            self.violations.push(Self::map_frames(v, &real_frames));
+        }
+    }
+
+    /// Maps a violation's mini-trace frame numbers back to real frames.
+    fn map_frames(mut v: PropertyViolation, real_frames: &[u64]) -> PropertyViolation {
+        let real = |mini: u64| real_frames.get(mini as usize).copied().unwrap_or(mini);
+        v.frame = v.frame.map(real);
+        v.reconfig = v.reconfig.map(|r| crate::trace::Reconfiguration {
+            start_c: real(r.start_c),
+            end_c: real(r.end_c),
+        });
+        v
+    }
+
+    /// Finishes verification at the end of the horizon; a window still
+    /// open is judged by the open-reconfiguration rule.
+    pub fn finish(&mut self) {
+        if self.window.is_empty() {
+            return;
+        }
+        let mut states: Vec<SysState> = Vec::new();
+        if let Some(prev) = &self.prev_normal {
+            states.push(prev.clone());
+        }
+        states.append(&mut self.window);
+        let real_frames: Vec<u64> = states.iter().map(|s| s.frame).collect();
+        let mut mini = SysTrace::new();
+        for (i, mut state) in states.into_iter().enumerate() {
+            state.frame = i as u64;
+            mini.push(state);
+        }
+        for v in properties::check_open_reconfiguration(&mini, &self.spec) {
+            self.violations.push(Self::map_frames(v, &real_frames));
+        }
+    }
+}
+
+/// One system plus its per-cell runtime state.
+struct Cell {
+    id: usize,
+    seed: u64,
+    system: System,
+    verifier: StreamVerifier,
+    /// Stimulus schedule, sorted by frame.
+    events: Vec<ScenarioEvent>,
+    next_event: usize,
+    fast_frames: u64,
+    full_frames: u64,
+    /// Journal drain state, present only on sampled cells.
+    journal: Option<CellJournal>,
+}
+
+struct CellJournal {
+    writer: BatchedJournalWriter<Vec<u8>>,
+    cursor: usize,
+}
+
+impl Cell {
+    fn advance(&mut self, frame: u64) {
+        while let Some(event) = self.events.get(self.next_event) {
+            if event.frame != frame {
+                break;
+            }
+            match &event.action {
+                ScenarioAction::SetEnv { factor, value } => {
+                    // The scenario generator only emits declared factors.
+                    let _ = self.system.set_env(factor, value);
+                }
+                ScenarioAction::FailProcessor(p) => self.system.fail_processor(*p),
+            }
+            self.next_event += 1;
+        }
+
+        if self.verifier.needs_full_state() {
+            // The verifier must observe every frame of an open
+            // restricted window; force the full path.
+            self.system.run_frame();
+            self.full_frames += 1;
+            let state = self.system.last_state().expect("full frame records state");
+            self.verifier.observe_full(state);
+        } else if self.system.advance_frame() {
+            self.fast_frames += 1;
+            self.verifier.observe_fast();
+        } else {
+            self.full_frames += 1;
+            let state = self.system.last_state().expect("full frame records state");
+            self.verifier.observe_full(state);
+        }
+
+        if let Some(journal) = &mut self.journal {
+            let events = self.system.journal().events();
+            for event in &events[journal.cursor..] {
+                journal.writer.append(event);
+            }
+            journal.cursor = events.len();
+            journal
+                .writer
+                .frame_complete()
+                .expect("Vec sink cannot fail");
+        }
+    }
+
+    fn schedule_lines(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|e| match &e.action {
+                ScenarioAction::SetEnv { factor, value } => {
+                    format!("f{} set-env {factor}={value}", e.frame)
+                }
+                ScenarioAction::FailProcessor(p) => {
+                    format!("f{} fail-processor {}", e.frame, p.raw())
+                }
+            })
+            .collect()
+    }
+}
+
+/// A contiguous slice of the fleet's cells, the unit of work stealing.
+struct Shard {
+    cells: Vec<Cell>,
+}
+
+/// The fleet runtime. See the [module documentation](self).
+pub struct Fleet {
+    config: FleetConfig,
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Fleet {
+    /// Builds `config.systems` seeded systems, sharded and ready to run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SystemError`] from system construction (a spec
+    /// that fails [`System::builder`] validation).
+    pub fn new(spec: Arc<ReconfigSpec>, config: FleetConfig) -> Result<Fleet, SystemError> {
+        let shard_count = if config.shards > 0 {
+            config.shards
+        } else {
+            (config.systems / 256).max(config.threads).max(1)
+        };
+        let shard_count = shard_count.min(config.systems.max(1));
+
+        let mut shards: Vec<Shard> = (0..shard_count)
+            .map(|_| Shard { cells: Vec::new() })
+            .collect();
+
+        for id in 0..config.systems {
+            let seed = mix_seed(config.seed, id as u64);
+            let sampled = config.journal_sample > 0 && id % config.journal_sample == 0;
+
+            let mut builder = System::builder_arc(Arc::clone(&spec)).observability(sampled);
+            if let Some(profile) = &config.chaos {
+                builder = builder.fault_plan(FaultPlan::random(mix_seed(seed, 1), profile));
+            }
+            let mut system = builder.build()?;
+            system.set_trace_recording(false);
+
+            let events = match &config.workload {
+                Some(wl) => {
+                    let mut events = workload::random_scenario(&spec, wl, seed).events().to_vec();
+                    events.sort_by_key(|e| e.frame);
+                    events
+                }
+                None => Vec::new(),
+            };
+
+            let journal = sampled.then(|| CellJournal {
+                writer: BatchedJournalWriter::new(Vec::new(), config.journal_flush_frames),
+                cursor: 0,
+            });
+
+            let shard = id * shard_count / config.systems.max(1);
+            shards[shard].cells.push(Cell {
+                id,
+                seed,
+                system,
+                verifier: StreamVerifier::new(Arc::clone(&spec)),
+                events,
+                next_event: 0,
+                fast_frames: 0,
+                full_frames: 0,
+                journal,
+            });
+        }
+
+        Ok(Fleet {
+            config,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+        })
+    }
+
+    /// Number of shards the fleet was partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Advances every cell of every shard through one frame, serially.
+    ///
+    /// Exposed for benchmarking one lockstep frame; [`run`](Fleet::run)
+    /// is the normal entry point.
+    pub fn advance_frame(&mut self, frame: u64) {
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("no poisoned shards");
+            for cell in &mut shard.cells {
+                cell.advance(frame);
+            }
+        }
+    }
+
+    /// Runs the whole horizon and aggregates the deterministic report.
+    pub fn run(&mut self) -> FleetReport {
+        let horizon = self.config.horizon;
+        let threads = self.config.threads.min(self.shards.len()).max(1);
+
+        if threads <= 1 {
+            for frame in 0..horizon {
+                self.advance_frame(frame);
+            }
+        } else {
+            self.run_parallel(horizon, threads);
+        }
+
+        self.aggregate()
+    }
+
+    /// The lockstep work-stealing loop: every worker synchronizes on a
+    /// barrier per frame, the leader refills the injector with shard
+    /// indices, and workers drain it — a shard is the steal unit, a
+    /// frame is the barrier unit.
+    fn run_parallel(&mut self, horizon: u64, threads: usize) {
+        use crossbeam::deque::{Injector, Steal};
+
+        let shards = &self.shards;
+        let injector: Injector<usize> = Injector::new();
+        let barrier = Barrier::new(threads);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                let (injector, barrier) = (&injector, &barrier);
+                scope.spawn(move |_| {
+                    for frame in 0..horizon {
+                        if barrier.wait().is_leader() {
+                            for index in 0..shards.len() {
+                                injector.push(index);
+                            }
+                        }
+                        // All workers see the refilled queue...
+                        barrier.wait();
+                        loop {
+                            match injector.steal() {
+                                Steal::Success(index) => {
+                                    let mut shard =
+                                        shards[index].lock().expect("no poisoned shards");
+                                    for cell in &mut shard.cells {
+                                        cell.advance(frame);
+                                    }
+                                }
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                        // ...and nobody starts frame+1 until every shard
+                        // has finished this frame.
+                        barrier.wait();
+                    }
+                });
+            }
+        })
+        .expect("fleet worker panicked");
+    }
+
+    /// Folds per-cell results into the deterministic report, iterating
+    /// cells in global system-id order regardless of sharding.
+    fn aggregate(&mut self) -> FleetReport {
+        let mut cells: Vec<&mut Cell> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| s.get_mut().expect("no poisoned shards").cells.iter_mut())
+            .collect();
+        cells.sort_by_key(|c| c.id);
+
+        let mut fast_frames = 0u64;
+        let mut full_frames = 0u64;
+        let mut reconfigs = 0u64;
+        let mut restricted = 0u64;
+        let mut violations = Vec::new();
+        let mut metrics = MetricsRegistry::new();
+        let mut journal = String::new();
+        let mut journal_lines = 0u64;
+
+        for cell in cells {
+            cell.verifier.finish();
+            fast_frames += cell.fast_frames;
+            full_frames += cell.full_frames;
+            reconfigs += cell.verifier.reconfigs;
+            restricted += cell.verifier.restricted_frames;
+
+            for latency in &cell.verifier.latencies {
+                metrics.observe("fleet.reconfig_latency_cycles", *latency);
+            }
+            // Restricted-frame ratio in basis points, per system.
+            if let Some(bp) =
+                (cell.verifier.restricted_frames * 10_000).checked_div(self.config.horizon)
+            {
+                metrics.observe("fleet.restricted_frame_bp", bp);
+            }
+
+            if !cell.verifier.violations.is_empty() {
+                let schedule = cell.schedule_lines();
+                for v in &cell.verifier.violations {
+                    metrics.incr("fleet.violations");
+                    violations.push(FleetViolation {
+                        system: cell.id,
+                        seed: cell.seed,
+                        property: v.property.to_string(),
+                        frame: v.frame,
+                        reconfig: v.reconfig.map(|r| (r.start_c, r.end_c)),
+                        detail: v.detail.clone(),
+                        schedule: schedule.clone(),
+                    });
+                }
+            }
+
+            if let Some(cj) = cell.journal.take() {
+                journal.push_str(&format!(
+                    "{{\"system\":{},\"seed\":{}}}\n",
+                    cell.id, cell.seed
+                ));
+                journal_lines += 1;
+                let lines = cj.writer.lines_written();
+                let bytes = cj.writer.into_inner().expect("Vec sink cannot fail");
+                journal.push_str(&String::from_utf8(bytes).expect("journal lines are UTF-8"));
+                journal_lines += lines;
+            }
+        }
+
+        metrics.add("fleet.reconfigs", reconfigs);
+        metrics.add("fleet.frames_fast", fast_frames);
+        metrics.add("fleet.frames_full", full_frames);
+
+        FleetReport {
+            systems: self.config.systems,
+            horizon: self.config.horizon,
+            total_frames: self.config.systems as u64 * self.config.horizon,
+            fast_frames,
+            full_frames,
+            reconfigs,
+            restricted_frames: restricted,
+            violations,
+            metrics: metrics.snapshot(),
+            journal,
+            journal_lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::NullApp;
+    use crate::prelude::*;
+    use arfs_rtos::Ticks;
+
+    fn small_spec() -> ReconfigSpec {
+        ReconfigSpec::builder()
+            .frame_len(Ticks::new(100))
+            .env_factor("power", ["good", "bad"])
+            .app(
+                AppDecl::new("worker")
+                    .spec(FunctionalSpec::new("full"))
+                    .spec(FunctionalSpec::new("degraded")),
+            )
+            .config(
+                Configuration::new("full-service")
+                    .assign("worker", "full")
+                    .place("worker", ProcessorId::new(0)),
+            )
+            .config(
+                Configuration::new("safe-service")
+                    .assign("worker", "degraded")
+                    .place("worker", ProcessorId::new(0))
+                    .safe(),
+            )
+            .transition("full-service", "safe-service", Ticks::new(900))
+            .transition("safe-service", "full-service", Ticks::new(900))
+            .choose_when("power", "bad", "safe-service")
+            .choose_when("power", "good", "full-service")
+            .initial_config("full-service")
+            .initial_env([("power", "good")])
+            .min_dwell_frames(2)
+            .build()
+            .expect("valid spec")
+    }
+
+    fn quiet_config(systems: usize) -> FleetConfig {
+        FleetConfig {
+            systems,
+            workload: None,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn quiet_fleet_is_all_fast_frames_and_clean() {
+        let mut fleet = Fleet::new(
+            Arc::new(small_spec()),
+            FleetConfig {
+                horizon: 40,
+                ..quiet_config(8)
+            },
+        )
+        .unwrap();
+        let report = fleet.run();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.total_frames, 8 * 40);
+        assert_eq!(report.reconfigs, 0);
+        // Every frame after the first is eligible for the fast path; the
+        // first frame is too (steady, choice endorses initial config).
+        assert_eq!(report.fast_frames, report.total_frames);
+        assert_eq!(report.full_frames, 0);
+    }
+
+    #[test]
+    fn stimulated_fleet_reconfigures_and_verifies_clean() {
+        let mut fleet = Fleet::new(
+            Arc::new(small_spec()),
+            FleetConfig {
+                systems: 32,
+                horizon: 120,
+                journal_sample: 8,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let report = fleet.run();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.reconfigs > 0, "workload should trigger reconfigs");
+        assert!(
+            report.fast_frames > 0,
+            "steady stretches take the fast path"
+        );
+        assert!(report.full_frames > 0, "reconfigs force full frames");
+        assert!(report.journal_lines > 0, "sampled systems journal");
+        assert_eq!(report.journal.lines().count() as u64, report.journal_lines);
+    }
+
+    #[test]
+    fn streaming_verifier_matches_batch_checkers_on_one_system() {
+        // Drive one system with recorded trace AND the streaming
+        // verifier; the batch checkers on the full trace and the
+        // streaming verdicts must agree.
+        let spec = Arc::new(small_spec());
+        let mut recorded = System::builder_arc(Arc::clone(&spec)).build().unwrap();
+        let mut streamed = System::builder_arc(Arc::clone(&spec))
+            .observability(false)
+            .build()
+            .unwrap();
+        streamed.set_trace_recording(false);
+        let mut verifier = StreamVerifier::new(Arc::clone(&spec));
+
+        let stimuli = [(5u64, "bad"), (40, "good"), (70, "bad")];
+        for frame in 0..110u64 {
+            if let Some((_, value)) = stimuli.iter().find(|(f, _)| *f == frame) {
+                recorded.set_env("power", value).unwrap();
+                streamed.set_env("power", value).unwrap();
+            }
+            recorded.run_frame();
+            if verifier.needs_full_state() {
+                streamed.run_frame();
+                verifier.observe_full(streamed.last_state().unwrap());
+            } else if streamed.advance_frame() {
+                verifier.observe_fast();
+            } else {
+                verifier.observe_full(streamed.last_state().unwrap());
+            }
+        }
+        verifier.finish();
+
+        let batch = properties::check_extended(recorded.trace(), &spec);
+        assert!(batch.is_ok(), "{batch}");
+        assert!(verifier.violations.is_empty(), "{:?}", verifier.violations);
+        assert_eq!(
+            verifier.reconfigs as usize,
+            recorded.trace().get_reconfigs().len()
+        );
+        assert_eq!(
+            verifier.restricted_frames,
+            recorded.trace().restricted_frames()
+        );
+        let batch_latencies: Vec<u64> = recorded
+            .trace()
+            .get_reconfigs()
+            .iter()
+            .map(|r| r.cycles())
+            .collect();
+        assert_eq!(verifier.latencies, batch_latencies);
+    }
+
+    #[test]
+    fn streaming_verifier_flags_a_stalled_kernel() {
+        // Forge the trace of a kernel that ignores its trigger: the
+        // environment demands `safe-service` frame after frame but the
+        // service level never moves. The incremental responsiveness rule
+        // must fire once the dwell allowance is exhausted, exactly like
+        // the batch checker.
+        let spec = Arc::new(small_spec());
+        let mut system = System::builder_arc(Arc::clone(&spec)).build().unwrap();
+        system.run_frame();
+        let mut stalled = system.trace().states().last().unwrap().clone();
+        assert!(stalled.all_normal());
+        stalled.env.set("power", "bad");
+
+        let mut verifier = StreamVerifier::new(Arc::clone(&spec));
+        for frame in 0..10u64 {
+            let mut state = stalled.clone();
+            state.frame = frame;
+            verifier.observe_full(&state);
+        }
+        verifier.finish();
+        let responsiveness: Vec<_> = verifier
+            .violations
+            .iter()
+            .filter(|v| v.property == properties::PropertyId::Responsiveness)
+            .collect();
+        assert_eq!(responsiveness.len(), 1, "{:?}", verifier.violations);
+    }
+
+    #[test]
+    fn report_is_shard_and_thread_invariant() {
+        let spec = Arc::new(small_spec());
+        let base = FleetConfig {
+            systems: 24,
+            horizon: 80,
+            journal_sample: 6,
+            ..FleetConfig::default()
+        };
+        let reference = Fleet::new(
+            Arc::clone(&spec),
+            FleetConfig {
+                shards: 1,
+                threads: 1,
+                ..base.clone()
+            },
+        )
+        .unwrap()
+        .run();
+        let reference_json = serde_json::to_string(&reference).unwrap();
+        for (shards, threads) in [(3usize, 1usize), (5, 2), (24, 3)] {
+            let report = Fleet::new(
+                Arc::clone(&spec),
+                FleetConfig {
+                    shards,
+                    threads,
+                    ..base.clone()
+                },
+            )
+            .unwrap()
+            .run();
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                reference_json,
+                "shards={shards} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_fleet_violations_replay_through_batch_checkers() {
+        // Chaos faults can genuinely break reconfigurations; the point of
+        // carrying `(seed, schedule)` in every FleetViolation is that the
+        // offending system replays exactly. Rebuild each reported system
+        // from its seed alone and assert the batch checkers on its full
+        // recorded trace report the same property.
+        let spec = Arc::new(small_spec());
+        let profile = ChaosProfile::for_spec(&spec, 60);
+        let config = FleetConfig {
+            systems: 12,
+            horizon: 100,
+            chaos: Some(profile.clone()),
+            ..FleetConfig::default()
+        };
+        let report = Fleet::new(Arc::clone(&spec), config.clone()).unwrap().run();
+
+        for v in &report.violations {
+            let mut system = System::builder_arc(Arc::clone(&spec))
+                .fault_plan(FaultPlan::random(mix_seed(v.seed, 1), &profile))
+                .build()
+                .unwrap();
+            let workload_config = config.workload.clone().expect("default has workload");
+            let mut events = workload::random_scenario(&spec, &workload_config, v.seed)
+                .events()
+                .to_vec();
+            events.sort_by_key(|e| e.frame);
+            let mut next = 0;
+            for frame in 0..config.horizon {
+                while let Some(event) = events.get(next) {
+                    if event.frame != frame {
+                        break;
+                    }
+                    match &event.action {
+                        ScenarioAction::SetEnv { factor, value } => {
+                            let _ = system.set_env(factor, value);
+                        }
+                        ScenarioAction::FailProcessor(p) => system.fail_processor(*p),
+                    }
+                    next += 1;
+                }
+                system.run_frame();
+            }
+            let batch = properties::check_extended(system.trace(), &spec);
+            assert!(
+                batch
+                    .violations
+                    .iter()
+                    .any(|b| b.property.to_string() == v.property),
+                "streamed violation {v:?} did not replay; batch said {:?}",
+                batch.violations
+            );
+        }
+    }
+
+    #[test]
+    fn mix_seed_spreads_indices() {
+        let a = mix_seed(1, 0);
+        let b = mix_seed(1, 1);
+        let c = mix_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls: seeds are reproducible.
+        assert_eq!(a, mix_seed(1, 0));
+    }
+
+    #[test]
+    fn registered_custom_apps_never_take_the_fast_path() {
+        // A system with explicitly registered apps (even NullApps) must
+        // not take the fast path: the auto-null proof does not apply.
+        let spec = Arc::new(small_spec());
+        let mut system = System::builder_arc(Arc::clone(&spec))
+            .observability(false)
+            .app(Box::new(NullApp::new(
+                AppId::new("worker"),
+                SpecId::new("full"),
+            )))
+            .build()
+            .unwrap();
+        system.set_trace_recording(false);
+        assert!(!system.advance_frame(), "explicit apps force full frames");
+    }
+}

@@ -58,6 +58,10 @@
 //!   analogue of the paper's mechanically checked proofs).
 //! - [`obs`] — frame-scoped observability: the structured event journal
 //!   (JSON Lines) and the metrics registry every run reports through.
+//! - [`fleet`] — fleet-scale simulation: 10⁵+ independent systems
+//!   advanced in lockstep frames on a work-stealing pool, with
+//!   allocation-free steady-state frames, streaming SP1–SP4
+//!   verification, and sampled frame-batched journaling.
 //! - [`sfta`] — system fault-tolerant actions: the synchrony-window view
 //!   of application FTAs (§5.2).
 //!
@@ -114,6 +118,7 @@ pub mod app;
 pub mod chaos;
 pub mod environment;
 mod error;
+pub mod fleet;
 mod ids;
 pub mod lint;
 pub mod model;

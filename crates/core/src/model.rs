@@ -892,8 +892,7 @@ impl ModelChecker {
                                     // outcome under this value equal to
                                     // the representative's, so the
                                     // subtrees share their verdicts.
-                                    let merged =
-                                        self.subtree_count_recorded(frame, remaining, acc);
+                                    let merged = self.subtree_count_recorded(frame, remaining, acc);
                                     acc.cases_merged += merged;
                                     if let Some(run) = por {
                                         self.spot_check_commutation(

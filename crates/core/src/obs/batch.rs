@@ -1,0 +1,175 @@
+//! Frame-batched JSON-Lines journal writing.
+//!
+//! The per-event path ([`Journal::to_json_lines`] or writing each
+//! [`JournalEvent::to_json_line`] straight to an output) flushes one
+//! small write per event — fine for one system, ruinous for a fleet of
+//! 10⁵ journaling thousands of events per wall-clock second. A
+//! [`BatchedJournalWriter`] accumulates serialized lines in one reusable
+//! `String` and pushes them to its sink only every K frames (or on an
+//! explicit [`flush`](BatchedJournalWriter::flush)).
+//!
+//! Batching cannot reorder events **within** one system: events are
+//! appended in the order the journal recorded them, the buffer is
+//! strictly FIFO, and a flush writes the whole buffer in one call —
+//! only the *timing* of the write moves, never the sequence. (Across
+//! systems the fleet layer concatenates per-system sections in system-id
+//! order, so aggregate output is deterministic too.)
+//!
+//! [`Journal::to_json_lines`]: crate::obs::Journal::to_json_lines
+
+use std::io::{self, Write};
+
+use super::journal::JournalEvent;
+
+/// A buffered JSON-Lines sink that flushes once per frame batch instead
+/// of once per event. See the [module documentation](self).
+#[derive(Debug)]
+pub struct BatchedJournalWriter<W: Write> {
+    out: W,
+    buf: String,
+    /// Flush whenever this many frames have completed since the last
+    /// flush (0 behaves like 1: flush every frame).
+    flush_every_frames: u64,
+    frames_since_flush: u64,
+    lines_written: u64,
+    bytes_flushed: u64,
+}
+
+impl<W: Write> BatchedJournalWriter<W> {
+    /// Creates a writer that flushes its buffer to `out` every
+    /// `flush_every_frames` completed frames.
+    pub fn new(out: W, flush_every_frames: u64) -> Self {
+        BatchedJournalWriter {
+            out,
+            buf: String::new(),
+            flush_every_frames: flush_every_frames.max(1),
+            frames_since_flush: 0,
+            lines_written: 0,
+            bytes_flushed: 0,
+        }
+    }
+
+    /// Serializes one event into the buffer (no I/O).
+    pub fn append(&mut self, event: &JournalEvent) {
+        self.buf.push_str(&event.to_json_line());
+        self.buf.push('\n');
+        self.lines_written += 1;
+    }
+
+    /// Appends a pre-formatted line (without trailing newline) into the
+    /// buffer — used for section headers and other non-event framing.
+    pub fn append_line(&mut self, line: &str) {
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        self.lines_written += 1;
+    }
+
+    /// Marks one frame as complete, flushing if the batch interval has
+    /// elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the underlying sink.
+    pub fn frame_complete(&mut self) -> io::Result<()> {
+        self.frames_since_flush += 1;
+        if self.frames_since_flush >= self.flush_every_frames {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the buffered lines to the sink and clears the buffer
+    /// (retaining its capacity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.out.write_all(self.buf.as_bytes())?;
+            self.out.flush()?;
+            self.bytes_flushed += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        self.frames_since_flush = 0;
+        Ok(())
+    }
+
+    /// Total lines appended so far (flushed or still buffered).
+    pub fn lines_written(&self) -> u64 {
+        self.lines_written
+    }
+
+    /// Total bytes pushed to the sink so far.
+    pub fn bytes_flushed(&self) -> u64 {
+        self.bytes_flushed
+    }
+
+    /// Flushes any remaining buffered lines and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the final flush.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{Journal, Subsystem};
+
+    fn event(frame: u64, kind: &str) -> JournalEvent {
+        JournalEvent {
+            frame,
+            subsystem: Subsystem::System,
+            kind: kind.to_owned(),
+            payload: serde_json::json!({"k": kind}),
+        }
+    }
+
+    #[test]
+    fn batched_output_matches_per_event_output() {
+        let mut journal = Journal::new();
+        let mut writer = BatchedJournalWriter::new(Vec::new(), 4);
+        for frame in 0..10 {
+            for kind in ["frame-start", "frame-end"] {
+                let e = event(frame, kind);
+                journal.push(e.clone());
+                writer.append(&e);
+            }
+            writer.frame_complete().unwrap();
+        }
+        let batched = String::from_utf8(writer.into_inner().unwrap()).unwrap();
+        assert_eq!(batched, journal.to_json_lines());
+    }
+
+    #[test]
+    fn flush_happens_per_batch_not_per_event() {
+        let mut writer = BatchedJournalWriter::new(Vec::new(), 3);
+        for frame in 0..2 {
+            writer.append(&event(frame, "x"));
+            writer.frame_complete().unwrap();
+        }
+        assert_eq!(writer.bytes_flushed(), 0, "no flush before the batch fills");
+        writer.append(&event(2, "x"));
+        writer.frame_complete().unwrap();
+        assert!(
+            writer.bytes_flushed() > 0,
+            "third frame completes the batch"
+        );
+        assert_eq!(writer.lines_written(), 3);
+    }
+
+    #[test]
+    fn into_inner_flushes_the_tail() {
+        let mut writer = BatchedJournalWriter::new(Vec::new(), 1000);
+        writer.append_line("{\"header\":true}");
+        writer.append(&event(0, "x"));
+        let out = String::from_utf8(writer.into_inner().unwrap()).unwrap();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.starts_with("{\"header\":true}\n"));
+    }
+}

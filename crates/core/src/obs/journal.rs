@@ -459,10 +459,7 @@ mod tests {
             Value::Map(vec![
                 (Value::U64(7), Value::Str("numeric key".into())),
                 (Value::Null, Value::Bool(true)),
-                (
-                    Value::Seq(vec![Value::U64(1), Value::U64(2)]),
-                    Value::Null,
-                ),
+                (Value::Seq(vec![Value::U64(1), Value::U64(2)]), Value::Null),
             ]),
             Value::Str("control \u{0} chars \u{1b} and \"quotes\"\n".into()),
             (0..64).fold(Value::Null, |inner, _| Value::Seq(vec![inner])),

@@ -35,10 +35,12 @@
 //!
 //! [`System`]: crate::system::System
 
+pub mod batch;
 pub mod counterexample;
 pub mod journal;
 pub mod metrics;
 
+pub use batch::BatchedJournalWriter;
 pub use counterexample::{CausalLink, Counterexample, FrameVerdict, ShrinkAction, ShrinkStep};
 pub use journal::{Journal, JournalDiff, JournalEvent, JournalSummary, Subsystem};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};

@@ -433,6 +433,16 @@ impl Scram {
         matches!(self.state, KernelState::Reconfiguring(_))
     }
 
+    /// Returns `true` if the kernel was built with an injected defect
+    /// ([`ScramMutation`]).
+    ///
+    /// Mutated kernels may misbehave even on frames where a pristine
+    /// kernel provably does nothing, so fast paths that skip the kernel
+    /// step must stand down when a mutation is present.
+    pub fn has_mutation(&self) -> bool {
+        self.mutation.is_some()
+    }
+
     /// Frames of minimum dwell still suppressing triggers at `frame`,
     /// or `None` while a reconfiguration is in flight.
     ///
@@ -489,7 +499,7 @@ impl Scram {
             stage_policy: self.stage_policy,
             mutation: self.mutation.clone(),
             defense: self.defense,
-            phase_frames: self.phase_frames.clone(),
+            phase_frames: self.phase_frames,
             depths: self.depths.clone(),
             wave_count: self.wave_count,
             log: self.log.fork(),

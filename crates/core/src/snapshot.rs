@@ -56,8 +56,10 @@ mod tests {
 
     #[test]
     fn snapshot_preserves_digest() {
-        let apps: Vec<Box<dyn ReconfigurableApp>> =
-            vec![Box::new(NullApp::new("a", "s")), Box::new(NullApp::new("b", "s"))];
+        let apps: Vec<Box<dyn ReconfigurableApp>> = vec![
+            Box::new(NullApp::new("a", "s")),
+            Box::new(NullApp::new("b", "s")),
+        ];
         let snap = apps.fork_snapshot();
         for (original, replica) in apps.iter().zip(&snap) {
             assert_eq!(original.id(), replica.id());

@@ -46,10 +46,10 @@ use crate::chaos::{ChaosDefense, ChaosState, FaultKind, FaultPlan};
 use crate::environment::Environment;
 use crate::lint::assembly::{Assembly, ENV_NODE, PROC_NODE_BASE, SCRAM_NODE};
 use crate::obs::{Journal, MetricsRegistry, MetricsSnapshot, Subsystem};
-use crate::snapshot::ForkSnapshot;
 use crate::scram::{
     FrameDecision, MidReconfigPolicy, Scram, ScramEvent, ScramMutation, StagePolicy, SyncPolicy,
 };
+use crate::snapshot::ForkSnapshot;
 use crate::spec::{dependency_order, ReconfigSpec};
 use crate::trace::{AppFrameRecord, SysState, SysTrace};
 use crate::{AppId, ConfigId, SystemError};
@@ -234,6 +234,10 @@ impl SystemBuilder {
         let spec = self.spec;
         let mut apps = self.apps;
 
+        // Auto-filled NullApps ignore their blackboard inputs, which is
+        // what licenses the steady-state fast path to skip building the
+        // per-frame blackboard of region snapshots.
+        let apps_auto_null = apps.is_empty();
         if apps.is_empty() {
             let initial = spec
                 .config(spec.initial_config())
@@ -316,8 +320,21 @@ impl SystemBuilder {
                 silenced_until: BTreeMap::new(),
                 silent_streak: BTreeMap::new(),
             },
+            trace_recording: true,
+            last_state: None,
+            apps_auto_null,
+            fast_board: Blackboard::new(),
+            fast_plan: None,
         })
     }
+}
+
+/// One entry of the cached steady-state execution plan: which app runs,
+/// under what budget, against which stable-storage region.
+struct FastAppSlot {
+    app_index: usize,
+    budget: Ticks,
+    region: SharedStableStorage,
 }
 
 /// The running system; see the [module documentation](self).
@@ -349,6 +366,19 @@ pub struct System {
     /// The substrate fault-injection plan and its live state (silence
     /// windows, quarantine streaks).
     chaos: ChaosState,
+    /// Whether executed frames append [`SysState`]s to the trace.
+    trace_recording: bool,
+    /// The most recent frame's full state, kept when trace recording is
+    /// off so streaming verifiers can still inspect it.
+    last_state: Option<SysState>,
+    /// All applications are auto-filled [`NullApp`]s (they ignore their
+    /// blackboard inputs), a precondition of the steady-state fast path.
+    apps_auto_null: bool,
+    /// Persistent empty blackboard handed to apps on the fast path.
+    fast_board: Blackboard,
+    /// Cached steady-state execution plan; invalidated by every full
+    /// frame (a reconfiguration may have changed budgets or specs).
+    fast_plan: Option<Vec<FastAppSlot>>,
 }
 
 impl std::fmt::Debug for System {
@@ -654,6 +684,11 @@ impl System {
             membership_cursor: self.membership_cursor,
             reconfig_started_at: self.reconfig_started_at,
             chaos: self.chaos.clone(),
+            trace_recording: self.trace_recording,
+            last_state: self.last_state.clone(),
+            apps_auto_null: self.apps_auto_null,
+            fast_board: Blackboard::new(),
+            fast_plan: None,
         }
     }
 
@@ -692,6 +727,161 @@ impl System {
         for _ in 0..n {
             self.run_frame();
         }
+    }
+
+    /// Enables or disables trace recording.
+    ///
+    /// With recording off, executed frames do not append [`SysState`]s to
+    /// the trace; the most recent full frame's state is kept in
+    /// [`last_state`](System::last_state) instead. Fleet-scale callers
+    /// turn this off so memory stays flat over millions of frames and
+    /// run their property checks on a streaming window.
+    ///
+    /// Must be configured before the first frame runs and left alone
+    /// thereafter: the trace requires contiguous frames from 0, so
+    /// re-enabling recording mid-run would corrupt it.
+    pub fn set_trace_recording(&mut self, enabled: bool) {
+        self.trace_recording = enabled;
+    }
+
+    /// Whether executed frames are appended to the trace.
+    pub fn trace_recording(&self) -> bool {
+        self.trace_recording
+    }
+
+    /// The state recorded by the most recent *full* frame, when trace
+    /// recording is off.
+    ///
+    /// `None` if no frame has run yet, if trace recording is on (the
+    /// trace itself has the state), or if the most recent frame took the
+    /// steady-state fast path (which proves the state is the previous
+    /// full frame's state with only the frame number advanced).
+    pub fn last_state(&self) -> Option<&SysState> {
+        self.last_state.as_ref()
+    }
+
+    /// Advances one frame, taking the allocation-free steady-state fast
+    /// path when it is provably equivalent to [`run_frame`]
+    /// (`System::run_frame`). Returns `true` when the fast path ran.
+    ///
+    /// The fast path is sound only when nothing the full frame does
+    /// could change observable state: observability and trace recording
+    /// are off, all applications are auto-filled [`NullApp`]s (so the
+    /// blackboard is never read), no monitors, no pending inputs, every
+    /// processor is alive, no chaos fault strikes this frame, the SCRAM
+    /// is steady with no injected mutation, and the choice function
+    /// endorses the current configuration (so the kernel step is the
+    /// steady no-op). In that situation the frame reduces to: each app
+    /// runs its normal stage and commits its region — which is what this
+    /// path executes, against a cached plan, with zero heap allocations.
+    pub fn advance_frame(&mut self) -> bool {
+        if self.steady_fast_eligible() {
+            self.run_steady_frame();
+            true
+        } else {
+            self.run_frame();
+            false
+        }
+    }
+
+    /// See [`advance_frame`](System::advance_frame) for the conditions.
+    fn steady_fast_eligible(&self) -> bool {
+        let frame = self.clock.frame();
+        !self.obs_enabled
+            && !self.trace_recording
+            && self.apps_auto_null
+            && self.monitors.is_empty()
+            && self.pending_env.is_empty()
+            && self.pending_failures.is_empty()
+            && !self.scram.is_reconfiguring()
+            && !self.scram.has_mutation()
+            && self.chaos.silenced_until.is_empty()
+            && self.chaos.silent_streak.is_empty()
+            && self.chaos.plan.events_at(frame).next().is_none()
+            && self.pool.all_alive()
+            && match self
+                .spec
+                .choose(self.scram.current_config(), self.environment.current())
+            {
+                None => true,
+                Some(target) => target == self.scram.current_config(),
+            }
+    }
+
+    /// The steady-state frame body: every app runs its normal stage
+    /// against the cached plan and commits. Allocates only on the first
+    /// fast frame after a full frame (plan construction) or on an
+    /// anomaly (event logging).
+    fn run_steady_frame(&mut self) {
+        let frame = self.clock.frame();
+        if self.fast_plan.is_none() {
+            let mut plan = Vec::with_capacity(self.app_order.len());
+            for app_id in &self.app_order {
+                let app_index = self
+                    .apps
+                    .iter()
+                    .position(|a| a.id() == app_id)
+                    .expect("registered app");
+                let budget = self
+                    .spec
+                    .app(app_id)
+                    .and_then(|d| d.find_spec(&self.apps[app_index].current_spec()))
+                    .map(|s| s.compute_ticks())
+                    .unwrap_or(Ticks::ZERO);
+                let region = self.regions.get(app_id).expect("region per app").clone();
+                plan.push(FastAppSlot {
+                    app_index,
+                    budget,
+                    region,
+                });
+            }
+            self.fast_plan = Some(plan);
+        }
+        let plan = self.fast_plan.take().expect("just built");
+        for slot in &plan {
+            let app = &mut self.apps[slot.app_index];
+            let (result, consumed) = slot.region.write(|stable| {
+                let mut ctx = AppContext {
+                    frame,
+                    stable,
+                    inputs: &self.fast_board,
+                    env: self.environment.current(),
+                    consumed: Ticks::ZERO,
+                };
+                let result = app.run_normal(&mut ctx);
+                let consumed = ctx.consumed;
+                // Frame-end stable-storage commit (§6.1), same as the
+                // full path; slot-retaining staging makes it alloc-free.
+                stable.commit();
+                (result, consumed)
+            });
+            if let Err(error) = result {
+                let app_id = self.apps[slot.app_index].id().clone();
+                self.events.push(SystemEvent::AppStageError {
+                    frame,
+                    app: app_id,
+                    stage: "normal".into(),
+                    error,
+                });
+            }
+            if slot.budget > Ticks::ZERO && consumed > slot.budget {
+                let app_id = self.apps[slot.app_index].id().clone();
+                self.events.push(SystemEvent::DeadlineMiss {
+                    frame,
+                    app: app_id,
+                    consumed,
+                    budget: slot.budget,
+                });
+            }
+        }
+        self.fast_plan = Some(plan);
+        // The previous full frame's state no longer describes the
+        // current frame; dropping it is what lets `last_state` promise
+        // "the most recent full frame".
+        if self.last_state.is_some() {
+            self.last_state = None;
+        }
+        self.clock.advance_frame();
     }
 
     /// Executes one synchronous real-time frame and returns the SCRAM's
@@ -1230,12 +1420,17 @@ impl System {
                 },
             );
         }
-        self.trace.push(SysState {
+        let state = SysState {
             frame,
             svclvl: decision.svclvl.clone(),
             env: env.clone(),
             apps,
-        });
+        };
+        if self.trace_recording {
+            self.trace.push(state);
+        } else {
+            self.last_state = Some(state);
+        }
 
         // --- One bus round per frame. ---
         let round = self.bus.run_round();
@@ -1294,6 +1489,9 @@ impl System {
         }
 
         self.clock.advance_frame();
+        // A full frame may have changed configurations, budgets, or app
+        // specs; the steady-state plan is rebuilt on the next fast frame.
+        self.fast_plan = None;
         decision
     }
 

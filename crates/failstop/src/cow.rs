@@ -92,11 +92,9 @@ impl<T> CowLog<T> {
 
     /// The most recently appended entry, if any.
     pub fn last(&self) -> Option<&T> {
-        self.tail.last().or_else(|| {
-            self.segments
-                .last()
-                .and_then(|(_, segment)| segment.last())
-        })
+        self.tail
+            .last()
+            .or_else(|| self.segments.last().and_then(|(_, segment)| segment.last()))
     }
 
     /// Iterates every entry, oldest first.

@@ -156,6 +156,14 @@ impl ProcessorPool {
         self.processors.get(&id).is_some_and(Processor::is_running)
     }
 
+    /// Returns `true` if every processor in the pool is running.
+    ///
+    /// Unlike [`alive_ids`](ProcessorPool::alive_ids) this allocates
+    /// nothing, so hot loops can poll pool health every frame.
+    pub fn all_alive(&self) -> bool {
+        self.processors.values().all(Processor::is_running)
+    }
+
     /// Forces a fail-stop failure of the given processor.
     ///
     /// # Errors

@@ -129,11 +129,26 @@ macro_rules! typed_accessors {
 
         /// Stages a write of the given type; it becomes visible at the
         /// next [`commit`](StableStorage::commit).
-        pub fn $stage(&mut self, key: impl Into<String>, value: $ty) {
-            self.staged
-                .insert(key.into(), Some(StableValue::$variant(value.into())));
+        pub fn $stage(&mut self, key: impl AsRef<str> + Into<String>, value: $ty) {
+            self.put_slot(key, StagedSlot::Write(StableValue::$variant(value.into())));
         }
     };
+}
+
+/// The state of one staging slot between commits.
+///
+/// Slots are *retained* across commits: applying a slot resets it to
+/// [`StagedSlot::Clean`] in place instead of removing the map entry, so a
+/// key that is re-staged every frame (the steady-state hot path) never
+/// re-allocates its `String` key after the first frame.
+#[derive(Debug, Clone, PartialEq)]
+enum StagedSlot {
+    /// No write pending; the slot exists only to keep its key allocated.
+    Clean,
+    /// A value write pending for the next commit.
+    Write(StableValue),
+    /// A removal pending for the next commit.
+    Remove,
 }
 
 /// The stable storage of one fail-stop processor.
@@ -141,11 +156,29 @@ macro_rules! typed_accessors {
 /// See the [crate documentation](crate) for the semantics. A store is a
 /// flat, ordered key-value namespace; higher layers (the RTOS, the SCRAM
 /// kernel, applications) impose their own key conventions on top.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct StableStorage {
     committed: BTreeMap<String, StableValue>,
-    staged: BTreeMap<String, Option<StableValue>>,
+    staged: BTreeMap<String, StagedSlot>,
     version: Version,
+}
+
+impl PartialEq for StableStorage {
+    /// Clean (already-applied) staging slots are key-retention bookkeeping,
+    /// not state: two stores are equal when their committed contents,
+    /// versions, and *pending* staged operations agree.
+    fn eq(&self, other: &Self) -> bool {
+        self.committed == other.committed
+            && self.version == other.version
+            && self
+                .staged
+                .iter()
+                .filter(|(_, s)| **s != StagedSlot::Clean)
+                .eq(other
+                    .staged
+                    .iter()
+                    .filter(|(_, s)| **s != StagedSlot::Clean))
+    }
 }
 
 impl StableStorage {
@@ -187,7 +220,20 @@ impl StableStorage {
 
     /// Returns the number of writes staged but not yet committed.
     pub fn staged_len(&self) -> usize {
-        self.staged.len()
+        self.staged
+            .values()
+            .filter(|s| **s != StagedSlot::Clean)
+            .count()
+    }
+
+    /// Writes `slot` into the retained staging slot for `key`, allocating
+    /// the key `String` only the first time the key is ever staged.
+    fn put_slot(&mut self, key: impl AsRef<str> + Into<String>, slot: StagedSlot) {
+        if let Some(existing) = self.staged.get_mut(key.as_ref()) {
+            *existing = slot;
+        } else {
+            self.staged.insert(key.into(), slot);
+        }
     }
 
     typed_accessors!(get_u64, try_get_u64, stage_u64, U64, u64, |v: &u64| *v);
@@ -213,9 +259,8 @@ impl StableStorage {
     }
 
     /// Stages a string write.
-    pub fn stage_str(&mut self, key: impl Into<String>, value: impl Into<String>) {
-        self.staged
-            .insert(key.into(), Some(StableValue::Str(value.into())));
+    pub fn stage_str(&mut self, key: impl AsRef<str> + Into<String>, value: impl Into<String>) {
+        self.put_slot(key, StagedSlot::Write(StableValue::Str(value.into())));
     }
 
     /// Reads committed raw bytes.
@@ -229,19 +274,18 @@ impl StableStorage {
     }
 
     /// Stages a raw-bytes write.
-    pub fn stage_bytes(&mut self, key: impl Into<String>, value: impl Into<Vec<u8>>) {
-        self.staged
-            .insert(key.into(), Some(StableValue::Bytes(value.into())));
+    pub fn stage_bytes(&mut self, key: impl AsRef<str> + Into<String>, value: impl Into<Vec<u8>>) {
+        self.put_slot(key, StagedSlot::Write(StableValue::Bytes(value.into())));
     }
 
     /// Stages an arbitrary tagged value.
-    pub fn stage(&mut self, key: impl Into<String>, value: StableValue) {
-        self.staged.insert(key.into(), Some(value));
+    pub fn stage(&mut self, key: impl AsRef<str> + Into<String>, value: StableValue) {
+        self.put_slot(key, StagedSlot::Write(value));
     }
 
     /// Stages removal of a key.
-    pub fn stage_remove(&mut self, key: impl Into<String>) {
-        self.staged.insert(key.into(), None);
+    pub fn stage_remove(&mut self, key: impl AsRef<str> + Into<String>) {
+        self.put_slot(key, StagedSlot::Remove);
     }
 
     /// Atomically applies all staged writes and bumps the version.
@@ -249,14 +293,24 @@ impl StableStorage {
     /// Returns the new version. Committing with nothing staged still bumps
     /// the version: the reconfiguration model commits at *every* frame
     /// boundary, and version numbers double as frame-commit evidence.
+    ///
+    /// Staging slots are reset in place rather than drained, and a write
+    /// to a key that already exists in the committed map moves the value
+    /// without touching the key — so re-committing the same working set
+    /// every frame performs no heap allocation.
     pub fn commit(&mut self) -> Version {
-        for (key, value) in std::mem::take(&mut self.staged) {
-            match value {
-                Some(v) => {
-                    self.committed.insert(key, v);
+        for (key, slot) in self.staged.iter_mut() {
+            match std::mem::replace(slot, StagedSlot::Clean) {
+                StagedSlot::Clean => {}
+                StagedSlot::Write(v) => {
+                    if let Some(dst) = self.committed.get_mut(key) {
+                        *dst = v;
+                    } else {
+                        self.committed.insert(key.clone(), v);
+                    }
                 }
-                None => {
-                    self.committed.remove(&key);
+                StagedSlot::Remove => {
+                    self.committed.remove(key);
                 }
             }
         }
@@ -270,7 +324,9 @@ impl StableStorage {
     /// were buffered in volatile circuitry and never reached the stable
     /// medium.
     pub fn discard(&mut self) {
-        self.staged.clear();
+        for slot in self.staged.values_mut() {
+            *slot = StagedSlot::Clean;
+        }
     }
 
     /// Stages every key of a snapshot into this store and commits.
@@ -280,7 +336,7 @@ impl StableStorage {
     /// store, import the snapshot, resume from the imported state.
     pub fn import_snapshot(&mut self, snapshot: &StableSnapshot) -> Version {
         for (key, value) in snapshot.iter() {
-            self.staged.insert(key.to_owned(), Some(value.clone()));
+            self.put_slot(key, StagedSlot::Write(value.clone()));
         }
         self.commit()
     }
@@ -430,7 +486,7 @@ impl SharedStableStorage {
     }
 
     /// Convenience: stages a single value and commits immediately.
-    pub fn put(&self, key: impl Into<String>, value: StableValue) -> Version {
+    pub fn put(&self, key: impl AsRef<str> + Into<String>, value: StableValue) -> Version {
         let mut guard = self.inner.write();
         let store = Arc::make_mut(&mut guard);
         store.stage(key, value);

@@ -136,6 +136,7 @@ pub struct Executive {
     major: MajorSchedule,
     partitions: Vec<Box<dyn Partition>>,
     health_log: Vec<HealthEvent>,
+    health_scratch: Vec<HealthEvent>,
 }
 
 impl fmt::Debug for Executive {
@@ -169,6 +170,7 @@ impl Executive {
             major,
             partitions: Vec::new(),
             health_log: Vec::new(),
+            health_scratch: Vec::new(),
         }
     }
 
@@ -223,15 +225,13 @@ impl Executive {
         &self.health_log
     }
 
-    /// Executes one frame: every window in schedule order, running its
-    /// partition (if registered) with the window budget, then advances
-    /// the clock.
-    pub fn run_frame(&mut self) -> FrameReport {
+    /// Executes one frame's windows, pushing anomalies into `health` and
+    /// advancing the clock. Allocates only when an anomaly occurs.
+    fn execute_frame(&mut self, health: &mut Vec<HealthEvent>) -> Ticks {
         let frame = self.clock.frame();
-        let mut health = Vec::new();
         let mut consumed = Ticks::ZERO;
 
-        for window in self.major.minor(frame).windows().to_vec() {
+        for window in self.major.minor(frame).windows() {
             let Some(partition) = self
                 .partitions
                 .iter_mut()
@@ -264,8 +264,18 @@ impl Executive {
             }
         }
 
-        self.health_log.extend(health.iter().cloned());
         self.clock.advance_frame();
+        consumed
+    }
+
+    /// Executes one frame: every window in schedule order, running its
+    /// partition (if registered) with the window budget, then advances
+    /// the clock.
+    pub fn run_frame(&mut self) -> FrameReport {
+        let frame = self.clock.frame();
+        let mut health = Vec::new();
+        let consumed = self.execute_frame(&mut health);
+        self.health_log.extend(health.iter().cloned());
         FrameReport {
             frame,
             health,
@@ -276,6 +286,34 @@ impl Executive {
     /// Runs `n` frames, returning the reports.
     pub fn run_frames(&mut self, n: u64) -> Vec<FrameReport> {
         (0..n).map(|_| self.run_frame()).collect()
+    }
+
+    /// Executes one frame without materializing a [`FrameReport`].
+    ///
+    /// Health events still reach the cumulative
+    /// [`health_log`](Executive::health_log); the per-frame report
+    /// (and its `Vec` of events) is never built. On an anomaly-free
+    /// frame this path performs no heap allocation, which is what
+    /// fleet-scale callers that discard reports need.
+    ///
+    /// Returns the ticks consumed by all partitions this frame.
+    pub fn advance_frame(&mut self) -> Ticks {
+        let mut scratch = std::mem::take(&mut self.health_scratch);
+        let consumed = self.execute_frame(&mut scratch);
+        self.health_log.append(&mut scratch);
+        self.health_scratch = scratch;
+        consumed
+    }
+
+    /// Runs `n` frames report-free (see
+    /// [`advance_frame`](Executive::advance_frame)), returning the total
+    /// ticks consumed.
+    pub fn advance_frames(&mut self, n: u64) -> Ticks {
+        let mut total = Ticks::ZERO;
+        for _ in 0..n {
+            total += self.advance_frame();
+        }
+        total
     }
 }
 
@@ -350,6 +388,29 @@ mod tests {
         let reports = exec.run_frames(3);
         assert_eq!(reports.last().unwrap().frame, 3);
         assert_eq!(exec.clock().frame(), 4);
+    }
+
+    #[test]
+    fn advance_frames_matches_run_frame_without_reports() {
+        let mut reporting = Executive::new(schedule());
+        let mut hot = Executive::new(schedule());
+        for exec in [&mut reporting, &mut hot] {
+            exec.add_partition(Box::new(FixedCost::new("autopilot", 10)))
+                .unwrap();
+            let mut fcs = FixedCost::new("fcs", 41); // misses its deadline
+            fcs.fail_on_frame = Some(2);
+            exec.add_partition(Box::new(fcs)).unwrap();
+        }
+        let mut consumed = Ticks::ZERO;
+        for report in reporting.run_frames(5) {
+            consumed += report.consumed;
+        }
+        assert_eq!(hot.advance_frames(5), consumed);
+        assert_eq!(hot.clock().frame(), reporting.clock().frame());
+        // The report-free path records the same health history; it only
+        // skips materializing per-frame FrameReports.
+        assert_eq!(hot.health_log(), reporting.health_log());
+        assert!(!hot.health_log().is_empty(), "fixture must exercise health");
     }
 
     #[test]

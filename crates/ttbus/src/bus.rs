@@ -700,7 +700,9 @@ mod tests {
     fn forked_bus_shares_history_and_diverges() {
         let mut parent = two_node_bus();
         parent.enable_log();
-        parent.submit(n(0), Message::new("before", Vec::new())).unwrap();
+        parent
+            .submit(n(0), Message::new("before", Vec::new()))
+            .unwrap();
         parent.mark_present(n(1));
         parent.run_round();
         let mut child = parent.fork();
@@ -708,9 +710,13 @@ mod tests {
         assert_eq!(parent.log(), child.log());
         assert_eq!(parent.membership_changes(), child.membership_changes());
 
-        parent.submit(n(0), Message::new("parent", Vec::new())).unwrap();
+        parent
+            .submit(n(0), Message::new("parent", Vec::new()))
+            .unwrap();
         parent.run_round();
-        child.submit(n(1), Message::new("child", Vec::new())).unwrap();
+        child
+            .submit(n(1), Message::new("child", Vec::new()))
+            .unwrap();
         child.run_round();
         assert_eq!(parent.log()[1].message.topic(), "parent");
         assert_eq!(child.log()[1].message.topic(), "child");

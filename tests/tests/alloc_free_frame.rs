@@ -1,0 +1,72 @@
+//! Proves the steady-state fast path is allocation-free.
+//!
+//! This test binary installs a counting `#[global_allocator]` (every
+//! other test binary is unaffected) and asserts that once a
+//! non-reconfiguring, journal-off system has warmed up, advancing a
+//! frame performs **zero** heap allocations — the property the fleet
+//! runtime's throughput depends on.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use arfs_avionics::avionics_spec;
+use arfs_core::system::System;
+
+/// Wraps the system allocator, counting every allocation and
+/// reallocation (deallocations are free to remain — the property under
+/// test is "no new heap traffic per frame").
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_frame_allocates_nothing() {
+    let spec = Arc::new(avionics_spec().expect("avionics spec builds"));
+    let mut system = System::builder_arc(spec)
+        .observability(false)
+        .build()
+        .expect("system builds");
+    system.set_trace_recording(false);
+
+    // Warm up: let any initial reconfiguration settle and let the fast
+    // path build its cached per-app plan.
+    for _ in 0..16 {
+        system.advance_frame();
+    }
+    assert!(
+        system.advance_frame(),
+        "warmed-up quiet system must be on the fast path"
+    );
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        assert!(system.advance_frame(), "steady frames must stay fast");
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state frames must not touch the heap ({} allocations in 100 frames)",
+        after - before
+    );
+}

@@ -1,0 +1,77 @@
+//! Fleet determinism: a parallel lockstep run is byte-identical to the
+//! single-threaded run with the same master seed, across shard counts.
+//!
+//! The fleet report deliberately excludes wall-clock data, so full
+//! serialized equality — report JSON *and* the aggregate journal — is
+//! the determinism contract.
+
+use std::sync::Arc;
+
+use arfs_avionics::avionics_spec;
+use arfs_core::fleet::{Fleet, FleetConfig, FleetReport};
+
+fn run(shards: usize, threads: usize) -> FleetReport {
+    let spec = Arc::new(avionics_spec().expect("avionics spec builds"));
+    let config = FleetConfig {
+        systems: 96,
+        shards,
+        threads,
+        seed: FLEET_SEED,
+        horizon: 60,
+        journal_sample: 8,
+        ..FleetConfig::default()
+    };
+    Fleet::new(spec, config).expect("fleet builds").run()
+}
+
+const FLEET_SEED: u64 = 0xF1EE7;
+
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let serial = run(3, 1);
+    let serial_json = serde_json::to_string(&serial).expect("report serializes");
+    assert!(serial.total_frames == 96 * 60);
+
+    for (shards, threads) in [(3usize, 4usize), (7, 4), (7, 2)] {
+        let parallel = run(shards, threads);
+        assert_eq!(
+            serde_json::to_string(&parallel).expect("report serializes"),
+            serial_json,
+            "shards={shards} threads={threads} diverged from serial"
+        );
+        assert_eq!(
+            parallel.journal, serial.journal,
+            "aggregate journal diverged at shards={shards} threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn shard_count_does_not_leak_into_the_report() {
+    let a = run(2, 1);
+    let b = run(11, 1);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "shard partitioning must be invisible in the aggregate"
+    );
+}
+
+#[test]
+fn sampled_journal_sections_are_ordered_by_system_id() {
+    let report = run(4, 2);
+    assert!(report.journal_lines > 0, "sampling must journal something");
+    let mut last_id: i64 = -1;
+    for line in report.journal.lines() {
+        if let Some(rest) = line.strip_prefix("{\"system\":") {
+            let id: i64 = rest
+                .split(',')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("header carries the system id");
+            assert!(id > last_id, "journal sections out of id order");
+            last_id = id;
+        }
+    }
+    assert!(last_id >= 0, "at least one section header expected");
+}
