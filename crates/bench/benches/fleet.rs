@@ -1,7 +1,8 @@
 //! Microbenchmarks of the fleet runtime: the cost of one lockstep frame
-//! across 10⁴ systems, the steady-state fast path against the full
-//! per-frame machinery, and frame-batched journal flushing against the
-//! per-event write path.
+//! across 10⁴ systems (with and without the observability plane), the
+//! steady-state fast path against the full per-frame machinery,
+//! frame-batched journal flushing against the per-event write path,
+//! flight-ring writes, and the binary journal codec against JSON-Lines.
 
 use std::io::Write;
 use std::sync::Arc;
@@ -10,7 +11,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use arfs_avionics::avionics_spec;
 use arfs_core::fleet::{Fleet, FleetConfig};
-use arfs_core::obs::{BatchedJournalWriter, JournalEvent, Subsystem};
+use arfs_core::obs::{
+    codec, BatchedJournalWriter, FlightRing, JournalEvent, RingCode, RingEvent, Subsystem,
+};
 use arfs_core::system::System;
 
 fn bench_fleet_frame(c: &mut Criterion) {
@@ -28,6 +31,33 @@ fn bench_fleet_frame(c: &mut Criterion) {
                 horizon: u64::MAX,
                 workload: None,
                 journal_sample: 0,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let mut frame = 0u64;
+        for _ in 0..4 {
+            fleet.advance_frame(frame);
+            frame += 1;
+        }
+        b.iter(|| {
+            fleet.advance_frame(frame);
+            frame += 1;
+        });
+    });
+
+    group.bench_function("fleet_frame_10k_obs_off", |b| {
+        // The same quiet fleet with the observability plane off (no
+        // rings, no shard metrics consumers): the delta against
+        // `fleet_frame_10k` is the plane's per-frame cost.
+        let mut fleet = Fleet::new(
+            Arc::clone(&spec),
+            FleetConfig {
+                systems: 10_000,
+                horizon: u64::MAX,
+                workload: None,
+                journal_sample: 0,
+                ring_capacity: 0,
                 ..FleetConfig::default()
             },
         )
@@ -106,5 +136,74 @@ fn bench_journal_batching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet_frame, bench_journal_batching);
+fn bench_observability_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+
+    group.bench_function("ring_bump_run", |b| {
+        // The steady fast path's per-frame ring write: coalesces into
+        // the newest event in place, no slot consumed, no heap.
+        let mut ring = FlightRing::new(256);
+        let mut frame = 0u64;
+        b.iter(|| {
+            ring.bump_run(frame, RingCode::FastFrames);
+            frame += 1;
+        });
+    });
+
+    group.bench_function("ring_push", |b| {
+        // A full-frame ring write into an always-wrapping ring.
+        let mut ring = FlightRing::new(256);
+        let mut frame = 0u64;
+        b.iter(|| {
+            ring.push(RingEvent {
+                frame,
+                code: RingCode::PhaseEntered,
+                a: 1,
+                b: 2,
+            });
+            frame += 1;
+        });
+    });
+
+    let events: Vec<JournalEvent> = (0..64u64)
+        .map(|frame| JournalEvent {
+            frame,
+            subsystem: Subsystem::Scram,
+            kind: "trigger-accepted".into(),
+            payload: serde_json::json!({"from": "full-service", "target": "safe-service"}),
+        })
+        .collect();
+
+    group.bench_function("encode_json_lines", |b| {
+        b.iter(|| {
+            let mut out = String::new();
+            for event in &events {
+                out.push_str(&event.to_json_line());
+                out.push('\n');
+            }
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("encode_binary_vs_json_lines", |b| {
+        // The fleet writer's wire format: length-prefixed records, no
+        // textual framing of frame/subsystem/kind.
+        b.iter(|| {
+            let mut out = Vec::new();
+            codec::encode_magic(&mut out);
+            for event in &events {
+                codec::encode_event(&mut out, event);
+            }
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_frame,
+    bench_journal_batching,
+    bench_observability_plane
+);
 criterion_main!(benches);

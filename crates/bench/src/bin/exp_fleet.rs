@@ -3,22 +3,36 @@
 //! streaming SP1–SP4 verification, sampled frame-batched journaling, and
 //! the allocation-free steady-state fast path.
 //!
-//! Three sweeps:
+//! Five sweeps:
 //!
 //! 1. **Fleet size** — 10³ and 10⁴ systems (plus 10⁵ in the full run)
 //!    under the default random workload, reporting frames/sec,
 //!    frames/sec/core, reconfigurations, and the streaming verification
 //!    verdict. Every violation would carry its seed and schedule for
-//!    replay; a clean fleet is the expected outcome.
+//!    replay; a clean fleet is the expected outcome. Throughput divides
+//!    by the **frame-loop** seconds only ([`Fleet::run_timed`]); the
+//!    journal-writer drain and aggregation get their own columns in the
+//!    artifact instead of silently deflating frames/sec.
 //! 2. **Thread scaling** — the 10⁴ fleet at 1/2/4/8 workers, reporting
 //!    parallel efficiency against the single-threaded run. The host's
 //!    core count is recorded in the artifact: on a single-core container
 //!    the extra workers only add barrier overhead and the honest
 //!    efficiency numbers show exactly that.
-//! 3. **Allocation probe** — this binary installs a counting global
+//! 3. **Observability overhead** — the 10⁴ fleet with everything off
+//!    (no rings, no journal sampling) versus the sweep-1 fully
+//!    instrumented run. Full observability must cost **under 10%**
+//!    fleet throughput; the gate fails the run (exit 3) otherwise.
+//! 4. **Forced-violation triage** — one system of the 10⁴ fleet is
+//!    seeded with a skip-Init SCRAM defect; the streaming verifier
+//!    must flag it and its flight ring must drain into a
+//!    `results/triage_forced.json` bundle that `arfs-trace fleet
+//!    triage` renders. The sampled binary journal of the sweep-1 10⁴
+//!    run lands next to it as `results/exp_fleet.journal.bin`.
+//! 5. **Allocation probe** — this binary installs a counting global
 //!    allocator and measures heap allocations per steady-state frame on
-//!    a warmed-up quiet fleet. The fast path's contract is **zero**; the
-//!    measured number is recorded and gated.
+//!    a warmed-up quiet fleet *with flight rings enabled*. The fast
+//!    path's contract is **zero**; the measured number is recorded and
+//!    gated.
 //!
 //! The harness gates on its own previous artifact
 //! (`results/BENCH_fleet.json`): if the 10⁴ fleet's frames/sec drops
@@ -29,18 +43,19 @@
 //! Usage: `exp_fleet [--smoke]` — `--smoke` drops the 10⁵ case and
 //! trims the thread sweep (the CI entry point).
 //!
-//! Exit codes: `0` clean, `1` a property violation or a non-zero
-//! allocation count, `3` a throughput regression against the previous
-//! artifact.
+//! Exit codes: `0` clean, `1` an unexpected property violation, a
+//! missing forced-violation bundle, or a non-zero allocation count,
+//! `3` a throughput regression against the previous artifact or an
+//! observability overhead above 10%.
 
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use arfs_avionics::avionics_spec;
 use arfs_bench::{banner, verdict, write_json, TextTable};
-use arfs_core::fleet::{Fleet, FleetConfig, FleetReport};
+use arfs_core::fleet::{Fleet, FleetConfig, FleetReport, FleetTimings};
+use arfs_core::scram::ScramMutation;
 use arfs_core::spec::ReconfigSpec;
 
 /// Counts every allocation and reallocation; the per-frame delta on a
@@ -77,6 +92,15 @@ const REGRESSION_TOLERANCE: f64 = 1.25;
 
 const MASTER_SEED: u64 = 0xF1EE7;
 
+/// Full observability (rings + sampled journaling + metrics) may cost at
+/// most this fraction of obs-off fleet throughput before the overhead
+/// gate fails the run with exit code 3.
+const OBS_OVERHEAD_BUDGET: f64 = 0.10;
+
+/// The system seeded with the SCRAM defect in the forced-violation
+/// triage sweep (arbitrary mid-fleet id; determinism pins its seed).
+const MUTATED_SYSTEM: usize = 4_242;
+
 /// The previous run's artifact, if one exists and still parses.
 fn prior_artifact() -> Option<serde_json::Value> {
     let path = arfs_bench::results_dir().join("BENCH_fleet.json");
@@ -107,17 +131,21 @@ fn fleet_config(systems: usize, threads: usize) -> FleetConfig {
 
 struct CaseResult {
     report: FleetReport,
-    secs: f64,
+    timings: FleetTimings,
+}
+
+impl CaseResult {
+    /// Throughput over the lockstep frame loop only; journal drain and
+    /// aggregation are reported separately rather than deflating this.
+    fn frames_per_sec(&self) -> f64 {
+        self.report.total_frames as f64 / self.timings.frame_loop_secs.max(1e-9)
+    }
 }
 
 fn run_case(spec: &Arc<ReconfigSpec>, config: FleetConfig) -> CaseResult {
     let mut fleet = Fleet::new(Arc::clone(spec), config).expect("fleet builds");
-    let t0 = Instant::now();
-    let report = fleet.run();
-    CaseResult {
-        report,
-        secs: t0.elapsed().as_secs_f64(),
-    }
+    let (report, timings) = fleet.run_timed();
+    CaseResult { report, timings }
 }
 
 /// Measures heap allocations per steady-state frame: a quiet 256-system
@@ -162,6 +190,20 @@ fn main() {
     let spec = Arc::new(avionics_spec().expect("valid spec"));
     let prior = prior_artifact();
 
+    // Untimed warm-up: grow the allocator arena past a 10⁴-system
+    // footprint (systems, rings, journals) so the timed sweeps measure
+    // frame work, not first-touch page faults.
+    {
+        let config = FleetConfig {
+            horizon: 8,
+            ..fleet_config(10_000, cores.clamp(1, 4))
+        };
+        Fleet::new(Arc::clone(&spec), config)
+            .expect("fleet builds")
+            .run();
+        println!("warm-up: 10k systems x 8 frames (untimed)");
+    }
+
     // --- Sweep 1: fleet size. ---
     let sizes: &[(usize, &str)] = if smoke {
         &[(1_000, "fleet_1k"), (10_000, "fleet_10k")]
@@ -187,6 +229,7 @@ fn main() {
     let mut cases = Vec::new();
     let mut all_clean = true;
     let mut gated_frames_per_sec = None;
+    let mut gated_journal = None;
 
     for &(systems, name) in sizes {
         let threads = cores.clamp(1, 4);
@@ -199,9 +242,10 @@ fn main() {
                 v.system, v.seed, v.property, v.frame, v.detail
             );
         }
-        let frames_per_sec = report.total_frames as f64 / result.secs.max(1e-9);
+        let frames_per_sec = result.frames_per_sec();
         if name == REGRESSION_CASE {
             gated_frames_per_sec = Some(frames_per_sec);
+            gated_journal = Some(report.journal.as_slice().to_vec());
         }
         table.row([
             name.to_string(),
@@ -213,7 +257,7 @@ fn main() {
             ),
             report.reconfigs.to_string(),
             report.violations.len().to_string(),
-            format!("{:.2}", result.secs),
+            format!("{:.2}", result.timings.frame_loop_secs),
             format!("{frames_per_sec:.0}"),
             format!("{:.0}", frames_per_sec / cores as f64),
         ]);
@@ -228,17 +272,24 @@ fn main() {
             "reconfigs": report.reconfigs,
             "restricted_frames": report.restricted_frames,
             "violations": report.violations.len(),
-            "journal_lines": report.journal_lines,
-            "secs": result.secs,
+            "journal_events": report.journal_events,
+            "journal_bytes": report.journal.len(),
+            "secs": result.timings.total_secs(),
+            "frame_loop_secs": result.timings.frame_loop_secs,
+            "journal_finish_secs": result.timings.journal_finish_secs,
+            "aggregate_secs": result.timings.aggregate_secs,
             "frames_per_sec": frames_per_sec,
             "frames_per_sec_per_core": frames_per_sec / cores as f64,
             "metrics": report.metrics,
+            "rollup": report.rollup_metrics(&result.timings, cores).snapshot(),
         }));
         println!(
-            "{name}: {} systems x {} frames in {:.2}s ({:.0} frames/s), {} reconfigs, {} violations",
+            "{name}: {} systems x {} frames in {:.2}s frame loop + {:.2}s journal/aggregate \
+             ({:.0} frames/s), {} reconfigs, {} violations",
             systems,
             report.horizon,
-            result.secs,
+            result.timings.frame_loop_secs,
+            result.timings.journal_finish_secs + result.timings.aggregate_secs,
             frames_per_sec,
             report.reconfigs,
             report.violations.len()
@@ -256,19 +307,20 @@ fn main() {
     for &threads in thread_counts {
         let result = run_case(&spec, fleet_config(10_000, threads));
         all_clean &= result.report.is_clean();
-        let fps = result.report.total_frames as f64 / result.secs.max(1e-9);
-        let base = *base_secs.get_or_insert(result.secs);
-        let speedup = base / result.secs.max(1e-9);
+        let fps = result.frames_per_sec();
+        let secs = result.timings.frame_loop_secs;
+        let base = *base_secs.get_or_insert(secs);
+        let speedup = base / secs.max(1e-9);
         scaling_table.row([
             threads.to_string(),
-            format!("{:.2}", result.secs),
+            format!("{secs:.2}"),
             format!("{fps:.0}"),
             format!("{speedup:.2}x"),
             format!("{:.0}%", 100.0 * speedup / threads as f64),
         ]);
         scaling.push(serde_json::json!({
             "threads": threads,
-            "secs": result.secs,
+            "secs": secs,
             "frames_per_sec": fps,
             "speedup": speedup,
             "efficiency": speedup / threads as f64,
@@ -279,7 +331,108 @@ fn main() {
         println!("note: host has {cores} core(s); speedup is bounded by physical parallelism");
     }
 
-    // --- Sweep 3: allocation probe. ---
+    // --- Sweep 3: observability overhead at 10⁴ systems. ---
+    // A dedicated back-to-back pair rather than reusing the sweep-1
+    // number: the two runs must see the same allocator and cache state
+    // for the delta to be an observability cost and not noise.
+    banner("observability overhead (10^4 systems)");
+    let threads = cores.clamp(1, 4);
+    let off = run_case(
+        &spec,
+        FleetConfig {
+            journal_sample: 0,
+            ring_capacity: 0,
+            ..fleet_config(10_000, threads)
+        },
+    );
+    let on = run_case(&spec, fleet_config(10_000, threads));
+    all_clean &= off.report.is_clean() && on.report.is_clean();
+    let fps_off = off.frames_per_sec();
+    let fps_on = on.frames_per_sec();
+    let overhead = 1.0 - fps_on / fps_off.max(1e-9);
+    let obs_ok = fps_on >= fps_off * (1.0 - OBS_OVERHEAD_BUDGET);
+    println!(
+        "obs off: {fps_off:.0} frames/s | obs on (rings + journal + metrics): {fps_on:.0} \
+         frames/s | overhead {:.1}%",
+        100.0 * overhead
+    );
+    verdict(
+        &format!(
+            "full observability costs {:.1}% fleet throughput (budget {:.0}%)",
+            100.0 * overhead,
+            100.0 * OBS_OVERHEAD_BUDGET
+        ),
+        obs_ok,
+    );
+    let obs = serde_json::json!({
+        "systems": 10_000,
+        "threads": threads,
+        "frames_per_sec_obs_off": fps_off,
+        "frames_per_sec_obs_on": fps_on,
+        "overhead_fraction": overhead,
+        "budget_fraction": OBS_OVERHEAD_BUDGET,
+        "within_budget": obs_ok,
+    });
+
+    // --- Sweep 4: forced-violation triage at 10⁴ systems. ---
+    banner("forced-violation triage (10^4 systems)");
+    let forced = run_case(
+        &spec,
+        FleetConfig {
+            mutate_system: Some((MUTATED_SYSTEM, ScramMutation::SkipInitPhase)),
+            ..fleet_config(10_000, threads)
+        },
+    );
+    let caught = forced
+        .report
+        .violations
+        .iter()
+        .any(|v| v.system == MUTATED_SYSTEM);
+    let bundle = forced.report.bundles.iter().find(|b| {
+        b.system == MUTATED_SYSTEM && b.trigger == arfs_core::obs::triage::trigger::STREAM_VERIFIER
+    });
+    let bundle_renderable =
+        bundle.is_some_and(|b| !b.ring.is_empty() && !b.causal_chain.is_empty());
+    let mut bundle_path = None;
+    if let Some(bundle) = bundle {
+        let path = arfs_bench::results_dir().join("triage_forced.json");
+        std::fs::write(&path, bundle.to_json()).expect("results dir is writable");
+        println!(
+            "triage bundle: system {} seed {:#x} frame {:?} -> {}",
+            bundle.system,
+            bundle.seed,
+            bundle.frame,
+            path.display()
+        );
+        bundle_path = Some(path);
+    }
+    verdict(
+        "seeded skip-Init defect caught by the streaming verifier",
+        caught,
+    );
+    verdict(
+        "violation drained into a renderable triage bundle (ring + causal chain)",
+        bundle_renderable,
+    );
+    let forced_ok = caught && bundle_renderable;
+    let forced_json = serde_json::json!({
+        "systems": 10_000,
+        "mutated_system": MUTATED_SYSTEM,
+        "mutation": "skip-init-phase",
+        "violations": forced.report.violations.len(),
+        "caught": caught,
+        "bundle_renderable": bundle_renderable,
+        "bundle": bundle_path.as_ref().map(|p| p.display().to_string()),
+    });
+
+    // The sampled binary journal of the instrumented 10⁴ run, for
+    // `arfs-trace fleet top` / `summarize` / `decode` downstream.
+    let journal_path = arfs_bench::results_dir().join("exp_fleet.journal.bin");
+    std::fs::write(&journal_path, gated_journal.expect("fleet_10k always runs"))
+        .expect("results dir is writable");
+    println!("sampled journal: {}", journal_path.display());
+
+    // --- Sweep 5: allocation probe. ---
     banner("steady-state allocation probe");
     let allocs_per_frame = measure_allocs_per_frame(&spec);
     let alloc_free = allocs_per_frame == 0.0;
@@ -324,14 +477,16 @@ fn main() {
             "allocs_per_frame": allocs_per_frame,
             "cases": cases,
             "scaling": scaling,
+            "obs": obs,
+            "forced_triage": forced_json,
         }),
     );
     println!("artifact: {}", path.display());
 
-    if !all_clean || !alloc_free {
+    if !all_clean || !alloc_free || !forced_ok {
         std::process::exit(1);
     }
-    if bench_regressed {
+    if bench_regressed || !obs_ok {
         std::process::exit(3);
     }
 }

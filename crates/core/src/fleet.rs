@@ -31,37 +31,79 @@
 //! stimulus schedule, so any report line replays through the existing
 //! flight-recorder tooling.
 //!
-//! # Journal sampling and batching
+//! # Sharded metrics
+//!
+//! The fleet's hot-path metrics ([`FleetMetrics`]: frame counters,
+//! reconfiguration-latency and restricted-ratio histograms,
+//! defense/violation counters) live **per shard**. Exactly one worker
+//! owns a shard between two barrier waits, so per-frame bumps are plain
+//! unsynchronized increments — no shared registry, no lock traffic.
+//! Aggregation merges shard locals in shard order (and counters and
+//! log₂ histograms merge commutatively), so the merged snapshot is
+//! byte-identical across thread counts.
+//!
+//! # Flight recorders and triage bundles
+//!
+//! Every cell carries a fixed-capacity [`FlightRing`]
+//! (see [`FleetConfig::ring_capacity`]) that records compact 16-byte
+//! events on both the fast and the full path — allocation-free, so even
+//! the unsampled majority retains a recent-history window. When a
+//! [`StreamVerifier`] violation or a chaos defense fires, aggregation
+//! drains that ring plus the seed, stimulus schedule, and metrics
+//! snapshot into a [`TriageBundle`] on the report; `arfs-trace fleet
+//! triage` renders it.
+//!
+//! # Journal sampling, binary encoding, and the background writer
 //!
 //! Journaling every system at fleet scale is ruinous; journaling none
 //! blinds you. The [`journal_sample`](FleetConfig::journal_sample) knob
 //! journals 1-in-K systems with full fidelity (those cells keep
-//! observability on and never take the fast path), drained per frame
-//! into a per-cell [`BatchedJournalWriter`] with frame-batched flush.
-//! Batched flushing cannot reorder events within a system — see
-//! [`obs::batch`](crate::obs::batch).
+//! observability on and never take the fast path). Serialization runs
+//! **off** the frame loop: each sampled cell clones its frame's events
+//! into a batch and ships it over a bounded channel to a
+//! [`BackgroundJournalWriter`] thread, which encodes with the compact
+//! binary codec ([`obs::codec`](crate::obs::codec)). Backpressure
+//! blocks the producer (lossless, bounded memory — see
+//! [`obs::writer`](crate::obs::writer)). `arfs-trace fleet decode`
+//! converts the binary journal back to JSON-Lines interchange form.
 //!
 //! # Determinism
 //!
 //! A fleet run is a pure function of its config: systems are seeded
 //! deterministically, cells never share mutable state, and aggregation
-//! iterates cells in global system-id order. The aggregate
-//! [`FleetReport`] and journal are therefore byte-identical across
-//! thread counts *and* shard counts; wall-clock throughput lives outside
-//! the report (see [`FleetReport::rollup_metrics`]).
+//! iterates cells in global system-id order. Journal batches interleave
+//! arbitrarily on the writer channel, but the writer demultiplexes per
+//! system and assembly concatenates sections in ascending system id.
+//! The aggregate [`FleetReport`] and journal are therefore
+//! byte-identical across thread counts *and* shard counts; wall-clock
+//! timing lives outside the report (see [`FleetTimings`] and
+//! [`FleetReport::rollup_metrics`]).
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
 
 use crate::chaos::{ChaosProfile, FaultPlan};
-use crate::obs::batch::BatchedJournalWriter;
-use crate::obs::{MetricsRegistry, MetricsSnapshot};
+use crate::obs::codec;
+use crate::obs::triage::trigger;
+use crate::obs::writer::DEFAULT_CHANNEL_CAPACITY;
+use crate::obs::{
+    BackgroundJournalWriter, FleetMetrics, FleetMetricsSnapshot, FlightRing, JournalBatch,
+    JournalBytes, JournalEvent, MetricsRegistry, RingLegend, SystemJournal, TriageBundle,
+};
 use crate::properties::{self, PropertyViolation};
 use crate::scenario::{ScenarioAction, ScenarioEvent};
+use crate::scram::ScramMutation;
 use crate::spec::ReconfigSpec;
 use crate::system::System;
 use crate::trace::{SysState, SysTrace};
 use crate::workload::{self, WorkloadConfig};
 use crate::SystemError;
+
+/// Cap on triage bundles per report: the first few failing systems are
+/// diagnostic gold, the rest are bulk (their identities still appear in
+/// [`FleetReport::violations`]).
+const MAX_TRIAGE_BUNDLES: usize = 8;
 
 /// Mixes a master seed and a system index into an independent
 /// per-system seed (splitmix64 finalizer).
@@ -90,8 +132,16 @@ pub struct FleetConfig {
     pub horizon: u64,
     /// Journal 1-in-K systems (`0` disables journaling entirely).
     pub journal_sample: usize,
-    /// Flush each journaling cell's buffered lines every K frames.
+    /// Ship each journaling cell's batched events to the background
+    /// writer every K frames.
     pub journal_flush_frames: u64,
+    /// Per-cell flight-recorder capacity in events (`0` disables the
+    /// rings — and with them, triage bundles).
+    pub ring_capacity: usize,
+    /// Seeds one system with a SCRAM protocol defect (verification of
+    /// the triage pipeline: the mutated system's violation must surface
+    /// as a renderable [`TriageBundle`]).
+    pub mutate_system: Option<(usize, ScramMutation)>,
     /// Scenario distribution; `None` runs a quiet fleet (no stimuli).
     pub workload: Option<WorkloadConfig>,
     /// Per-system substrate fault plans drawn from this profile.
@@ -108,6 +158,8 @@ impl Default for FleetConfig {
             horizon: 120,
             journal_sample: 0,
             journal_flush_frames: 16,
+            ring_capacity: 256,
+            mutate_system: None,
             workload: Some(WorkloadConfig::default()),
             chaos: None,
         }
@@ -136,6 +188,30 @@ pub struct FleetViolation {
     pub schedule: Vec<String>,
 }
 
+/// Where a fleet run's wall clock went. Kept outside [`FleetReport`] so
+/// the report stays deterministic; [`FleetReport::rollup_metrics`]
+/// consumes it for honest throughput attribution — frames/sec is
+/// computed from the frame loop alone, with journal-writer drain and
+/// aggregation time reported separately instead of silently inflating
+/// the denominator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetTimings {
+    /// Lockstep frame loop only (what throughput gauges divide by).
+    pub frame_loop_secs: f64,
+    /// Draining and joining the background journal writer.
+    pub journal_finish_secs: f64,
+    /// Deterministic aggregation (verifier finish, metrics merge,
+    /// bundle and journal assembly).
+    pub aggregate_secs: f64,
+}
+
+impl FleetTimings {
+    /// End-to-end wall clock.
+    pub fn total_secs(&self) -> f64 {
+        self.frame_loop_secs + self.journal_finish_secs + self.aggregate_secs
+    }
+}
+
 /// The deterministic result of a fleet run.
 ///
 /// Everything in here is a pure function of the [`FleetConfig`]:
@@ -159,14 +235,19 @@ pub struct FleetReport {
     pub restricted_frames: u64,
     /// All property violations, in system-id order.
     pub violations: Vec<FleetViolation>,
-    /// Deterministic fleet metrics: reconfig-latency and
-    /// restricted-ratio histograms, violation counters.
-    pub metrics: MetricsSnapshot,
-    /// Aggregate JSON-Lines journal of the sampled systems: per system
-    /// (in id order) one header line then its events in recording order.
-    pub journal: String,
-    /// Lines in the aggregate journal.
-    pub journal_lines: u64,
+    /// Triage bundles for the first [`MAX_TRIAGE_BUNDLES`] systems whose
+    /// streaming verifier fired (or, absent violations, whose chaos
+    /// defenses fired), in system-id order.
+    pub bundles: Vec<TriageBundle>,
+    /// Merged shard-local fleet metrics (frame counters, latency and
+    /// restricted-ratio histograms, defense/violation counters).
+    pub metrics: FleetMetricsSnapshot,
+    /// Aggregate binary journal of the sampled systems: file magic, then
+    /// per system (in id order) one header record and its events in
+    /// recording order. Empty when sampling is off.
+    pub journal: JournalBytes,
+    /// Event and header records in the aggregate journal.
+    pub journal_events: u64,
 }
 
 impl FleetReport {
@@ -176,13 +257,15 @@ impl FleetReport {
     }
 
     /// Folds wall-clock measurements into a [`MetricsRegistry`] holding
-    /// both the deterministic fleet metrics and throughput gauges
-    /// (frames/sec, frames/sec/core, violations/sec).
+    /// both the deterministic fleet counters and throughput gauges.
     ///
     /// Timing lives here, outside the report, so that the report itself
     /// stays byte-identical across runs — the determinism tests compare
-    /// serialized reports directly.
-    pub fn rollup_metrics(&self, elapsed_secs: f64, cores: usize) -> MetricsRegistry {
+    /// serialized reports directly. Throughput gauges divide by the
+    /// **frame loop** time only; writer-drain and aggregation seconds
+    /// get their own gauges so that journal cost is attributed, never
+    /// hidden inside frames/sec.
+    pub fn rollup_metrics(&self, timings: &FleetTimings, cores: usize) -> MetricsRegistry {
         let mut registry = MetricsRegistry::new();
         registry.add("fleet.systems", self.systems as u64);
         registry.add("fleet.frames_total", self.total_frames);
@@ -190,13 +273,19 @@ impl FleetReport {
         registry.add("fleet.frames_full", self.full_frames);
         registry.add("fleet.reconfigs", self.reconfigs);
         registry.add("fleet.violations", self.violations.len() as u64);
-        if elapsed_secs > 0.0 {
-            let fps = self.total_frames as f64 / elapsed_secs;
+        registry.set_gauge("fleet.frame_loop_secs", timings.frame_loop_secs);
+        registry.set_gauge("fleet.journal_finish_secs", timings.journal_finish_secs);
+        registry.set_gauge("fleet.aggregate_secs", timings.aggregate_secs);
+        registry.set_gauge("fleet.wall_secs", timings.total_secs());
+        if timings.frame_loop_secs > 0.0 {
+            let fps = self.total_frames as f64 / timings.frame_loop_secs;
             registry.set_gauge("fleet.frames_per_sec", fps);
             registry.set_gauge("fleet.frames_per_sec_per_core", fps / cores.max(1) as f64);
+        }
+        if timings.total_secs() > 0.0 {
             registry.set_gauge(
                 "fleet.violations_per_sec",
-                self.violations.len() as f64 / elapsed_secs,
+                self.violations.len() as f64 / timings.total_secs(),
             );
         }
         registry
@@ -387,17 +476,44 @@ struct Cell {
     next_event: usize,
     fast_frames: u64,
     full_frames: u64,
-    /// Journal drain state, present only on sampled cells.
+    /// Drain cursors: how much of the verifier/system state has already
+    /// been folded into the shard-local metrics.
+    reconfigs_seen: u64,
+    latency_cursor: usize,
+    defense_seen: u64,
+    /// Journal batching state, present only on sampled cells.
     journal: Option<CellJournal>,
 }
 
+/// A sampled cell's link to the background journal writer: events are
+/// cloned into `batch` on the frame loop (cheap — a frame produces a
+/// handful) and shipped every `flush_every` frames; serialization
+/// happens on the writer thread.
 struct CellJournal {
-    writer: BatchedJournalWriter<Vec<u8>>,
+    tx: std::sync::mpsc::SyncSender<JournalBatch>,
+    batch: Vec<JournalEvent>,
     cursor: usize,
+    frames_since_send: u64,
+    flush_every: u64,
+}
+
+impl CellJournal {
+    fn ship(&mut self, system: u64, seed: u64) {
+        if self.batch.is_empty() {
+            return;
+        }
+        self.tx
+            .send(JournalBatch {
+                system,
+                seed,
+                events: std::mem::take(&mut self.batch),
+            })
+            .expect("journal writer outlives the frame loop");
+    }
 }
 
 impl Cell {
-    fn advance(&mut self, frame: u64) {
+    fn advance(&mut self, frame: u64, metrics: &mut FleetMetrics) {
         while let Some(event) = self.events.get(self.next_event) {
             if event.frame != frame {
                 break;
@@ -417,27 +533,42 @@ impl Cell {
             // restricted window; force the full path.
             self.system.run_frame();
             self.full_frames += 1;
+            metrics.frames_full += 1;
             let state = self.system.last_state().expect("full frame records state");
             self.verifier.observe_full(state);
         } else if self.system.advance_frame() {
             self.fast_frames += 1;
+            metrics.frames_fast += 1;
             self.verifier.observe_fast();
         } else {
             self.full_frames += 1;
+            metrics.frames_full += 1;
             let state = self.system.last_state().expect("full frame records state");
             self.verifier.observe_full(state);
         }
 
+        // Fold this frame's deltas into the shard-local metrics — plain
+        // increments; the worker owns the shard until the next barrier.
+        metrics.reconfigs += self.verifier.reconfigs - self.reconfigs_seen;
+        self.reconfigs_seen = self.verifier.reconfigs;
+        for &latency in &self.verifier.latencies[self.latency_cursor..] {
+            metrics.reconfig_latency_cycles.record(latency);
+        }
+        self.latency_cursor = self.verifier.latencies.len();
+        let defenses = self.system.defense_events();
+        metrics.defense_events += defenses - self.defense_seen;
+        self.defense_seen = defenses;
+
         if let Some(journal) = &mut self.journal {
             let events = self.system.journal().events();
-            for event in &events[journal.cursor..] {
-                journal.writer.append(event);
-            }
+            journal.batch.extend_from_slice(&events[journal.cursor..]);
             journal.cursor = events.len();
-            journal
-                .writer
-                .frame_complete()
-                .expect("Vec sink cannot fail");
+            journal.frames_since_send += 1;
+            if journal.frames_since_send >= journal.flush_every {
+                journal.frames_since_send = 0;
+                let (id, seed) = (self.id as u64, self.seed);
+                journal.ship(id, seed);
+            }
         }
     }
 
@@ -456,15 +587,19 @@ impl Cell {
     }
 }
 
-/// A contiguous slice of the fleet's cells, the unit of work stealing.
+/// A contiguous slice of the fleet's cells, the unit of work stealing —
+/// and the home of the lock-free metrics locals.
 struct Shard {
     cells: Vec<Cell>,
+    metrics: FleetMetrics,
 }
 
 /// The fleet runtime. See the [module documentation](self).
 pub struct Fleet {
+    spec: Arc<ReconfigSpec>,
     config: FleetConfig,
     shards: Vec<Mutex<Shard>>,
+    writer: Option<BackgroundJournalWriter>,
 }
 
 impl Fleet {
@@ -483,16 +618,29 @@ impl Fleet {
         let shard_count = shard_count.min(config.systems.max(1));
 
         let mut shards: Vec<Shard> = (0..shard_count)
-            .map(|_| Shard { cells: Vec::new() })
+            .map(|_| Shard {
+                cells: Vec::new(),
+                metrics: FleetMetrics::default(),
+            })
             .collect();
+
+        let writer = (config.journal_sample > 0)
+            .then(|| BackgroundJournalWriter::spawn(DEFAULT_CHANNEL_CAPACITY));
 
         for id in 0..config.systems {
             let seed = mix_seed(config.seed, id as u64);
             let sampled = config.journal_sample > 0 && id % config.journal_sample == 0;
 
-            let mut builder = System::builder_arc(Arc::clone(&spec)).observability(sampled);
+            let mut builder = System::builder_arc(Arc::clone(&spec))
+                .observability(sampled)
+                .flight_recorder(config.ring_capacity);
             if let Some(profile) = &config.chaos {
                 builder = builder.fault_plan(FaultPlan::random(mix_seed(seed, 1), profile));
+            }
+            if let Some((target, mutation)) = &config.mutate_system {
+                if *target == id {
+                    builder = builder.mutation(mutation.clone());
+                }
             }
             let mut system = builder.build()?;
             system.set_trace_recording(false);
@@ -506,10 +654,16 @@ impl Fleet {
                 None => Vec::new(),
             };
 
-            let journal = sampled.then(|| CellJournal {
-                writer: BatchedJournalWriter::new(Vec::new(), config.journal_flush_frames),
-                cursor: 0,
-            });
+            let journal = match (&writer, sampled) {
+                (Some(writer), true) => Some(CellJournal {
+                    tx: writer.sender(),
+                    batch: Vec::new(),
+                    cursor: 0,
+                    frames_since_send: 0,
+                    flush_every: config.journal_flush_frames.max(1),
+                }),
+                _ => None,
+            };
 
             let shard = id * shard_count / config.systems.max(1);
             shards[shard].cells.push(Cell {
@@ -521,13 +675,18 @@ impl Fleet {
                 next_event: 0,
                 fast_frames: 0,
                 full_frames: 0,
+                reconfigs_seen: 0,
+                latency_cursor: 0,
+                defense_seen: 0,
                 journal,
             });
         }
 
         Ok(Fleet {
+            spec,
             config,
             shards: shards.into_iter().map(Mutex::new).collect(),
+            writer,
         })
     }
 
@@ -543,17 +702,26 @@ impl Fleet {
     pub fn advance_frame(&mut self, frame: u64) {
         for shard in &mut self.shards {
             let shard = shard.get_mut().expect("no poisoned shards");
-            for cell in &mut shard.cells {
-                cell.advance(frame);
+            let Shard { cells, metrics } = shard;
+            for cell in cells {
+                cell.advance(frame, metrics);
             }
         }
     }
 
     /// Runs the whole horizon and aggregates the deterministic report.
     pub fn run(&mut self) -> FleetReport {
+        self.run_timed().0
+    }
+
+    /// Runs the whole horizon, returning the deterministic report plus
+    /// the wall-clock attribution (frame loop vs. journal drain vs.
+    /// aggregation) for [`FleetReport::rollup_metrics`].
+    pub fn run_timed(&mut self) -> (FleetReport, FleetTimings) {
         let horizon = self.config.horizon;
         let threads = self.config.threads.min(self.shards.len()).max(1);
 
+        let started = Instant::now();
         if threads <= 1 {
             for frame in 0..horizon {
                 self.advance_frame(frame);
@@ -561,8 +729,24 @@ impl Fleet {
         } else {
             self.run_parallel(horizon, threads);
         }
+        let frame_loop_secs = started.elapsed().as_secs_f64();
 
-        self.aggregate()
+        let started = Instant::now();
+        let sections = self.finish_journal();
+        let journal_finish_secs = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let report = self.aggregate(sections);
+        let aggregate_secs = started.elapsed().as_secs_f64();
+
+        (
+            report,
+            FleetTimings {
+                frame_loop_secs,
+                journal_finish_secs,
+                aggregate_secs,
+            },
+        )
     }
 
     /// The lockstep work-stealing loop: every worker synchronizes on a
@@ -593,8 +777,9 @@ impl Fleet {
                                 Steal::Success(index) => {
                                     let mut shard =
                                         shards[index].lock().expect("no poisoned shards");
-                                    for cell in &mut shard.cells {
-                                        cell.advance(frame);
+                                    let Shard { cells, metrics } = &mut *shard;
+                                    for cell in cells {
+                                        cell.advance(frame, metrics);
                                     }
                                 }
                                 Steal::Empty => break,
@@ -611,46 +796,74 @@ impl Fleet {
         .expect("fleet worker panicked");
     }
 
+    /// Ships every sampled cell's tail batch, drops all producer
+    /// senders, and joins the background writer for its per-system
+    /// sections.
+    fn finish_journal(&mut self) -> BTreeMap<u64, SystemJournal> {
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("no poisoned shards");
+            for cell in &mut shard.cells {
+                if let Some(mut journal) = cell.journal.take() {
+                    journal.ship(cell.id as u64, cell.seed);
+                    // Dropping `journal` drops this cell's sender.
+                }
+            }
+        }
+        match self.writer.take() {
+            Some(writer) => writer
+                .finish()
+                .expect("in-memory journal sinks cannot fail"),
+            None => BTreeMap::new(),
+        }
+    }
+
     /// Folds per-cell results into the deterministic report, iterating
     /// cells in global system-id order regardless of sharding.
-    fn aggregate(&mut self) -> FleetReport {
-        let mut cells: Vec<&mut Cell> = self
-            .shards
-            .iter_mut()
-            .flat_map(|s| s.get_mut().expect("no poisoned shards").cells.iter_mut())
-            .collect();
+    fn aggregate(&mut self, sections: BTreeMap<u64, SystemJournal>) -> FleetReport {
+        let legend = RingLegend::for_spec(&self.spec);
+
+        // Merge the shard-local metrics in shard order (commutative, so
+        // the order is cosmetic — determinism does not depend on it).
+        let mut merged = FleetMetrics::default();
+        let mut cells: Vec<&mut Cell> = Vec::new();
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("no poisoned shards");
+            merged.merge(&shard.metrics);
+            cells.extend(shard.cells.iter_mut());
+        }
         cells.sort_by_key(|c| c.id);
 
         let mut fast_frames = 0u64;
         let mut full_frames = 0u64;
-        let mut reconfigs = 0u64;
         let mut restricted = 0u64;
         let mut violations = Vec::new();
-        let mut metrics = MetricsRegistry::new();
-        let mut journal = String::new();
-        let mut journal_lines = 0u64;
+        let mut bundles: Vec<TriageBundle> = Vec::new();
 
         for cell in cells {
             cell.verifier.finish();
+            // `finish` can close an open window: fold the post-horizon
+            // deltas the per-frame drain never saw.
+            merged.reconfigs += cell.verifier.reconfigs - cell.reconfigs_seen;
+            cell.reconfigs_seen = cell.verifier.reconfigs;
+            for &latency in &cell.verifier.latencies[cell.latency_cursor..] {
+                merged.reconfig_latency_cycles.record(latency);
+            }
+            cell.latency_cursor = cell.verifier.latencies.len();
+
             fast_frames += cell.fast_frames;
             full_frames += cell.full_frames;
-            reconfigs += cell.verifier.reconfigs;
             restricted += cell.verifier.restricted_frames;
-
-            for latency in &cell.verifier.latencies {
-                metrics.observe("fleet.reconfig_latency_cycles", *latency);
-            }
             // Restricted-frame ratio in basis points, per system.
             if let Some(bp) =
                 (cell.verifier.restricted_frames * 10_000).checked_div(self.config.horizon)
             {
-                metrics.observe("fleet.restricted_frame_bp", bp);
+                merged.restricted_frame_bp.record(bp);
             }
 
             if !cell.verifier.violations.is_empty() {
                 let schedule = cell.schedule_lines();
                 for v in &cell.verifier.violations {
-                    metrics.incr("fleet.violations");
+                    merged.violations += 1;
                     violations.push(FleetViolation {
                         system: cell.id,
                         seed: cell.seed,
@@ -663,23 +876,25 @@ impl Fleet {
                 }
             }
 
-            if let Some(cj) = cell.journal.take() {
-                journal.push_str(&format!(
-                    "{{\"system\":{},\"seed\":{}}}\n",
-                    cell.id, cell.seed
-                ));
-                journal_lines += 1;
-                let lines = cj.writer.lines_written();
-                let bytes = cj.writer.into_inner().expect("Vec sink cannot fail");
-                journal.push_str(&String::from_utf8(bytes).expect("journal lines are UTF-8"));
-                journal_lines += lines;
+            if bundles.len() < MAX_TRIAGE_BUNDLES {
+                if let Some(bundle) = Self::triage(cell, &legend) {
+                    bundles.push(bundle);
+                }
             }
         }
 
-        metrics.add("fleet.reconfigs", reconfigs);
-        metrics.add("fleet.frames_fast", fast_frames);
-        metrics.add("fleet.frames_full", full_frames);
+        let mut journal = Vec::new();
+        let mut journal_events = 0u64;
+        if !sections.is_empty() {
+            codec::encode_magic(&mut journal);
+            for (system, section) in &sections {
+                codec::encode_system_header(&mut journal, *system, section.seed);
+                journal.extend_from_slice(&section.bytes);
+                journal_events += section.events + 1;
+            }
+        }
 
+        let reconfigs = merged.reconfigs;
         FleetReport {
             systems: self.config.systems,
             horizon: self.config.horizon,
@@ -689,10 +904,57 @@ impl Fleet {
             reconfigs,
             restricted_frames: restricted,
             violations,
-            metrics: metrics.snapshot(),
-            journal,
-            journal_lines,
+            bundles,
+            metrics: merged.snapshot(),
+            journal: JournalBytes(journal),
+            journal_events,
         }
+    }
+
+    /// Drains one misbehaving cell's flight ring into a bundle. A
+    /// verifier violation wins; absent one, fired chaos defenses
+    /// qualify; a healthy cell (or one with rings disabled) yields
+    /// nothing.
+    fn triage(cell: &Cell, legend: &RingLegend) -> Option<TriageBundle> {
+        let ring: &FlightRing = cell.system.flight_ring()?;
+        let (trigger, property, frame, reconfig, detail) =
+            if let Some(v) = cell.verifier.violations.first() {
+                (
+                    trigger::STREAM_VERIFIER,
+                    v.property.to_string(),
+                    v.frame,
+                    v.reconfig.map(|r| (r.start_c, r.end_c)),
+                    v.detail.clone(),
+                )
+            } else if cell.system.defense_events() > 0 {
+                (
+                    trigger::CHAOS_DEFENSE,
+                    String::new(),
+                    None,
+                    None,
+                    format!(
+                        "{} chaos defense(s) fired without a property violation",
+                        cell.system.defense_events()
+                    ),
+                )
+            } else {
+                return None;
+            };
+        let decoded = legend.decode_ring(ring);
+        let causal_chain = TriageBundle::causal_chain(&decoded, frame, &property, &detail);
+        Some(TriageBundle {
+            system: cell.id,
+            seed: cell.seed,
+            trigger: trigger.to_owned(),
+            property,
+            frame,
+            reconfig,
+            detail,
+            schedule: cell.schedule_lines(),
+            ring: decoded,
+            causal_chain,
+            metrics: cell.system.metrics_snapshot(),
+        })
     }
 }
 
@@ -700,6 +962,7 @@ impl Fleet {
 mod tests {
     use super::*;
     use crate::app::NullApp;
+    use crate::obs::{BinaryJournalReader, BinaryRecord};
     use crate::prelude::*;
     use arfs_rtos::Ticks;
 
@@ -758,8 +1021,11 @@ mod tests {
         assert_eq!(report.reconfigs, 0);
         // Every frame after the first is eligible for the fast path; the
         // first frame is too (steady, choice endorses initial config).
+        // The flight rings are on by default and must not disqualify it.
         assert_eq!(report.fast_frames, report.total_frames);
         assert_eq!(report.full_frames, 0);
+        assert_eq!(report.metrics.counters["fleet.frames_fast"], 8 * 40);
+        assert!(report.bundles.is_empty(), "healthy fleet needs no triage");
     }
 
     #[test]
@@ -782,8 +1048,79 @@ mod tests {
             "steady stretches take the fast path"
         );
         assert!(report.full_frames > 0, "reconfigs force full frames");
-        assert!(report.journal_lines > 0, "sampled systems journal");
-        assert_eq!(report.journal.lines().count() as u64, report.journal_lines);
+        assert!(report.journal_events > 0, "sampled systems journal");
+        // The shard-local metrics agree with the per-cell counters.
+        assert_eq!(
+            report.metrics.counters["fleet.frames_fast"],
+            report.fast_frames
+        );
+        assert_eq!(
+            report.metrics.counters["fleet.frames_full"],
+            report.full_frames
+        );
+        assert_eq!(report.metrics.counters["fleet.reconfigs"], report.reconfigs);
+        assert!(
+            report.metrics.histograms["fleet.reconfig_latency_cycles"].count > 0,
+            "completed reconfigs record latencies"
+        );
+        // The binary journal decodes: headers in ascending id order,
+        // total record count matching the report.
+        let mut records = 0u64;
+        let mut last_header: i64 = -1;
+        for record in BinaryJournalReader::new(report.journal.as_slice()) {
+            match record.expect("aggregate journal decodes") {
+                BinaryRecord::System { system, .. } => {
+                    assert!((system as i64) > last_header, "sections out of id order");
+                    last_header = system as i64;
+                    records += 1;
+                }
+                BinaryRecord::Event(_) => records += 1,
+            }
+        }
+        assert_eq!(records, report.journal_events);
+        assert!(last_header >= 0, "at least one section header expected");
+    }
+
+    #[test]
+    fn mutated_system_yields_a_renderable_triage_bundle() {
+        // Seed one system with a protocol defect: the streaming verifier
+        // must flag it AND its flight ring must drain into a bundle
+        // whose causal chain ends in the violation.
+        let mut fleet = Fleet::new(
+            Arc::new(small_spec()),
+            FleetConfig {
+                systems: 16,
+                horizon: 120,
+                mutate_system: Some((5, ScramMutation::SkipInitPhase)),
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let report = fleet.run();
+        assert!(
+            report.violations.iter().any(|v| v.system == 5),
+            "mutated system must violate; got {:?}",
+            report.violations
+        );
+        let bundle = report
+            .bundles
+            .iter()
+            .find(|b| b.system == 5)
+            .expect("mutated system gets a bundle");
+        assert_eq!(bundle.trigger, "stream-verifier");
+        assert!(!bundle.ring.is_empty(), "ring retained the history");
+        assert_eq!(
+            bundle.causal_chain.last().map(|l| l.role.as_str()),
+            Some("violation")
+        );
+        // The violating frame window is present in the ring timeline.
+        if let Some(frame) = bundle.frame {
+            assert!(
+                bundle.ring.iter().any(|e| e.frame <= frame),
+                "ring must cover the violation window"
+            );
+        }
+        assert!(report.metrics.counters["fleet.violations"] > 0);
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! Frame-batched JSON-Lines journal writing.
+//! Frame-batched journal writing, in JSON-Lines or compact binary form.
 //!
 //! The per-event path ([`Journal::to_json_lines`] or writing each
 //! [`JournalEvent::to_json_line`] straight to an output) flushes one
 //! small write per event — fine for one system, ruinous for a fleet of
 //! 10⁵ journaling thousands of events per wall-clock second. A
-//! [`BatchedJournalWriter`] accumulates serialized lines in one reusable
-//! `String` and pushes them to its sink only every K frames (or on an
-//! explicit [`flush`](BatchedJournalWriter::flush)).
+//! [`BatchedJournalWriter`] accumulates serialized records in one
+//! reusable byte buffer and pushes them to its sink only every K frames
+//! (or on an explicit [`flush`](BatchedJournalWriter::flush)).
+//!
+//! The writer supports two encodings behind the same API:
+//! [`JournalEncoding::JsonLines`] (the interchange format — one compact
+//! JSON object per line) and [`JournalEncoding::Binary`] (the
+//! length-prefixed codec from [`super::codec`], what the fleet's
+//! background writer emits; decode back to JSON-Lines with
+//! `arfs-trace fleet decode`).
 //!
 //! Batching cannot reorder events **within** one system: events are
 //! appended in the order the journal recorded them, the buffer is
@@ -19,49 +26,97 @@
 
 use std::io::{self, Write};
 
+use super::codec;
 use super::journal::JournalEvent;
 
-/// A buffered JSON-Lines sink that flushes once per frame batch instead
+/// The on-wire form a [`BatchedJournalWriter`] emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEncoding {
+    /// One compact JSON object per line — the interchange format.
+    JsonLines,
+    /// The length-prefixed binary codec ([`super::codec`]).
+    Binary,
+}
+
+/// A buffered journal sink that flushes once per frame batch instead
 /// of once per event. See the [module documentation](self).
 #[derive(Debug)]
 pub struct BatchedJournalWriter<W: Write> {
     out: W,
-    buf: String,
+    buf: Vec<u8>,
+    encoding: JournalEncoding,
     /// Flush whenever this many frames have completed since the last
     /// flush (0 behaves like 1: flush every frame).
     flush_every_frames: u64,
     frames_since_flush: u64,
-    lines_written: u64,
+    records_written: u64,
     bytes_flushed: u64,
 }
 
 impl<W: Write> BatchedJournalWriter<W> {
-    /// Creates a writer that flushes its buffer to `out` every
-    /// `flush_every_frames` completed frames.
+    /// Creates a JSON-Lines writer that flushes its buffer to `out`
+    /// every `flush_every_frames` completed frames.
     pub fn new(out: W, flush_every_frames: u64) -> Self {
+        Self::with_encoding(out, flush_every_frames, JournalEncoding::JsonLines)
+    }
+
+    /// Creates a binary-codec writer. The caller is responsible for the
+    /// file magic (see [`codec::encode_magic`]) — the fleet writes it
+    /// once per aggregate journal, not once per system section.
+    pub fn new_binary(out: W, flush_every_frames: u64) -> Self {
+        Self::with_encoding(out, flush_every_frames, JournalEncoding::Binary)
+    }
+
+    fn with_encoding(out: W, flush_every_frames: u64, encoding: JournalEncoding) -> Self {
         BatchedJournalWriter {
             out,
-            buf: String::new(),
+            buf: Vec::new(),
+            encoding,
             flush_every_frames: flush_every_frames.max(1),
             frames_since_flush: 0,
-            lines_written: 0,
+            records_written: 0,
             bytes_flushed: 0,
         }
     }
 
+    /// The encoding this writer emits.
+    pub fn encoding(&self) -> JournalEncoding {
+        self.encoding
+    }
+
     /// Serializes one event into the buffer (no I/O).
     pub fn append(&mut self, event: &JournalEvent) {
-        self.buf.push_str(&event.to_json_line());
-        self.buf.push('\n');
-        self.lines_written += 1;
+        match self.encoding {
+            JournalEncoding::JsonLines => {
+                self.buf.extend_from_slice(event.to_json_line().as_bytes());
+                self.buf.push(b'\n');
+            }
+            JournalEncoding::Binary => codec::encode_event(&mut self.buf, event),
+        }
+        self.records_written += 1;
+    }
+
+    /// Appends a per-system section header: a raw JSON line under
+    /// JSON-Lines, a tag-1 record under the binary codec.
+    pub fn append_system_header(&mut self, system: u64, seed: u64) {
+        match self.encoding {
+            JournalEncoding::JsonLines => {
+                self.append_line(&format!("{{\"system\":{system},\"seed\":{seed}}}"));
+                return;
+            }
+            JournalEncoding::Binary => codec::encode_system_header(&mut self.buf, system, seed),
+        }
+        self.records_written += 1;
     }
 
     /// Appends a pre-formatted line (without trailing newline) into the
     /// buffer — used for section headers and other non-event framing.
+    /// Only meaningful under [`JournalEncoding::JsonLines`].
     pub fn append_line(&mut self, line: &str) {
-        self.buf.push_str(line);
-        self.buf.push('\n');
-        self.lines_written += 1;
+        debug_assert_eq!(self.encoding, JournalEncoding::JsonLines);
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+        self.records_written += 1;
     }
 
     /// Marks one frame as complete, flushing if the batch interval has
@@ -78,7 +133,7 @@ impl<W: Write> BatchedJournalWriter<W> {
         Ok(())
     }
 
-    /// Writes the buffered lines to the sink and clears the buffer
+    /// Writes the buffered records to the sink and clears the buffer
     /// (retaining its capacity).
     ///
     /// # Errors
@@ -86,7 +141,7 @@ impl<W: Write> BatchedJournalWriter<W> {
     /// Propagates any I/O error from the underlying sink.
     pub fn flush(&mut self) -> io::Result<()> {
         if !self.buf.is_empty() {
-            self.out.write_all(self.buf.as_bytes())?;
+            self.out.write_all(&self.buf)?;
             self.out.flush()?;
             self.bytes_flushed += self.buf.len() as u64;
             self.buf.clear();
@@ -95,9 +150,9 @@ impl<W: Write> BatchedJournalWriter<W> {
         Ok(())
     }
 
-    /// Total lines appended so far (flushed or still buffered).
+    /// Total records appended so far (flushed or still buffered).
     pub fn lines_written(&self) -> u64 {
-        self.lines_written
+        self.records_written
     }
 
     /// Total bytes pushed to the sink so far.
@@ -105,7 +160,7 @@ impl<W: Write> BatchedJournalWriter<W> {
         self.bytes_flushed
     }
 
-    /// Flushes any remaining buffered lines and returns the sink.
+    /// Flushes any remaining buffered records and returns the sink.
     ///
     /// # Errors
     ///
@@ -119,6 +174,7 @@ impl<W: Write> BatchedJournalWriter<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::codec::{BinaryJournalReader, BinaryRecord};
     use crate::obs::{Journal, Subsystem};
 
     fn event(frame: u64, kind: &str) -> JournalEvent {
@@ -171,5 +227,60 @@ mod tests {
         let out = String::from_utf8(writer.into_inner().unwrap()).unwrap();
         assert_eq!(out.lines().count(), 2);
         assert!(out.starts_with("{\"header\":true}\n"));
+    }
+
+    #[test]
+    fn binary_mode_round_trips_through_the_codec() {
+        let events: Vec<JournalEvent> = (0..6).map(|f| event(f, "frame-start")).collect();
+        let mut writer = BatchedJournalWriter::new_binary(Vec::new(), 2);
+        writer.append_system_header(3, 0xABCD);
+        for e in &events {
+            writer.append(e);
+            writer.frame_complete().unwrap();
+        }
+        assert_eq!(writer.encoding(), JournalEncoding::Binary);
+        assert_eq!(writer.lines_written(), events.len() as u64 + 1);
+        let bytes = writer.into_inner().unwrap();
+
+        let records: Result<Vec<BinaryRecord>, String> =
+            BinaryJournalReader::after_magic(bytes.as_slice()).collect();
+        let records = records.expect("decodes");
+        assert_eq!(
+            records[0],
+            BinaryRecord::System {
+                system: 3,
+                seed: 0xABCD
+            }
+        );
+        let decoded: Vec<&JournalEvent> = records[1..]
+            .iter()
+            .map(|r| match r {
+                BinaryRecord::Event(e) => e,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(decoded.len(), events.len());
+        for (d, e) in decoded.iter().zip(&events) {
+            assert_eq!(*d, e);
+        }
+    }
+
+    #[test]
+    fn binary_encoding_is_smaller_than_json_lines() {
+        let events: Vec<JournalEvent> = (0..100).map(|f| event(f, "frame-start")).collect();
+        let mut json = BatchedJournalWriter::new(Vec::new(), 1);
+        let mut binary = BatchedJournalWriter::new_binary(Vec::new(), 1);
+        for e in &events {
+            json.append(e);
+            binary.append(e);
+        }
+        let json_bytes = json.into_inner().unwrap();
+        let binary_bytes = binary.into_inner().unwrap();
+        assert!(
+            binary_bytes.len() < json_bytes.len(),
+            "binary {} vs json {}",
+            binary_bytes.len(),
+            json_bytes.len()
+        );
     }
 }

@@ -182,6 +182,280 @@ impl fmt::Display for MetricsSnapshot {
     }
 }
 
+/// Number of log₂ buckets: bucket 0 holds the sample `0`, bucket `k`
+/// (1..=64) holds samples with bit length `k`, i.e. the half-open range
+/// `[2^(k-1), 2^k)`.
+const LOG2_BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram: 65 plain `u64` buckets plus exact
+/// count/sum/min/max. Unlike the raw-sample [`MetricsRegistry`]
+/// histograms (which keep every sample and allocate per observation),
+/// a `Log2Histogram` is fixed-size, allocation-free to record into, and
+/// its [`merge`](Log2Histogram::merge) is a commutative, associative
+/// bucket-wise add — which is what makes the fleet's per-shard metrics
+/// deterministic regardless of how shards are distributed over worker
+/// threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// The bucket index a sample lands in (the sample's bit length).
+    pub fn bucket_of(sample: u64) -> usize {
+        (u64::BITS - sample.leading_zeros()) as usize
+    }
+
+    /// The half-open sample range `[lo, hi]` (inclusive) covered by a
+    /// bucket index.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            k => (1 << (k - 1), (1 << k) - 1),
+        }
+    }
+
+    /// Records one sample. No allocation; saturating sum.
+    pub fn record(&mut self, sample: u64) {
+        self.buckets[Self::bucket_of(sample)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(sample);
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another histogram into this one. Commutative and
+    /// associative, so any merge order over any shard partition yields
+    /// the same result as single-threaded recording.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank percentile estimate: the upper bound of the bucket
+    /// containing the `p`-th percentile sample (exact for buckets 0 and
+    /// 1, within 2× above).
+    fn percentile_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return Self::bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Freezes into the serializable snapshot form, keeping only
+    /// non-empty buckets.
+    pub fn snapshot(&self) -> Log2HistogramSnapshot {
+        Log2HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum as f64 / self.count as f64
+            },
+            p50: self.percentile_bound(50.0),
+            p90: self.percentile_bound(90.0),
+            p99: self.percentile_bound(99.0),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(index, &n)| {
+                    let (lo, hi) = Self::bucket_bounds(index);
+                    Log2Bucket { lo, hi, count: n }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty bucket of a [`Log2Histogram`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Log2Bucket {
+    /// Smallest sample value the bucket covers.
+    pub lo: u64,
+    /// Largest sample value the bucket covers (inclusive).
+    pub hi: u64,
+    /// Number of samples in the bucket.
+    pub count: u64,
+}
+
+/// Serializable view of a [`Log2Histogram`]: exact count/sum/min/max,
+/// bucket-bound percentile estimates, and the non-empty buckets with
+/// their boundaries (so the histogram round-trips through serde).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Log2HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Exact arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median, as the containing bucket's upper bound.
+    pub p50: u64,
+    /// 90th percentile bucket upper bound.
+    pub p90: u64,
+    /// 99th percentile bucket upper bound.
+    pub p99: u64,
+    /// Non-empty buckets, ascending.
+    pub buckets: Vec<Log2Bucket>,
+}
+
+impl Log2HistogramSnapshot {
+    /// Reconstructs the dense histogram this snapshot was taken from.
+    /// Round-trip property: `h.snapshot().to_histogram() == h`.
+    pub fn to_histogram(&self) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for bucket in &self.buckets {
+            h.buckets[Log2Histogram::bucket_of(bucket.lo)] = bucket.count;
+        }
+        h.count = self.count;
+        h.sum = self.sum;
+        h.min = if self.count == 0 { u64::MAX } else { self.min };
+        h.max = self.max;
+        h
+    }
+}
+
+/// Per-shard fleet metrics: plain counters plus fixed-bucket log₂
+/// histograms, all fixed-size and allocation-free to bump on the frame
+/// path. Each fleet shard owns one; a worker thread owns a shard for
+/// the duration of a frame, so every bump is a plain unsynchronized
+/// store — no shared locks, no atomics. At aggregation the shard locals
+/// [`merge`](FleetMetrics::merge) in shard order; since counter adds
+/// and histogram merges are commutative and associative, the merged
+/// result is byte-identical across thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetMetrics {
+    /// Frames taken through the allocation-free steady-state fast path.
+    pub frames_fast: u64,
+    /// Frames that ran the full frame loop.
+    pub frames_full: u64,
+    /// Completed reconfigurations.
+    pub reconfigs: u64,
+    /// Chaos-defense activations (commit retries, safe fallbacks,
+    /// quarantines).
+    pub defense_events: u64,
+    /// Streaming SP1–SP4 / protocol violations.
+    pub violations: u64,
+    /// Reconfiguration latency in frame cycles.
+    pub reconfig_latency_cycles: Log2Histogram,
+    /// Per-system restricted-frame share in basis points.
+    pub restricted_frame_bp: Log2Histogram,
+}
+
+impl FleetMetrics {
+    /// Folds another shard's metrics into this one (commutative,
+    /// associative).
+    pub fn merge(&mut self, other: &FleetMetrics) {
+        self.frames_fast += other.frames_fast;
+        self.frames_full += other.frames_full;
+        self.reconfigs += other.reconfigs;
+        self.defense_events += other.defense_events;
+        self.violations += other.violations;
+        self.reconfig_latency_cycles
+            .merge(&other.reconfig_latency_cycles);
+        self.restricted_frame_bp.merge(&other.restricted_frame_bp);
+    }
+
+    /// Freezes into the serializable snapshot carried by fleet reports.
+    pub fn snapshot(&self) -> FleetMetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        counters.insert("fleet.frames_fast".to_owned(), self.frames_fast);
+        counters.insert("fleet.frames_full".to_owned(), self.frames_full);
+        counters.insert("fleet.reconfigs".to_owned(), self.reconfigs);
+        counters.insert("fleet.defense_events".to_owned(), self.defense_events);
+        counters.insert("fleet.violations".to_owned(), self.violations);
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "fleet.reconfig_latency_cycles".to_owned(),
+            self.reconfig_latency_cycles.snapshot(),
+        );
+        histograms.insert(
+            "fleet.restricted_frame_bp".to_owned(),
+            self.restricted_frame_bp.snapshot(),
+        );
+        FleetMetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Serializable view of merged [`FleetMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetMetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Log₂ histogram snapshots by name.
+    pub histograms: BTreeMap<String, Log2HistogramSnapshot>,
+}
+
+impl fmt::Display for FleetMetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for (name, v) in &self.counters {
+            writeln!(f, "  {name:<32} {v}")?;
+        }
+        writeln!(f, "histograms:")?;
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {name:<32} n={} min={} p50<={} p90<={} p99<={} max={} mean={:.2}",
+                h.count, h.min, h.p50, h.p90, h.p99, h.max, h.mean
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +520,113 @@ mod tests {
         assert!(text.contains("frames"));
         assert!(text.contains("0.5000"));
         assert!(text.contains("n=1"));
+    }
+
+    #[test]
+    fn log2_buckets_cover_the_u64_range_without_overlap() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        let mut next = 0u64;
+        for index in 0..LOG2_BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_bounds(index);
+            assert_eq!(lo, next, "bucket {index} starts where the last ended");
+            assert!(hi >= lo);
+            assert_eq!(Log2Histogram::bucket_of(lo), index);
+            assert_eq!(Log2Histogram::bucket_of(hi), index);
+            next = hi.wrapping_add(1);
+        }
+        assert_eq!(next, 0, "bucket 64 ends at u64::MAX");
+    }
+
+    #[test]
+    fn log2_merge_equals_single_threaded_recording() {
+        let samples = [0u64, 1, 1, 3, 7, 120, 4096, u64::MAX, 17, 90];
+        let mut single = Log2Histogram::new();
+        for &s in &samples {
+            single.record(s);
+        }
+        let mut left = Log2Histogram::new();
+        let mut right = Log2Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        let mut merged = Log2Histogram::new();
+        merged.merge(&right);
+        merged.merge(&left);
+        assert_eq!(merged, single);
+        assert_eq!(merged.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn log2_snapshot_round_trips_bucket_boundaries() {
+        let mut h = Log2Histogram::new();
+        for s in [0u64, 1, 2, 3, 1000, 1 << 40] {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Log2HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_histogram(), h);
+        for bucket in &back.buckets {
+            assert_eq!(
+                (bucket.lo, bucket.hi),
+                Log2Histogram::bucket_bounds(Log2Histogram::bucket_of(bucket.lo))
+            );
+        }
+    }
+
+    #[test]
+    fn empty_log2_histogram_snapshots_to_zeroes() {
+        let snap = Log2Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.mean, 0.0);
+        assert!(snap.buckets.is_empty());
+        assert_eq!(snap.to_histogram(), Log2Histogram::new());
+    }
+
+    #[test]
+    fn fleet_metrics_merge_is_commutative() {
+        let mut lat_a = Log2Histogram::new();
+        lat_a.record(5);
+        let a = FleetMetrics {
+            frames_fast: 10,
+            reconfigs: 2,
+            reconfig_latency_cycles: lat_a,
+            ..FleetMetrics::default()
+        };
+        let mut lat_b = Log2Histogram::new();
+        lat_b.record(9);
+        let mut bp_b = Log2Histogram::new();
+        bp_b.record(400);
+        let b = FleetMetrics {
+            frames_full: 3,
+            defense_events: 1,
+            reconfig_latency_cycles: lat_b,
+            restricted_frame_bp: bp_b,
+            ..FleetMetrics::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let snap = ab.snapshot();
+        assert_eq!(snap.counters["fleet.frames_fast"], 10);
+        assert_eq!(snap.counters["fleet.defense_events"], 1);
+        assert_eq!(snap.histograms["fleet.reconfig_latency_cycles"].count, 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: FleetMetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 }

@@ -23,6 +23,18 @@
 //!   with observability on, and packaged with its journal, per-frame
 //!   verdicts, and derived causal chain. `arfs-trace explain` renders
 //!   it from the shell.
+//! - [`ring`] — per-system flight-recorder ring buffers: fixed-capacity,
+//!   heap-preallocated rings of compact 16-byte events written on the
+//!   steady-state fast path with zero allocations, decoded via a
+//!   spec-derived [`RingLegend`].
+//! - [`codec`] — the length-prefixed binary journal encoding the fleet
+//!   emits (JSON-Lines stays the interchange format; `arfs-trace fleet
+//!   decode` converts back).
+//! - [`writer`] — the background journal writer thread with a bounded
+//!   channel and a documented lossless backpressure policy.
+//! - [`triage`] — the [`TriageBundle`] evidence package (ring + seed +
+//!   schedule + metrics + causal chain) a fleet emits when a streaming
+//!   verifier violation or chaos defense fires.
 //!
 //! [`System`](crate::system::System) threads both through every layer:
 //! it owns a [`Journal`] and a [`MetricsRegistry`], records into them as
@@ -36,11 +48,22 @@
 //! [`System`]: crate::system::System
 
 pub mod batch;
+pub mod codec;
 pub mod counterexample;
 pub mod journal;
 pub mod metrics;
+pub mod ring;
+pub mod triage;
+pub mod writer;
 
-pub use batch::BatchedJournalWriter;
+pub use batch::{BatchedJournalWriter, JournalEncoding};
+pub use codec::{BinaryJournalReader, BinaryRecord, JournalBytes};
 pub use counterexample::{CausalLink, Counterexample, FrameVerdict, ShrinkAction, ShrinkStep};
 pub use journal::{Journal, JournalDiff, JournalEvent, JournalSummary, Subsystem};
-pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    FleetMetrics, FleetMetricsSnapshot, HistogramSummary, Log2Bucket, Log2Histogram,
+    Log2HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use ring::{DecodedRingEvent, FlightRing, RingCode, RingEvent, RingLegend};
+pub use triage::TriageBundle;
+pub use writer::{BackgroundJournalWriter, JournalBatch, SystemJournal};

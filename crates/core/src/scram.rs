@@ -52,6 +52,20 @@ pub enum Phase {
     Stall,
 }
 
+impl Phase {
+    /// Stable small-integer encoding for compact event streams (the
+    /// flight-recorder ring stores this instead of the display name;
+    /// [`RingLegend`](crate::obs::RingLegend) decodes it back).
+    pub fn index(self) -> u32 {
+        match self {
+            Phase::Halt => 0,
+            Phase::Prepare => 1,
+            Phase::Init => 2,
+            Phase::Stall => 3,
+        }
+    }
+}
+
 impl fmt::Display for Phase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -45,7 +45,9 @@ use crate::app::{
 use crate::chaos::{ChaosDefense, ChaosState, FaultKind, FaultPlan};
 use crate::environment::Environment;
 use crate::lint::assembly::{Assembly, ENV_NODE, PROC_NODE_BASE, SCRAM_NODE};
-use crate::obs::{Journal, MetricsRegistry, MetricsSnapshot, Subsystem};
+use crate::obs::{
+    FlightRing, Journal, MetricsRegistry, MetricsSnapshot, RingCode, RingEvent, Subsystem,
+};
 use crate::scram::{
     FrameDecision, MidReconfigPolicy, Scram, ScramEvent, ScramMutation, StagePolicy, SyncPolicy,
 };
@@ -133,6 +135,7 @@ pub struct SystemBuilder {
     stage_policy: StagePolicy,
     mutation: Option<ScramMutation>,
     observability: bool,
+    ring_capacity: usize,
     fault_plan: FaultPlan,
     chaos_defense: ChaosDefense,
 }
@@ -203,6 +206,19 @@ impl SystemBuilder {
     #[must_use]
     pub fn observability(mut self, enabled: bool) -> Self {
         self.observability = enabled;
+        self
+    }
+
+    /// Enables the flight-recorder ring with the given event capacity
+    /// (0, the default, disables it). The ring is heap-preallocated
+    /// here, written with zero allocations on every frame — including
+    /// the steady-state fast path — and drained into a
+    /// [`TriageBundle`](crate::obs::TriageBundle) by the fleet when a
+    /// streaming violation or chaos defense fires. Unlike full
+    /// observability it does **not** disqualify the fast path.
+    #[must_use]
+    pub fn flight_recorder(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
         self
     }
 
@@ -311,6 +327,13 @@ impl SystemBuilder {
             journal: Journal::new(),
             metrics: MetricsRegistry::new(),
             obs_enabled: self.observability,
+            ring: if self.ring_capacity > 0 {
+                Some(FlightRing::new(self.ring_capacity))
+            } else {
+                None
+            },
+            ring_reconfig_started: None,
+            defense_events: 0,
             pool_events_cursor: 0,
             membership_cursor: 0,
             reconfig_started_at: None,
@@ -356,6 +379,21 @@ pub struct System {
     journal: Journal,
     metrics: MetricsRegistry,
     obs_enabled: bool,
+    /// The optional flight-recorder ring: always-on compact event
+    /// capture, written with zero allocations even on the fast path
+    /// (unlike the journal it never disqualifies fast-path
+    /// eligibility).
+    ring: Option<FlightRing>,
+    /// Trigger frame tracked for the ring's `Completed` latency
+    /// argument. Deliberately separate from
+    /// [`reconfig_started_at`](System::reconfig_started_at), which is
+    /// obs-gated and feeds the busy-state fingerprint — the ring must
+    /// not perturb model-checker dedup.
+    ring_reconfig_started: Option<u64>,
+    /// Always-on count of chaos-defense activations (commit retries,
+    /// safe fallbacks, quarantines) — the fleet's triage trigger for
+    /// systems that defended successfully without violating a property.
+    defense_events: u64,
     /// Tail cursor into the processor pool's audit log.
     pool_events_cursor: usize,
     /// Tail cursor into the bus's membership-change log.
@@ -413,6 +451,7 @@ impl System {
             stage_policy: StagePolicy::default(),
             mutation: None,
             observability: true,
+            ring_capacity: 0,
             fault_plan: FaultPlan::new(),
             chaos_defense: ChaosDefense::default(),
         }
@@ -504,6 +543,62 @@ impl System {
     /// A serializable snapshot of the run's metrics.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The flight-recorder ring, when one was enabled at build time.
+    pub fn flight_ring(&self) -> Option<&FlightRing> {
+        self.ring.as_ref()
+    }
+
+    /// Total chaos-defense activations (commit retries, safe fallbacks,
+    /// quarantines) since construction. Always counted, independent of
+    /// observability.
+    pub fn defense_events(&self) -> u64 {
+        self.defense_events
+    }
+
+    /// Records a compact ring event if the ring is enabled. No-op and
+    /// allocation-free otherwise.
+    #[inline]
+    fn ring_push(&mut self, frame: u64, code: RingCode, a: u32, b: u32) {
+        if let Some(ring) = &mut self.ring {
+            ring.push(RingEvent { frame, code, a, b });
+        }
+    }
+
+    /// Index of a configuration in the spec's declaration order (the
+    /// ring legend's vocabulary); `u32::MAX` when unknown.
+    fn cfg_index(&self, id: &ConfigId) -> u32 {
+        self.spec
+            .configs()
+            .iter()
+            .position(|c| c.id() == id)
+            .map_or(u32::MAX, |i| i as u32)
+    }
+
+    /// Index of an application in the spec's declaration order.
+    fn app_index_of(&self, id: &AppId) -> u32 {
+        self.spec
+            .apps()
+            .iter()
+            .position(|a| a.id() == id)
+            .map_or(u32::MAX, |i| i as u32)
+    }
+
+    /// Indices of an environment factor and one of its domain values.
+    fn env_index_of(&self, factor: &str, value: &str) -> (u32, u32) {
+        let factors = self.spec.env_model().factors();
+        match factors.iter().position(|f| f.name() == factor) {
+            Some(fi) => {
+                let vi = factors[fi]
+                    .domain()
+                    .iter()
+                    .position(|v| v == value)
+                    .map_or(u32::MAX, |i| i as u32);
+                (fi as u32, vi)
+            }
+            None => (u32::MAX, u32::MAX),
+        }
     }
 
     /// A consistent snapshot of an application's stable-storage region.
@@ -680,6 +775,9 @@ impl System {
             journal: self.journal.clone(),
             metrics: self.metrics.clone(),
             obs_enabled: self.obs_enabled,
+            ring: self.ring.clone(),
+            ring_reconfig_started: self.ring_reconfig_started,
+            defense_events: self.defense_events,
             pool_events_cursor: self.pool_events_cursor,
             membership_cursor: self.membership_cursor,
             reconfig_started_at: self.reconfig_started_at,
@@ -814,6 +912,12 @@ impl System {
     /// anomaly (event logging).
     fn run_steady_frame(&mut self) {
         let frame = self.clock.frame();
+        // Flight-recorder bump: coalesced run-length update, in-place,
+        // zero allocations (the alloc-free contract of this path is
+        // proven ring-enabled by tests/alloc_free_frame.rs).
+        if let Some(ring) = &mut self.ring {
+            ring.bump_run(frame, RingCode::FastFrames);
+        }
         if self.fast_plan.is_none() {
             let mut plan = Vec::with_capacity(self.app_order.len());
             for app_id in &self.app_order {
@@ -857,6 +961,8 @@ impl System {
             });
             if let Err(error) = result {
                 let app_id = self.apps[slot.app_index].id().clone();
+                let a = self.app_index_of(&app_id);
+                self.ring_push(frame, RingCode::StageError, a, 0);
                 self.events.push(SystemEvent::AppStageError {
                     frame,
                     app: app_id,
@@ -866,6 +972,13 @@ impl System {
             }
             if slot.budget > Ticks::ZERO && consumed > slot.budget {
                 let app_id = self.apps[slot.app_index].id().clone();
+                let a = self.app_index_of(&app_id);
+                self.ring_push(
+                    frame,
+                    RingCode::DeadlineMiss,
+                    a,
+                    consumed.raw().min(u64::from(u32::MAX)) as u32,
+                );
                 self.events.push(SystemEvent::DeadlineMiss {
                     frame,
                     app: app_id,
@@ -889,6 +1002,10 @@ impl System {
     pub fn run_frame(&mut self) -> FrameDecision {
         let frame = self.clock.frame();
 
+        if let Some(ring) = &mut self.ring {
+            ring.bump_run(frame, RingCode::FullFrames);
+        }
+
         if self.obs_enabled {
             self.journal.record(
                 frame,
@@ -911,6 +1028,7 @@ impl System {
         for p in std::mem::take(&mut self.pending_failures) {
             if self.pool.is_alive(p) {
                 let _ = self.pool.fail(p);
+                self.ring_push(frame, RingCode::ProcessorFailed, p.raw(), 0);
                 self.events.push(SystemEvent::ProcessorDown {
                     frame,
                     processor: p,
@@ -940,6 +1058,8 @@ impl System {
             match &kind {
                 FaultKind::CommitFault { app } => {
                     faulted_apps.insert(app.clone());
+                    let a = self.app_index_of(app);
+                    self.ring_push(frame, RingCode::TornWrite, a, 0);
                     if self.obs_enabled {
                         self.journal.record(
                             frame,
@@ -953,6 +1073,8 @@ impl System {
                     let until = frame + frames;
                     let entry = self.chaos.silenced_until.entry(*processor).or_insert(until);
                     *entry = (*entry).max(until);
+                    let (p, n) = (processor.raw(), (*frames).min(u64::from(u32::MAX)) as u32);
+                    self.ring_push(frame, RingCode::BusSilenced, p, n);
                     if self.obs_enabled {
                         self.journal.record(
                             frame,
@@ -968,6 +1090,13 @@ impl System {
                 FaultKind::ClockJitter { app, ticks } => {
                     let slot = jitter.entry(app.clone()).or_insert(Ticks::ZERO);
                     *slot += Ticks::new(*ticks);
+                    let a = self.app_index_of(app);
+                    self.ring_push(
+                        frame,
+                        RingCode::ClockJitter,
+                        a,
+                        (*ticks).min(u64::from(u32::MAX)) as u32,
+                    );
                     if self.obs_enabled {
                         self.journal.record(
                             frame,
@@ -1000,6 +1129,13 @@ impl System {
                         frame,
                         processor: p,
                     });
+                    self.defense_events += 1;
+                    self.ring_push(
+                        frame,
+                        RingCode::Quarantined,
+                        p.raw(),
+                        streak.min(u64::from(u32::MAX)) as u32,
+                    );
                     if self.obs_enabled {
                         self.journal.record(
                             frame,
@@ -1038,6 +1174,8 @@ impl System {
                     factor: factor.clone(),
                     value: value.clone(),
                 });
+                let (fi, vi) = self.env_index_of(&factor, &value);
+                self.ring_push(frame, RingCode::EnvChanged, fi, vi);
                 // Fault signal: environment monitor -> SCRAM over the bus.
                 let payload = format!("{factor}={value}");
                 let _ = self.bus.submit(
@@ -1082,8 +1220,8 @@ impl System {
                     .as_nanos()
                     .min(u128::from(u64::MAX)) as u64,
             );
-            self.journal_scram_events(frame, &decision);
         }
+        self.record_scram_events(frame, &decision);
 
         // --- Reconfiguration signals: SCRAM -> each application, via the
         // configuration_status variable in stable storage and the bus. ---
@@ -1182,6 +1320,13 @@ impl System {
                     app: app_id.clone(),
                     processor: placed.expect("checked above"),
                 });
+                let a = self.app_index_of(&app_id);
+                self.ring_push(
+                    frame,
+                    RingCode::AppLost,
+                    a,
+                    placed.expect("checked above").raw(),
+                );
                 if self.obs_enabled {
                     self.journal.record(
                         frame,
@@ -1270,6 +1415,8 @@ impl System {
             };
 
             if let Err(error) = result {
+                let a = self.app_index_of(&app_id);
+                self.ring_push(frame, RingCode::StageError, a, 0);
                 if self.obs_enabled {
                     self.journal.record(
                         frame,
@@ -1297,6 +1444,13 @@ impl System {
                     consumed,
                     budget,
                 });
+                let a = self.app_index_of(&app_id);
+                self.ring_push(
+                    frame,
+                    RingCode::DeadlineMiss,
+                    a,
+                    consumed.raw().min(u64::from(u32::MAX)) as u32,
+                );
                 if self.obs_enabled {
                     // The executive's health-monitor view of the same
                     // overrun (the paper's "timing monitor" trigger
@@ -1495,9 +1649,13 @@ impl System {
         decision
     }
 
-    /// Mirrors the SCRAM's per-frame events into the journal and
-    /// metrics.
-    fn journal_scram_events(&mut self, frame: u64, decision: &FrameDecision) {
+    /// Mirrors the SCRAM's per-frame events into the flight ring (always)
+    /// and the journal + metrics (when observability is on). The ring's
+    /// reconfiguration clock (`ring_reconfig_started`) is maintained here
+    /// unconditionally — the obs-gated `reconfig_started_at` twin feeds
+    /// the busy-state fingerprint and must keep its exact legacy
+    /// behavior.
+    fn record_scram_events(&mut self, frame: u64, decision: &FrameDecision) {
         for event in &decision.events {
             match event {
                 ScramEvent::TriggerAccepted {
@@ -1507,80 +1665,114 @@ impl System {
                     interrupted,
                     ..
                 } => {
-                    self.journal.record(
-                        frame,
-                        Subsystem::Scram,
-                        "trigger-accepted",
-                        serde_json::json!({
-                            "env": env.to_string(),
-                            "from": from.to_string(),
-                            "target": target.to_string(),
-                            "interrupted": interrupted
-                                .iter()
-                                .map(|a| serde_json::Value::Str(a.to_string()))
-                                .collect::<Vec<_>>(),
-                        }),
-                    );
-                    self.metrics.incr("scram.triggers");
-                    self.reconfig_started_at = Some(frame);
+                    let (f, t) = (self.cfg_index(from), self.cfg_index(target));
+                    self.ring_push(frame, RingCode::TriggerAccepted, f, t);
+                    self.ring_reconfig_started = Some(frame);
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Scram,
+                            "trigger-accepted",
+                            serde_json::json!({
+                                "env": env.to_string(),
+                                "from": from.to_string(),
+                                "target": target.to_string(),
+                                "interrupted": interrupted
+                                    .iter()
+                                    .map(|a| serde_json::Value::Str(a.to_string()))
+                                    .collect::<Vec<_>>(),
+                            }),
+                        );
+                        self.metrics.incr("scram.triggers");
+                        self.reconfig_started_at = Some(frame);
+                    }
                 }
                 ScramEvent::PhaseEntered { phase, target, .. } => {
-                    self.journal.record(
-                        frame,
-                        Subsystem::Scram,
-                        "phase-entered",
-                        serde_json::json!({
-                            "phase": phase.to_string(),
-                            "target": target.to_string(),
-                        }),
-                    );
+                    let t = self.cfg_index(target);
+                    self.ring_push(frame, RingCode::PhaseEntered, phase.index(), t);
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Scram,
+                            "phase-entered",
+                            serde_json::json!({
+                                "phase": phase.to_string(),
+                                "target": target.to_string(),
+                            }),
+                        );
+                    }
                 }
                 ScramEvent::Retargeted {
                     old_target,
                     new_target,
                     ..
                 } => {
-                    self.journal.record(
-                        frame,
-                        Subsystem::Scram,
-                        "retargeted",
-                        serde_json::json!({
-                            "old_target": old_target.to_string(),
-                            "new_target": new_target.to_string(),
-                        }),
-                    );
-                    self.metrics.incr("scram.retargets");
+                    let (o, n) = (self.cfg_index(old_target), self.cfg_index(new_target));
+                    self.ring_push(frame, RingCode::Retargeted, o, n);
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Scram,
+                            "retargeted",
+                            serde_json::json!({
+                                "old_target": old_target.to_string(),
+                                "new_target": new_target.to_string(),
+                            }),
+                        );
+                        self.metrics.incr("scram.retargets");
+                    }
                 }
                 ScramEvent::Completed { config, .. } => {
-                    let cycles = self
-                        .reconfig_started_at
+                    let ring_cycles = self
+                        .ring_reconfig_started
                         .take()
                         .map(|start| frame - start + 1);
-                    self.journal.record(
+                    let c = self.cfg_index(config);
+                    self.ring_push(
                         frame,
-                        Subsystem::Scram,
-                        "completed",
-                        serde_json::json!({
-                            "config": config.to_string(),
-                            "cycles": match cycles {
-                                Some(c) => serde_json::Value::U64(c),
-                                None => serde_json::Value::Null,
-                            },
-                        }),
+                        RingCode::Completed,
+                        c,
+                        ring_cycles.unwrap_or(0).min(u64::from(u32::MAX)) as u32,
                     );
-                    self.metrics.incr("scram.completions");
-                    if let Some(c) = cycles {
-                        self.metrics.observe("reconfig.latency_cycles", c);
+                    if self.obs_enabled {
+                        let cycles = self
+                            .reconfig_started_at
+                            .take()
+                            .map(|start| frame - start + 1);
+                        self.journal.record(
+                            frame,
+                            Subsystem::Scram,
+                            "completed",
+                            serde_json::json!({
+                                "config": config.to_string(),
+                                "cycles": match cycles {
+                                    Some(c) => serde_json::Value::U64(c),
+                                    None => serde_json::Value::Null,
+                                },
+                            }),
+                        );
+                        self.metrics.incr("scram.completions");
+                        if let Some(c) = cycles {
+                            self.metrics.observe("reconfig.latency_cycles", c);
+                        }
                     }
                 }
                 ScramEvent::DwellSuppressed { until, .. } => {
-                    self.journal.record(
+                    self.ring_push(
                         frame,
-                        Subsystem::Scram,
-                        "dwell-suppressed",
-                        serde_json::json!({"until": *until}),
+                        RingCode::DwellSuppressed,
+                        (*until).min(u64::from(u32::MAX)) as u32,
+                        0,
                     );
-                    self.metrics.incr("scram.dwell_suppressed");
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Scram,
+                            "dwell-suppressed",
+                            serde_json::json!({"until": *until}),
+                        );
+                        self.metrics.incr("scram.dwell_suppressed");
+                    }
                 }
                 ScramEvent::CommitRetry {
                     target,
@@ -1588,31 +1780,45 @@ impl System {
                     budget,
                     ..
                 } => {
-                    self.journal.record(
+                    self.defense_events += 1;
+                    self.ring_push(
                         frame,
-                        Subsystem::Scram,
-                        "commit-retry",
-                        serde_json::json!({
-                            "target": target.to_string(),
-                            "used": *used,
-                            "budget": *budget,
-                        }),
+                        RingCode::CommitRetry,
+                        (*used).min(u64::from(u32::MAX)) as u32,
+                        (*budget).min(u64::from(u32::MAX)) as u32,
                     );
-                    self.metrics.incr("chaos.commit_retries");
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Scram,
+                            "commit-retry",
+                            serde_json::json!({
+                                "target": target.to_string(),
+                                "used": *used,
+                                "budget": *budget,
+                            }),
+                        );
+                        self.metrics.incr("chaos.commit_retries");
+                    }
                 }
                 ScramEvent::SafeFallback {
                     abandoned, safe, ..
                 } => {
-                    self.journal.record(
-                        frame,
-                        Subsystem::Scram,
-                        "safe-fallback",
-                        serde_json::json!({
-                            "abandoned": abandoned.to_string(),
-                            "safe": safe.to_string(),
-                        }),
-                    );
-                    self.metrics.incr("chaos.safe_fallbacks");
+                    self.defense_events += 1;
+                    let (a, s) = (self.cfg_index(abandoned), self.cfg_index(safe));
+                    self.ring_push(frame, RingCode::SafeFallback, a, s);
+                    if self.obs_enabled {
+                        self.journal.record(
+                            frame,
+                            Subsystem::Scram,
+                            "safe-fallback",
+                            serde_json::json!({
+                                "abandoned": abandoned.to_string(),
+                                "safe": safe.to_string(),
+                            }),
+                        );
+                        self.metrics.incr("chaos.safe_fallbacks");
+                    }
                 }
             }
         }

@@ -4,13 +4,17 @@
 //! other test binary is unaffected) and asserts that once a
 //! non-reconfiguring, journal-off system has warmed up, advancing a
 //! frame performs **zero** heap allocations — the property the fleet
-//! runtime's throughput depends on.
+//! runtime's throughput depends on. The flight-recorder ring rides the
+//! same contract: its storage is preallocated at build time and a
+//! steady frame only coalesces the in-place `fast-frames` run, so the
+//! guarantee is proven both with the ring off and with it on.
 
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use arfs_avionics::avionics_spec;
+use arfs_core::obs::RingCode;
 use arfs_core::system::System;
 
 /// Wraps the system allocator, counting every allocation and
@@ -69,4 +73,47 @@ fn steady_state_frame_allocates_nothing() {
         "steady-state frames must not touch the heap ({} allocations in 100 frames)",
         after - before
     );
+}
+
+#[test]
+fn steady_state_frame_allocates_nothing_with_the_flight_ring_on() {
+    let spec = Arc::new(avionics_spec().expect("avionics spec builds"));
+    let mut system = System::builder_arc(spec)
+        .observability(false)
+        .flight_recorder(256)
+        .build()
+        .expect("system builds");
+    system.set_trace_recording(false);
+
+    for _ in 0..16 {
+        system.advance_frame();
+    }
+    assert!(
+        system.advance_frame(),
+        "warmed-up quiet system must be on the fast path"
+    );
+
+    let ring_len_before = system.flight_ring().expect("ring enabled").len();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        assert!(system.advance_frame(), "steady frames must stay fast");
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "flight recording must not touch the heap ({} allocations in 100 frames)",
+        after - before
+    );
+
+    // The 100 quiet frames coalesced into the existing `fast-frames`
+    // run instead of consuming 100 ring slots.
+    let ring = system.flight_ring().expect("ring enabled");
+    assert_eq!(
+        ring.len(),
+        ring_len_before,
+        "steady frames must coalesce into one ring event"
+    );
+    let newest = ring.iter().last().expect("ring is nonempty");
+    assert_eq!(newest.code, RingCode::FastFrames);
 }

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use arfs_avionics::avionics_spec;
 use arfs_core::fleet::{Fleet, FleetConfig, FleetReport};
+use arfs_core::obs::{BinaryJournalReader, BinaryRecord};
 
 fn run(shards: usize, threads: usize) -> FleetReport {
     let spec = Arc::new(avionics_spec().expect("avionics spec builds"));
@@ -60,18 +61,25 @@ fn shard_count_does_not_leak_into_the_report() {
 #[test]
 fn sampled_journal_sections_are_ordered_by_system_id() {
     let report = run(4, 2);
-    assert!(report.journal_lines > 0, "sampling must journal something");
+    assert!(report.journal_events > 0, "sampling must journal something");
     let mut last_id: i64 = -1;
-    for line in report.journal.lines() {
-        if let Some(rest) = line.strip_prefix("{\"system\":") {
-            let id: i64 = rest
-                .split(',')
-                .next()
-                .and_then(|s| s.parse().ok())
-                .expect("header carries the system id");
-            assert!(id > last_id, "journal sections out of id order");
-            last_id = id;
+    let mut records = 0u64;
+    for record in BinaryJournalReader::new(report.journal.as_slice()) {
+        match record.expect("aggregate journal decodes") {
+            BinaryRecord::System { system, .. } => {
+                let id = i64::try_from(system).expect("small fleet id");
+                assert!(id > last_id, "journal sections out of id order");
+                last_id = id;
+            }
+            BinaryRecord::Event(_) => {
+                assert!(last_id >= 0, "events must follow a section header");
+            }
         }
+        records += 1;
     }
     assert!(last_id >= 0, "at least one section header expected");
+    assert_eq!(
+        records, report.journal_events,
+        "journal_events must count every record in the aggregate"
+    );
 }
