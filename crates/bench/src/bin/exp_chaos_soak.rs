@@ -19,17 +19,34 @@
 //!    explain`.
 //!
 //! Usage: `exp_chaos_soak [--smoke]` — `--smoke` shrinks the seed
-//! count and horizon for CI. Exits 1 if any section fails.
+//! count and horizon for CI. Exits 1 if any section fails; exits 3 if
+//! the run's defense metrics regressed more than 25% against the prior
+//! recorded `BENCH_chaos_soak.json`.
+
+use std::sync::Arc;
 
 use arfs_bench::{banner, verdict, write_json, write_text, TextTable};
+use arfs_core::assure::{InvariantOracle, OracleProfile};
 use arfs_core::chaos::{ChaosDefense, ChaosProfile, FaultKind, FaultPlan};
 use arfs_core::model::{ModelChecker, Schedule};
-use arfs_core::properties;
 use arfs_core::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
 use arfs_core::system::System;
 use arfs_core::AppId;
 use arfs_failstop::ProcessorId;
 use arfs_rtos::Ticks;
+
+/// How much a gated defense metric may grow over its previous recording
+/// before the run fails with exit code 3.
+const REGRESSION_TOLERANCE: f64 = 1.25;
+
+/// The previous run's artifact, if one exists and still parses. Absent
+/// or stale-format files are simply "no baseline yet" — the gate only
+/// fires when it has a genuine prior number to compare against.
+fn prior_artifact() -> Option<serde_json::Value> {
+    let path = arfs_bench::results_dir().join("BENCH_chaos_soak.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
 
 /// Three service levels on one processor: the choice function can
 /// point at "mid" while the safe-state fallback lands in "safe", which
@@ -165,6 +182,11 @@ fn main() {
 
     let mut all_ok = true;
 
+    // Every replayed trace goes through the unified oracle's soak
+    // profile: SP1–SP4, the extension checks, the TCC static
+    // obligations, and the defense-livelock bound, all in one verdict.
+    let soak_oracle = InvariantOracle::new(Arc::new(spec.clone()), OracleProfile::Soak);
+
     // --- Section 1: seeded random campaigns, defenses on. ---
     let mut table = TextTable::new([
         "seed",
@@ -179,6 +201,7 @@ fn main() {
     let mut campaigns_clean = true;
     let mut livelock_free = true;
     let mut total_retries = 0u64;
+    let mut global_max_ratio = 0.0f64;
     for seed in 1..=seeds {
         let plan = FaultPlan::random(seed, &profile);
         let mc = ModelChecker::new(spec.clone(), horizon, 1)
@@ -188,6 +211,7 @@ fn main() {
         let mut retries = 0u64;
         let mut fallbacks = 0u64;
         let mut max_ratio = 0.0f64;
+        let mut oracle_violations = 0usize;
         for schedule in mc.schedule_iter() {
             let system = replay(&spec, &plan, defense, &schedule, horizon, true);
             retries += system.journal().of_kind("commit-retry").count() as u64;
@@ -195,13 +219,14 @@ fn main() {
             let trace = system.trace();
             let ratio = trace.restricted_frames() as f64 / trace.len() as f64;
             max_ratio = max_ratio.max(ratio);
+            oracle_violations += soak_oracle.check(trace).len();
         }
         // No-livelock: restricted frames stay a bounded minority even
         // under retries — a kernel stuck re-halting forever would push
         // the ratio toward 1.
         let live = max_ratio <= 0.6;
         livelock_free &= live;
-        campaigns_clean &= report.all_passed() && fallbacks == 0;
+        campaigns_clean &= report.all_passed() && fallbacks == 0 && oracle_violations == 0;
         total_retries += retries;
         table.row([
             seed.to_string(),
@@ -218,10 +243,12 @@ fn main() {
             "plan": plan.to_string(),
             "schedules_run": report.cases_run,
             "violations": report.failures.len(),
+            "oracle_violations": oracle_violations,
             "commit_retries": retries,
             "safe_fallbacks": fallbacks,
             "max_restricted_ratio": max_ratio,
         }));
+        global_max_ratio = global_max_ratio.max(max_ratio);
     }
     println!("{table}");
     verdict(
@@ -248,7 +275,11 @@ fn main() {
     let qsystem = replay(&qspec, &qplan, defense, &Schedule(Vec::new()), 12, true);
     let quarantined = qsystem.journal().of_kind("quarantined").count() == 1;
     let landed_solo = qsystem.current_config().to_string() == "solo";
-    let qreport = properties::check_all(qsystem.trace(), qsystem.spec());
+    // Exhaustive profile: the quarantine spec is deliberately one-way
+    // (no solo -> full-service transition), so the TCC coverage
+    // obligation of the soak profile does not apply to it.
+    let qoracle = InvariantOracle::new(qsystem.spec_arc(), OracleProfile::Exhaustive);
+    let qreport = qoracle.report(qsystem.trace());
     verdict(
         "silent processor quarantined to fail-stop; membership drove reconfiguration to solo",
         quarantined && landed_solo && qreport.is_ok(),
@@ -289,10 +320,42 @@ fn main() {
     let ce_path =
         serial_ce.map(|ce| write_text("counterexample_chaos_budget0.json", &ce.to_json_pretty()));
 
+    // --- Self-regression gate: defense metrics vs the prior artifact.
+    // The campaigns are fully deterministic given (smoke, seeds), so
+    // any growth is a real behavior change, not noise; the gate only
+    // compares recordings of the same shape and tolerates 25% before
+    // failing with exit code 3. A missing/unparsable prior (or one
+    // recorded at a different scale) just sets a fresh baseline. ---
+    banner("soak-regression gate");
+    let mut bench_regressed = false;
+    let prior = prior_artifact().filter(|p| {
+        p.get("smoke").and_then(|v| v.as_bool()) == Some(smoke)
+            && p.get("seeds").and_then(|v| v.as_u64()) == Some(seeds)
+    });
+    let gauges: [(&str, f64); 2] = [
+        ("total_commit_retries", total_retries as f64),
+        ("max_restricted_ratio", global_max_ratio),
+    ];
+    for (key, current) in gauges {
+        match prior.as_ref().and_then(|p| p.get(key)?.as_f64()) {
+            Some(prev) if prev > 0.0 => {
+                let ok = current <= prev * REGRESSION_TOLERANCE;
+                verdict(
+                    &format!("{key} {current:.3} within 25% of recorded {prev:.3}"),
+                    ok,
+                );
+                bench_regressed |= !ok;
+            }
+            _ => println!("{key}: no prior recording; baseline set at {current:.3}"),
+        }
+    }
+
     let artifact = serde_json::json!({
         "smoke": smoke,
         "horizon": horizon,
         "seeds": seeds,
+        "total_commit_retries": total_retries,
+        "max_restricted_ratio": global_max_ratio,
         "campaigns": campaigns,
         "quarantine": {
             "quarantined": quarantined,
@@ -314,5 +377,8 @@ fn main() {
     }
     if !all_ok {
         std::process::exit(1);
+    }
+    if bench_regressed {
+        std::process::exit(3);
     }
 }

@@ -1,0 +1,457 @@
+//! Deterministic-simulation testing: seeded campaigns over scenarios ×
+//! chaos fault plans × failpoint plans, with joint shrinking.
+//!
+//! Every campaign is a pure function of its seed: the stimulus schedule,
+//! the substrate fault plan ([`FaultPlan::random`]), and the failpoint
+//! plan ([`FailpointPlan::random`] over [`arfs_core::assure::dst_menu`])
+//! are all drawn deterministically, the system replays them frame by
+//! frame, and the unified [`InvariantOracle`] (soak profile: SP1–SP4,
+//! the extension checks, TCC obligations, and the defense-livelock
+//! bound) judges the trace. The menu lists exactly the (site, action)
+//! pairs the defense layer claims to absorb, so **zero violations** is
+//! the pass condition — any violation is jointly shrunk to a 1-minimal
+//! (schedule, fault-plan, failpoint-plan) triple and recorded in the
+//! artifact before the run fails.
+//!
+//! A second section drives the fleet runtime under an armed
+//! `fleet.journal.send` drop, covering the fleet-layer sites the
+//! single-system section cannot reach.
+//!
+//! Usage: `exp_dst [--smoke]` — `--smoke` shrinks the seed count for
+//! CI. Requires `--features failpoints`; without the feature the
+//! campaign has no fault injection to sweep and the run exits 0 after
+//! saying so (writing no artifact). Exits 1 on any unshrunk violation
+//! or coverage gap.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use arfs_assure::{FailpointPlan, FpAction};
+use arfs_bench::{banner, verdict, write_json, TextTable};
+use arfs_core::assure::{dst_menu, InvariantOracle, OracleProfile};
+use arfs_core::chaos::{ChaosDefense, ChaosProfile, FaultPlan};
+use arfs_core::fleet::{Fleet, FleetConfig};
+use arfs_core::properties::PropertyViolation;
+use arfs_core::spec::{AppDecl, Configuration, FunctionalSpec, ReconfigSpec};
+use arfs_core::system::System;
+use arfs_failstop::ProcessorId;
+use arfs_rtos::Ticks;
+use arfs_ttbus::{BusSchedule, Message, NodeId, TtBus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Frames per campaign run: past the oracle's livelock-judgment
+/// threshold, so the defense-livelock bound is genuinely evaluated.
+const HORIZON: u64 = 30;
+
+/// Maximum armed failpoints per plan. Bounded so the injected faults
+/// stay within the defense envelope the campaign asserts (see
+/// `DST_DEFENSE`).
+const MAX_FAILPOINTS: usize = 3;
+
+/// The campaign's defense knobs: a retry budget sized to the worst
+/// case the plans can produce — `MAX_FAILPOINTS` injected torn commits
+/// on consecutive frames stacked on top of the chaos plan's own.
+const DST_DEFENSE: ChaosDefense = ChaosDefense {
+    retry_budget_frames: 6,
+    retry_backoff_frames: 0,
+    quarantine_window_frames: 3,
+};
+
+/// Three service levels on one processor (the chaos-soak shape): the
+/// richest single-app choice structure, cheap enough for hundreds of
+/// seeded replays.
+fn dst_spec() -> ReconfigSpec {
+    let mut b = ReconfigSpec::builder()
+        .frame_len(Ticks::new(100))
+        .env_factor("power", ["good", "degraded", "bad"])
+        .app(
+            AppDecl::new("a")
+                .spec(FunctionalSpec::new("full"))
+                .spec(FunctionalSpec::new("reduced"))
+                .spec(FunctionalSpec::new("minimal")),
+        )
+        .min_dwell_frames(2);
+    let configs = [("full", "full"), ("mid", "reduced"), ("safe", "minimal")];
+    for (i, (name, spec)) in configs.iter().enumerate() {
+        let mut config = Configuration::new(*name)
+            .assign("a", *spec)
+            .place("a", ProcessorId::new(0));
+        if i == configs.len() - 1 {
+            config = config.safe();
+        }
+        b = b.config(config);
+    }
+    for (from, _) in &configs {
+        for (to, _) in &configs {
+            if from != to {
+                b = b.transition(*from, *to, Ticks::new(600));
+            }
+        }
+    }
+    b.choose_when("power", "good", "full")
+        .choose_when("power", "degraded", "mid")
+        .choose_when("power", "bad", "safe")
+        .initial_config("full")
+        .initial_env([("power", "good")])
+        .build()
+        .expect("dst spec is structurally valid")
+}
+
+fn mix_seed(master: u64, stream: u64) -> u64 {
+    // splitmix-style finalizer: decorrelates the per-purpose streams.
+    let mut z = master
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded stimulus schedule: 1–3 environment events with at least 8
+/// frames between them, so each reconfiguration (and its dwell guard)
+/// completes before the next trigger. The spacing keeps the campaign
+/// inside the defense envelope — deferred-trigger failpoints must not
+/// be able to stack onto dwell suppression.
+fn random_schedule(spec: &ReconfigSpec, seed: u64) -> Vec<(u64, String, String)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factors = spec.env_model().factors();
+    let count = rng.gen_range(1..=3usize);
+    let mut events = Vec::new();
+    let mut frame = 0u64;
+    for _ in 0..count {
+        frame += 4 + rng.gen_range(0..3) as u64 + 8 * (!events.is_empty() as u64);
+        if frame + 8 > HORIZON {
+            break;
+        }
+        let factor = &factors[rng.gen_range(0..factors.len())];
+        let domain: Vec<&str> = factor.domain().iter().map(|v| v.as_str()).collect();
+        let value = domain[rng.gen_range(0..domain.len())];
+        events.push((frame, factor.name().to_owned(), value.to_owned()));
+    }
+    events
+}
+
+/// Replays one (schedule, fault-plan, failpoint-plan) triple on a fresh
+/// system and returns the oracle's verdict. The failpoint campaign
+/// guard scopes the armed plan to exactly this run.
+fn run_case(
+    spec: &ReconfigSpec,
+    oracle: &InvariantOracle,
+    schedule: &[(u64, String, String)],
+    faults: &FaultPlan,
+    failpoints: &FailpointPlan,
+    hits: Option<&mut BTreeMap<String, u64>>,
+) -> Vec<PropertyViolation> {
+    let _campaign = arfs_assure::install(failpoints);
+    let mut system = System::builder(spec.clone())
+        .fault_plan(faults.clone())
+        .chaos_defense(DST_DEFENSE)
+        .build()
+        .expect("validated spec builds");
+    let mut events = schedule.iter().peekable();
+    for frame in 0..HORIZON {
+        while let Some((f, factor, value)) = events.peek() {
+            if *f == frame {
+                system.set_env(factor, value).expect("enumerated values");
+                events.next();
+            } else {
+                break;
+            }
+        }
+        system.run_frame();
+    }
+    if let Some(hits) = hits {
+        for (site, count) in arfs_assure::hit_counts() {
+            *hits.entry(site).or_insert(0) += count;
+        }
+    }
+    oracle.check(system.trace())
+}
+
+/// Greedy joint shrink to a 1-minimal triple: repeatedly drop single
+/// schedule events, fault events, and failpoint entries — keeping a
+/// removal whenever the violation survives — until no single removal
+/// preserves it.
+fn shrink_triple(
+    spec: &ReconfigSpec,
+    oracle: &InvariantOracle,
+    mut schedule: Vec<(u64, String, String)>,
+    mut faults: FaultPlan,
+    mut failpoints: FailpointPlan,
+) -> (Vec<(u64, String, String)>, FaultPlan, FailpointPlan, usize) {
+    let still_fails = |s: &[(u64, String, String)], f: &FaultPlan, p: &FailpointPlan| {
+        !run_case(spec, oracle, s, f, p, None).is_empty()
+    };
+    let mut steps = 0usize;
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < schedule.len() {
+            let mut candidate = schedule.clone();
+            candidate.remove(i);
+            steps += 1;
+            if still_fails(&candidate, &faults, &failpoints) {
+                schedule = candidate;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < faults.0.len() {
+            let mut candidate = faults.clone();
+            candidate.0.remove(i);
+            steps += 1;
+            if still_fails(&schedule, &candidate, &failpoints) {
+                faults = candidate;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < failpoints.len() {
+            let candidate = failpoints.without(i);
+            steps += 1;
+            if still_fails(&schedule, &faults, &candidate) {
+                failpoints = candidate;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            return (schedule, faults, failpoints, steps);
+        }
+    }
+}
+
+fn schedule_string(schedule: &[(u64, String, String)]) -> String {
+    let parts: Vec<String> = schedule
+        .iter()
+        .map(|(f, factor, value)| format!("f{f} set-env {factor}={value}"))
+        .collect();
+    parts.join("; ")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(if smoke {
+        "Experiment E9: deterministic-simulation failpoint campaigns (smoke)"
+    } else {
+        "Experiment E9: deterministic-simulation failpoint campaigns"
+    });
+
+    if !arfs_assure::failpoints_enabled() {
+        println!(
+            "failpoints are compiled out — nothing to inject.\n\
+             rebuild with `--features failpoints` to run the campaign."
+        );
+        return;
+    }
+
+    let spec = dst_spec();
+    let seeds: u64 = if smoke { 16 } else { 96 };
+    let oracle = InvariantOracle::new(Arc::new(spec.clone()), OracleProfile::Soak);
+    let menu_owned = dst_menu();
+    let menu: Vec<(&str, &[FpAction])> = menu_owned
+        .iter()
+        .map(|(site, actions)| (*site, actions.as_slice()))
+        .collect();
+
+    // --- Section 1: seeded single-system campaigns. ---
+    let mut table = TextTable::new(["seed", "events", "faults", "failpoints", "violations"]);
+    let mut campaigns = Vec::new();
+    let mut hits: BTreeMap<String, u64> = BTreeMap::new();
+    let mut failures = Vec::new();
+    let chaos_profile = ChaosProfile {
+        bus_silence_permille: 0,
+        commit_fault_permille: 60,
+        clock_jitter_permille: 50,
+        ..ChaosProfile::for_spec(&spec, HORIZON.saturating_sub(6))
+    };
+    for seed in 1..=seeds {
+        let schedule = random_schedule(&spec, mix_seed(seed, 0));
+        let faults = FaultPlan::random(mix_seed(seed, 1), &chaos_profile);
+        let failpoints = FailpointPlan::random(mix_seed(seed, 2), &menu, MAX_FAILPOINTS, HORIZON);
+        let violations = run_case(
+            &spec,
+            &oracle,
+            &schedule,
+            &faults,
+            &failpoints,
+            Some(&mut hits),
+        );
+        table.row([
+            seed.to_string(),
+            schedule.len().to_string(),
+            faults.len().to_string(),
+            failpoints.len().to_string(),
+            violations.len().to_string(),
+        ]);
+        let summary = serde_json::json!({
+            "seed": seed,
+            "schedule": schedule_string(&schedule),
+            "fault_plan": faults.to_string(),
+            "failpoint_plan": failpoints.to_string(),
+            "violations": violations.len(),
+        });
+        if violations.is_empty() {
+            campaigns.push(summary);
+        } else {
+            let (min_schedule, min_faults, min_fps, steps) =
+                shrink_triple(&spec, &oracle, schedule, faults, failpoints);
+            let final_violations =
+                run_case(&spec, &oracle, &min_schedule, &min_faults, &min_fps, None);
+            println!(
+                "seed {seed}: VIOLATION, shrunk in {steps} steps to \
+                 schedule [{}] faults [{}] failpoints [{}]: {}",
+                schedule_string(&min_schedule),
+                min_faults,
+                min_fps,
+                final_violations
+                    .first()
+                    .map(|v| v.to_string())
+                    .unwrap_or_default()
+            );
+            campaigns.push(serde_json::json!({
+                "summary": summary,
+                "minimized": {
+                    "schedule": schedule_string(&min_schedule),
+                    "fault_plan": min_faults.to_string(),
+                    "failpoint_plan": min_fps.to_string(),
+                    "shrink_steps": steps,
+                    "violations": final_violations
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>(),
+                },
+            }));
+            failures.push(seed);
+        }
+    }
+    println!("{table}");
+    let campaigns_clean = failures.is_empty();
+    verdict(
+        &format!("{seeds} seeded campaigns: every armed menu fault absorbed (oracle clean)"),
+        campaigns_clean,
+    );
+
+    // --- Section 2: fleet-layer sites under an armed journal drop. ---
+    banner("fleet pathway: journal-batch drop is observability-only");
+    let mut fleet_plan = FailpointPlan::new();
+    fleet_plan.push("fleet.journal.send", 1, FpAction::Skip);
+    fleet_plan.push("fleet.journal.send", 3, FpAction::Skip);
+    let fleet_clean = {
+        let _campaign = arfs_assure::install(&fleet_plan);
+        let mut fleet = Fleet::new(
+            Arc::new(spec.clone()),
+            FleetConfig {
+                systems: 32,
+                threads: 2,
+                horizon: 40,
+                journal_sample: 4,
+                journal_flush_frames: 8,
+                ..FleetConfig::default()
+            },
+        )
+        .expect("validated spec builds");
+        let report = fleet.run().expect("journal writer is healthy");
+        for (site, count) in arfs_assure::hit_counts() {
+            *hits.entry(site).or_insert(0) += count;
+        }
+        report.is_clean()
+    };
+    verdict(
+        "fleet report clean with journal batches dropped mid-run",
+        fleet_clean,
+    );
+
+    // --- Section 3: bus-drain deferral is lossless. ---
+    // `drain_inbox` sits below the kernel's broadcast read path; a
+    // deferred drain must deliver late, never lose.
+    banner("bus pathway: deferred drain re-delivers everything");
+    let mut drain_plan = FailpointPlan::new();
+    drain_plan.push("ttbus.bus.drain", 1, FpAction::Delay(1));
+    let drain_clean = {
+        let _campaign = arfs_assure::install(&drain_plan);
+        let reader = NodeId::new(1);
+        let schedule = BusSchedule::builder()
+            .slot(NodeId::new(0), 64)
+            .slot(reader, 64)
+            .build()
+            .expect("static schedule is valid");
+        let mut bus = TtBus::new(schedule);
+        bus.submit(NodeId::new(0), Message::new("cmd", vec![7u8]))
+            .expect("slot owner may submit");
+        bus.run_round();
+        let deferred = bus.drain_inbox(reader);
+        bus.mark_present(reader);
+        bus.run_round();
+        let late = bus.drain_inbox(reader);
+        for (site, count) in arfs_assure::hit_counts() {
+            *hits.entry(site).or_insert(0) += count;
+        }
+        deferred.is_empty() && late.len() == 1 && late[0].message.topic() == "cmd"
+    };
+    verdict(
+        "armed drain returned empty, next drain delivered late",
+        drain_clean,
+    );
+
+    // --- Coverage: every menu site must actually have fired. ---
+    banner("failpoint coverage");
+    let mut coverage = TextTable::new(["site", "hits"]);
+    for (site, count) in &hits {
+        coverage.row([site.clone(), count.to_string()]);
+    }
+    println!("{coverage}");
+    let uncovered: Vec<&str> = menu_owned
+        .iter()
+        .map(|(site, _)| *site)
+        .filter(|site| hits.get(*site).copied().unwrap_or(0) == 0)
+        .collect();
+    let covered = uncovered.is_empty();
+    verdict(
+        &format!(
+            "all {} menu sites exercised{}",
+            menu_owned.len(),
+            if covered {
+                String::new()
+            } else {
+                format!(" (missing: {})", uncovered.join(", "))
+            }
+        ),
+        covered,
+    );
+
+    let all_ok = campaigns_clean && fleet_clean && drain_clean && covered;
+    let artifact = serde_json::json!({
+        "smoke": smoke,
+        "horizon": HORIZON,
+        "seeds": seeds,
+        "max_failpoints": MAX_FAILPOINTS,
+        "retry_budget_frames": DST_DEFENSE.retry_budget_frames,
+        "menu": menu_owned
+            .iter()
+            .map(|(site, actions)| {
+                serde_json::json!({
+                    "site": *site,
+                    "actions": actions.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
+                })
+            })
+            .collect::<Vec<_>>(),
+        "campaigns": campaigns,
+        "failing_seeds": failures,
+        "fleet_journal_drop_clean": fleet_clean,
+        "bus_drain_deferral_clean": drain_clean,
+        "site_hits": hits,
+        "all_ok": all_ok,
+    });
+    let path = write_json("BENCH_dst.json", &artifact);
+    println!("\nartifact: {}", path.display());
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -144,7 +144,7 @@ impl CaseResult {
 
 fn run_case(spec: &Arc<ReconfigSpec>, config: FleetConfig) -> CaseResult {
     let mut fleet = Fleet::new(Arc::clone(spec), config).expect("fleet builds");
-    let (report, timings) = fleet.run_timed();
+    let (report, timings) = fleet.run_timed().expect("journal writer is healthy");
     CaseResult { report, timings }
 }
 
@@ -200,7 +200,8 @@ fn main() {
         };
         Fleet::new(Arc::clone(&spec), config)
             .expect("fleet builds")
-            .run();
+            .run()
+            .expect("journal writer is healthy");
         println!("warm-up: 10k systems x 8 frames (untimed)");
     }
 

@@ -264,6 +264,17 @@ impl ChaosProfile {
     }
 }
 
+/// Hard ceiling on [`ChaosDefense::retry_backoff_frames`]: however the
+/// knob is configured, the SCRAM never inserts more than this many
+/// Hold frames after a disrupted attempt. Without the clamp, a large
+/// (or adversarial) backoff setting could stall an in-flight
+/// reconfiguration arbitrarily long — quietly breaking the paper's
+/// Table 1 accounting, where every phase of a reconfiguration has a
+/// statically bounded duration. With it, the worst-case stall any
+/// retry policy can add is [`ChaosDefense::worst_case_stall_frames`],
+/// a compile-time-auditable bound.
+pub const MAX_RETRY_BACKOFF_FRAMES: u64 = 8;
+
 /// The defenses' tuning knobs, threaded from
 /// [`SystemBuilder::chaos_defense`](crate::system::SystemBuilder::chaos_defense)
 /// into the SCRAM and the bus-membership watchdog.
@@ -282,6 +293,27 @@ pub struct ChaosDefense {
     /// `ProcessorPool` so membership-by-silence becomes an honest
     /// fail-stop. 0 disables quarantine.
     pub quarantine_window_frames: u64,
+}
+
+impl ChaosDefense {
+    /// The backoff actually applied per retry:
+    /// [`retry_backoff_frames`](ChaosDefense::retry_backoff_frames)
+    /// clamped to [`MAX_RETRY_BACKOFF_FRAMES`].
+    pub fn bounded_backoff_frames(&self) -> u64 {
+        self.retry_backoff_frames.min(MAX_RETRY_BACKOFF_FRAMES)
+    }
+
+    /// Worst-case frames the retry policy can add to one
+    /// reconfiguration attempt before the SCRAM gives up and falls
+    /// back: every budgeted retry burns its disrupted frame plus a full
+    /// (clamped) backoff window, and the budget-exhausting strike costs
+    /// one more frame. Faults striking backoff Hold frames cost
+    /// nothing (no protocol progress is voided), so they cannot extend
+    /// this bound. This is the figure to add to the fault-free Table 1
+    /// phase sum when sizing a deployment's reconfiguration deadline.
+    pub fn worst_case_stall_frames(&self) -> u64 {
+        self.retry_budget_frames * (1 + self.bounded_backoff_frames()) + 1
+    }
 }
 
 impl Default for ChaosDefense {

@@ -80,9 +80,11 @@
 //! [`FleetReport::rollup_metrics`]).
 
 use std::collections::BTreeMap;
+use std::io;
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
+use crate::assure::{InvariantOracle, OracleProfile};
 use crate::chaos::{ChaosProfile, FaultPlan};
 use crate::obs::codec;
 use crate::obs::triage::trigger;
@@ -301,15 +303,19 @@ impl FleetReport {
 /// fleet to force full frames ([`needs_full_state`]
 /// (StreamVerifier::needs_full_state)), buffers the restricted window
 /// plus one all-normal state on each side, replays that miniature trace
-/// through [`properties::check_all`] and
-/// [`properties::check_protocol_conformance`], and maps reported frames
-/// back to the system's own numbering. Responsiveness is checked
-/// incrementally (the same run-length rule as
-/// [`properties::check_responsiveness`]); a window still open at the
-/// horizon goes through [`properties::check_open_reconfiguration`].
+/// through the unified [`InvariantOracle`] (profile
+/// [`OracleProfile::StreamWindow`]: SP1–SP4 plus protocol
+/// conformance), and maps reported frames back to the system's own
+/// numbering. Responsiveness is checked incrementally (the same
+/// run-length rule as [`properties::check_responsiveness`]); a window
+/// still open at the horizon goes through
+/// [`InvariantOracle::check_open`].
 #[derive(Debug)]
 pub struct StreamVerifier {
     spec: Arc<ReconfigSpec>,
+    /// The unified oracle the closed windows replay through
+    /// ([`OracleProfile::StreamWindow`]).
+    oracle: InvariantOracle,
     /// Last all-normal full state seen (stays valid across fast frames:
     /// they can change neither configuration nor environment).
     prev_normal: Option<SysState>,
@@ -328,6 +334,7 @@ impl StreamVerifier {
     /// Creates a verifier for one system running under `spec`.
     pub fn new(spec: Arc<ReconfigSpec>) -> Self {
         StreamVerifier {
+            oracle: InvariantOracle::new(Arc::clone(&spec), OracleProfile::StreamWindow),
             spec,
             prev_normal: None,
             window: Vec::new(),
@@ -422,11 +429,7 @@ impl StreamVerifier {
             self.latencies.push(r.cycles());
         }
 
-        let mut report = properties::check_all(&mini, &self.spec);
-        report
-            .violations
-            .extend(properties::check_protocol_conformance(&mini, &self.spec));
-        for v in report.violations {
+        for v in self.oracle.check(&mini) {
             self.violations.push(Self::map_frames(v, &real_frames));
         }
     }
@@ -459,7 +462,7 @@ impl StreamVerifier {
             state.frame = i as u64;
             mini.push(state);
         }
-        for v in properties::check_open_reconfiguration(&mini, &self.spec) {
+        for v in self.oracle.check_open(&mini) {
             self.violations.push(Self::map_frames(v, &real_frames));
         }
     }
@@ -495,20 +498,37 @@ struct CellJournal {
     cursor: usize,
     frames_since_send: u64,
     flush_every: u64,
+    /// Set when a send found the writer gone (its thread panicked or
+    /// hit a sink error and dropped the receiver). Journaling stops for
+    /// this cell; the root cause surfaces as the [`Fleet::run`] error
+    /// when [`Fleet::finish_journal`] joins the writer.
+    disconnected: bool,
 }
 
 impl CellJournal {
     fn ship(&mut self, system: u64, seed: u64) {
-        if self.batch.is_empty() {
+        if self.batch.is_empty() || self.disconnected {
+            self.batch.clear();
             return;
         }
-        self.tx
-            .send(JournalBatch {
-                system,
-                seed,
-                events: std::mem::take(&mut self.batch),
-            })
-            .expect("journal writer outlives the frame loop");
+        // Failpoint: Skip drops the batch on the floor — lost journal
+        // data is an observability loss, never a safety violation.
+        arfs_assure::fp!("fleet.journal.send", action => {
+            if matches!(action, arfs_assure::FpAction::Skip) {
+                self.batch.clear();
+                return;
+            }
+        });
+        let sent = self.tx.send(JournalBatch {
+            system,
+            seed,
+            events: std::mem::take(&mut self.batch),
+        });
+        // A disconnect means the writer thread is dead. Don't panic the
+        // frame loop (that would tear down every worker mid-frame):
+        // finish the horizon without journaling and let the join report
+        // why the writer died.
+        self.disconnected = sent.is_err();
     }
 }
 
@@ -661,6 +681,7 @@ impl Fleet {
                     cursor: 0,
                     frames_since_send: 0,
                     flush_every: config.journal_flush_frames.max(1),
+                    disconnected: false,
                 }),
                 _ => None,
             };
@@ -710,14 +731,27 @@ impl Fleet {
     }
 
     /// Runs the whole horizon and aggregates the deterministic report.
-    pub fn run(&mut self) -> FleetReport {
-        self.run_timed().0
+    ///
+    /// # Errors
+    ///
+    /// Returns the background journal writer's failure — a sink I/O
+    /// error or a writer-thread panic — discovered when the writer is
+    /// joined at the end of the horizon. The frame loop itself never
+    /// fails: cells that lose their writer finish the horizon
+    /// unjournaled, and the root cause is reported here instead of
+    /// panicking a worker mid-frame.
+    pub fn run(&mut self) -> io::Result<FleetReport> {
+        Ok(self.run_timed()?.0)
     }
 
     /// Runs the whole horizon, returning the deterministic report plus
     /// the wall-clock attribution (frame loop vs. journal drain vs.
     /// aggregation) for [`FleetReport::rollup_metrics`].
-    pub fn run_timed(&mut self) -> (FleetReport, FleetTimings) {
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::run`].
+    pub fn run_timed(&mut self) -> io::Result<(FleetReport, FleetTimings)> {
         let horizon = self.config.horizon;
         let threads = self.config.threads.min(self.shards.len()).max(1);
 
@@ -732,21 +766,21 @@ impl Fleet {
         let frame_loop_secs = started.elapsed().as_secs_f64();
 
         let started = Instant::now();
-        let sections = self.finish_journal();
+        let sections = self.finish_journal()?;
         let journal_finish_secs = started.elapsed().as_secs_f64();
 
         let started = Instant::now();
         let report = self.aggregate(sections);
         let aggregate_secs = started.elapsed().as_secs_f64();
 
-        (
+        Ok((
             report,
             FleetTimings {
                 frame_loop_secs,
                 journal_finish_secs,
                 aggregate_secs,
             },
-        )
+        ))
     }
 
     /// The lockstep work-stealing loop: every worker synchronizes on a
@@ -765,6 +799,10 @@ impl Fleet {
                 let (injector, barrier) = (&injector, &barrier);
                 scope.spawn(move |_| {
                     for frame in 0..horizon {
+                        // Failpoint: lockstep barrier entry. Counted for
+                        // coverage; Panic models a worker dying at the
+                        // frame cut (surfaces through the scope join).
+                        arfs_assure::fp!("fleet.barrier");
                         if barrier.wait().is_leader() {
                             for index in 0..shards.len() {
                                 injector.push(index);
@@ -799,7 +837,13 @@ impl Fleet {
     /// Ships every sampled cell's tail batch, drops all producer
     /// senders, and joins the background writer for its per-system
     /// sections.
-    fn finish_journal(&mut self) -> BTreeMap<u64, SystemJournal> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer thread's sink error, or its panic mapped
+    /// to an [`io::Error`] — the one place a background journal failure
+    /// becomes visible to the caller.
+    fn finish_journal(&mut self) -> io::Result<BTreeMap<u64, SystemJournal>> {
         for shard in &mut self.shards {
             let shard = shard.get_mut().expect("no poisoned shards");
             for cell in &mut shard.cells {
@@ -810,10 +854,8 @@ impl Fleet {
             }
         }
         match self.writer.take() {
-            Some(writer) => writer
-                .finish()
-                .expect("in-memory journal sinks cannot fail"),
-            None => BTreeMap::new(),
+            Some(writer) => writer.finish(),
+            None => Ok(BTreeMap::new()),
         }
     }
 
@@ -1015,7 +1057,7 @@ mod tests {
             },
         )
         .unwrap();
-        let report = fleet.run();
+        let report = fleet.run().expect("journal writer is healthy");
         assert!(report.is_clean(), "{:?}", report.violations);
         assert_eq!(report.total_frames, 8 * 40);
         assert_eq!(report.reconfigs, 0);
@@ -1040,7 +1082,7 @@ mod tests {
             },
         )
         .unwrap();
-        let report = fleet.run();
+        let report = fleet.run().expect("journal writer is healthy");
         assert!(report.is_clean(), "{:?}", report.violations);
         assert!(report.reconfigs > 0, "workload should trigger reconfigs");
         assert!(
@@ -1096,7 +1138,7 @@ mod tests {
             },
         )
         .unwrap();
-        let report = fleet.run();
+        let report = fleet.run().expect("journal writer is healthy");
         assert!(
             report.violations.iter().any(|v| v.system == 5),
             "mutated system must violate; got {:?}",
@@ -1222,7 +1264,8 @@ mod tests {
             },
         )
         .unwrap()
-        .run();
+        .run()
+        .expect("journal writer is healthy");
         let reference_json = serde_json::to_string(&reference).unwrap();
         for (shards, threads) in [(3usize, 1usize), (5, 2), (24, 3)] {
             let report = Fleet::new(
@@ -1234,7 +1277,8 @@ mod tests {
                 },
             )
             .unwrap()
-            .run();
+            .run()
+            .expect("journal writer is healthy");
             assert_eq!(
                 serde_json::to_string(&report).unwrap(),
                 reference_json,
@@ -1258,7 +1302,10 @@ mod tests {
             chaos: Some(profile.clone()),
             ..FleetConfig::default()
         };
-        let report = Fleet::new(Arc::clone(&spec), config.clone()).unwrap().run();
+        let report = Fleet::new(Arc::clone(&spec), config.clone())
+            .unwrap()
+            .run()
+            .expect("journal writer is healthy");
 
         for v in &report.violations {
             let mut system = System::builder_arc(Arc::clone(&spec))

@@ -40,6 +40,10 @@
 //!   reconfiguration extraction (`get_reconfigs`).
 //! - [`properties`] — executable checkers for the four formal properties
 //!   **SP1–SP4** of Table 2, with precise violation diagnostics.
+//! - [`assure`] — the unified [`InvariantOracle`](assure::InvariantOracle)
+//!   every verification path (model checker, streaming verifier, batch
+//!   verify, chaos soak, DST campaigns) calls for its verdict, plus the
+//!   failpoint campaign menu for deterministic-simulation testing.
 //! - [`analysis`] — the static obligations the PVS type system generated
 //!   in the paper: transition coverage (`covering_txns`, Figure 2), safe-
 //!   configuration reachability, transition-graph cycle detection, the
@@ -115,6 +119,7 @@
 
 pub mod analysis;
 pub mod app;
+pub mod assure;
 pub mod chaos;
 pub mod environment;
 mod error;

@@ -98,11 +98,12 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::assure::{InvariantOracle, OracleProfile};
 use crate::chaos::{ChaosDefense, FaultPlan};
 use crate::lint::independence::IndependenceCertificate;
 use crate::obs::counterexample::{Counterexample, ShrinkAction, ShrinkStep};
 use crate::obs::{MetricsRegistry, MetricsSnapshot};
-use crate::properties::{self, PropertyViolation};
+use crate::properties::PropertyViolation;
 use crate::spec::ReconfigSpec;
 use crate::system::System;
 
@@ -1554,15 +1555,9 @@ fn span_ns(started: Instant) -> u64 {
 }
 
 /// Checks SP1–SP4 plus the open-reconfiguration property on a finished
-/// system's trace.
+/// system's trace, through the unified oracle's exhaustive profile.
 fn collect_violations(system: &System) -> Vec<PropertyViolation> {
-    let report = properties::check_all(system.trace(), system.spec());
-    let mut violations = report.violations;
-    violations.extend(properties::check_open_reconfiguration(
-        system.trace(),
-        system.spec(),
-    ));
-    violations
+    InvariantOracle::new(system.spec_arc(), OracleProfile::Exhaustive).check(system.trace())
 }
 
 /// An analytic schedule count exceeded `usize::MAX`.

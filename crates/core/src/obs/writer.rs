@@ -84,6 +84,16 @@ impl BackgroundJournalWriter {
                 let mut sections: BTreeMap<u64, (u64, BatchedJournalWriter<Vec<u8>>)> =
                     BTreeMap::new();
                 for batch in rx {
+                    // Failpoint: Err injects a sink failure, Panic crashes
+                    // the writer thread mid-drain — both must surface as a
+                    // fleet-level error at finish, never hang a producer.
+                    arfs_assure::fp!("obs.writer.drain", action => {
+                        if matches!(action, arfs_assure::FpAction::Err) {
+                            return Err(io::Error::other(
+                                "journal writer failpoint: injected sink error",
+                            ));
+                        }
+                    });
                     let (_, writer) = sections.entry(batch.system).or_insert_with(|| {
                         (batch.seed, BatchedJournalWriter::new_binary(Vec::new(), 1))
                     });

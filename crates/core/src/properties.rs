@@ -51,6 +51,14 @@ pub enum PropertyId {
     /// application halted with its postcondition established and was
     /// prepared before initializing.
     ProtocolConformance,
+    /// A static TCC proof obligation over the specification failed
+    /// (surfaced through the unified [`crate::assure::InvariantOracle`];
+    /// see [`crate::analysis::check_obligations`]).
+    TccObligation,
+    /// Chaos-defense invariant: the defended system spent more than the
+    /// livelock bound's share of its frames in restricted mode — the
+    /// retry/quarantine defenses are thrashing instead of converging.
+    DefenseLivelock,
 }
 
 impl fmt::Display for PropertyId {
@@ -63,6 +71,8 @@ impl fmt::Display for PropertyId {
             PropertyId::OpenReconfiguration => "OPEN-RECONFIG",
             PropertyId::Responsiveness => "RESPONSIVENESS",
             PropertyId::ProtocolConformance => "PROTOCOL-CONFORMANCE",
+            PropertyId::TccObligation => "TCC-OBLIGATION",
+            PropertyId::DefenseLivelock => "DEFENSE-LIVELOCK",
         };
         f.write_str(s)
     }

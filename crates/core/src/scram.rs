@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use arfs_assure::fp;
 use arfs_failstop::CowLog;
 
 use crate::app::ConfigStatus;
@@ -637,6 +638,21 @@ impl Scram {
                             if matches!(self.mutation, Some(ScramMutation::PanicOnTrigger)) {
                                 panic!("SCRAM aborted on trigger acceptance (PanicOnTrigger)");
                             }
+                            // Failpoint: trigger acceptance is the kernel's
+                            // point of no return into the SFTA protocol.
+                            // Skip defers the trigger by one frame — the
+                            // environment change persists, so the kernel
+                            // re-chooses next frame (a delayed failure
+                            // signal, defended by SP4's bound starting at
+                            // acceptance).
+                            fp!("scram.trigger", action => {
+                                if matches!(action, arfs_assure::FpAction::Skip) {
+                                    let decision = self
+                                        .steady_decision(frame, std::mem::take(&mut events));
+                                    self.log.extend(decision.events.iter().cloned());
+                                    return decision;
+                                }
+                            });
                             events.push(ScramEvent::TriggerAccepted {
                                 frame,
                                 env: env.clone(),
@@ -795,6 +811,10 @@ impl Scram {
                 // would require a zero-bound self transition and is
                 // handled by completing and re-triggering instead.
                 if new_target != target && new_target != source {
+                    // Failpoint: mid-flight retarget decision. Counted for
+                    // coverage; Panic models a kernel crash at the retarget
+                    // boundary (caught by the fail-stop harness).
+                    fp!("scram.retarget");
                     let KernelState::Reconfiguring(r) = &mut self.state else {
                         unreachable!("caller checked state")
                     };
@@ -848,6 +868,9 @@ impl Scram {
             // Announce once per phase instance: a retried frame keeps
             // `progress` at its pre-fault value, and must not announce
             // the phase a second time.
+            // Failpoint: SFTA phase transition (Table 1 rows). Counted for
+            // coverage; Panic models a kernel crash at a phase boundary.
+            fp!("scram.phase");
             events.push(ScramEvent::PhaseEntered {
                 frame,
                 phase,
@@ -1104,7 +1127,10 @@ impl Scram {
                     used: next_retries,
                     budget: self.defense.retry_budget_frames,
                 });
-                next_backoff = self.defense.retry_backoff_frames;
+                // Clamped: a misconfigured backoff must not be able to
+                // stall the protocol past the Table 1 accounting (see
+                // `ChaosDefense::worst_case_stall_frames`).
+                next_backoff = self.defense.bounded_backoff_frames();
             }
         }
 
@@ -1829,6 +1855,52 @@ mod tests {
         scram.step(6, &env("low"));
         let d7 = scram.step(7, &env("low"));
         assert_eq!(d7.svclvl, ConfigId::new("reduced"));
+    }
+
+    #[test]
+    fn absurd_backoff_settings_clamp_to_the_hard_ceiling() {
+        use crate::chaos::MAX_RETRY_BACKOFF_FRAMES;
+        let defense = ChaosDefense {
+            retry_budget_frames: 1,
+            retry_backoff_frames: u64::MAX,
+            quarantine_window_frames: 3,
+        };
+        let mut scram = Scram::new(two_app_spec(0)).with_chaos_defense(defense);
+        scram.step(0, &env("good"));
+        scram.step(1, &env("low"));
+        scram.step_chaos(2, &env("low"), &fault(&["fcs"])); // halt torn
+        let mut frame = 3;
+        // Exactly the clamped window of Hold frames — not u64::MAX.
+        for _ in 0..MAX_RETRY_BACKOFF_FRAMES {
+            let d = scram.step(frame, &env("low"));
+            assert!(
+                d.commands.values().all(|c| c.status == ConfigStatus::Hold),
+                "frame {frame} should still be backing off"
+            );
+            frame += 1;
+        }
+        let resumed = scram.step(frame, &env("low"));
+        assert!(
+            resumed
+                .commands
+                .values()
+                .all(|c| c.status == ConfigStatus::Halt),
+            "attempt resumes immediately after the clamped window"
+        );
+        while scram.is_reconfiguring() {
+            frame += 1;
+            scram.step(frame, &env("low"));
+            assert!(frame < 64, "reconfiguration failed to converge");
+        }
+        assert_eq!(scram.current_config(), &ConfigId::new("reduced"));
+        // The episode obeys the published worst-case accounting: the
+        // fault-free protocol runs 3 frames (halt, prepare, init) from
+        // acceptance at frame 1.
+        let bound = 1 + 3 + defense.worst_case_stall_frames();
+        assert!(
+            frame <= bound,
+            "completed at frame {frame}, worst-case bound {bound}"
+        );
     }
 
     #[test]

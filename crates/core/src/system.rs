@@ -479,6 +479,13 @@ impl System {
         &self.spec
     }
 
+    /// A shared handle to the specification (for constructing an
+    /// [`InvariantOracle`](crate::assure::InvariantOracle) or another
+    /// system over the same spec without cloning it).
+    pub fn spec_arc(&self) -> Arc<ReconfigSpec> {
+        Arc::clone(&self.spec)
+    }
+
     /// The next frame to execute.
     pub fn frame(&self) -> u64 {
         self.clock.frame()
@@ -1112,6 +1119,23 @@ impl System {
             }
         }
 
+        // Failpoint: an injected torn stable-storage write, equivalent to
+        // a scheduled CommitFault on the first application. Routed through
+        // `faulted_apps` so the SCRAM's commit-retry defense sees it on
+        // the same path as plan-driven faults.
+        arfs_assure::fp!("system.stable.commit", action => {
+            if matches!(
+                action,
+                arfs_assure::FpAction::Err | arfs_assure::FpAction::Skip
+            ) {
+                if let Some(app) = self.app_order.first() {
+                    faulted_apps.insert(app.clone());
+                    let a = self.app_index_of(app);
+                    self.ring_push(frame, RingCode::TornWrite, a, 0);
+                }
+            }
+        });
+
         // --- Membership: alive processors announce themselves; silent
         // processors flip their status factors. A chaos-silenced
         // processor skips its slot without halting; past the detection
@@ -1177,6 +1201,10 @@ impl System {
                 let (fi, vi) = self.env_index_of(&factor, &value);
                 self.ring_push(frame, RingCode::EnvChanged, fi, vi);
                 // Fault signal: environment monitor -> SCRAM over the bus.
+                // Failpoint: counted for coverage (the SCRAM reads the
+                // environment directly, so a lost modeled signal is
+                // property-benign); Panic models a monitor crash.
+                arfs_assure::fp!("system.env.submit");
                 let payload = format!("{factor}={value}");
                 let _ = self.bus.submit(
                     ENV_NODE,

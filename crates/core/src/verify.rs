@@ -22,9 +22,10 @@
 use std::fmt;
 
 use crate::analysis::ObligationReport;
+use crate::assure::{InvariantOracle, OracleProfile};
 use crate::lint::{obligations_from, Assembly, LintEngine, LintReport, LintTarget};
 use crate::model::{ModelCheckReport, ModelChecker};
-use crate::properties::{self, PropertyId};
+use crate::properties::PropertyId;
 use crate::scram::ScramMutation;
 use crate::spec::ReconfigSpec;
 use crate::system::System;
@@ -255,6 +256,7 @@ fn mutation_caught(
         .max()
         .unwrap_or(0);
     let run_frames = horizon + max_bound_frames + spec.reconfig_frames() + 16;
+    let oracle = InvariantOracle::new(std::sync::Arc::new(spec.clone()), OracleProfile::Extended);
     for frame in 1..=last_event_frame {
         for factor in spec.env_model().factors() {
             for value in factor.domain() {
@@ -270,7 +272,7 @@ fn mutation_caught(
                     }
                     system.run_frame();
                 }
-                let report = properties::check_extended(system.trace(), system.spec());
+                let report = oracle.report(system.trace());
                 if !report.of(property).is_empty() {
                     return true;
                 }

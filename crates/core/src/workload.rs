@@ -88,7 +88,6 @@ pub fn scenario_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::properties;
     use crate::spec::{AppDecl, Configuration, FunctionalSpec};
     use arfs_failstop::ProcessorId;
     use arfs_rtos::Ticks;
@@ -167,10 +166,14 @@ mod tests {
             mean_gap: 6,
             cooldown: 15,
         };
+        let oracle = crate::assure::InvariantOracle::new(
+            std::sync::Arc::new(s.clone()),
+            crate::assure::OracleProfile::Extended,
+        );
         let mut reconfigs = 0;
         for scenario in scenario_batch(&s, &cfg, 0, 25) {
             let system = scenario.run_on_spec(&s).unwrap();
-            let report = properties::check_extended(system.trace(), system.spec());
+            let report = oracle.report(system.trace());
             assert!(report.is_ok(), "seed {}: {report}", scenario.name());
             reconfigs += report.reconfigs_checked;
         }

@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use arfs_assure::fp;
+
 use crate::cow::CowLog;
 use crate::processor::Processor;
 use crate::stable::StableSnapshot;
@@ -171,6 +173,10 @@ impl ProcessorPool {
     /// Returns [`FailStopError::UnknownProcessor`] if no such processor
     /// exists.
     pub fn fail(&mut self, id: ProcessorId) -> Result<(), FailStopError> {
+        // Failpoint: the fail-stop conversion itself is a decision
+        // point — campaigns count it; a `Panic` proves the caller's
+        // thread death surfaces.
+        fp!("failstop.pool.fail");
         let p = self
             .processors
             .get_mut(&id)
@@ -266,6 +272,18 @@ impl ProcessorPool {
                     step: "restart_on_spare".into(),
                     reason: format!("task `{task}` has no assignment"),
                 })?;
+        // Failpoint: an `Err` here is spare-search failure — the pool
+        // reports exhaustion through the audited path even though a
+        // spare may physically exist.
+        fp!("failstop.pool.restart", action => {
+            if matches!(action, arfs_assure::FpAction::Err) {
+                self.events.push(PoolEvent::RestartExhausted {
+                    task: task.to_owned(),
+                    from,
+                });
+                return Err(FailStopError::NoSpare);
+            }
+        });
         let Some(to) = self.find_spare() else {
             self.events.push(PoolEvent::RestartExhausted {
                 task: task.to_owned(),

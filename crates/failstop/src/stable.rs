@@ -20,6 +20,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use arfs_assure::fp;
 use parking_lot::RwLock;
 
 use crate::error::StorageError;
@@ -229,6 +230,14 @@ impl StableStorage {
     /// Writes `slot` into the retained staging slot for `key`, allocating
     /// the key `String` only the first time the key is ever staged.
     fn put_slot(&mut self, key: impl AsRef<str> + Into<String>, slot: StagedSlot) {
+        // Failpoint: a `Skip` here is a lost write — the value never
+        // reaches the staging buffer, as if the volatile circuitry
+        // dropped it before the stable medium saw anything.
+        fp!("failstop.stable.stage", action => {
+            if matches!(action, arfs_assure::FpAction::Skip) {
+                return;
+            }
+        });
         if let Some(existing) = self.staged.get_mut(key.as_ref()) {
             *existing = slot;
         } else {
@@ -299,6 +308,18 @@ impl StableStorage {
     /// without touching the key — so re-committing the same working set
     /// every frame performs no heap allocation.
     pub fn commit(&mut self) -> Version {
+        // Failpoint: an `Err`/`Skip` here is a torn write at the device
+        // — every staged write is discarded and the version stays put,
+        // exactly what a fail-stop failure between commits leaves.
+        fp!("failstop.stable.commit", action => {
+            if matches!(
+                action,
+                arfs_assure::FpAction::Err | arfs_assure::FpAction::Skip
+            ) {
+                self.discard();
+                return self.version;
+            }
+        });
         for (key, slot) in self.staged.iter_mut() {
             match std::mem::replace(slot, StagedSlot::Clean) {
                 StagedSlot::Clean => {}

@@ -133,6 +133,11 @@ impl VirtualClock {
 
     /// Advances to the next frame, returning its index.
     pub fn advance_frame(&mut self) -> u64 {
+        // Failpoint: the frame boundary is the executive's one decision
+        // point. Campaigns count it (frame totals cross-check hit
+        // counts); destructive jitter is injected at the system layer
+        // where the deadline monitor defends it.
+        arfs_assure::fp!("rtos.clock.advance");
         self.frame += 1;
         self.frame
     }

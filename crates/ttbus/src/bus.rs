@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use arfs_assure::fp;
 use arfs_failstop::CowLog;
 
 use crate::schedule::BusSchedule;
@@ -371,6 +372,15 @@ impl TtBus {
                 }
                 let message = queue.pop_front().expect("front checked above");
                 budget -= message.len();
+                // Failpoint: a `Skip` here is an omission fault — the
+                // slot fired but this transmission never reached the
+                // replicated channels. Membership is untouched (the
+                // owner still transmitted its slot).
+                fp!("ttbus.bus.deliver", action => {
+                    if matches!(action, arfs_assure::FpAction::Skip) {
+                        continue;
+                    }
+                });
                 deliveries.push(Delivery {
                     from: owner,
                     round,
@@ -403,6 +413,17 @@ impl TtBus {
     /// Takes all deliveries accumulated in a node's inbox (everything
     /// delivered since the node's last drain).
     pub fn drain_inbox(&mut self, node: NodeId) -> Vec<Delivery> {
+        // Failpoint: a `Skip`/`Delay` here defers reception — the node
+        // reads nothing this round but the cursor holds, so every
+        // delivery arrives (late) on the next drain.
+        fp!("ttbus.bus.drain", action => {
+            if matches!(
+                action,
+                arfs_assure::FpAction::Skip | arfs_assure::FpAction::Delay(_)
+            ) {
+                return Vec::new();
+            }
+        });
         let Some(cursor) = self.inbox_cursors.get_mut(&node) else {
             return Vec::new();
         };

@@ -75,6 +75,44 @@ fn steady_state_frame_allocates_nothing() {
     );
 }
 
+/// With the `failpoints` feature off (the default for this binary),
+/// the assurance instrumentation must be literally free: the registry
+/// is compiled out, the whole API surface is inert stubs, and driving
+/// it in a tight loop performs zero heap allocations. Combined with
+/// the two steady-frame tests above — whose measured paths contain
+/// planted `fp!` sites — this is the compile-out proof for the default
+/// build.
+#[cfg(not(feature = "failpoints"))]
+#[test]
+fn disabled_failpoints_are_zero_cost() {
+    use arfs_assure::{FailpointPlan, FpAction};
+
+    const _: () = assert!(
+        !arfs_assure::failpoints_enabled(),
+        "this binary must build without the failpoints feature"
+    );
+
+    // Built outside the measured window: plans may allocate, the inert
+    // registry API may not.
+    let mut plan = FailpointPlan::new();
+    plan.push("system.stable.commit", 1, FpAction::Err);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        let _campaign = arfs_assure::install(&plan);
+        assert!(arfs_assure::hit("system.stable.commit").is_none());
+        assert!(arfs_assure::hit_counts().is_empty());
+        arfs_assure::reset_hits();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "inert failpoint API must not touch the heap ({} allocations in 1000 iterations)",
+        after - before
+    );
+}
+
 #[test]
 fn steady_state_frame_allocates_nothing_with_the_flight_ring_on() {
     let spec = Arc::new(avionics_spec().expect("avionics spec builds"));

@@ -22,7 +22,10 @@ fn run(shards: usize, threads: usize) -> FleetReport {
         journal_sample: 8,
         ..FleetConfig::default()
     };
-    Fleet::new(spec, config).expect("fleet builds").run()
+    Fleet::new(spec, config)
+        .expect("fleet builds")
+        .run()
+        .expect("journal writer is healthy")
 }
 
 const FLEET_SEED: u64 = 0xF1EE7;

@@ -105,7 +105,10 @@ fn forced_violation_yields_a_bundle_covering_the_violation_window() {
         mutate_system: Some((mutated, ScramMutation::SkipInitPhase)),
         ..fleet_config(16, 2)
     };
-    let report = Fleet::new(spec, config).expect("fleet builds").run();
+    let report = Fleet::new(spec, config)
+        .expect("fleet builds")
+        .run()
+        .expect("journal writer is healthy");
 
     assert!(
         report.violations.iter().any(|v| v.system == mutated),
@@ -148,7 +151,10 @@ fn merged_metrics_are_byte_identical_across_thread_counts() {
             shards,
             ..fleet_config(48, threads)
         };
-        let report = Fleet::new(spec, config).expect("fleet builds").run();
+        let report = Fleet::new(spec, config)
+            .expect("fleet builds")
+            .run()
+            .expect("journal writer is healthy");
         serde_json::to_string(&report.metrics).expect("metrics serialize")
     };
     let reference = run(3, 1);
